@@ -1,0 +1,113 @@
+//! Criterion microbenchmarks of the tooling itself: machine
+//! simulation speed, instrumentation throughput, trace parsing and
+//! trace-driven simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+use systrace::epoxie::{build_traced, run_traced, FullPolicy, Mode};
+use systrace::isa::link::Layout;
+use systrace::machine::{Config, Machine};
+use systrace::memsim::{MemSim, PageMap, Policy, SimCfg};
+use systrace::trace::TraceParser;
+
+fn workload_objects() -> Vec<systrace::isa::Object> {
+    systrace::workloads::by_name("yacc").unwrap().objects
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let w = systrace::workloads::by_name("yacc").unwrap();
+    let linked = systrace::workloads::link_user(&w.objects);
+    let mut g = c.benchmark_group("machine");
+    g.throughput(Throughput::Elements(200_000));
+    g.bench_function("simulate_200k_insts", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(Config::bare(), vec![]);
+            m.load_executable(&linked.exe);
+            m.set_pc(linked.exe.entry);
+            m.run(200_000)
+        })
+    });
+    g.finish();
+}
+
+fn bench_instrument(c: &mut Criterion) {
+    let objs = workload_objects();
+    let mut g = c.benchmark_group("epoxie");
+    g.bench_function("instrument_yacc", |b| {
+        b.iter(|| {
+            build_traced(
+                &objs,
+                Layout::user(),
+                "__start",
+                Mode::Modified,
+                FullPolicy::Syscall,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn traced_words() -> (Arc<systrace::trace::BbTable>, Vec<u32>) {
+    let mut a = systrace::isa::Asm::new("loop");
+    use systrace::isa::reg::*;
+    a.global_label("main");
+    a.la(T0, "buf");
+    a.li(T1, 20_000);
+    a.label("l");
+    a.sw(T1, 0, T0);
+    a.lw(T2, 0, T0);
+    a.addiu(T1, T1, -1);
+    a.bne(T1, ZERO, "l");
+    a.nop();
+    a.break_(0);
+    a.data();
+    a.label("buf");
+    a.space(16);
+    let prog = build_traced(
+        &[a.finish()],
+        Layout::user(),
+        "main",
+        Mode::Modified,
+        FullPolicy::Syscall,
+    )
+    .unwrap();
+    let run = run_traced(&prog, 100_000_000, |_, _| false);
+    (Arc::new(prog.table), run.words)
+}
+
+fn bench_parse_and_sim(c: &mut Criterion) {
+    let (table, words) = traced_words();
+    let mut g = c.benchmark_group("analysis");
+    g.throughput(Throughput::Elements(words.len() as u64));
+    g.bench_function("parse_trace", |b| {
+        b.iter(|| {
+            let mut p = TraceParser::new(Arc::new(systrace::trace::BbTable::new()));
+            p.set_user_table(0, table.clone());
+            let mut sink = systrace::trace::CollectSink::default();
+            p.parse_all(&words, &mut sink);
+            sink.irefs.len()
+        })
+    });
+    g.bench_function("parse_and_simulate", |b| {
+        b.iter(|| {
+            let mut p = TraceParser::new(Arc::new(systrace::trace::BbTable::new()));
+            p.set_user_table(0, table.clone());
+            let mut sim = MemSim::new(
+                SimCfg::default(),
+                PageMap::new(Policy::FirstFree { base_pfn: 0x100 }),
+            );
+            p.parse_all(&words, &mut sim);
+            sim.cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_machine,
+    bench_instrument,
+    bench_parse_and_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! §4.3 defensive tracing: "the format of trace contains a significant
+//! degree of redundancy, such that missing words of trace or erroneous
+//! writes into the trace are detected with a very high probability."
+//!
+//! We take a known-good system trace, inject three kinds of damage
+//! (dropped words, overwritten words, junk control words), and measure
+//! how often the parser's redundancy checks catch it.
+
+use systrace::kernel::{build_system, KernelConfig};
+
+fn parse_errors(sys: &systrace::kernel::System, words: &[u32]) -> u64 {
+    let mut parser = sys.parser();
+    let mut sink = systrace::trace::CollectSink::default();
+    parser.parse_all(words, &mut sink);
+    parser.stats.errors
+}
+
+fn main() {
+    let w = systrace::workloads::by_name("yacc").unwrap();
+    let mut sys = build_system(&KernelConfig::ultrix().traced(), &[&w]);
+    let run = sys.run(4_000_000_000);
+    assert_eq!(
+        parse_errors(&sys, &run.trace_words),
+        0,
+        "baseline must be clean"
+    );
+    let n = run.trace_words.len();
+    println!("Defensive tracing: damage detection over a {n}-word yacc trace");
+
+    let mut rng = 0x5eed_u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+
+    let trials = 200;
+    for (kind, mutate) in [
+        (
+            "drop one word",
+            Box::new(|v: &mut Vec<u32>, at: usize| {
+                v.remove(at);
+            }) as Box<dyn Fn(&mut Vec<u32>, usize)>,
+        ),
+        (
+            "overwrite with garbage address",
+            Box::new(|v: &mut Vec<u32>, at: usize| {
+                v[at] = 0x7abc_de00 | (at as u32 & 0xff);
+            }),
+        ),
+        (
+            "overwrite with junk control",
+            Box::new(|v: &mut Vec<u32>, at: usize| {
+                v[at] = 0x0000_00ee;
+            }),
+        ),
+    ] {
+        let mut detected = 0;
+        for _ in 0..trials {
+            let at = (next() as usize) % (n - 2) + 1;
+            let mut words = run.trace_words.clone();
+            mutate(&mut words, at);
+            if parse_errors(&sys, &words) > 0 {
+                detected += 1;
+            }
+        }
+        println!(
+            "  {kind:32}: {detected}/{trials} detected ({:.1}%)",
+            100.0 * detected as f64 / trials as f64
+        );
+    }
+    println!("(undetected cases are single-word mutations that remain positionally consistent,");
+    println!(" e.g. a corrupted data address — exactly the residual risk the paper accepts)");
+}

@@ -1,0 +1,24 @@
+//! Figure 3: "Error in predicted execution times for Ultrix" — the
+//! percent-error bar chart across all twelve workloads.
+
+use systrace::kernel::KernelConfig;
+
+fn main() {
+    println!("Figure 3: percent error in predicted execution time (Ultrix)");
+    println!("{:-<70}", "");
+    let mut rows = Vec::new();
+    for w in wrl_bench::selected_workloads() {
+        let row = systrace::validate(&KernelConfig::ultrix(), &w);
+        rows.push((w.name, row.time_error_pct()));
+    }
+    for (name, err) in &rows {
+        println!("{:9} {:>6.2}% |{}", name, err, wrl_bench::bar(*err, 4.0));
+    }
+    println!("{:-<70}", "");
+    let over5 = rows.iter().filter(|(_, e)| *e > 5.0).count();
+    println!(
+        "{} of {} workloads above 5% (the paper had 3: sed, compress, liv)",
+        over5,
+        rows.len()
+    );
+}

@@ -1,0 +1,26 @@
+//! Table 1: "Experimental workloads with execution times for a
+//! DECstation 5000/200" — the workload inventory with untraced run
+//! times measured by the machine's cycle counter (Ultrix).
+
+use systrace::kernel::KernelConfig;
+
+fn main() {
+    println!("Table 1: experimental workloads (untraced Ultrix, measured run time)");
+    println!("{:-<100}", "");
+    for w in wrl_bench::selected_workloads() {
+        let m = systrace::run_measured(&KernelConfig::ultrix(), &w);
+        println!(
+            "{:9} {:>9.4} s  {:>11} insts  {:>7} utlb  | {}",
+            w.name,
+            m.seconds,
+            m.insts,
+            m.utlb_misses,
+            w.description
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    println!("{:-<100}", "");
+    println!("(inputs are scaled ~100x down from the paper's; see EXPERIMENTS.md)");
+}

@@ -1,0 +1,32 @@
+//! Table 2: "Run Times, measured and predicted, in seconds" — the
+//! headline validation, for both Mach and Ultrix.
+
+fn main() {
+    println!("Table 2: run times, measured and predicted (seconds)");
+    println!(
+        "{:9} | {:>9} {:>9} {:>6} | {:>9} {:>9} {:>6}",
+        "", "Mach meas", "Mach pred", "err%", "Ultx meas", "Ultx pred", "err%"
+    );
+    println!("{:-<72}", "");
+    for w in wrl_bench::selected_workloads() {
+        let (mach, ultrix) = wrl_bench::validate_both(&w);
+        println!(
+            "{:9} | {} {} {:>5.1}% | {} {} {:>5.1}%",
+            w.name,
+            wrl_bench::fmt_s(mach.measured.seconds),
+            wrl_bench::fmt_s(mach.predicted.seconds),
+            mach.time_error_pct(),
+            wrl_bench::fmt_s(ultrix.measured.seconds),
+            wrl_bench::fmt_s(ultrix.predicted.seconds),
+            ultrix.time_error_pct(),
+        );
+        assert_eq!(mach.predicted.parse_errors, 0, "{}: trace corrupt", w.name);
+        assert_eq!(
+            ultrix.predicted.parse_errors, 0,
+            "{}: trace corrupt",
+            w.name
+        );
+    }
+    println!("{:-<72}", "");
+    println!("predicted = CPU cycles + memory stalls + pixie arith stalls + scaled idle I/O");
+}

@@ -1,0 +1,196 @@
+//! Basic-block discovery on object modules.
+//!
+//! Epoxie rewrites object files at link time precisely because "the
+//! symbol and relocation tables present in object code allow epoxie to
+//! distinguish unambiguously between uses of addresses and uses of
+//! coincidentally similar constants" (§3.2). Block boundaries come
+//! from three sources, all statically certain at link time:
+//!
+//! 1. every symbol defined in the text section (all computed-jump
+//!    targets are reached through symbols);
+//! 2. every branch-relocation target;
+//! 3. the instruction after every control transfer's delay slot.
+
+use wrl_isa::obj::{Object, RelocKind, SecId};
+use wrl_isa::{decode, Inst};
+
+/// A discovered basic block: instruction range `[start, end)` in byte
+/// offsets within the object's text section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BbRange {
+    /// Start byte offset.
+    pub start: u32,
+    /// End byte offset (exclusive).
+    pub end: u32,
+}
+
+impl BbRange {
+    /// Number of instructions in the block.
+    pub fn n_insts(&self) -> u32 {
+        (self.end - self.start) / 4
+    }
+}
+
+/// Scans an object's text section into basic blocks.
+///
+/// The returned ranges cover the whole text in order. Delay slots
+/// belong to the block their branch terminates.
+pub fn scan(obj: &Object) -> Vec<BbRange> {
+    let n = obj.text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut leader = vec![false; n + 1];
+    leader[0] = true;
+    leader[n] = true;
+
+    // Symbols in text start blocks.
+    for s in &obj.symbols {
+        if s.sec == SecId::Text && (s.off as usize) < n * 4 {
+            leader[(s.off / 4) as usize] = true;
+        }
+    }
+    // Branch targets (via relocations to local text symbols).
+    for r in &obj.text_relocs {
+        if !matches!(r.kind, RelocKind::Br16 | RelocKind::J26) {
+            continue;
+        }
+        if let Some(sym) = obj.symbol(&r.sym) {
+            if sym.sec == SecId::Text {
+                let t = (sym.off as i64 + r.addend as i64) / 4;
+                if (0..=n as i64).contains(&t) {
+                    leader[t as usize] = true;
+                }
+            }
+        }
+    }
+    // Instruction after a control transfer's delay slot (or after a
+    // no-delay-slot trap).
+    for (i, &w) in obj.text.iter().enumerate() {
+        if let Ok(inst) = decode(w) {
+            if inst.has_delay_slot() {
+                if i + 2 <= n {
+                    leader[i + 2] = true;
+                }
+            } else if matches!(inst, Inst::Syscall { .. } | Inst::Break { .. } | Inst::Rfe) && i < n
+            {
+                leader[i + 1] = true;
+            }
+        }
+    }
+    // A leader inside a delay slot would split the branch from its
+    // slot; merge it forward (delay slots are not jump targets in
+    // well-formed code, but a symbol may label one).
+    for i in 1..n {
+        if leader[i] {
+            if let Ok(prev) = decode(obj.text[i - 1]) {
+                if prev.has_delay_slot() {
+                    leader[i] = false;
+                    if i < n {
+                        leader[i + 1] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    // Index style: `i` is simultaneously a leader-bitmap index and an
+    // instruction offset, which an iterator would obscure.
+    #[allow(clippy::needless_range_loop)]
+    for i in 1..=n {
+        if leader[i] {
+            out.push(BbRange {
+                start: (start * 4) as u32,
+                end: (i * 4) as u32,
+            });
+            start = i;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrl_isa::asm::Asm;
+    use wrl_isa::reg::*;
+
+    #[test]
+    fn straight_line_with_branch() {
+        let mut a = Asm::new("t");
+        a.global_label("main");
+        a.li(T0, 3); // bb0: insts 0..
+        a.label("loop"); // bb1 leader
+        a.addiu(T0, T0, -1);
+        a.bne(T0, ZERO, "loop");
+        a.nop(); // delay slot, part of bb1
+        a.jr(RA); // bb2
+        a.nop();
+        let obj = a.finish();
+        let bbs = scan(&obj);
+        assert_eq!(bbs.len(), 3);
+        assert_eq!(bbs[0], BbRange { start: 0, end: 4 });
+        assert_eq!(bbs[1], BbRange { start: 4, end: 16 });
+        assert_eq!(bbs[1].n_insts(), 3);
+        assert_eq!(bbs[2], BbRange { start: 16, end: 24 });
+    }
+
+    #[test]
+    fn call_splits_block() {
+        let mut a = Asm::new("t");
+        a.global_label("main");
+        a.jal("f");
+        a.nop();
+        a.addiu(T0, T0, 1); // new bb after call
+        a.jr(RA);
+        a.nop();
+        a.global_label("f");
+        a.jr(RA);
+        a.nop();
+        let bbs = scan(&a.finish());
+        // [jal+nop], [addiu..jr+nop], [f: jr+nop]
+        assert_eq!(bbs.len(), 3);
+        assert_eq!(bbs[0].end, 8);
+        assert_eq!(bbs[1].start, 8);
+        assert_eq!(bbs[2].start, 20);
+    }
+
+    #[test]
+    fn syscall_ends_block_without_delay_slot() {
+        let mut a = Asm::new("t");
+        a.global_label("main");
+        a.li(V0, 1);
+        a.syscall(0);
+        a.li(V0, 2);
+        a.break_(0);
+        let bbs = scan(&a.finish());
+        assert_eq!(bbs.len(), 2);
+        assert_eq!(bbs[0].end, 8);
+        assert_eq!(bbs[1].n_insts(), 2);
+    }
+
+    #[test]
+    fn blocks_tile_text_exactly() {
+        let mut a = Asm::new("t");
+        a.global_label("main");
+        for i in 0..10 {
+            a.label(&format!("l{i}"));
+            a.addiu(T0, T0, 1);
+            a.bne(T0, ZERO, &format!("l{i}"));
+            a.nop();
+        }
+        a.jr(RA);
+        a.nop();
+        let obj = a.finish();
+        let bbs = scan(&obj);
+        let mut pos = 0;
+        for b in &bbs {
+            assert_eq!(b.start, pos);
+            assert!(b.end > b.start);
+            pos = b.end;
+        }
+        assert_eq!(pos, obj.text_bytes());
+    }
+}

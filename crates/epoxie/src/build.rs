@@ -1,0 +1,131 @@
+//! The full instrumentation pipeline: instrument, link, and build the
+//! trace-parsing tables.
+//!
+//! Because epoxie rewrites object files *before* linking, both the
+//! instrumented and the original binaries are linked with the same
+//! layout bases, and the static basic-block table maps each
+//! instrumented block id to its address in the original binary: "the
+//! addresses seen by the simulator correspond to the uninstrumented
+//! binary" (§3.2). Data addresses coincide by construction (epoxie
+//! never touches data sections).
+
+use std::collections::HashMap;
+
+use crate::instrument::{instrument_object, Expansion, InstrumentError, Mode, RuntimeSyms};
+use crate::runtime::{runtime_object, FullPolicy};
+use wrl_isa::link::{link, Layout, LinkError, Linked};
+use wrl_isa::Object;
+use wrl_trace::bbinfo::{BbInfo, BbTable};
+
+/// Errors from the build pipeline.
+#[derive(Clone, Debug)]
+pub enum BuildError {
+    /// Instrumentation failed.
+    Instrument(InstrumentError),
+    /// Linking failed (either binary).
+    Link(LinkError),
+}
+
+impl From<InstrumentError> for BuildError {
+    fn from(e: InstrumentError) -> Self {
+        BuildError::Instrument(e)
+    }
+}
+
+impl From<LinkError> for BuildError {
+    fn from(e: LinkError) -> Self {
+        BuildError::Link(e)
+    }
+}
+
+impl core::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BuildError::Instrument(e) => write!(f, "instrumentation: {e}"),
+            BuildError::Link(e) => write!(f, "link: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A fully built traced program: both binaries plus the parse table.
+#[derive(Clone, Debug)]
+pub struct TracedProgram {
+    /// The instrumented binary (what actually runs).
+    pub instr: Linked,
+    /// The original binary (whose addresses appear in the trace).
+    pub orig: Linked,
+    /// The basic-block lookup table keyed by instrumented bb id.
+    pub table: BbTable,
+    /// Text-size statistics.
+    pub expansion: Expansion,
+    /// Map from original global text symbols to instrumented entry
+    /// addresses (diagnostics).
+    pub entry_map: HashMap<String, u32>,
+}
+
+/// Instruments `objects`, links both versions, and builds the table.
+///
+/// `policy` selects the user (syscall) or kernel (flag) buffer-full
+/// behaviour; `mode` selects modified (compact) or original (inline)
+/// epoxie.
+pub fn build_traced(
+    objects: &[Object],
+    layout: Layout,
+    entry: &str,
+    mode: Mode,
+    policy: FullPolicy,
+) -> Result<TracedProgram, BuildError> {
+    let syms = RuntimeSyms::default();
+    let mut instr_objs = Vec::with_capacity(objects.len() + 1);
+    let mut all_records = Vec::with_capacity(objects.len());
+    for o in objects {
+        let io = instrument_object(o, mode, &syms)?;
+        all_records.push(io.records);
+        instr_objs.push(io.obj);
+    }
+    instr_objs.push(runtime_object(policy));
+
+    let instr = link(&instr_objs, layout, entry)?;
+    let orig = link(objects, layout, entry)?;
+
+    let mut table = BbTable::new();
+    for (i, records) in all_records.iter().enumerate() {
+        let ibase = instr.placements[i].text_addr;
+        let obase = orig.placements[i].text_addr;
+        for r in records {
+            table.insert(
+                ibase + r.id_off,
+                BbInfo {
+                    orig_vaddr: obase + r.orig_off,
+                    n_insts: r.n_insts,
+                    ops: r.ops.clone(),
+                    flags: r.flags,
+                },
+            );
+        }
+    }
+
+    let expansion = Expansion {
+        orig_bytes: orig.exe.text_size() as u64,
+        new_bytes: instr.exe.text_size() as u64,
+    };
+
+    let mut entry_map = HashMap::new();
+    for (name, &oaddr) in &orig.exe.globals {
+        if oaddr >= orig.exe.text_base && oaddr < orig.exe.text_end() {
+            if let Some(iaddr) = instr.exe.sym(name) {
+                entry_map.insert(name.clone(), iaddr);
+            }
+        }
+    }
+
+    Ok(TracedProgram {
+        instr,
+        orig,
+        table,
+        expansion,
+        entry_map,
+    })
+}

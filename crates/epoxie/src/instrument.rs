@@ -1,0 +1,748 @@
+//! The link-time instrumenter.
+//!
+//! Rewrites object modules, inserting trace-collecting code "at the
+//! beginning of each basic block and before every memory instruction"
+//! (§3.2, Figure 2). Two modes are provided:
+//!
+//! * [`Mode::Modified`] — the paper's modified epoxie: a three-
+//!   instruction block preamble calling a shared `bbtrace` routine
+//!   (with the trace-word count planted in a `li zero, n` delay-slot
+//!   no-op) and a two-instruction `jal memtrace` sequence per memory
+//!   instruction, for ≈2x text growth;
+//! * [`Mode::Original`] — the original epoxie's inline scheme: every
+//!   trace store is expanded in line, trading 4–6x text growth for
+//!   fewer taken branches (the §3.2 footnote's comparison point).
+//!
+//! Register stealing is implemented as in the paper: the three
+//! reserved registers' uses in the original binary "are replaced with
+//! sequences of instructions that use a 'shadow' value for the
+//! register, in memory". Delay-slot hazards (instructions that read
+//! or write `ra`, or loads that overwrite their own base) get the
+//! Figure-2 treatment: a harmless same-address access in the delay
+//! slot with the real instruction issued after the call.
+
+use std::collections::HashMap;
+
+use crate::bbscan::{scan, BbRange};
+use crate::subst::subst_gpr;
+use wrl_isa::obj::{Object, Reloc, RelocKind, SecId, Symbol, TextRange};
+use wrl_isa::reg::{AT, RA, ZERO};
+use wrl_isa::{decode, encode, Inst, MemClass, Reg};
+use wrl_trace::bbinfo::{BbTraceFlags, MemOp};
+use wrl_trace::layout::{bk, XREG1, XREG2, XREG3, XREGS};
+
+/// Instrumentation mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Modified epoxie: shared runtime routines, ≈2x text growth.
+    Modified,
+    /// Original epoxie: inline trace stores, 4–6x text growth.
+    Original,
+}
+
+/// Errors the instrumenter can detect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InstrumentError {
+    /// A delay-slot instruction needs transformation but cannot be
+    /// hoisted above its branch safely.
+    UnsafeDelaySlot {
+        /// The object.
+        obj: String,
+        /// Text byte offset of the branch.
+        off: u32,
+    },
+    /// An instruction reads two stolen registers at once.
+    TwoStolenReads {
+        /// The object.
+        obj: String,
+        /// Text byte offset.
+        off: u32,
+    },
+    /// An instruction mixes the assembler temporary with a stolen
+    /// register, leaving no scratch register for the rewrite.
+    AtConflict {
+        /// The object.
+        obj: String,
+        /// Text byte offset.
+        off: u32,
+    },
+    /// A text word does not decode.
+    BadEncoding {
+        /// The object.
+        obj: String,
+        /// Text byte offset.
+        off: u32,
+    },
+}
+
+impl core::fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InstrumentError::UnsafeDelaySlot { obj, off } => {
+                write!(f, "{obj}+{off:#x}: delay slot cannot be hoisted safely")
+            }
+            InstrumentError::TwoStolenReads { obj, off } => {
+                write!(f, "{obj}+{off:#x}: instruction reads two stolen registers")
+            }
+            InstrumentError::AtConflict { obj, off } => {
+                write!(
+                    f,
+                    "{obj}+{off:#x}: stolen-register rewrite conflicts with $at"
+                )
+            }
+            InstrumentError::BadEncoding { obj, off } => {
+                write!(f, "{obj}+{off:#x}: undecodable instruction word")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstrumentError {}
+
+/// Static record for one instrumented basic block, used to build the
+/// trace-parsing table once final addresses are known.
+#[derive(Clone, Debug)]
+pub struct BbRecord {
+    /// Byte offset of the block in the *original* object text.
+    pub orig_off: u32,
+    /// Byte offset of the block's id point in the *instrumented* text
+    /// (the return address `bbtrace` stores, or the inline id label).
+    pub id_off: u32,
+    /// Original instruction count.
+    pub n_insts: u16,
+    /// Memory operations in trace order.
+    pub ops: Vec<MemOp>,
+    /// Trace flags (idle markers).
+    pub flags: BbTraceFlags,
+}
+
+/// An instrumented object plus its block records.
+#[derive(Clone, Debug)]
+pub struct InstrumentedObject {
+    /// The rewritten object module.
+    pub obj: Object,
+    /// Per-block static records.
+    pub records: Vec<BbRecord>,
+}
+
+/// Runtime entry points the generated code calls.
+#[derive(Clone, Debug)]
+pub struct RuntimeSyms {
+    /// Basic-block trace routine (Modified mode).
+    pub bbtrace: String,
+    /// Memory trace routine (Modified mode).
+    pub memtrace: String,
+    /// Buffer-full handler (Original mode).
+    pub trace_full: String,
+}
+
+impl Default for RuntimeSyms {
+    fn default() -> Self {
+        RuntimeSyms {
+            bbtrace: "__bbtrace".into(),
+            memtrace: "__memtrace".into(),
+            trace_full: "__trace_full".into(),
+        }
+    }
+}
+
+struct Emit {
+    text: Vec<u32>,
+    relocs: Vec<Reloc>,
+    syms: Vec<Symbol>,
+}
+
+impl Emit {
+    fn pos(&self) -> u32 {
+        (self.text.len() * 4) as u32
+    }
+
+    fn put(&mut self, i: Inst) {
+        self.text.push(encode(i));
+    }
+
+    fn put_reloc(&mut self, i: Inst, kind: RelocKind, sym: &str, addend: i32) {
+        self.relocs.push(Reloc {
+            off: self.pos(),
+            kind,
+            sym: sym.to_string(),
+            addend,
+        });
+        self.put(i);
+    }
+}
+
+fn is_stolen(r: Reg) -> bool {
+    XREGS.contains(&r)
+}
+
+fn shadow_slot(r: Reg) -> i16 {
+    match r {
+        _ if r == XREG1 => bk::XREG1_SHADOW,
+        _ if r == XREG2 => bk::XREG2_SHADOW,
+        _ => bk::XREG3_SHADOW,
+    }
+}
+
+/// The stolen-register rewrite of one instruction.
+struct Rewritten {
+    pre: Vec<Inst>,
+    core: Inst,
+    post: Vec<Inst>,
+}
+
+fn rewrite_stolen(inst: Inst, obj: &str, off: u32) -> Result<Rewritten, InstrumentError> {
+    let ([r1, r2], ()) = inst.reads_gprs();
+    let stolen_reads: Vec<Reg> = [r1, r2]
+        .into_iter()
+        .flatten()
+        .filter(|r| is_stolen(*r))
+        .collect();
+    let stolen_write = inst.writes_gpr().filter(|r| is_stolen(*r));
+    if stolen_reads.is_empty() && stolen_write.is_none() {
+        return Ok(Rewritten {
+            pre: vec![],
+            core: inst,
+            post: vec![],
+        });
+    }
+    // Distinct stolen reads beyond one are unsupported (one scratch).
+    let mut distinct = stolen_reads.clone();
+    distinct.dedup();
+    distinct.sort_by_key(|r| r.0);
+    distinct.dedup();
+    if distinct.len() > 1 {
+        return Err(InstrumentError::TwoStolenReads {
+            obj: obj.into(),
+            off,
+        });
+    }
+    // The rewrite needs $at; the instruction must not already use it.
+    if inst.reads_gpr(AT) || inst.writes_gpr() == Some(AT) {
+        return Err(InstrumentError::AtConflict {
+            obj: obj.into(),
+            off,
+        });
+    }
+    let mut pre = Vec::new();
+    let mut post = Vec::new();
+    let mut core = inst;
+    if let Some(&r) = distinct.first() {
+        pre.push(Inst::Lw {
+            rt: AT,
+            base: XREG3,
+            off: shadow_slot(r),
+        });
+        core = subst_gpr(core, r, AT);
+    }
+    if let Some(w) = stolen_write {
+        core = subst_gpr(core, w, AT);
+        post.push(Inst::Sw {
+            rt: AT,
+            base: XREG3,
+            off: shadow_slot(w),
+        });
+    }
+    Ok(Rewritten { pre, core, post })
+}
+
+/// True if the instruction needs any transformation beyond copying.
+fn needs_transform(inst: Inst) -> bool {
+    let ([r1, r2], ()) = inst.reads_gprs();
+    inst.mem_class().is_some()
+        || [r1, r2].into_iter().flatten().any(is_stolen)
+        || inst.writes_gpr().map(is_stolen).unwrap_or(false)
+        || (inst.writes_gpr() == Some(RA) && !inst.has_delay_slot())
+}
+
+/// Memory-op hazards that force the Figure-2 dummy-access scheme.
+fn mem_hazard(core: Inst) -> bool {
+    let writes_ra = core.writes_gpr() == Some(RA);
+    let reads_ra = core.reads_gpr(RA);
+    let load_clobbers_base = match (core.mem_class(), core.writes_gpr()) {
+        (Some(MemClass::Load { base, .. }), Some(rt)) => rt == base,
+        _ => false,
+    };
+    writes_ra || reads_ra || load_clobbers_base
+}
+
+/// The harmless same-base/offset access placed in the delay slot when
+/// the real instruction is hazardous.
+fn dummy_access(core: Inst) -> Inst {
+    match core.mem_class().expect("dummy for mem op") {
+        MemClass::Load { base, off, .. } => Inst::Lw {
+            rt: ZERO,
+            base,
+            off,
+        },
+        MemClass::Store { base, off, .. } => Inst::Sw {
+            rt: ZERO,
+            base,
+            off,
+        },
+    }
+}
+
+/// Replaces only the base register of a memory instruction.
+fn rebase(i: Inst, to: Reg) -> Inst {
+    use Inst::*;
+    match i {
+        Lb { rt, off, .. } => Lb { rt, base: to, off },
+        Lbu { rt, off, .. } => Lbu { rt, base: to, off },
+        Lh { rt, off, .. } => Lh { rt, base: to, off },
+        Lhu { rt, off, .. } => Lhu { rt, base: to, off },
+        Lw { rt, off, .. } => Lw { rt, base: to, off },
+        Sb { rt, off, .. } => Sb { rt, base: to, off },
+        Sh { rt, off, .. } => Sh { rt, base: to, off },
+        Sw { rt, off, .. } => Sw { rt, base: to, off },
+        Lwc1 { ft, off, .. } => Lwc1 { ft, base: to, off },
+        Swc1 { ft, off, .. } => Swc1 { ft, base: to, off },
+        other => other,
+    }
+}
+
+/// Can `slot` be hoisted above its branch `br`?
+fn hoist_safe(br: Inst, slot: Inst) -> bool {
+    if slot.has_delay_slot() || slot.is_control() {
+        return false;
+    }
+    if let Some(w) = slot.writes_gpr() {
+        if br.reads_gpr(w) {
+            return false;
+        }
+    }
+    // jal/jalr write ra before the slot would have run; hoisting is
+    // unsafe if the slot touches ra.
+    if br.writes_gpr() == Some(RA) && (slot.reads_gpr(RA) || slot.writes_gpr() == Some(RA)) {
+        return false;
+    }
+    true
+}
+
+/// Instruments one object module.
+pub fn instrument_object(
+    src: &Object,
+    mode: Mode,
+    rt: &RuntimeSyms,
+) -> Result<InstrumentedObject, InstrumentError> {
+    let bbs = scan(src);
+    let mut em = Emit {
+        text: Vec::with_capacity(src.text.len() * 3),
+        relocs: Vec::new(),
+        syms: Vec::new(),
+    };
+    let mut records: Vec<BbRecord> = Vec::with_capacity(bbs.len());
+    // Original word index -> new byte offset of the core instruction.
+    let mut pos_map: HashMap<u32, u32> = HashMap::new();
+    // Original bb start -> new byte offset of the preamble.
+    let mut bb_entry: HashMap<u32, u32> = HashMap::new();
+    let mut bb_counter = 0u32;
+
+    for bb in &bbs {
+        if src.is_protected(bb.start) {
+            bb_entry.insert(bb.start, em.pos());
+            copy_verbatim(src, *bb, &mut em, &mut pos_map);
+            continue;
+        }
+        instrument_bb(
+            src,
+            *bb,
+            mode,
+            rt,
+            &mut em,
+            &mut pos_map,
+            &mut bb_entry,
+            &mut records,
+            &mut bb_counter,
+        )?;
+    }
+
+    // Rebuild symbols.
+    let mut symbols = Vec::with_capacity(src.symbols.len());
+    for s in &src.symbols {
+        let off = if s.sec == SecId::Text {
+            if let Some(&p) = bb_entry.get(&s.off) {
+                p
+            } else if s.off >= src.text_bytes() {
+                em.pos()
+            } else {
+                *pos_map.get(&(s.off / 4)).unwrap_or(&0)
+            }
+        } else {
+            s.off
+        };
+        symbols.push(Symbol {
+            name: s.name.clone(),
+            sec: s.sec,
+            off,
+            global: s.global,
+        });
+    }
+    symbols.append(&mut em.syms);
+
+    // Remap ranges.
+    let remap_range = |r: &TextRange| TextRange {
+        start: *bb_entry
+            .get(&r.start)
+            .or_else(|| pos_map.get(&(r.start / 4)))
+            .unwrap_or(&r.start),
+        end: if r.end >= src.text_bytes() {
+            em.pos()
+        } else {
+            *bb_entry
+                .get(&r.end)
+                .or_else(|| pos_map.get(&(r.end / 4)))
+                .unwrap_or(&r.end)
+        },
+    };
+    let uninstrumented = src.uninstrumented.iter().map(remap_range).collect();
+    let hand_traced = src.hand_traced.iter().map(remap_range).collect();
+
+    Ok(InstrumentedObject {
+        obj: Object {
+            name: format!("{}.epoxie", src.name),
+            text: em.text,
+            data: src.data.clone(),
+            bss_size: src.bss_size,
+            symbols,
+            text_relocs: em.relocs,
+            data_relocs: src.data_relocs.clone(),
+            uninstrumented,
+            hand_traced,
+            bb_flags: HashMap::new(),
+        },
+        records,
+    })
+}
+
+fn copy_verbatim(src: &Object, bb: BbRange, em: &mut Emit, pos_map: &mut HashMap<u32, u32>) {
+    for i in (bb.start / 4)..(bb.end / 4) {
+        pos_map.insert(i, em.pos());
+        copy_relocs_at(src, i, em);
+        em.text.push(src.text[i as usize]);
+    }
+}
+
+/// Re-attaches any original relocation on word `i` to the current
+/// emission position.
+fn copy_relocs_at(src: &Object, i: u32, em: &mut Emit) {
+    for r in &src.text_relocs {
+        if r.off == i * 4 {
+            em.relocs.push(Reloc {
+                off: em.pos(),
+                kind: r.kind,
+                sym: r.sym.clone(),
+                addend: r.addend,
+            });
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn instrument_bb(
+    src: &Object,
+    bb: BbRange,
+    mode: Mode,
+    rt: &RuntimeSyms,
+    em: &mut Emit,
+    pos_map: &mut HashMap<u32, u32>,
+    bb_entry: &mut HashMap<u32, u32>,
+    records: &mut Vec<BbRecord>,
+    bb_counter: &mut u32,
+) -> Result<(), InstrumentError> {
+    let nw = bb.n_insts();
+    let mut insts = Vec::with_capacity(nw as usize);
+    for i in 0..nw {
+        let w = src.text[((bb.start / 4) + i) as usize];
+        let inst = decode(w).map_err(|_| InstrumentError::BadEncoding {
+            obj: src.name.clone(),
+            off: bb.start + i * 4,
+        })?;
+        insts.push(inst);
+    }
+    // Collect memory operations in original order.
+    let mut ops = Vec::new();
+    for (i, inst) in insts.iter().enumerate() {
+        if let Some(mc) = inst.mem_class() {
+            let (store, width) = match mc {
+                MemClass::Load { width, .. } => (false, width),
+                MemClass::Store { width, .. } => (true, width),
+            };
+            ops.push(MemOp {
+                index: i as u16,
+                store,
+                width,
+            });
+        }
+    }
+    let n_words = 1 + ops.len() as i16;
+
+    let preamble = em.pos();
+    bb_entry.insert(bb.start, preamble);
+    let id_off;
+    match mode {
+        Mode::Modified => {
+            // Figure 2: sw ra,124(xreg3); jal bbtrace; li zero,n.
+            em.put(Inst::Sw {
+                rt: RA,
+                base: XREG3,
+                off: bk::RA_SAVE,
+            });
+            em.put_reloc(Inst::Jal { target: 0 }, RelocKind::J26, &rt.bbtrace, 0);
+            em.put(Inst::Addiu {
+                rt: ZERO,
+                rs: ZERO,
+                imm: n_words,
+            });
+            id_off = em.pos(); // jal's return address
+        }
+        Mode::Original => {
+            // Inline: fullness check, then store the id in line.
+            em.put(Inst::Sw {
+                rt: RA,
+                base: XREG3,
+                off: bk::RA_SAVE,
+            });
+            em.put(Inst::Lw {
+                rt: XREG2,
+                base: XREG3,
+                off: bk::BUF_END,
+            });
+            em.put(Inst::Sltu {
+                rd: XREG2,
+                rs: XREG2,
+                rt: XREG1,
+            });
+            // Skip the flush call when there is room: branch over
+            // [nop][jal][nop] to the id sequence.
+            em.put(Inst::Beq {
+                rs: XREG2,
+                rt: ZERO,
+                off: 3,
+            });
+            em.put(Inst::nop());
+            em.put_reloc(Inst::Jal { target: 0 }, RelocKind::J26, &rt.trace_full, 0);
+            em.put(Inst::nop());
+            let label = format!("__bb{}_{}", src.name, *bb_counter);
+            *bb_counter += 1;
+            id_off = em.pos();
+            em.syms.push(Symbol {
+                name: label.clone(),
+                sec: SecId::Text,
+                off: id_off,
+                global: false,
+            });
+            em.put_reloc(Inst::Lui { rt: XREG2, imm: 0 }, RelocKind::Hi16, &label, 0);
+            em.put_reloc(
+                Inst::Ori {
+                    rt: XREG2,
+                    rs: XREG2,
+                    imm: 0,
+                },
+                RelocKind::Lo16,
+                &label,
+                0,
+            );
+            em.put(Inst::Sw {
+                rt: XREG2,
+                base: XREG1,
+                off: 0,
+            });
+            em.put(Inst::Addiu {
+                rt: XREG1,
+                rs: XREG1,
+                imm: 4,
+            });
+        }
+    }
+
+    records.push(BbRecord {
+        orig_off: bb.start,
+        id_off,
+        n_insts: nw as u16,
+        ops,
+        flags: BbTraceFlags {
+            idle_start: src
+                .bb_flags
+                .get(&bb.start)
+                .map(|f| f.idle_start)
+                .unwrap_or(false),
+            idle_stop: src
+                .bb_flags
+                .get(&bb.start)
+                .map(|f| f.idle_stop)
+                .unwrap_or(false),
+            hand_traced: false,
+        },
+    });
+
+    // Emit the body.
+    let mut i = 0usize;
+    while i < insts.len() {
+        let inst = insts[i];
+        let old_idx = bb.start / 4 + i as u32;
+        if inst.has_delay_slot() && i + 1 < insts.len() {
+            let slot = insts[i + 1];
+            let slot_idx = old_idx + 1;
+            // A branch reading a stolen register gets the shadow-load
+            // prefix itself (it never writes a GPR other than ra).
+            let brw = rewrite_stolen(inst, &src.name, old_idx * 4)?;
+            let emit_branch = |em: &mut Emit, pos_map: &mut HashMap<u32, u32>| {
+                for p in &brw.pre {
+                    em.put(*p);
+                }
+                pos_map.insert(old_idx, em.pos());
+                copy_relocs_at(src, old_idx, em);
+                em.put(brw.core);
+            };
+            if needs_transform(slot) {
+                if !hoist_safe(inst, slot) {
+                    return Err(InstrumentError::UnsafeDelaySlot {
+                        obj: src.name.clone(),
+                        off: bb.start + (i as u32) * 4,
+                    });
+                }
+                emit_one(src, slot, slot_idx, mode, rt, em, pos_map)?;
+                // Branch, then a nop in the vacated slot.
+                emit_branch(em, pos_map);
+                em.put(Inst::nop());
+            } else {
+                emit_branch(em, pos_map);
+                pos_map.insert(slot_idx, em.pos());
+                copy_relocs_at(src, slot_idx, em);
+                em.put(slot);
+            }
+            i += 2;
+        } else {
+            emit_one(src, inst, old_idx, mode, rt, em, pos_map)?;
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Emits one (non-branch) instruction with stolen-register rewriting,
+/// memory instrumentation and ra-shadow maintenance.
+fn emit_one(
+    src: &Object,
+    inst: Inst,
+    old_idx: u32,
+    mode: Mode,
+    rt: &RuntimeSyms,
+    em: &mut Emit,
+    pos_map: &mut HashMap<u32, u32>,
+) -> Result<(), InstrumentError> {
+    let rw = rewrite_stolen(inst, &src.name, old_idx * 4)?;
+    let mut core = rw.core;
+    let mut pre = rw.pre;
+    // A memory operation whose *base* is `ra` cannot use the dummy
+    // scheme (the dummy would read the jal-clobbered ra too): rebase
+    // it through the ra shadow instead.
+    if let Some(mc) = core.mem_class() {
+        let base = match mc {
+            MemClass::Load { base, .. } | MemClass::Store { base, .. } => base,
+        };
+        if base == RA {
+            if !pre.is_empty() || core.writes_gpr() == Some(wrl_isa::reg::AT) {
+                return Err(InstrumentError::AtConflict {
+                    obj: src.name.clone(),
+                    off: old_idx * 4,
+                });
+            }
+            pre.push(Inst::Lw {
+                rt: wrl_isa::reg::AT,
+                base: XREG3,
+                off: bk::RA_SAVE,
+            });
+            core = rebase(core, wrl_isa::reg::AT);
+        }
+    }
+    let rw = Rewritten {
+        pre,
+        core,
+        post: rw.post,
+    };
+    for p in &rw.pre {
+        em.put(*p);
+    }
+    let core = rw.core;
+    if core.mem_class().is_some() {
+        match mode {
+            Mode::Modified => {
+                if mem_hazard(core) {
+                    em.put_reloc(Inst::Jal { target: 0 }, RelocKind::J26, &rt.memtrace, 0);
+                    em.put(dummy_access(core));
+                    pos_map.insert(old_idx, em.pos());
+                    copy_relocs_at(src, old_idx, em);
+                    em.put(core);
+                } else {
+                    em.put_reloc(Inst::Jal { target: 0 }, RelocKind::J26, &rt.memtrace, 0);
+                    pos_map.insert(old_idx, em.pos());
+                    copy_relocs_at(src, old_idx, em);
+                    em.put(core);
+                }
+            }
+            Mode::Original => {
+                let (base, off) = match core.mem_class().expect("mem op") {
+                    MemClass::Load { base, off, .. } | MemClass::Store { base, off, .. } => {
+                        (base, off)
+                    }
+                };
+                em.put(Inst::Addiu {
+                    rt: XREG2,
+                    rs: base,
+                    imm: off,
+                });
+                em.put(Inst::Sw {
+                    rt: XREG2,
+                    base: XREG1,
+                    off: 0,
+                });
+                em.put(Inst::Addiu {
+                    rt: XREG1,
+                    rs: XREG1,
+                    imm: 4,
+                });
+                pos_map.insert(old_idx, em.pos());
+                copy_relocs_at(src, old_idx, em);
+                em.put(core);
+            }
+        }
+    } else {
+        pos_map.insert(old_idx, em.pos());
+        copy_relocs_at(src, old_idx, em);
+        em.put(core);
+    }
+    for p in &rw.post {
+        em.put(*p);
+    }
+    // Keep the ra shadow in sync with writes to ra.
+    if core.writes_gpr() == Some(RA) && !core.has_delay_slot() {
+        em.put(Inst::Sw {
+            rt: RA,
+            base: XREG3,
+            off: bk::RA_SAVE,
+        });
+    }
+    Ok(())
+}
+
+/// Text expansion statistics for a set of objects.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Expansion {
+    /// Original text bytes.
+    pub orig_bytes: u64,
+    /// Instrumented text bytes.
+    pub new_bytes: u64,
+}
+
+impl Expansion {
+    /// Growth factor.
+    pub fn factor(&self) -> f64 {
+        if self.orig_bytes == 0 {
+            1.0
+        } else {
+            self.new_bytes as f64 / self.orig_bytes as f64
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The bbtrace/memtrace runtime, in W3K assembly.
+//!
+//! These are the shared routines the Figure-2 instrumentation calls.
+//! They are themselves part of the tracing system and therefore live
+//! in an *uninstrumented* region (§3.3). They may clobber only the
+//! stolen registers and `ra` (which they restore from the bookkeeping
+//! shadow before returning, as the paper describes), never `$at` or
+//! any other program register.
+//!
+//! `memtrace` "partially decodes the instruction in the branch delay
+//! slot to compute the address of the memory reference" (§3.2): it
+//! loads the word at `ra - 4`, extracts the base-register field, and
+//! dispatches through a 32-entry jump table to copy that register's
+//! live value — with special entries for the stolen registers (read
+//! from their shadow slots) and for `ra` (read from the block's saved
+//! copy).
+
+use wrl_isa::asm::Asm;
+use wrl_isa::reg::{Reg, RA, ZERO};
+use wrl_isa::{Inst, Object};
+use wrl_trace::layout::{bk, trapcode, XREG1, XREG2, XREG3};
+
+/// How the runtime reacts to a full trace buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FullPolicy {
+    /// User processes: trap to the kernel, which copies the
+    /// per-process buffer into the in-kernel buffer and resets the
+    /// trace pointer (§3.1).
+    Syscall,
+    /// The kernel itself: raise the soft limit to the hard end of the
+    /// slack region and set the needs-analysis flag; the exception
+    /// exit path performs the actual mode switch at a safe point
+    /// (§3.3).
+    KernelFlag,
+}
+
+/// Emits the buffer-full sequence. On return the caller may store.
+fn emit_full_path(a: &mut Asm, policy: FullPolicy) {
+    match policy {
+        FullPolicy::Syscall => {
+            a.syscall(trapcode::TRACE_FLUSH);
+        }
+        FullPolicy::KernelFlag => {
+            // Raise the soft limit to the hard end and flag the need
+            // for analysis; `ra` is already saved by the caller.
+            a.lw(RA, bk::HARD_END, XREG3);
+            a.sw(RA, bk::BUF_END, XREG3);
+            a.addiu(RA, ZERO, 1);
+            a.sw(RA, bk::NEED_FLUSH, XREG3);
+        }
+    }
+}
+
+/// Builds the runtime object for one binary.
+///
+/// Exports `__bbtrace`, `__memtrace` and `__trace_full` (the latter
+/// used by the Original-mode inline instrumentation).
+pub fn runtime_object(policy: FullPolicy) -> Object {
+    let mut a = Asm::new("trace_runtime");
+    a.begin_uninstrumented();
+
+    // ---- __bbtrace ----
+    a.global_label("__bbtrace");
+    // ra = return point = bb id; delay-slot word at ra-4 is
+    // `li zero, n` with the block's trace-word count.
+    a.sw(RA, bk::SCRATCH2, XREG3);
+    a.lw(XREG2, -4, RA);
+    a.andi(XREG2, XREG2, 0xffff);
+    a.sll(XREG2, XREG2, 2);
+    a.addu(XREG2, XREG2, XREG1); // end needed for this block
+    a.lw(RA, bk::BUF_END, XREG3);
+    a.sltu(RA, RA, XREG2); // buf_end < needed?
+    a.beq(RA, ZERO, "__bbt_store");
+    a.nop();
+    emit_full_path(&mut a, policy);
+    a.label("__bbt_store");
+    a.lw(RA, bk::SCRATCH2, XREG3); // the bb id
+    match policy {
+        FullPolicy::Syscall => {
+            // Store-then-bump: the kernel copies complete entries
+            // ([base, xreg1)) and resets the pointer on every entry.
+            a.sw(RA, 0, XREG1);
+            a.addiu(XREG1, XREG1, 4);
+        }
+        FullPolicy::KernelFlag => {
+            // Reserve-then-fill: an interrupt between the two
+            // instructions finds the slot already reserved, so the
+            // handler's trace entries never overwrite an in-flight
+            // store (§3.3 nested-interrupt trace state).
+            a.addiu(XREG1, XREG1, 4);
+            a.sw(RA, -4, XREG1);
+        }
+    }
+    a.lw(XREG2, bk::SCRATCH2, XREG3);
+    a.lw(RA, bk::RA_SAVE, XREG3); // restore the program's ra
+    a.jr(XREG2);
+    a.nop();
+
+    // ---- __memtrace ----
+    a.global_label("__memtrace");
+    a.sw(RA, bk::SCRATCH2, XREG3);
+    a.lw(XREG2, -4, RA); // the memory instruction word
+    a.sw(XREG2, bk::SCRATCH, XREG3);
+    a.srl(XREG2, XREG2, 21);
+    a.andi(XREG2, XREG2, 31); // base register number
+    a.sll(XREG2, XREG2, 3); // 8 bytes per table entry
+    a.la(RA, "__mt_table");
+    a.addu(RA, RA, XREG2);
+    a.jr(RA);
+    a.nop();
+    // Each entry is `j __mt_common` with the register-select in the
+    // jump's *delay slot*. (Select-then-jump would be wrong: the
+    // jump's delay slot would then be the next entry's select, which
+    // would clobber `xreg2` after we had loaded it.)
+    a.label("__mt_table");
+    for r in 0..32u8 {
+        let reg = Reg(r);
+        a.j("__mt_common");
+        if reg == XREG1 || reg == XREG2 || reg == XREG3 {
+            // Stolen base registers: the program's value lives in the
+            // shadow slot.
+            let slot = match reg {
+                _ if reg == XREG1 => bk::XREG1_SHADOW,
+                _ if reg == XREG2 => bk::XREG2_SHADOW,
+                _ => bk::XREG3_SHADOW,
+            };
+            a.lw(XREG2, slot, XREG3);
+        } else if reg == RA {
+            // The program's ra is in the block's saved copy (the jal
+            // that got us here clobbered the live one).
+            a.lw(XREG2, bk::RA_SAVE, XREG3);
+        } else {
+            a.inst(Inst::Or {
+                rd: XREG2,
+                rs: reg,
+                rt: ZERO,
+            });
+        }
+    }
+    a.label("__mt_common");
+    a.lw(RA, bk::SCRATCH, XREG3); // instruction word
+    a.sll(RA, RA, 16);
+    a.sra(RA, RA, 16); // sign-extended offset
+    a.addu(XREG2, XREG2, RA); // effective address
+    match policy {
+        FullPolicy::Syscall => {
+            a.sw(XREG2, 0, XREG1);
+            a.addiu(XREG1, XREG1, 4);
+        }
+        FullPolicy::KernelFlag => {
+            a.addiu(XREG1, XREG1, 4);
+            a.sw(XREG2, -4, XREG1);
+        }
+    }
+    a.lw(XREG2, bk::SCRATCH2, XREG3);
+    a.lw(RA, bk::RA_SAVE, XREG3);
+    a.jr(XREG2);
+    a.nop();
+
+    // ---- __trace_full (Original-mode inline flush stub) ----
+    a.global_label("__trace_full");
+    a.sw(RA, bk::SCRATCH2, XREG3);
+    emit_full_path(&mut a, policy);
+    a.lw(XREG2, bk::SCRATCH2, XREG3);
+    a.lw(RA, bk::RA_SAVE, XREG3);
+    a.jr(XREG2);
+    a.nop();
+
+    a.end_uninstrumented();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_exports_entry_points() {
+        let o = runtime_object(FullPolicy::Syscall);
+        assert!(o.symbol("__bbtrace").is_some());
+        assert!(o.symbol("__memtrace").is_some());
+        assert!(o.symbol("__trace_full").is_some());
+        assert!(!o.uninstrumented.is_empty());
+        // The whole runtime is protected.
+        assert!(o.is_protected(0));
+        assert!(o.is_protected(o.text_bytes() - 4));
+    }
+
+    #[test]
+    fn kernel_policy_has_no_syscall() {
+        let o = runtime_object(FullPolicy::KernelFlag);
+        let has_syscall = o
+            .text
+            .iter()
+            .any(|&w| matches!(wrl_isa::decode(w), Ok(Inst::Syscall { .. })));
+        assert!(!has_syscall);
+    }
+}

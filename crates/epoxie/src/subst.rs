@@ -1,0 +1,267 @@
+//! Register substitution in decoded instructions.
+//!
+//! Used by the register-stealing rewrite: occurrences of a stolen
+//! register in an instruction are redirected to the assembler
+//! temporary, with shadow loads/stores around the instruction.
+
+use wrl_isa::{Inst, Reg};
+
+/// Replaces every occurrence of GPR `from` with `to` in `inst`.
+pub fn subst_gpr(inst: Inst, from: Reg, to: Reg) -> Inst {
+    use Inst::*;
+    let s = |r: Reg| if r == from { to } else { r };
+    match inst {
+        Sll { rd, rt, sh } => Sll {
+            rd: s(rd),
+            rt: s(rt),
+            sh,
+        },
+        Srl { rd, rt, sh } => Srl {
+            rd: s(rd),
+            rt: s(rt),
+            sh,
+        },
+        Sra { rd, rt, sh } => Sra {
+            rd: s(rd),
+            rt: s(rt),
+            sh,
+        },
+        Sllv { rd, rt, rs } => Sllv {
+            rd: s(rd),
+            rt: s(rt),
+            rs: s(rs),
+        },
+        Srlv { rd, rt, rs } => Srlv {
+            rd: s(rd),
+            rt: s(rt),
+            rs: s(rs),
+        },
+        Srav { rd, rt, rs } => Srav {
+            rd: s(rd),
+            rt: s(rt),
+            rs: s(rs),
+        },
+        Addu { rd, rs, rt } => Addu {
+            rd: s(rd),
+            rs: s(rs),
+            rt: s(rt),
+        },
+        Subu { rd, rs, rt } => Subu {
+            rd: s(rd),
+            rs: s(rs),
+            rt: s(rt),
+        },
+        And { rd, rs, rt } => And {
+            rd: s(rd),
+            rs: s(rs),
+            rt: s(rt),
+        },
+        Or { rd, rs, rt } => Or {
+            rd: s(rd),
+            rs: s(rs),
+            rt: s(rt),
+        },
+        Xor { rd, rs, rt } => Xor {
+            rd: s(rd),
+            rs: s(rs),
+            rt: s(rt),
+        },
+        Nor { rd, rs, rt } => Nor {
+            rd: s(rd),
+            rs: s(rs),
+            rt: s(rt),
+        },
+        Slt { rd, rs, rt } => Slt {
+            rd: s(rd),
+            rs: s(rs),
+            rt: s(rt),
+        },
+        Sltu { rd, rs, rt } => Sltu {
+            rd: s(rd),
+            rs: s(rs),
+            rt: s(rt),
+        },
+        Mult { rs, rt } => Mult {
+            rs: s(rs),
+            rt: s(rt),
+        },
+        Multu { rs, rt } => Multu {
+            rs: s(rs),
+            rt: s(rt),
+        },
+        Div { rs, rt } => Div {
+            rs: s(rs),
+            rt: s(rt),
+        },
+        Divu { rs, rt } => Divu {
+            rs: s(rs),
+            rt: s(rt),
+        },
+        Mfhi { rd } => Mfhi { rd: s(rd) },
+        Mflo { rd } => Mflo { rd: s(rd) },
+        Mthi { rs } => Mthi { rs: s(rs) },
+        Mtlo { rs } => Mtlo { rs: s(rs) },
+        Addiu { rt, rs, imm } => Addiu {
+            rt: s(rt),
+            rs: s(rs),
+            imm,
+        },
+        Slti { rt, rs, imm } => Slti {
+            rt: s(rt),
+            rs: s(rs),
+            imm,
+        },
+        Sltiu { rt, rs, imm } => Sltiu {
+            rt: s(rt),
+            rs: s(rs),
+            imm,
+        },
+        Andi { rt, rs, imm } => Andi {
+            rt: s(rt),
+            rs: s(rs),
+            imm,
+        },
+        Ori { rt, rs, imm } => Ori {
+            rt: s(rt),
+            rs: s(rs),
+            imm,
+        },
+        Xori { rt, rs, imm } => Xori {
+            rt: s(rt),
+            rs: s(rs),
+            imm,
+        },
+        Lui { rt, imm } => Lui { rt: s(rt), imm },
+        Lb { rt, base, off } => Lb {
+            rt: s(rt),
+            base: s(base),
+            off,
+        },
+        Lbu { rt, base, off } => Lbu {
+            rt: s(rt),
+            base: s(base),
+            off,
+        },
+        Lh { rt, base, off } => Lh {
+            rt: s(rt),
+            base: s(base),
+            off,
+        },
+        Lhu { rt, base, off } => Lhu {
+            rt: s(rt),
+            base: s(base),
+            off,
+        },
+        Lw { rt, base, off } => Lw {
+            rt: s(rt),
+            base: s(base),
+            off,
+        },
+        Sb { rt, base, off } => Sb {
+            rt: s(rt),
+            base: s(base),
+            off,
+        },
+        Sh { rt, base, off } => Sh {
+            rt: s(rt),
+            base: s(base),
+            off,
+        },
+        Sw { rt, base, off } => Sw {
+            rt: s(rt),
+            base: s(base),
+            off,
+        },
+        Lwc1 { ft, base, off } => Lwc1 {
+            ft,
+            base: s(base),
+            off,
+        },
+        Swc1 { ft, base, off } => Swc1 {
+            ft,
+            base: s(base),
+            off,
+        },
+        Cache { op, base, off } => Cache {
+            op,
+            base: s(base),
+            off,
+        },
+        Beq { rs, rt, off } => Beq {
+            rs: s(rs),
+            rt: s(rt),
+            off,
+        },
+        Bne { rs, rt, off } => Bne {
+            rs: s(rs),
+            rt: s(rt),
+            off,
+        },
+        Blez { rs, off } => Blez { rs: s(rs), off },
+        Bgtz { rs, off } => Bgtz { rs: s(rs), off },
+        Bltz { rs, off } => Bltz { rs: s(rs), off },
+        Bgez { rs, off } => Bgez { rs: s(rs), off },
+        Jr { rs } => Jr { rs: s(rs) },
+        Jalr { rd, rs } => Jalr {
+            rd: s(rd),
+            rs: s(rs),
+        },
+        Mfc0 { rt, rd } => Mfc0 { rt: s(rt), rd },
+        Mtc0 { rt, rd } => Mtc0 { rt: s(rt), rd },
+        Mfc1 { rt, fs } => Mfc1 { rt: s(rt), fs },
+        Mtc1 { rt, fs } => Mtc1 { rt: s(rt), fs },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrl_isa::reg::*;
+
+    #[test]
+    fn substitutes_all_positions() {
+        let i = Inst::Addu {
+            rd: S5,
+            rs: S5,
+            rt: T0,
+        };
+        let o = subst_gpr(i, S5, AT);
+        assert_eq!(
+            o,
+            Inst::Addu {
+                rd: AT,
+                rs: AT,
+                rt: T0
+            }
+        );
+    }
+
+    #[test]
+    fn leaves_other_registers_alone() {
+        let i = Inst::Lw {
+            rt: T0,
+            base: SP,
+            off: 8,
+        };
+        assert_eq!(subst_gpr(i, S5, AT), i);
+    }
+
+    #[test]
+    fn substitutes_mem_base() {
+        let i = Inst::Sw {
+            rt: RA,
+            base: S7,
+            off: 124,
+        };
+        let o = subst_gpr(i, S7, AT);
+        assert_eq!(
+            o,
+            Inst::Sw {
+                rt: RA,
+                base: AT,
+                off: 124
+            }
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! The pixie baseline: correctness (the rewritten binary behaves
+//! identically) and the §3.2 footnote's text-expansion band.
+
+use wrl_epoxie::pixie::{pixie, pixie_entries, prepare_pixie_machine};
+use wrl_isa::asm::Asm;
+use wrl_isa::link::{link, Layout};
+use wrl_isa::reg::*;
+use wrl_machine::{Config, Machine, StopEvent};
+
+fn program() -> wrl_isa::link::Linked {
+    // Loops, calls (direct + via register), memory traffic.
+    let mut a = Asm::new("p");
+    a.global_label("main");
+    a.la(SP, "stack_top");
+    a.la(S0, "buf");
+    a.li(S1, 500);
+    a.label("loop");
+    a.sw(S1, 0, S0);
+    a.lw(T0, 0, S0);
+    a.addu(S2, S2, T0);
+    a.jal("leaf");
+    a.nop();
+    a.la(T9, "leaf");
+    a.jalr(T9);
+    a.nop();
+    a.addiu(S1, S1, -1);
+    a.bne(S1, ZERO, "loop");
+    a.nop();
+    a.move_(T7, S2);
+    a.break_(0);
+    a.global_label("leaf");
+    a.addiu(SP, SP, -8);
+    a.sw(RA, 4, SP);
+    a.lw(T1, 0, S0);
+    a.addu(S3, S3, T1);
+    a.lw(RA, 4, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 8);
+    a.data();
+    a.label("buf");
+    a.space(64);
+    a.space(4096);
+    a.label("stack_top");
+    a.word(0);
+    link(&[a.finish()], Layout::user(), "main").unwrap()
+}
+
+#[test]
+fn pixie_rewrite_preserves_behaviour() {
+    let orig = program();
+    // Reference run.
+    let mut m = Machine::new(Config::bare(), vec![]);
+    m.load_executable(&orig.exe);
+    m.set_pc(orig.exe.entry);
+    assert_eq!(m.run(10_000_000), StopEvent::Break(0));
+    let want = (m.cpu.regs[T7.idx()], m.cpu.regs[S3.idx()]);
+
+    let prog = pixie(&orig.exe).unwrap();
+    let mut pm = prepare_pixie_machine(&prog, 64 << 20);
+    assert_eq!(pm.run(100_000_000), StopEvent::Break(0));
+    assert_eq!((pm.cpu.regs[T7.idx()], pm.cpu.regs[S3.idx()]), want);
+    // It traced: one bb record per executed block plus memory entries.
+    let entries = pixie_entries(&prog, &pm);
+    assert!(entries > 3000, "only {entries} trace entries");
+    // Slowdown: many more instructions than the original run.
+    assert!(pm.counters.insts() > 3 * m.counters.insts());
+}
+
+#[test]
+fn pixie_expansion_in_paper_band() {
+    // On a realistic workload binary, pixie's inline expansion is the
+    // footnote's 4–6x (epoxie: 1.9–2.3x).
+    let w = wrl_workloads::by_name("gcc").unwrap();
+    let orig = wrl_workloads::link_user(&w.objects);
+    let prog = pixie(&orig.exe).unwrap();
+    assert!(
+        (3.5..=6.5).contains(&prog.expansion),
+        "expansion {}",
+        prog.expansion
+    );
+}
+
+#[test]
+fn pixie_runs_a_real_workload() {
+    // sed, end to end under pixie, with host syscall emulation.
+    let w = wrl_workloads::by_name("sed").unwrap();
+    let orig = wrl_workloads::link_user(&w.objects);
+    let prog = pixie(&orig.exe).unwrap();
+    let mut m = prepare_pixie_machine(&prog, 64 << 20);
+    let mut env = wrl_workloads::HostEnv::new(w.files.iter().cloned());
+    env.brk = orig.exe.brk();
+    loop {
+        match m.run(500_000_000) {
+            StopEvent::Syscall(0) => {
+                if !env.handle(&mut m) {
+                    break;
+                }
+            }
+            other => panic!("unexpected stop {other:?}"),
+        }
+    }
+    let input = wrl_workloads::sed::files().remove(0).1;
+    let lines = input.iter().filter(|&&b| b == b'\n').count() as u32;
+    assert_eq!(env.exit, Some(lines));
+    assert!(pixie_entries(&prog, &m) > 100_000);
+}

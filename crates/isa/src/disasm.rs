@@ -1,0 +1,148 @@
+//! Disassembly of W3K instructions to assembler syntax.
+//!
+//! Used by the Figure-2 reproduction to print code sequences before
+//! and after epoxie instrumentation, and by diagnostics throughout.
+
+use crate::encode::decode;
+use crate::inst::Inst;
+
+/// Formats one instruction in assembler syntax.
+pub fn disasm(i: Inst) -> String {
+    use Inst::*;
+    match i {
+        Sll { rd, rt, sh } => {
+            if rd.0 == 0 && rt.0 == 0 && sh == 0 {
+                "nop".to_string()
+            } else {
+                format!("sll     {rd},{rt},{sh}")
+            }
+        }
+        Srl { rd, rt, sh } => format!("srl     {rd},{rt},{sh}"),
+        Sra { rd, rt, sh } => format!("sra     {rd},{rt},{sh}"),
+        Sllv { rd, rt, rs } => format!("sllv    {rd},{rt},{rs}"),
+        Srlv { rd, rt, rs } => format!("srlv    {rd},{rt},{rs}"),
+        Srav { rd, rt, rs } => format!("srav    {rd},{rt},{rs}"),
+        Addu { rd, rs, rt } => format!("addu    {rd},{rs},{rt}"),
+        Subu { rd, rs, rt } => format!("subu    {rd},{rs},{rt}"),
+        And { rd, rs, rt } => format!("and     {rd},{rs},{rt}"),
+        Or { rd, rs, rt } => format!("or      {rd},{rs},{rt}"),
+        Xor { rd, rs, rt } => format!("xor     {rd},{rs},{rt}"),
+        Nor { rd, rs, rt } => format!("nor     {rd},{rs},{rt}"),
+        Slt { rd, rs, rt } => format!("slt     {rd},{rs},{rt}"),
+        Sltu { rd, rs, rt } => format!("sltu    {rd},{rs},{rt}"),
+        Mult { rs, rt } => format!("mult    {rs},{rt}"),
+        Multu { rs, rt } => format!("multu   {rs},{rt}"),
+        Div { rs, rt } => format!("div     {rs},{rt}"),
+        Divu { rs, rt } => format!("divu    {rs},{rt}"),
+        Mfhi { rd } => format!("mfhi    {rd}"),
+        Mflo { rd } => format!("mflo    {rd}"),
+        Mthi { rs } => format!("mthi    {rs}"),
+        Mtlo { rs } => format!("mtlo    {rs}"),
+        Addiu { rt, rs, imm } => {
+            if rs.0 == 0 && imm >= 0 {
+                if rt.0 == 0 {
+                    // The special no-op epoxie plants in the jal bbtrace
+                    // delay slot: a load-immediate to the zero register.
+                    format!("li      zero,{imm}")
+                } else {
+                    format!("li      {rt},{imm}")
+                }
+            } else {
+                format!("addiu   {rt},{rs},{imm}")
+            }
+        }
+        Slti { rt, rs, imm } => format!("slti    {rt},{rs},{imm}"),
+        Sltiu { rt, rs, imm } => format!("sltiu   {rt},{rs},{imm}"),
+        Andi { rt, rs, imm } => format!("andi    {rt},{rs},{imm:#x}"),
+        Ori { rt, rs, imm } => format!("ori     {rt},{rs},{imm:#x}"),
+        Xori { rt, rs, imm } => format!("xori    {rt},{rs},{imm:#x}"),
+        Lui { rt, imm } => format!("lui     {rt},{imm:#x}"),
+        Lb { rt, base, off } => format!("lb      {rt},{off}({base})"),
+        Lbu { rt, base, off } => format!("lbu     {rt},{off}({base})"),
+        Lh { rt, base, off } => format!("lh      {rt},{off}({base})"),
+        Lhu { rt, base, off } => format!("lhu     {rt},{off}({base})"),
+        Lw { rt, base, off } => format!("lw      {rt},{off}({base})"),
+        Sb { rt, base, off } => format!("sb      {rt},{off}({base})"),
+        Sh { rt, base, off } => format!("sh      {rt},{off}({base})"),
+        Sw { rt, base, off } => format!("sw      {rt},{off}({base})"),
+        Lwc1 { ft, base, off } => format!("lwc1    {ft},{off}({base})"),
+        Swc1 { ft, base, off } => format!("swc1    {ft},{off}({base})"),
+        Cache { op, base, off } => format!("cache   {op},{off}({base})"),
+        Beq { rs, rt, off } => format!("beq     {rs},{rt},{off}"),
+        Bne { rs, rt, off } => format!("bne     {rs},{rt},{off}"),
+        Blez { rs, off } => format!("blez    {rs},{off}"),
+        Bgtz { rs, off } => format!("bgtz    {rs},{off}"),
+        Bltz { rs, off } => format!("bltz    {rs},{off}"),
+        Bgez { rs, off } => format!("bgez    {rs},{off}"),
+        J { target } => format!("j       {:#x}", target << 2),
+        Jal { target } => format!("jal     {:#x}", target << 2),
+        Jr { rs } => format!("jr      {rs}"),
+        Jalr { rd, rs } => format!("jalr    {rd},{rs}"),
+        Syscall { code } => format!("syscall {code}"),
+        Break { code } => format!("break   {code}"),
+        Mfc0 { rt, rd } => format!("mfc0    {rt},${rd}"),
+        Mtc0 { rt, rd } => format!("mtc0    {rt},${rd}"),
+        Tlbr => "tlbr".to_string(),
+        Tlbwi => "tlbwi".to_string(),
+        Tlbwr => "tlbwr".to_string(),
+        Tlbp => "tlbp".to_string(),
+        Rfe => "rfe".to_string(),
+        Mfc1 { rt, fs } => format!("mfc1    {rt},{fs}"),
+        Mtc1 { rt, fs } => format!("mtc1    {rt},{fs}"),
+        AddD { fd, fs, ft } => format!("add.d   {fd},{fs},{ft}"),
+        SubD { fd, fs, ft } => format!("sub.d   {fd},{fs},{ft}"),
+        MulD { fd, fs, ft } => format!("mul.d   {fd},{fs},{ft}"),
+        DivD { fd, fs, ft } => format!("div.d   {fd},{fs},{ft}"),
+        AbsD { fd, fs } => format!("abs.d   {fd},{fs}"),
+        MovD { fd, fs } => format!("mov.d   {fd},{fs}"),
+        NegD { fd, fs } => format!("neg.d   {fd},{fs}"),
+        CvtDW { fd, fs } => format!("cvt.d.w {fd},{fs}"),
+        CvtWD { fd, fs } => format!("cvt.w.d {fd},{fs}"),
+        CEqD { fs, ft } => format!("c.eq.d  {fs},{ft}"),
+        CLtD { fs, ft } => format!("c.lt.d  {fs},{ft}"),
+        CLeD { fs, ft } => format!("c.le.d  {fs},{ft}"),
+        Bc1t { off } => format!("bc1t    {off}"),
+        Bc1f { off } => format!("bc1f    {off}"),
+    }
+}
+
+/// Disassembles a raw instruction word, or formats it as `.word`.
+pub fn disasm_word(w: u32) -> String {
+    match decode(w) {
+        Ok(i) => disasm(i),
+        Err(_) => format!(".word   {w:#010x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::reg::*;
+
+    #[test]
+    fn nop_prints_as_nop() {
+        assert_eq!(disasm_word(0), "nop");
+    }
+
+    #[test]
+    fn special_noop_prints_as_li_zero() {
+        let i = Inst::Addiu {
+            rt: ZERO,
+            rs: ZERO,
+            imm: 4,
+        };
+        assert_eq!(disasm(i), "li      zero,4");
+    }
+
+    #[test]
+    fn figure2_style_store() {
+        let i = Inst::Sw {
+            rt: RA,
+            base: SP,
+            off: 20,
+        };
+        assert_eq!(disasm(i), "sw      ra,20(sp)");
+        assert_eq!(disasm_word(encode(i)), "sw      ra,20(sp)");
+    }
+}

@@ -1,0 +1,431 @@
+//! The W3K linker.
+//!
+//! Combines object modules into an executable image, assigning final
+//! addresses and applying relocations. Because epoxie rewrites object
+//! files *before* this step, all address correction in instrumented
+//! binaries is done statically here, "incurring no runtime overhead"
+//! (§3.2) — unlike pixie, which must carry a translation table into
+//! the rewritten executable.
+
+use std::collections::HashMap;
+
+use crate::obj::{BbFlags, Object, Reloc, RelocKind, SecId};
+
+/// Memory-layout bases for a link.
+#[derive(Clone, Copy, Debug)]
+pub struct Layout {
+    /// Base virtual address of the text segment.
+    pub text_base: u32,
+    /// Base virtual address of the data segment.
+    pub data_base: u32,
+}
+
+impl Layout {
+    /// Conventional user layout: text at `0x0040_0000`, data at
+    /// `0x0100_0000`. (Real Ultrix put data at `0x1000_0000`; we keep
+    /// the whole user image below 32 MB so bare-machine runs can
+    /// identity-map it into default-sized physical memory.)
+    pub fn user() -> Layout {
+        Layout {
+            text_base: 0x0040_0000,
+            data_base: 0x0100_0000,
+        }
+    }
+
+    /// Conventional kernel layout in kseg0: text at `0x8003_0000`,
+    /// data at `0x8030_0000`.
+    pub fn kernel() -> Layout {
+        Layout {
+            text_base: 0x8003_0000,
+            data_base: 0x8030_0000,
+        }
+    }
+}
+
+/// Where one object's sections landed in the final image.
+#[derive(Clone, Copy, Debug)]
+pub struct Placement {
+    /// Final address of the object's text section.
+    pub text_addr: u32,
+    /// Final address of the object's data section.
+    pub data_addr: u32,
+    /// Final address of the object's bss section.
+    pub bss_addr: u32,
+}
+
+/// A linked executable image.
+#[derive(Clone, Debug)]
+pub struct Executable {
+    /// Text segment instruction words.
+    pub text: Vec<u32>,
+    /// Base virtual address of text.
+    pub text_base: u32,
+    /// Data segment bytes.
+    pub data: Vec<u8>,
+    /// Base virtual address of data.
+    pub data_base: u32,
+    /// Base virtual address of bss.
+    pub bss_base: u32,
+    /// Size of bss in bytes.
+    pub bss_size: u32,
+    /// Entry point address.
+    pub entry: u32,
+    /// Global symbol addresses.
+    pub globals: HashMap<String, u32>,
+    /// Basic-block flags by final text address.
+    pub bb_flags: HashMap<u32, BbFlags>,
+}
+
+impl Executable {
+    /// End of the text segment (exclusive).
+    pub fn text_end(&self) -> u32 {
+        self.text_base + (self.text.len() * 4) as u32
+    }
+
+    /// Total break (end of bss), the initial program break.
+    pub fn brk(&self) -> u32 {
+        self.bss_base + self.bss_size
+    }
+
+    /// Looks up a global symbol address.
+    pub fn sym(&self, name: &str) -> Option<u32> {
+        self.globals.get(name).copied()
+    }
+
+    /// Returns the instruction word at a text address, if in range.
+    pub fn text_word(&self, vaddr: u32) -> Option<u32> {
+        if vaddr < self.text_base || vaddr >= self.text_end() || !vaddr.is_multiple_of(4) {
+            return None;
+        }
+        Some(self.text[((vaddr - self.text_base) / 4) as usize])
+    }
+
+    /// Text size in bytes (the quantity the §3.2 footnote compares
+    /// across instrumentation tools).
+    pub fn text_size(&self) -> u32 {
+        (self.text.len() * 4) as u32
+    }
+}
+
+/// The result of a successful link.
+#[derive(Clone, Debug)]
+pub struct Linked {
+    /// The executable image.
+    pub exe: Executable,
+    /// Per-object section placements, in input order.
+    pub placements: Vec<Placement>,
+}
+
+/// Errors produced by the linker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkError {
+    /// A relocation referenced a symbol that is not defined anywhere.
+    Unresolved {
+        /// The missing symbol.
+        sym: String,
+        /// The referencing object.
+        obj: String,
+    },
+    /// Two objects define the same global symbol.
+    Duplicate {
+        /// The multiply-defined symbol.
+        sym: String,
+    },
+    /// A conditional branch target is out of the ±128 KB range.
+    BranchRange {
+        /// Address of the branch instruction.
+        at: u32,
+        /// The unreachable target.
+        target: u32,
+    },
+    /// A `j`/`jal` target lies outside the current 256 MB region.
+    JumpRegion {
+        /// Address of the jump instruction.
+        at: u32,
+        /// The unreachable target.
+        target: u32,
+    },
+    /// The requested entry symbol is not defined.
+    NoEntry {
+        /// The entry symbol name.
+        sym: String,
+    },
+}
+
+impl core::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LinkError::Unresolved { sym, obj } => {
+                write!(f, "unresolved symbol `{sym}` referenced from {obj}")
+            }
+            LinkError::Duplicate { sym } => write!(f, "duplicate global symbol `{sym}`"),
+            LinkError::BranchRange { at, target } => {
+                write!(f, "branch at {at:#010x} cannot reach {target:#010x}")
+            }
+            LinkError::JumpRegion { at, target } => {
+                write!(f, "jump at {at:#010x} cannot reach {target:#010x}")
+            }
+            LinkError::NoEntry { sym } => write!(f, "entry symbol `{sym}` not defined"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+fn align8(v: u32) -> u32 {
+    (v + 7) & !7
+}
+
+/// Links object modules into an executable.
+///
+/// `entry` names the global symbol where execution starts.
+pub fn link(objects: &[Object], layout: Layout, entry: &str) -> Result<Linked, LinkError> {
+    // Pass 1: place sections.
+    let mut placements = Vec::with_capacity(objects.len());
+    let mut text_off = 0u32;
+    let mut data_off = 0u32;
+    let mut bss_off = 0u32;
+    for o in objects {
+        placements.push((text_off, data_off, bss_off));
+        text_off += o.text_bytes();
+        data_off = align8(data_off + o.data.len() as u32);
+        bss_off = align8(bss_off + o.bss_size);
+    }
+    let bss_base = align8(layout.data_base + data_off) + 0x1000; // guard gap
+    let placements: Vec<Placement> = placements
+        .into_iter()
+        .map(|(t, d, b)| Placement {
+            text_addr: layout.text_base + t,
+            data_addr: layout.data_base + d,
+            bss_addr: bss_base + b,
+        })
+        .collect();
+
+    // Pass 2: build symbol tables.
+    let mut globals: HashMap<String, u32> = HashMap::new();
+    let mut locals: Vec<HashMap<&str, u32>> = Vec::with_capacity(objects.len());
+    for (o, p) in objects.iter().zip(&placements) {
+        let mut lmap = HashMap::new();
+        for s in &o.symbols {
+            let addr = match s.sec {
+                SecId::Text => p.text_addr + s.off,
+                SecId::Data => p.data_addr + s.off,
+                SecId::Bss => p.bss_addr + s.off,
+            };
+            lmap.insert(s.name.as_str(), addr);
+            if s.global && globals.insert(s.name.clone(), addr).is_some() {
+                return Err(LinkError::Duplicate {
+                    sym: s.name.clone(),
+                });
+            }
+        }
+        locals.push(lmap);
+    }
+
+    // Pass 3: concatenate sections and apply relocations.
+    let mut text: Vec<u32> = Vec::with_capacity((text_off / 4) as usize);
+    let mut data: Vec<u8> = Vec::with_capacity(data_off as usize);
+    for (i, (o, p)) in objects.iter().zip(&placements).enumerate() {
+        let resolve = |r: &Reloc| -> Result<u32, LinkError> {
+            let base = locals[i]
+                .get(r.sym.as_str())
+                .copied()
+                .or_else(|| globals.get(&r.sym).copied())
+                .ok_or_else(|| LinkError::Unresolved {
+                    sym: r.sym.clone(),
+                    obj: o.name.clone(),
+                })?;
+            Ok(base.wrapping_add(r.addend as u32))
+        };
+
+        let tstart = text.len();
+        text.extend_from_slice(&o.text);
+        for r in &o.text_relocs {
+            let target = resolve(r)?;
+            let widx = tstart + (r.off / 4) as usize;
+            let at = p.text_addr + r.off;
+            let w = &mut text[widx];
+            match r.kind {
+                RelocKind::Hi16 => *w = (*w & 0xffff_0000) | (target >> 16),
+                RelocKind::Lo16 => *w = (*w & 0xffff_0000) | (target & 0xffff),
+                RelocKind::J26 => {
+                    if (target ^ at.wrapping_add(4)) & 0xf000_0000 != 0 {
+                        return Err(LinkError::JumpRegion { at, target });
+                    }
+                    *w = (*w & 0xfc00_0000) | ((target >> 2) & 0x03ff_ffff);
+                }
+                RelocKind::Br16 => {
+                    let disp = (target as i64 - (at as i64 + 4)) >> 2;
+                    if !(-32768..=32767).contains(&disp) {
+                        return Err(LinkError::BranchRange { at, target });
+                    }
+                    *w = (*w & 0xffff_0000) | (disp as u32 & 0xffff);
+                }
+                RelocKind::Word32 => {
+                    // Word32 in text is not generated by the assembler.
+                    *w = target;
+                }
+            }
+        }
+
+        let dstart = data.len();
+        data.resize((placements[i].data_addr - layout.data_base) as usize, 0);
+        // The resize above pads to this object's aligned start; append.
+        debug_assert!(data.len() >= dstart);
+        data.extend_from_slice(&o.data);
+        for r in &o.data_relocs {
+            let target = resolve(r)?;
+            let off = (placements[i].data_addr - layout.data_base + r.off) as usize;
+            data[off..off + 4].copy_from_slice(&target.to_le_bytes());
+        }
+    }
+
+    let entry_addr = globals
+        .get(entry)
+        .copied()
+        .ok_or_else(|| LinkError::NoEntry { sym: entry.into() })?;
+
+    // Merge bb flags to final addresses.
+    let mut bb_flags = HashMap::new();
+    for (o, p) in objects.iter().zip(&placements) {
+        for (&off, &fl) in &o.bb_flags {
+            bb_flags.insert(p.text_addr + off, fl);
+        }
+    }
+
+    Ok(Linked {
+        exe: Executable {
+            text,
+            text_base: layout.text_base,
+            data,
+            data_base: layout.data_base,
+            bss_base,
+            bss_size: bss_off,
+            entry: entry_addr,
+            globals,
+            bb_flags,
+        },
+        placements,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::encode::decode;
+    use crate::inst::Inst;
+    use crate::reg::*;
+
+    fn two_objects() -> Vec<Object> {
+        let mut a = Asm::new("a");
+        a.global_label("main");
+        a.jal("helper");
+        a.nop();
+        a.la(T0, "shared");
+        a.label("spin");
+        a.b("spin");
+        a.nop();
+        a.data();
+        a.global_label("shared");
+        a.word(7);
+
+        let mut b = Asm::new("b");
+        b.global_label("helper");
+        b.jr(RA);
+        b.nop();
+        vec![a.finish(), b.finish()]
+    }
+
+    #[test]
+    fn cross_object_call_resolves() {
+        let objs = two_objects();
+        let l = link(&objs, Layout::user(), "main").unwrap();
+        let helper = l.exe.sym("helper").unwrap();
+        // The jal at main+0 must target helper.
+        let w = l.exe.text_word(l.exe.entry).unwrap();
+        match decode(w).unwrap() {
+            Inst::Jal { target } => assert_eq!((target << 2), helper & 0x0fff_ffff),
+            other => panic!("expected jal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn la_resolves_to_data_segment() {
+        let objs = two_objects();
+        let l = link(&objs, Layout::user(), "main").unwrap();
+        let shared = l.exe.sym("shared").unwrap();
+        assert_eq!(shared, l.exe.data_base);
+        // lui imm must be the high half.
+        let lui = l.exe.text_word(l.exe.entry + 8).unwrap();
+        assert_eq!(lui & 0xffff, shared >> 16);
+        let ori = l.exe.text_word(l.exe.entry + 12).unwrap();
+        assert_eq!(ori & 0xffff, shared & 0xffff);
+    }
+
+    #[test]
+    fn branch_backward_displacement() {
+        let objs = two_objects();
+        let l = link(&objs, Layout::user(), "main").unwrap();
+        let spin = l.exe.sym("main").unwrap() + 16;
+        let w = l.exe.text_word(spin).unwrap();
+        match decode(w).unwrap() {
+            Inst::Beq { off, .. } => assert_eq!(off, -1),
+            other => panic!("expected beq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unresolved_symbol_errors() {
+        let mut a = Asm::new("a");
+        a.global_label("main");
+        a.jal("nowhere");
+        a.nop();
+        let err = link(&[a.finish()], Layout::user(), "main").unwrap_err();
+        assert!(matches!(err, LinkError::Unresolved { .. }));
+    }
+
+    #[test]
+    fn duplicate_global_errors() {
+        let mut a = Asm::new("a");
+        a.global_label("main");
+        a.nop();
+        let mut b = Asm::new("b");
+        b.global_label("main");
+        b.nop();
+        let err = link(&[a.finish(), b.finish()], Layout::user(), "main").unwrap_err();
+        assert!(matches!(err, LinkError::Duplicate { .. }));
+    }
+
+    #[test]
+    fn missing_entry_errors() {
+        let mut a = Asm::new("a");
+        a.label("quiet");
+        a.nop();
+        let err = link(&[a.finish()], Layout::user(), "quiet").unwrap_err();
+        assert!(matches!(err, LinkError::NoEntry { .. }));
+    }
+
+    #[test]
+    fn local_symbols_do_not_collide() {
+        let mut a = Asm::new("a");
+        a.global_label("main");
+        a.label("loop");
+        a.b("loop");
+        a.nop();
+        let mut b = Asm::new("b");
+        b.global_label("aux");
+        b.label("loop");
+        b.b("loop");
+        b.nop();
+        let l = link(&[a.finish(), b.finish()], Layout::user(), "main").unwrap();
+        // Each object's `loop` branch must be self-referential (-1).
+        for addr in [l.exe.sym("main").unwrap(), l.exe.sym("aux").unwrap()] {
+            let w = l.exe.text_word(addr).unwrap();
+            match decode(w).unwrap() {
+                Inst::Beq { off, .. } => assert_eq!(off, -1),
+                other => panic!("expected beq, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Relocatable object modules.
+//!
+//! The paper's epoxie rewrites *object files at link time* rather than
+//! executables, because "the symbol and relocation tables present in
+//! object code allow epoxie to distinguish unambiguously between uses
+//! of addresses and uses of coincidentally similar constants", and
+//! allow all address correction to be done statically (§3.2). This
+//! module defines that object format: a text section of instruction
+//! words, a data section of bytes, a bss size, symbols, relocations,
+//! and the supplementary side tables (uninstrumentable ranges,
+//! hand-traced ranges, idle-loop flags) that Mahler-style object
+//! modules carried to support code modification.
+
+use std::collections::HashMap;
+
+/// Identifies a section within an object module.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum SecId {
+    /// Executable instructions (word granularity).
+    Text,
+    /// Initialised data (byte granularity).
+    Data,
+    /// Uninitialised data (size only).
+    Bss,
+}
+
+/// The kind of fixup a relocation applies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RelocKind {
+    /// High 16 bits of an absolute address, patched into a `lui`.
+    Hi16,
+    /// Low 16 bits of an absolute address, patched into an `ori`.
+    Lo16,
+    /// A full 32-bit absolute address in the data section.
+    Word32,
+    /// The 26-bit word-target field of a `j`/`jal`.
+    J26,
+    /// The 16-bit PC-relative word offset of a conditional branch.
+    Br16,
+}
+
+/// A relocation: patch the item at `off` within a section so that it
+/// refers to `sym + addend`.
+#[derive(Clone, Debug)]
+pub struct Reloc {
+    /// Byte offset of the patched word within its section.
+    pub off: u32,
+    /// What kind of field to patch.
+    pub kind: RelocKind,
+    /// Name of the referenced symbol (local to the object, or global).
+    pub sym: String,
+    /// Constant added to the symbol's address.
+    pub addend: i32,
+}
+
+/// A symbol: a named location within a section.
+#[derive(Clone, Debug)]
+pub struct Symbol {
+    /// The symbol name.
+    pub name: String,
+    /// Which section it lives in.
+    pub sec: SecId,
+    /// Byte offset within that section.
+    pub off: u32,
+    /// Whether the symbol is visible to other objects.
+    pub global: bool,
+}
+
+/// Per-basic-block flags recorded by the assembler and honoured by the
+/// instrumentation tools and the trace parser (§3.5).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct BbFlags {
+    /// Entering this block starts the idle-loop instruction counter.
+    pub idle_start: bool,
+    /// Entering this block stops the idle-loop instruction counter.
+    pub idle_stop: bool,
+}
+
+/// A half-open byte range `[start, end)` within the text section.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TextRange {
+    /// Inclusive start offset.
+    pub start: u32,
+    /// Exclusive end offset.
+    pub end: u32,
+}
+
+impl TextRange {
+    /// Returns true if `off` lies within the range.
+    pub fn contains(&self, off: u32) -> bool {
+        off >= self.start && off < self.end
+    }
+}
+
+/// A relocatable object module.
+#[derive(Clone, Debug, Default)]
+pub struct Object {
+    /// Module name (for diagnostics).
+    pub name: String,
+    /// Text section as instruction words.
+    pub text: Vec<u32>,
+    /// Initialised data bytes.
+    pub data: Vec<u8>,
+    /// Size of the zero-initialised bss section in bytes.
+    pub bss_size: u32,
+    /// Symbol table.
+    pub symbols: Vec<Symbol>,
+    /// Relocations against the text section.
+    pub text_relocs: Vec<Reloc>,
+    /// Relocations against the data section.
+    pub data_relocs: Vec<Reloc>,
+    /// Text ranges that must not be rewritten by the instrumenter at
+    /// all (they implement the tracing system itself, §3.3).
+    pub uninstrumented: Vec<TextRange>,
+    /// Text ranges instrumented by hand: the instrumenter leaves them
+    /// alone but the trace parser knows their (hand-emitted) records.
+    pub hand_traced: Vec<TextRange>,
+    /// Flags attached to basic blocks, keyed by text byte offset.
+    pub bb_flags: HashMap<u32, BbFlags>,
+}
+
+impl Object {
+    /// Creates an empty object module with the given name.
+    pub fn new(name: &str) -> Object {
+        Object {
+            name: name.to_string(),
+            ..Object::default()
+        }
+    }
+
+    /// Looks up a symbol by name within this object.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// Returns true if the text byte offset falls in an uninstrumented
+    /// or hand-traced range (epoxie must not rewrite it).
+    pub fn is_protected(&self, off: u32) -> bool {
+        self.uninstrumented.iter().any(|r| r.contains(off))
+            || self.hand_traced.iter().any(|r| r.contains(off))
+    }
+
+    /// Total text size in bytes.
+    pub fn text_bytes(&self) -> u32 {
+        (self.text.len() * 4) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protected_ranges() {
+        let mut o = Object::new("t");
+        o.uninstrumented.push(TextRange { start: 8, end: 16 });
+        o.hand_traced.push(TextRange { start: 32, end: 36 });
+        assert!(!o.is_protected(4));
+        assert!(o.is_protected(8));
+        assert!(o.is_protected(12));
+        assert!(!o.is_protected(16));
+        assert!(o.is_protected(32));
+    }
+
+    #[test]
+    fn symbol_lookup() {
+        let mut o = Object::new("t");
+        o.symbols.push(Symbol {
+            name: "main".into(),
+            sec: SecId::Text,
+            off: 0,
+            global: true,
+        });
+        assert!(o.symbol("main").is_some());
+        assert!(o.symbol("absent").is_none());
+    }
+}

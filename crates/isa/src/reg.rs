@@ -1,0 +1,177 @@
+//! General-purpose and floating-point register names for the W3K ISA.
+//!
+//! The W3K follows the MIPS-I register conventions: 32 general-purpose
+//! registers with `r0` hardwired to zero, plus 32 single-precision
+//! floating-point registers used in even/odd pairs for doubles.
+
+use core::fmt;
+
+/// A general-purpose register (`r0`..`r31`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+/// A floating-point register (`f0`..`f31`).
+///
+/// Double-precision values occupy an even/odd pair and are named by the
+/// even register, as on the R3000.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FReg(pub u8);
+
+impl Reg {
+    /// Returns the register number as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the conventional ABI name of the register.
+    pub fn name(self) -> &'static str {
+        REG_NAMES[self.0 as usize & 31]
+    }
+}
+
+impl FReg {
+    /// Returns the register number as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+const REG_NAMES: [&str; 32] = [
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp", "fp",
+    "ra",
+];
+
+/// Hardwired zero register.
+pub const ZERO: Reg = Reg(0);
+/// Assembler temporary.
+pub const AT: Reg = Reg(1);
+/// Function result register 0.
+pub const V0: Reg = Reg(2);
+/// Function result register 1.
+pub const V1: Reg = Reg(3);
+/// Argument register 0.
+pub const A0: Reg = Reg(4);
+/// Argument register 1.
+pub const A1: Reg = Reg(5);
+/// Argument register 2.
+pub const A2: Reg = Reg(6);
+/// Argument register 3.
+pub const A3: Reg = Reg(7);
+/// Caller-saved temporary 0.
+pub const T0: Reg = Reg(8);
+/// Caller-saved temporary 1.
+pub const T1: Reg = Reg(9);
+/// Caller-saved temporary 2.
+pub const T2: Reg = Reg(10);
+/// Caller-saved temporary 3.
+pub const T3: Reg = Reg(11);
+/// Caller-saved temporary 4.
+pub const T4: Reg = Reg(12);
+/// Caller-saved temporary 5.
+pub const T5: Reg = Reg(13);
+/// Caller-saved temporary 6.
+pub const T6: Reg = Reg(14);
+/// Caller-saved temporary 7.
+pub const T7: Reg = Reg(15);
+/// Callee-saved register 0.
+pub const S0: Reg = Reg(16);
+/// Callee-saved register 1.
+pub const S1: Reg = Reg(17);
+/// Callee-saved register 2.
+pub const S2: Reg = Reg(18);
+/// Callee-saved register 3.
+pub const S3: Reg = Reg(19);
+/// Callee-saved register 4.
+pub const S4: Reg = Reg(20);
+/// Callee-saved register 5. Stolen by epoxie as `xreg1`.
+pub const S5: Reg = Reg(21);
+/// Callee-saved register 6. Stolen by epoxie as `xreg2`.
+pub const S6: Reg = Reg(22);
+/// Callee-saved register 7. Stolen by epoxie as `xreg3`.
+pub const S7: Reg = Reg(23);
+/// Caller-saved temporary 8.
+pub const T8: Reg = Reg(24);
+/// Caller-saved temporary 9.
+pub const T9: Reg = Reg(25);
+/// Kernel temporary 0 (reserved for exception handlers).
+pub const K0: Reg = Reg(26);
+/// Kernel temporary 1 (reserved for exception handlers).
+pub const K1: Reg = Reg(27);
+/// Global pointer.
+pub const GP: Reg = Reg(28);
+/// Stack pointer.
+pub const SP: Reg = Reg(29);
+/// Frame pointer.
+pub const FP: Reg = Reg(30);
+/// Return address register, written by `jal`/`jalr`.
+pub const RA: Reg = Reg(31);
+
+/// Floating-point registers `f0`..`f30` (even registers name doubles).
+pub const F0: FReg = FReg(0);
+/// FP register pair 2.
+pub const F2: FReg = FReg(2);
+/// FP register pair 4.
+pub const F4: FReg = FReg(4);
+/// FP register pair 6.
+pub const F6: FReg = FReg(6);
+/// FP register pair 8.
+pub const F8: FReg = FReg(8);
+/// FP register pair 10.
+pub const F10: FReg = FReg(10);
+/// FP register pair 12.
+pub const F12: FReg = FReg(12);
+/// FP register pair 14.
+pub const F14: FReg = FReg(14);
+/// FP register pair 16.
+pub const F16: FReg = FReg(16);
+/// FP register pair 18.
+pub const F18: FReg = FReg(18);
+/// FP register pair 20.
+pub const F20: FReg = FReg(20);
+/// FP register pair 22.
+pub const F22: FReg = FReg(22);
+/// FP register pair 24.
+pub const F24: FReg = FReg(24);
+/// FP register pair 26.
+pub const F26: FReg = FReg(26);
+/// FP register pair 28.
+pub const F28: FReg = FReg(28);
+/// FP register pair 30.
+pub const F30: FReg = FReg(30);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_convention() {
+        assert_eq!(ZERO.name(), "zero");
+        assert_eq!(SP.name(), "sp");
+        assert_eq!(RA.name(), "ra");
+        assert_eq!(K0.name(), "k0");
+        assert_eq!(format!("{}", A0), "a0");
+        assert_eq!(format!("{}", F12), "f12");
+    }
+
+    #[test]
+    fn indices_round_trip() {
+        for i in 0..32u8 {
+            assert_eq!(Reg(i).idx(), i as usize);
+        }
+    }
+}

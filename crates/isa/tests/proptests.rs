@@ -1,0 +1,143 @@
+//! Property-based tests of the ISA layer: encode/decode round trips,
+//! decoder totality, and assembler/linker invariants.
+
+use proptest::prelude::*;
+use wrl_isa::reg::Reg;
+use wrl_isa::{decode, encode, FReg, Inst};
+
+/// Strategy over valid general-purpose registers.
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg)
+}
+
+/// Even FP register pairs.
+fn freg() -> impl Strategy<Value = FReg> {
+    (0u8..16).prop_map(|n| FReg(n * 2))
+}
+
+/// Strategy over every instruction variant with arbitrary fields.
+fn inst() -> impl Strategy<Value = Inst> {
+    use Inst::*;
+    prop_oneof![
+        (reg(), reg(), 0u8..32).prop_map(|(rd, rt, sh)| Sll { rd, rt, sh }),
+        (reg(), reg(), 0u8..32).prop_map(|(rd, rt, sh)| Srl { rd, rt, sh }),
+        (reg(), reg(), 0u8..32).prop_map(|(rd, rt, sh)| Sra { rd, rt, sh }),
+        (reg(), reg(), reg()).prop_map(|(rd, rt, rs)| Sllv { rd, rt, rs }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Addu { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Subu { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| And { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Or { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Nor { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Slt { rd, rs, rt }),
+        (reg(), reg()).prop_map(|(rs, rt)| Mult { rs, rt }),
+        (reg(), reg()).prop_map(|(rs, rt)| Divu { rs, rt }),
+        reg().prop_map(|rd| Mfhi { rd }),
+        reg().prop_map(|rs| Mtlo { rs }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, rs, imm)| Addiu { rt, rs, imm }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, rs, imm)| Slti { rt, rs, imm }),
+        (reg(), reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Andi { rt, rs, imm }),
+        (reg(), reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Ori { rt, rs, imm }),
+        (reg(), any::<u16>()).prop_map(|(rt, imm)| Lui { rt, imm }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, base, off)| Lb { rt, base, off }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, base, off)| Lhu { rt, base, off }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, base, off)| Lw { rt, base, off }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, base, off)| Sb { rt, base, off }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, base, off)| Sw { rt, base, off }),
+        (freg(), reg(), any::<i16>()).prop_map(|(ft, base, off)| Lwc1 { ft, base, off }),
+        (freg(), reg(), any::<i16>()).prop_map(|(ft, base, off)| Swc1 { ft, base, off }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rs, rt, off)| Beq { rs, rt, off }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rs, rt, off)| Bne { rs, rt, off }),
+        (reg(), any::<i16>()).prop_map(|(rs, off)| Blez { rs, off }),
+        (reg(), any::<i16>()).prop_map(|(rs, off)| Bltz { rs, off }),
+        (reg(), any::<i16>()).prop_map(|(rs, off)| Bgez { rs, off }),
+        (0u32..(1 << 26)).prop_map(|target| J { target }),
+        (0u32..(1 << 26)).prop_map(|target| Jal { target }),
+        reg().prop_map(|rs| Jr { rs }),
+        (reg(), reg()).prop_map(|(rd, rs)| Jalr { rd, rs }),
+        (0u32..(1 << 20)).prop_map(|code| Syscall { code }),
+        (0u32..(1 << 20)).prop_map(|code| Break { code }),
+        (reg(), 0u8..16).prop_map(|(rt, rd)| Mfc0 { rt, rd }),
+        (reg(), 0u8..16).prop_map(|(rt, rd)| Mtc0 { rt, rd }),
+        Just(Inst::Tlbwr),
+        Just(Inst::Tlbp),
+        Just(Inst::Rfe),
+        (freg(), freg(), freg()).prop_map(|(fd, fs, ft)| AddD { fd, fs, ft }),
+        (freg(), freg(), freg()).prop_map(|(fd, fs, ft)| MulD { fd, fs, ft }),
+        (freg(), freg(), freg()).prop_map(|(fd, fs, ft)| DivD { fd, fs, ft }),
+        (freg(), freg()).prop_map(|(fd, fs)| CvtDW { fd, fs }),
+        (freg(), freg()).prop_map(|(fs, ft)| CLtD { fs, ft }),
+        any::<i16>().prop_map(|off| Bc1t { off }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, base, off)| Sh { rt, base, off }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, base, off)| Lh { rt, base, off }),
+    ]
+}
+
+proptest! {
+    /// Every constructible instruction round-trips through its
+    /// binary encoding.
+    #[test]
+    fn encode_decode_round_trip(i in inst()) {
+        let w = encode(i);
+        let back = decode(w).expect("own encodings must decode");
+        prop_assert_eq!(back, i);
+    }
+
+    /// The decoder never panics on arbitrary words, and re-encoding a
+    /// successfully decoded word reproduces it (no information loss
+    /// for accepted encodings of the canonical forms).
+    #[test]
+    fn decode_is_total(w in any::<u32>()) {
+        if let Ok(i) = decode(w) {
+            // Re-encoded form must itself decode to the same inst
+            // (the encoding may canonicalise don't-care fields).
+            let w2 = encode(i);
+            prop_assert_eq!(decode(w2).unwrap(), i);
+        }
+    }
+
+    /// Classification helpers agree with the variant structure.
+    #[test]
+    fn classification_consistency(i in inst()) {
+        if i.has_delay_slot() {
+            prop_assert!(i.is_control());
+        }
+        if i.mem_class().is_some() {
+            prop_assert!(!i.is_control());
+        }
+        // Writes to r0 are never reported.
+        if let Some(r) = i.writes_gpr() {
+            prop_assert!(r.0 != 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Linked straight-line programs place every emitted instruction
+    /// and the linker resolves all branches within range.
+    #[test]
+    fn assembler_linker_round_trip(n in 1usize..60, vals in proptest::collection::vec(any::<i16>(), 1..60)) {
+        use wrl_isa::asm::Asm;
+        use wrl_isa::link::{link, Layout};
+        use wrl_isa::reg::*;
+        let mut a = Asm::new("gen");
+        a.global_label("main");
+        for (k, v) in vals.iter().take(n).enumerate() {
+            a.label(&format!("l{k}"));
+            a.addiu(T0, T0, *v);
+            a.bne(T0, ZERO, &format!("l{k}"));
+            a.nop();
+        }
+        a.jr(RA);
+        a.nop();
+        let obj = a.finish();
+        let words = obj.text.len();
+        let linked = link(&[obj], Layout::user(), "main").unwrap();
+        prop_assert_eq!(linked.exe.text.len(), words);
+        // Every emitted word decodes.
+        for w in &linked.exe.text {
+            prop_assert!(wrl_isa::decode(*w).is_ok());
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Kernel data-structure layout (offsets shared between the assembly
+//! generators and the host-side loader, which pokes initial values
+//! directly into the kernel data segment).
+
+/// Process-table entry field offsets (bytes).
+pub mod proc_off {
+    /// 0 free, 1 ready, 2 running, 3 blocked on disk, 4 zombie,
+    /// 5 blocked in IPC call, 6 server blocked in receive.
+    pub const STATE: i16 = 0;
+    /// Address-space identifier.
+    pub const ASID: i16 = 4;
+    /// CP0 Context value (kseg2 page-table base).
+    pub const CONTEXT: i16 = 8;
+    /// Saved exception PC.
+    pub const EPC: i16 = 12;
+    /// Saved HI.
+    pub const HI: i16 = 16;
+    /// Saved LO.
+    pub const LO: i16 = 20;
+    /// Nonzero if the process is traced.
+    pub const TRACED: i16 = 24;
+    /// Disk block this process waits on (-1 = none).
+    pub const WAIT_BLOCK: i16 = 28;
+    /// Nonzero if this is the Mach UNIX server.
+    pub const IS_SERVER: i16 = 32;
+    /// Current program break.
+    pub const BRK: i16 = 36;
+    /// Nonzero until the first dispatch flushes the I-cache over the
+    /// process text.
+    pub const NEED_IFLUSH: i16 = 40;
+    /// Text start (virtual) for the I-cache flush.
+    pub const TEXT_START: i16 = 44;
+    /// Text end (virtual).
+    pub const TEXT_END: i16 = 48;
+    /// IPC: index of the client this server must reply to (-1 none).
+    pub const REPLY_TO: i16 = 52;
+    /// Exit code (valid in zombie state).
+    pub const EXIT_CODE: i16 = 56;
+    /// Physical address of this process's mailbox frame (Mach).
+    pub const MAILBOX_PHYS: i16 = 60;
+    /// IPC: user buffer a reply's data lands in (Mach read calls).
+    pub const IPC_BUF: i16 = 64;
+    /// Saved general registers r0..r31 (r0 slot unused).
+    pub const REGS: i16 = 68;
+    /// Start of the trace runtime's text in this binary (traced
+    /// builds): the kernel defers the per-process buffer copy when it
+    /// interrupts the runtime mid-entry (§3.3's delicate handling).
+    pub const RT_START: i16 = 196;
+    /// End of the trace runtime's text.
+    pub const RT_END: i16 = 200;
+    /// Trace-context token written in CtxSwitch records. Equal to the
+    /// hardware ASID for single-threaded processes; threads sharing an
+    /// address space get distinct tokens so the parser can keep their
+    /// partially-parsed blocks apart (§3.6).
+    pub const TOKEN: i16 = 204;
+    /// Size of one entry in bytes (208 = 128+64+16 for cheap indexing).
+    pub const SIZE: u32 = 208;
+
+    /// Offset of saved register `r`.
+    pub const fn reg(r: u8) -> i16 {
+        REGS + (r as i16) * 4
+    }
+}
+
+/// Kernel exception-stack frame offsets (for nested interrupts).
+pub mod frame_off {
+    /// Saved exception PC.
+    pub const EPC: i16 = 0;
+    /// Saved HI.
+    pub const HI: i16 = 4;
+    /// Saved LO.
+    pub const LO: i16 = 8;
+    /// 1 if the interrupted context's live xregs were the *kernel's*
+    /// trace registers; 0 if they belonged to a user context (a KTLB
+    /// miss nested inside the UTLB refill handler); 2 for kernel
+    /// xregs that need a direct return — the §3.3 "no intermediate
+    /// party is available to maintain the kernel's tracing state"
+    /// problem.
+    pub const XK: i16 = 24;
+    /// Saved trace-bookkeeping slots (SCRATCH, SCRATCH2, RA_SAVE):
+    /// the interrupted kernel context may be mid-bbtrace/memtrace,
+    /// and the nested handler's own trace calls reuse the same
+    /// bookkeeping area — the §3.3 trace-state maintenance problem.
+    pub const BK: i16 = 12;
+    /// Saved general registers r0..r31.
+    pub const REGS: i16 = 28;
+    /// Frame size in bytes.
+    pub const SIZE: u32 = 28 + 32 * 4;
+
+    /// Offset of saved register `r`.
+    pub const fn reg(r: u8) -> i16 {
+        REGS + (r as i16) * 4
+    }
+}
+
+/// Buffer-cache entry field offsets.
+pub mod bc_off {
+    /// Cached disk block number (-1 = empty).
+    pub const BLOCK: i16 = 0;
+    /// Physical frame address of the cached data.
+    pub const FRAME: i16 = 4;
+    /// Nonzero while a disk operation on this entry is in flight.
+    pub const IN_FLIGHT: i16 = 8;
+    /// Dirty (written, not yet on disk).
+    pub const DIRTY: i16 = 12;
+    /// Entry size in bytes.
+    pub const SIZE: u32 = 16;
+}
+
+/// Global file-descriptor table entry offsets.
+pub mod fd_off {
+    /// Directory index (-1 = free).
+    pub const DIR: i16 = 0;
+    /// Current file offset.
+    pub const OFFSET: i16 = 4;
+    /// Entry size in bytes.
+    pub const SIZE: u32 = 8;
+    /// Number of entries.
+    pub const COUNT: u32 = 16;
+}
+
+/// On-disk / in-memory directory entry offsets.
+pub mod dir_off {
+    /// NUL-terminated name (20 bytes).
+    pub const NAME: i16 = 0;
+    /// First disk block.
+    pub const START: i16 = 20;
+    /// Length in bytes.
+    pub const LEN: i16 = 24;
+    /// Entry size in bytes.
+    pub const SIZE: u32 = 32;
+    /// Maximum entries.
+    pub const COUNT: u32 = 64;
+}
+
+/// IPC mailbox message offsets (within the mailbox page).
+pub mod msg_off {
+    /// Operation (syscall number).
+    pub const OP: i16 = 0;
+    /// First argument (fd, or unused).
+    pub const A1: i16 = 4;
+    /// Second argument (length).
+    pub const A2: i16 = 8;
+    /// Return value.
+    pub const RET: i16 = 12;
+    /// Inline data area.
+    pub const DATA: i16 = 16;
+    /// Maximum inline data bytes per message.
+    pub const DATA_MAX: u32 = 4000;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_regs_fit() {
+        assert_eq!(proc_off::reg(31), 68 + 124);
+        assert!((proc_off::reg(31) as u32) < proc_off::SIZE);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn frame_regs_fit() {
+        assert_eq!(frame_off::reg(31), 28 + 124);
+        assert!(frame_off::XK < frame_off::REGS);
+        assert!(frame_off::BK + 12 <= frame_off::XK);
+    }
+}

@@ -1,0 +1,151 @@
+//! Kernel memory layout.
+//!
+//! Physical memory (64 MB in the full-system configuration):
+//!
+//! ```text
+//! 0x0000_0000  exception vectors (UTLB refill at 0, general at 0x80)
+//!              and kernel text
+//! 0x0030_0000  kernel data
+//! 0x0060_0000  per-process linear page tables (32 KB each, mapped
+//!              into kseg2 at 2 MB-aligned Context bases)
+//! 0x0080_0000  buffer-cache frames
+//! 0x0100_0000  in-kernel trace buffer (configurable size)
+//! 0x0200_0000  user page-frame pool
+//! ```
+//!
+//! The in-kernel trace buffer "is allocated statically at boot time
+//! and is never seen by the kernel memory management subsystem"
+//! (§3.1); on the host side it is read directly out of physical
+//! memory, the moral equivalent of the paper's `/dev/kmem` special
+//! file (Ultrix) or of mapping the buffer (Mach).
+
+/// Maximum number of processes.
+pub const MAX_PROCS: usize = 6;
+
+/// kseg0 virtual base (identity minus 0x8000_0000).
+pub const KSEG0: u32 = 0x8000_0000;
+/// kseg2 virtual base (mapped kernel segment).
+pub const KSEG2: u32 = 0xc000_0000;
+
+/// Kernel text base: the very start of kseg0 so the first object's
+/// offset 0x000 is the UTLB refill vector and 0x080 the general
+/// vector.
+pub const KTEXT_BASE: u32 = 0x8000_0000;
+/// Kernel data base.
+pub const KDATA_BASE: u32 = 0x8030_0000;
+
+/// Physical base of the per-process page-table pool.
+pub const PT_POOL_PHYS: u32 = 0x0060_0000;
+/// Bytes of linear page table per process (covers user vaddrs below
+/// 32 MB: 8192 PTEs).
+pub const PT_BYTES: u32 = 32 * 1024;
+/// kseg2 virtual base of process `i`'s page table: Context's PTE-base
+/// field is bits 31:21, so each table gets its own 2 MB-aligned slot.
+pub const fn pt_kseg2(i: usize) -> u32 {
+    KSEG2 + (i as u32) * 0x0020_0000
+}
+/// Physical address of process `i`'s page table.
+pub const fn pt_phys(i: usize) -> u32 {
+    PT_POOL_PHYS + (i as u32) * PT_BYTES
+}
+
+/// Physical base of the buffer-cache frames.
+pub const BCACHE_PHYS: u32 = 0x0080_0000;
+/// Number of buffer-cache entries.
+pub const BCACHE_ENTRIES: u32 = 16;
+
+/// Physical base of the per-thread trace-frame pool: one 17-frame
+/// set (bookkeeping page + 16 buffer pages) per spawnable thread,
+/// staged by the loader and handed out by `spawn` (§3.6: "independent
+/// trace pages are allocated for each thread").
+pub const THREAD_POOL_PHYS: u32 = 0x00a0_0000;
+/// Frames per thread trace set.
+pub const THREAD_SET_FRAMES: u32 = 17;
+
+/// Physical base of the in-kernel trace buffer.
+pub const KTRACE_PHYS: u32 = 0x0100_0000;
+/// kseg0 address of the in-kernel trace buffer.
+pub const KTRACE_BUF: u32 = KSEG0 + KTRACE_PHYS;
+/// Default in-kernel trace buffer size in bytes (configurable; the
+/// paper's production system used 64 MB).
+pub const KTRACE_BYTES_DEFAULT: u32 = 4 << 20;
+/// Slack below the hard end left for reaching a safe point after the
+/// soft limit trips (§3.3).
+pub const KTRACE_SLACK: u32 = 256 * 1024;
+
+/// Physical base of the user frame pool.
+pub const UFRAME_POOL_PHYS: u32 = 0x0200_0000;
+/// Frames in the user pool (32 MB).
+pub const UFRAME_POOL_FRAMES: u32 = 8192;
+
+/// Physical memory for the full-system configuration.
+pub const MEM_BYTES: u32 = 64 << 20;
+
+/// User-space virtual layout (see also `wrl_trace::layout::user`).
+pub mod uvm {
+    /// Per-process heap base (sbrk arena), above data/bss.
+    pub const HEAP_BASE: u32 = 0x0140_0000;
+    /// Heap ceiling.
+    pub const HEAP_MAX: u32 = 0x01c0_0000;
+    /// IPC mailbox page, mapped per process (Mach variant).
+    pub const MAILBOX: u32 = 0x01d0_0000;
+}
+
+/// PTE encoding helpers (EntryLo format).
+pub mod pte {
+    /// Valid bit.
+    pub const V: u32 = 1 << 9;
+    /// Writable ("dirty") bit.
+    pub const D: u32 = 1 << 10;
+    /// Builds a PTE for a physical frame number.
+    pub const fn make(pfn: u32) -> u32 {
+        (pfn << 12) | V | D
+    }
+}
+
+/// Clock interrupt interval in cycles for the untraced system
+/// (25 MHz / 250 Hz).
+pub const CLOCK_INTERVAL: u32 = 100_000;
+/// The time-dilation compensation (§4.1): the traced system's clock
+/// interrupts at 1/Nth the rate. The paper used 15 for its
+/// instrumentation; our modified-epoxie slowdown is ~12x, so the
+/// matching divisor is 12.
+pub const CLOCK_DILATION: u32 = 12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_tables_fit_before_bcache() {
+        assert!(pt_phys(MAX_PROCS - 1) + PT_BYTES <= BCACHE_PHYS);
+    }
+
+    #[test]
+    fn kseg2_bases_are_2mb_aligned_and_distinct() {
+        for i in 0..MAX_PROCS {
+            assert_eq!(pt_kseg2(i) & 0x001f_ffff, 0);
+            for j in 0..i {
+                assert_ne!(pt_kseg2(i), pt_kseg2(j));
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn regions_do_not_overlap() {
+        assert!(KDATA_BASE - KSEG0 >= 0x0010_0000);
+        assert!(BCACHE_PHYS + BCACHE_ENTRIES * 4096 <= THREAD_POOL_PHYS);
+        assert!(THREAD_POOL_PHYS + (MAX_PROCS as u32) * THREAD_SET_FRAMES * 4096 <= KTRACE_PHYS);
+        assert!(KTRACE_PHYS + KTRACE_BYTES_DEFAULT <= UFRAME_POOL_PHYS);
+        assert!(UFRAME_POOL_PHYS + UFRAME_POOL_FRAMES * 4096 <= MEM_BYTES);
+    }
+
+    #[test]
+    fn pte_encoding_round_trips() {
+        let p = pte::make(0x2345);
+        assert_eq!(p >> 12, 0x2345);
+        assert!(p & pte::V != 0);
+        assert!(p & pte::D != 0);
+    }
+}

@@ -1,0 +1,420 @@
+//! The Mach UNIX server: a user-level process implementing the file
+//! services (§3.6).
+//!
+//! "Mach 3.0 is a microkernel that implements and exports a small
+//! number of low-level system services, with higher-level services
+//! implemented in a user-level UNIX server." The server loops on
+//! `recv`, dispatches file operations against its *user-space* buffer
+//! cache and directory, reaches the disk through the kernel's raw
+//! block calls, and `reply`s. Because all of this is ordinary mapped
+//! user code, Mach shows far higher user-TLB miss counts than Ultrix
+//! for the same workloads — the structure behind Table 3.
+
+use wrl_isa::asm::Asm;
+use wrl_isa::reg::*;
+use wrl_isa::Object;
+use wrl_trace::layout::{sys, user as uvm_trace};
+
+use crate::kdata::{dir_off, fd_off, msg_off};
+use crate::layout::uvm;
+
+/// User-space cache entries.
+const SV_CACHE_ENTRIES: u32 = 12;
+
+/// Builds the server program object (linked with crt0 + libw3k).
+pub fn object() -> Object {
+    let mut a = Asm::new("uxserver");
+
+    // main: allocate page-aligned cache frames, then serve forever.
+    a.global_label("main");
+    a.addiu(SP, SP, -16);
+    a.sw(RA, 12, SP);
+    // sbrk a page-aligned arena for the cache frames.
+    a.li(A0, ((SV_CACHE_ENTRIES + 1) * 4096) as i32);
+    a.jal("__sbrk");
+    a.nop();
+    a.addiu(T0, V0, 4095);
+    a.srl(T0, T0, 12);
+    a.sll(T0, T0, 12); // aligned frame base
+    a.la(T1, "sv_frame_base");
+    a.sw(T0, 0, T1);
+
+    a.label("sv_loop");
+    a.li(V0, sys::RECV as i32);
+    a.syscall(0);
+    // v0 = operation; the message is in our mailbox page.
+    a.move_(S0, V0);
+    a.li(T0, uvm::MAILBOX as i32);
+    a.li(T1, sys::OPEN as i32);
+    a.beq(S0, T1, "sv_open");
+    a.nop();
+    a.li(T1, sys::CREAT as i32);
+    a.beq(S0, T1, "sv_creat");
+    a.nop();
+    a.li(T1, sys::READ as i32);
+    a.beq(S0, T1, "sv_read");
+    a.nop();
+    a.li(T1, sys::WRITE as i32);
+    a.beq(S0, T1, "sv_write");
+    a.nop();
+    a.li(T1, sys::CLOSE as i32);
+    a.beq(S0, T1, "sv_close");
+    a.nop();
+    // Unknown: reply -1.
+    a.li(A0, -1);
+    a.label("sv_reply");
+    a.li(V0, sys::REPLY as i32);
+    a.syscall(0);
+    a.b("sv_loop");
+    a.nop();
+
+    // ---- open(path in msg DATA) ----
+    a.label("sv_open");
+    a.addiu(A0, T0, msg_off::DATA);
+    a.jal("sv_dir_find");
+    a.nop();
+    a.bltz(V0, "sv_openfail");
+    a.nop();
+    a.move_(A0, V0);
+    a.jal("sv_fd_alloc");
+    a.nop();
+    a.move_(A0, V0);
+    a.b("sv_reply");
+    a.nop();
+    a.label("sv_openfail");
+    a.li(A0, -1);
+    a.b("sv_reply");
+    a.nop();
+
+    // ---- creat(path) ----
+    a.label("sv_creat");
+    a.addiu(A0, T0, msg_off::DATA);
+    a.jal("sv_dir_find");
+    a.nop();
+    a.bgez(V0, "sv_cr_have");
+    a.nop();
+    // Fresh directory slot.
+    a.li(S1, 0);
+    a.label("sv_cr_scan");
+    a.li(T1, dir_off::COUNT as i32);
+    a.beq(S1, T1, "sv_openfail");
+    a.nop();
+    a.sll(T2, S1, 5);
+    a.la(T3, "sv_dir");
+    a.addu(T2, T3, T2);
+    a.lbu(T4, dir_off::NAME, T2);
+    a.beq(T4, ZERO, "sv_cr_fresh");
+    a.nop();
+    a.b("sv_cr_scan");
+    a.addiu(S1, S1, 1);
+    a.label("sv_cr_fresh");
+    // Copy the name from the message.
+    a.li(T4, 0);
+    a.li(T0, uvm::MAILBOX as i32);
+    a.label("sv_cr_name");
+    a.addu(T5, T0, T4);
+    a.lbu(T6, msg_off::DATA, T5);
+    a.addu(T5, T2, T4);
+    a.sb(T6, dir_off::NAME, T5);
+    a.beq(T6, ZERO, "sv_cr_named");
+    a.nop();
+    a.li(T7, 19);
+    a.beq(T4, T7, "sv_cr_named");
+    a.nop();
+    a.b("sv_cr_name");
+    a.addiu(T4, T4, 1);
+    a.label("sv_cr_named");
+    a.la(T5, "sv_next_block");
+    a.lw(T6, 0, T5);
+    a.sw(T6, dir_off::START, T2);
+    a.addiu(T7, T6, 64);
+    a.sw(T7, 0, T5);
+    a.sw(ZERO, dir_off::LEN, T2);
+    a.move_(V0, S1);
+    a.label("sv_cr_have");
+    a.sll(T2, V0, 5);
+    a.la(T3, "sv_dir");
+    a.addu(T2, T3, T2);
+    a.sw(ZERO, dir_off::LEN, T2); // truncate
+    a.move_(A0, V0);
+    a.jal("sv_fd_alloc");
+    a.nop();
+    a.move_(A0, V0);
+    a.b("sv_reply");
+    a.nop();
+
+    // ---- close(fd in A1) ----
+    a.label("sv_close");
+    a.lw(T1, msg_off::A1, T0);
+    a.addiu(T1, T1, -3);
+    a.bltz(T1, "sv_cl_done");
+    a.nop();
+    a.sll(T2, T1, 3);
+    a.la(T3, "sv_fdtab");
+    a.addu(T2, T3, T2);
+    a.li(T4, -1);
+    a.sw(T4, fd_off::DIR, T2);
+    a.label("sv_cl_done");
+    a.li(A0, 0);
+    a.b("sv_reply");
+    a.nop();
+
+    // ---- read(fd in A1, len in A2): data goes back in the message --
+    a.label("sv_read");
+    a.lw(T1, msg_off::A1, T0);
+    a.addiu(T1, T1, -3);
+    a.bltz(T1, "sv_openfail");
+    a.nop();
+    a.sll(T2, T1, 3);
+    a.la(T3, "sv_fdtab");
+    a.addu(S1, T3, T2); // fd entry
+    a.lw(S2, fd_off::DIR, S1); // dir index
+    a.bltz(S2, "sv_openfail");
+    a.nop();
+    a.sll(T4, S2, 5);
+    a.la(T5, "sv_dir");
+    a.addu(S2, T5, T4); // dir entry
+    a.lw(T6, dir_off::LEN, S2);
+    a.lw(T7, fd_off::OFFSET, S1);
+    a.subu(T8, T6, T7); // remaining
+    a.bgtz(T8, "sv_rd_some");
+    a.nop();
+    a.li(A0, 0); // EOF
+    a.b("sv_reply");
+    a.nop();
+    a.label("sv_rd_some");
+    a.lw(S3, msg_off::A2, T0); // requested length
+    a.slt(T9, T8, S3);
+    a.beq(T9, ZERO, "sv_rd_m1");
+    a.nop();
+    a.move_(S3, T8);
+    a.label("sv_rd_m1");
+    a.andi(T9, T7, 0xfff);
+    a.li(T8, 4096);
+    a.subu(T8, T8, T9);
+    a.slt(T9, T8, S3);
+    a.beq(T9, ZERO, "sv_rd_m2");
+    a.nop();
+    a.move_(S3, T8);
+    a.label("sv_rd_m2");
+    // Block number, ensure cached in user space.
+    a.lw(T8, dir_off::START, S2);
+    a.srl(T9, T7, 12);
+    a.addu(A0, T8, T9);
+    a.jal("sv_get_block"); // v0 = frame vaddr
+    a.nop();
+    a.move_(S4, V0);
+    // Copy frame+off -> message DATA.
+    a.lw(T7, fd_off::OFFSET, S1);
+    a.andi(T9, T7, 0xfff);
+    a.addu(A1, S4, T9); // src
+    a.li(A0, uvm::MAILBOX as i32);
+    a.addiu(A0, A0, msg_off::DATA); // dst
+    a.move_(A2, S3);
+    a.jal("__memcpy");
+    a.nop();
+    a.lw(T7, fd_off::OFFSET, S1);
+    a.addu(T7, T7, S3);
+    a.sw(T7, fd_off::OFFSET, S1);
+    a.move_(A0, S3);
+    a.b("sv_reply");
+    a.nop();
+
+    // ---- write(fd in A1, n in A2, data in msg DATA) ----
+    a.label("sv_write");
+    a.lw(T1, msg_off::A1, T0);
+    a.addiu(T1, T1, -3);
+    a.bltz(T1, "sv_openfail");
+    a.nop();
+    a.sll(T2, T1, 3);
+    a.la(T3, "sv_fdtab");
+    a.addu(S1, T3, T2);
+    a.lw(S2, fd_off::DIR, S1);
+    a.bltz(S2, "sv_openfail");
+    a.nop();
+    a.sll(T4, S2, 5);
+    a.la(T5, "sv_dir");
+    a.addu(S2, T5, T4);
+    a.lw(T7, fd_off::OFFSET, S1);
+    a.lw(S3, msg_off::A2, T0); // n
+                               // Clamp to the current block.
+    a.andi(T9, T7, 0xfff);
+    a.li(T8, 4096);
+    a.subu(T8, T8, T9);
+    a.slt(T9, T8, S3);
+    a.beq(T9, ZERO, "sv_wr_m1");
+    a.nop();
+    a.move_(S3, T8);
+    a.label("sv_wr_m1");
+    a.lw(T8, dir_off::START, S2);
+    a.srl(T9, T7, 12);
+    a.addu(A0, T8, T9);
+    a.jal("sv_get_block_for_write");
+    a.nop();
+    a.move_(S4, V0);
+    a.lw(T7, fd_off::OFFSET, S1);
+    a.andi(T9, T7, 0xfff);
+    a.addu(A0, S4, T9); // dst in cache frame
+    a.li(A1, uvm::MAILBOX as i32);
+    a.addiu(A1, A1, msg_off::DATA);
+    a.move_(A2, S3);
+    a.jal("__memcpy");
+    a.nop();
+    a.lw(T7, fd_off::OFFSET, S1);
+    a.addu(T7, T7, S3);
+    a.sw(T7, fd_off::OFFSET, S1);
+    a.lw(T8, dir_off::LEN, S2);
+    a.slt(T9, T8, T7);
+    a.beq(T9, ZERO, "sv_wr_lenok");
+    a.nop();
+    a.sw(T7, dir_off::LEN, S2);
+    a.label("sv_wr_lenok");
+    a.move_(A0, S3);
+    a.b("sv_reply");
+    a.nop();
+
+    // ---- sv_dir_find(a0 = path) -> v0 = dir index or -1 ----
+    a.global_label("sv_dir_find");
+    a.li(T8, 0);
+    a.label("sdf_outer");
+    a.li(T9, dir_off::COUNT as i32);
+    a.beq(T8, T9, "sdf_fail");
+    a.nop();
+    a.sll(T1, T8, 5);
+    a.la(T2, "sv_dir");
+    a.addu(T1, T2, T1);
+    a.lbu(T3, dir_off::NAME, T1);
+    a.beq(T3, ZERO, "sdf_next");
+    a.nop();
+    a.li(T4, 0);
+    a.label("sdf_cmp");
+    a.addu(T5, A0, T4);
+    a.lbu(T6, 0, T5);
+    a.addu(T5, T1, T4);
+    a.lbu(T7, dir_off::NAME, T5);
+    a.bne(T6, T7, "sdf_next");
+    a.nop();
+    a.beq(T6, ZERO, "sdf_hit");
+    a.nop();
+    a.b("sdf_cmp");
+    a.addiu(T4, T4, 1);
+    a.label("sdf_hit");
+    a.jr(RA);
+    a.move_(V0, T8);
+    a.label("sdf_next");
+    a.b("sdf_outer");
+    a.addiu(T8, T8, 1);
+    a.label("sdf_fail");
+    a.jr(RA);
+    a.li(V0, -1);
+
+    // ---- sv_fd_alloc(a0 = dir index) -> v0 = fd or -1 ----
+    a.global_label("sv_fd_alloc");
+    a.li(T8, 0);
+    a.label("sfa_loop");
+    a.li(T9, fd_off::COUNT as i32);
+    a.beq(T8, T9, "sdf_fail");
+    a.nop();
+    a.sll(T1, T8, 3);
+    a.la(T2, "sv_fdtab");
+    a.addu(T1, T2, T1);
+    a.lw(T3, fd_off::DIR, T1);
+    a.bltz(T3, "sfa_hit");
+    a.nop();
+    a.b("sfa_loop");
+    a.addiu(T8, T8, 1);
+    a.label("sfa_hit");
+    a.sw(A0, fd_off::DIR, T1);
+    a.sw(ZERO, fd_off::OFFSET, T1);
+    a.jr(RA);
+    a.addiu(V0, T8, 3);
+
+    // ---- sv_get_block(a0 = block) -> v0 = cached frame vaddr,
+    //      reading from disk through sys_bread on a miss. ----
+    for (name, write_intent) in [("sv_get_block", false), ("sv_get_block_for_write", true)] {
+        let pfx = if write_intent { "sgw" } else { "sgr" };
+        a.global_label(name);
+        a.addiu(SP, SP, -16);
+        a.sw(RA, 12, SP);
+        a.sw(S0, 8, SP);
+        a.move_(S0, A0);
+        // Lookup.
+        a.li(T8, 0);
+        a.label(&format!("{pfx}_look"));
+        a.li(T9, SV_CACHE_ENTRIES as i32);
+        a.beq(T8, T9, format!("{pfx}_miss").as_str());
+        a.nop();
+        a.sll(T1, T8, 2);
+        a.la(T2, "sv_cache_blocks");
+        a.addu(T1, T2, T1);
+        a.lw(T3, 0, T1);
+        a.beq(T3, S0, format!("{pfx}_hit").as_str());
+        a.nop();
+        a.b(format!("{pfx}_look").as_str());
+        a.addiu(T8, T8, 1);
+        a.label(&format!("{pfx}_miss"));
+        // Victim: round robin.
+        a.la(T4, "sv_cache_hand");
+        a.lw(T8, 0, T4);
+        a.addiu(T5, T8, 1);
+        a.li(T6, SV_CACHE_ENTRIES as i32);
+        a.slt(T7, T5, T6);
+        a.bne(T7, ZERO, format!("{pfx}_wrapok").as_str());
+        a.nop();
+        a.li(T5, 0);
+        a.label(&format!("{pfx}_wrapok"));
+        a.sw(T5, 0, T4);
+        a.sll(T1, T8, 2);
+        a.la(T2, "sv_cache_blocks");
+        a.addu(T1, T2, T1);
+        a.sw(S0, 0, T1);
+        if !write_intent {
+            // Fill from disk.
+            a.move_(A0, S0);
+            a.jal("sv_frame_addr_idx8"); // v0 = frame vaddr for T8
+            a.nop();
+            a.move_(A1, V0);
+            a.move_(A0, S0);
+            a.li(V0, sys::BREAD as i32);
+            a.syscall(0);
+        }
+        a.label(&format!("{pfx}_hit"));
+        a.jal("sv_frame_addr_idx8");
+        a.nop();
+        a.lw(RA, 12, SP);
+        a.lw(S0, 8, SP);
+        a.jr(RA);
+        a.addiu(SP, SP, 16);
+    }
+
+    // Helper: v0 = sv_frame_base + t8*4096 (t8 = cache index).
+    a.global_label("sv_frame_addr_idx8");
+    a.la(T1, "sv_frame_base");
+    a.lw(T1, 0, T1);
+    a.sll(T2, T8, 12);
+    a.jr(RA);
+    a.addu(V0, T1, T2);
+
+    a.data();
+    a.align4();
+    a.global_label("sv_dir");
+    a.space(dir_off::COUNT * dir_off::SIZE);
+    a.global_label("sv_next_block");
+    a.word(4); // poked by the loader
+    a.label("sv_fdtab");
+    for _ in 0..fd_off::COUNT {
+        a.word(-1i32 as u32);
+        a.word(0);
+    }
+    a.label("sv_cache_blocks");
+    for _ in 0..SV_CACHE_ENTRIES {
+        a.word(-1i32 as u32);
+    }
+    a.label("sv_cache_hand");
+    a.word(0);
+    a.label("sv_frame_base");
+    a.word(0);
+
+    let _ = uvm_trace::TRACE_BUF; // (trace pages are mapped by the loader)
+    a.finish()
+}

@@ -1,0 +1,1140 @@
+//! The whole-machine simulator.
+//!
+//! Executes W3K code with R3000 semantics (branch delay slots,
+//! software-refilled TLB, precise exceptions) and a DECstation
+//! 5000/200-style timing model: one cycle per issued instruction plus
+//! cache-miss penalties, write-buffer stalls, floating-point
+//! interlocks and uncached-access penalties, with all of those
+//! *overlapping* as they do in hardware. This is the "real machine"
+//! side of the paper's validation: its cycle counter is the
+//! high-resolution timer of Table 2, and its UTLB-refill counter is
+//! the TLB miss counter of Table 3.
+
+use crate::cache::{Cache, CacheCfg, WriteBuffer};
+use crate::counters::{Counters, RefCounter};
+use crate::cp0::{Cp0, ExcCode, Exception};
+use crate::dev::{irq, Devices, DISK_BLOCK_SIZE};
+use crate::mem::Mem;
+use crate::tlb::{Tlb, TlbLookup};
+use wrl_isa::reg::RA;
+use wrl_isa::{Executable, Inst};
+
+/// Latency table (in cycles) for long-running operations.
+#[derive(Clone, Copy, Debug)]
+pub struct Latencies {
+    /// FP add/subtract.
+    pub fp_add: u64,
+    /// FP multiply.
+    pub fp_mul: u64,
+    /// FP divide.
+    pub fp_div: u64,
+    /// FP convert.
+    pub fp_cvt: u64,
+    /// FP compare.
+    pub fp_cmp: u64,
+    /// Integer multiply (HI/LO ready).
+    pub int_mul: u64,
+    /// Integer divide.
+    pub int_div: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies {
+            fp_add: 2,
+            fp_mul: 5,
+            fp_div: 19,
+            fp_cvt: 3,
+            fp_cmp: 2,
+            int_mul: 12,
+            int_div: 35,
+        }
+    }
+}
+
+/// Machine configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Physical memory size in bytes.
+    pub mem_bytes: u32,
+    /// Instruction cache geometry.
+    pub icache: CacheCfg,
+    /// Data cache geometry.
+    pub dcache: CacheCfg,
+    /// Write buffer depth.
+    pub wb_entries: usize,
+    /// Cycles for one write-buffer entry to retire.
+    pub wb_drain_cycles: u64,
+    /// I-cache miss penalty in cycles.
+    pub imiss_penalty: u64,
+    /// D-cache read miss penalty in cycles.
+    pub dmiss_penalty: u64,
+    /// Uncached access penalty in cycles.
+    pub uncached_penalty: u64,
+    /// Pipeline cycles to enter an exception handler.
+    pub exc_entry_cycles: u64,
+    /// Pipeline cycles for `rfe`.
+    pub rfe_cycles: u64,
+    /// Disk operation latency in cycles.
+    pub disk_latency: u64,
+    /// Operation latencies.
+    pub lat: Latencies,
+    /// Bare mode: no kernel — kuseg is identity-mapped without TLB
+    /// refills, and `syscall`/`break` return control to the host.
+    /// Used for standalone program runs (pixie-style estimates,
+    /// instrumentation verification, workload unit tests).
+    pub bare: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            mem_bytes: 32 << 20,
+            icache: CacheCfg::dec5000_icache(),
+            dcache: CacheCfg::dec5000_dcache(),
+            wb_entries: 4,
+            wb_drain_cycles: 5,
+            imiss_penalty: 15,
+            dmiss_penalty: 15,
+            uncached_penalty: 20,
+            exc_entry_cycles: 4,
+            rfe_cycles: 3,
+            disk_latency: 60_000,
+            lat: Latencies::default(),
+            bare: false,
+        }
+    }
+}
+
+impl Config {
+    /// Bare-machine configuration for standalone user programs.
+    pub fn bare() -> Config {
+        Config {
+            bare: true,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why the machine stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopEvent {
+    /// A store to the HALT device register; payload is the exit code.
+    Halted(u32),
+    /// A store to the TRACE_REQ doorbell: the host trace-analysis
+    /// program should run (§3.1's switch to trace-analysis mode).
+    TraceRequest(u32),
+    /// Bare mode: a `syscall` reached the host; payload is the code
+    /// field. The machine has already advanced past the instruction.
+    Syscall(u32),
+    /// Bare mode: a `break` reached the host.
+    Break(u32),
+    /// The instruction budget given to [`Machine::run`] was exhausted.
+    Budget,
+    /// An exception was raised with no handler installed (bare mode
+    /// only); payload is the cause code.
+    UnhandledException(u8),
+}
+
+/// A memory reference observed by the optional reference tracer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefEvent {
+    /// Instruction fetch at a virtual address.
+    Ifetch {
+        /// Virtual address of the instruction.
+        vaddr: u32,
+        /// True if executed in user mode.
+        user: bool,
+    },
+    /// Data load.
+    Load {
+        /// Virtual address loaded.
+        vaddr: u32,
+        /// True if executed in user mode.
+        user: bool,
+    },
+    /// Data store.
+    Store {
+        /// Virtual address stored.
+        vaddr: u32,
+        /// True if executed in user mode.
+        user: bool,
+    },
+}
+
+/// Callback type receiving reference events.
+pub type RefTracer = Box<dyn FnMut(RefEvent)>;
+
+/// CPU architectural state.
+pub struct Cpu {
+    /// General-purpose registers (`regs[0]` is forced to zero).
+    pub regs: [u32; 32],
+    /// FP register words (doubles in even/odd little-endian pairs).
+    pub fregs: [u32; 32],
+    /// FP condition bit.
+    pub fcc: bool,
+    /// HI register.
+    pub hi: u32,
+    /// LO register.
+    pub lo: u32,
+    /// Address of the next instruction to execute.
+    pub pc: u32,
+    /// Address of the instruction after that (branch target capture).
+    pub next_pc: u32,
+}
+
+impl Cpu {
+    fn new() -> Cpu {
+        Cpu {
+            regs: [0; 32],
+            fregs: [0; 32],
+            fcc: false,
+            hi: 0,
+            lo: 0,
+            pc: 0,
+            next_pc: 4,
+        }
+    }
+
+    /// Reads a double from an even/odd FP register pair.
+    pub fn get_d(&self, f: u8) -> f64 {
+        let lo = self.fregs[f as usize & 30] as u64;
+        let hi = self.fregs[(f as usize & 30) + 1] as u64;
+        f64::from_bits(lo | (hi << 32))
+    }
+
+    /// Writes a double to an even/odd FP register pair.
+    pub fn set_d(&mut self, f: u8, v: f64) {
+        let bits = v.to_bits();
+        self.fregs[f as usize & 30] = bits as u32;
+        self.fregs[(f as usize & 30) + 1] = (bits >> 32) as u32;
+    }
+}
+
+/// The machine: CPU, CP0/TLB, memory, caches, devices, counters.
+pub struct Machine {
+    /// Architectural CPU state.
+    pub cpu: Cpu,
+    /// System control coprocessor.
+    pub cp0: Cp0,
+    /// The TLB.
+    pub tlb: Tlb,
+    /// Physical memory.
+    pub mem: Mem,
+    /// Devices.
+    pub dev: Devices,
+    /// Event counters.
+    pub counters: Counters,
+    cfg: Config,
+    icache: Cache,
+    dcache: Cache,
+    wb: WriteBuffer,
+    // Scoreboards: absolute cycle at which each resource is ready.
+    fp_ready: [u64; 32],
+    fcc_ready: u64,
+    hilo_ready: u64,
+    // Ideal-clock (1 IPC, perfect memory) scoreboards for the
+    // pixie-style arithmetic-stall estimate.
+    fp_ready_i: [u64; 32],
+    fcc_ready_i: u64,
+    hilo_ready_i: u64,
+    /// True if the instruction about to execute sits in a delay slot.
+    next_is_delay: bool,
+    /// Idle-loop PC range for idle accounting, if configured.
+    idle_range: Option<(u32, u32)>,
+    /// Optional reference tracer.
+    tracer: Option<RefTracer>,
+    /// Optional per-address execution counter.
+    pub refcount: Option<RefCounter>,
+    halted: Option<StopEvent>,
+}
+
+enum Access {
+    Fetch,
+    Load,
+    Store,
+}
+
+impl Machine {
+    /// Creates a machine with the given configuration and disk image.
+    pub fn new(cfg: Config, disk_image: Vec<u8>) -> Machine {
+        let mut tlb = Tlb::new();
+        tlb.flush();
+        Machine {
+            cpu: Cpu::new(),
+            cp0: Cp0::new(),
+            tlb,
+            mem: Mem::new(cfg.mem_bytes),
+            dev: Devices::new(disk_image, cfg.disk_latency),
+            counters: Counters::default(),
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            wb: WriteBuffer::new(cfg.wb_entries, cfg.wb_drain_cycles),
+            cfg: cfg.clone(),
+            fp_ready: [0; 32],
+            fcc_ready: 0,
+            hilo_ready: 0,
+            fp_ready_i: [0; 32],
+            fcc_ready_i: 0,
+            hilo_ready_i: 0,
+            next_is_delay: false,
+            idle_range: None,
+            tracer: None,
+            refcount: None,
+            halted: None,
+        }
+    }
+
+    /// The configuration the machine was built with.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Total cycles elapsed (wraps the counter for convenience).
+    pub fn cycles(&self) -> u64 {
+        self.counters.cycles
+    }
+
+    /// Sets the PC (and clears any pending branch).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.cpu.pc = pc;
+        self.cpu.next_pc = pc.wrapping_add(4);
+        self.next_is_delay = false;
+    }
+
+    /// Configures the idle-loop PC range `[lo, hi)` for idle-time
+    /// accounting (the "measured idle" side of §5.1).
+    pub fn set_idle_range(&mut self, range: Option<(u32, u32)>) {
+        self.idle_range = range;
+    }
+
+    /// Installs a reference tracer receiving every I/D reference (the
+    /// independent "CPU simulator" trace of §4.3).
+    pub fn set_tracer(&mut self, t: Option<RefTracer>) {
+        self.tracer = t;
+    }
+
+    /// Enables or disables per-address execution counting.
+    pub fn set_refcount(&mut self, on: bool) {
+        self.refcount = if on { Some(RefCounter::new()) } else { None };
+    }
+
+    /// Loads an executable image into physical memory.
+    ///
+    /// kseg addresses map to `vaddr & 0x1fff_ffff`; kuseg addresses
+    /// are placed identity-mapped (bare runs) unless a page map is
+    /// supplied via [`Machine::load_segment_mapped`].
+    pub fn load_executable(&mut self, exe: &Executable) {
+        let to_phys = |v: u32| if v >= 0x8000_0000 { v & 0x1fff_ffff } else { v };
+        for (i, w) in exe.text.iter().enumerate() {
+            self.mem
+                .write_word(to_phys(exe.text_base) + (i as u32) * 4, *w);
+        }
+        self.mem.write_bytes(to_phys(exe.data_base), &exe.data);
+        // bss is already zero (fresh memory) for initial loads; clear
+        // explicitly in case of reuse.
+        for off in (0..exe.bss_size).step_by(4) {
+            self.mem.write_word(to_phys(exe.bss_base) + off, 0);
+        }
+    }
+
+    /// Copies a byte slice to a physical address (segment loading
+    /// under an explicit page map).
+    pub fn load_segment_mapped(&mut self, paddr: u32, bytes: &[u8]) {
+        self.mem.write_bytes(paddr, bytes);
+    }
+
+    /// Reads a word at a virtual address without side effects, using
+    /// the current TLB state (host diagnostics, the analysis program's
+    /// `/dev/kmem` view).
+    pub fn peek_virt_word(&self, vaddr: u32) -> Option<u32> {
+        let paddr = self.probe_translate(vaddr)?;
+        if !self.mem.in_range(paddr, 4) {
+            return None;
+        }
+        Some(self.mem.read_word(paddr & !3))
+    }
+
+    /// Translates a virtual address with no side effects.
+    pub fn probe_translate(&self, vaddr: u32) -> Option<u32> {
+        if self.cfg.bare && vaddr < 0x8000_0000 {
+            return Some(vaddr);
+        }
+        match vaddr {
+            0x8000_0000..=0x9fff_ffff => Some(vaddr - 0x8000_0000),
+            0xa000_0000..=0xbfff_ffff => Some(vaddr - 0xa000_0000),
+            _ => match self.tlb.lookup(vaddr, self.cp0.asid()) {
+                TlbLookup::Hit { pfn, .. } => Some((pfn << 12) | (vaddr & 0xfff)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Runs until a stop event or until `max_insts` instructions
+    /// retire.
+    pub fn run(&mut self, max_insts: u64) -> StopEvent {
+        if let Some(e) = self.halted {
+            return e;
+        }
+        let target = self.counters.insts() + max_insts;
+        while self.counters.insts() < target {
+            if let Some(e) = self.step() {
+                if matches!(e, StopEvent::Halted(_)) {
+                    self.halted = Some(e);
+                }
+                return e;
+            }
+        }
+        StopEvent::Budget
+    }
+
+    /// Translates for an access, raising the architectural exception
+    /// on failure. Returns `(paddr, cached)`.
+    fn translate(&mut self, vaddr: u32, access: Access) -> Result<(u32, bool), Exception> {
+        let user = self.cp0.user_mode();
+        if vaddr < 0x8000_0000 {
+            if self.cfg.bare {
+                return Ok((vaddr, true));
+            }
+            return self.translate_mapped(vaddr, access, true);
+        }
+        if user {
+            let code = match access {
+                Access::Store => ExcCode::AdES,
+                _ => ExcCode::AdEL,
+            };
+            return Err(Exception::addr(code, vaddr, false));
+        }
+        match vaddr {
+            0x8000_0000..=0x9fff_ffff => Ok((vaddr - 0x8000_0000, true)),
+            0xa000_0000..=0xbfff_ffff => Ok((vaddr - 0xa000_0000, false)),
+            _ => self.translate_mapped(vaddr, access, false),
+        }
+    }
+
+    fn translate_mapped(
+        &mut self,
+        vaddr: u32,
+        access: Access,
+        user_segment: bool,
+    ) -> Result<(u32, bool), Exception> {
+        match self.tlb.lookup(vaddr, self.cp0.asid()) {
+            TlbLookup::Hit {
+                pfn,
+                dirty,
+                noncacheable,
+            } => {
+                if matches!(access, Access::Store) && !dirty {
+                    return Err(Exception::addr(ExcCode::Mod, vaddr, false));
+                }
+                Ok(((pfn << 12) | (vaddr & 0xfff), !noncacheable))
+            }
+            TlbLookup::Miss => {
+                if user_segment {
+                    self.counters.utlb_misses += 1;
+                } else {
+                    self.counters.ktlb_misses += 1;
+                }
+                let code = match access {
+                    Access::Store => ExcCode::TlbS,
+                    _ => ExcCode::TlbL,
+                };
+                Err(Exception::addr(code, vaddr, user_segment))
+            }
+            TlbLookup::Invalid => {
+                let code = match access {
+                    Access::Store => ExcCode::TlbS,
+                    _ => ExcCode::TlbL,
+                };
+                Err(Exception::addr(code, vaddr, false))
+            }
+        }
+    }
+
+    fn take_exception(&mut self, exc: Exception, epc_inst: u32, in_delay: bool) {
+        let epc = if in_delay {
+            epc_inst.wrapping_sub(4)
+        } else {
+            epc_inst
+        };
+        self.cp0.enter_exception(exc, epc, in_delay);
+        self.counters.exceptions[(exc.code as usize) & 15] += 1;
+        if exc.code == ExcCode::Int {
+            self.counters.interrupts += 1;
+        }
+        self.counters.cycles += self.cfg.exc_entry_cycles;
+        let vector = if exc.utlb { 0x8000_0000 } else { 0x8000_0080 };
+        self.cpu.pc = vector;
+        self.cpu.next_pc = vector + 4;
+        self.next_is_delay = false;
+    }
+
+    fn sync_irq_lines(&mut self) {
+        self.cp0
+            .set_hw_interrupt(irq::CLOCK, self.dev.clock_pending);
+        self.cp0.set_hw_interrupt(irq::DISK, self.dev.disk_pending);
+    }
+
+    fn dma(&mut self, op: crate::dev::DiskOp) {
+        let base = (op.block * DISK_BLOCK_SIZE) as usize;
+        let end = base + DISK_BLOCK_SIZE as usize;
+        if end > self.dev.disk_image.len() {
+            self.dev.disk_image.resize(end, 0);
+        }
+        if op.cmd == 1 {
+            let mut buf = [0u8; DISK_BLOCK_SIZE as usize];
+            buf.copy_from_slice(&self.dev.disk_image[base..end]);
+            self.mem.write_bytes(op.paddr, &buf);
+        } else {
+            let mut buf = [0u8; DISK_BLOCK_SIZE as usize];
+            self.mem.read_bytes(op.paddr, &mut buf);
+            self.dev.disk_image[base..end].copy_from_slice(&buf);
+        }
+    }
+
+    /// Executes one instruction; returns a stop event if the machine
+    /// should hand control to the host.
+    pub fn step(&mut self) -> Option<StopEvent> {
+        let now = self.counters.cycles;
+
+        // Device progress and interrupt lines.
+        if now >= self.dev.next_event() {
+            if let Some(op) = self.dev.tick(now) {
+                self.dma(op);
+            }
+            self.sync_irq_lines();
+        }
+
+        // Interrupt dispatch (before the instruction at pc issues).
+        if self.cp0.interrupts_enabled() && self.cp0.pending_interrupts() != 0 {
+            let pc = self.cpu.pc;
+            let in_delay = self.next_is_delay;
+            self.take_exception(Exception::plain(ExcCode::Int), pc, in_delay);
+        }
+
+        let ipc = self.cpu.pc;
+        let in_delay = self.next_is_delay;
+        let user = self.cp0.user_mode();
+
+        // Fetch.
+        let (paddr, cached) = match self.translate(ipc, Access::Fetch) {
+            Ok(v) => v,
+            Err(e) => {
+                if self.cfg.bare {
+                    return Some(StopEvent::UnhandledException(e.code as u8));
+                }
+                self.take_exception(e, ipc, in_delay);
+                return None;
+            }
+        };
+        if ipc & 3 != 0 || !self.mem.in_range(paddr, 4) {
+            let e = Exception::addr(ExcCode::AdEL, ipc, false);
+            if self.cfg.bare {
+                return Some(StopEvent::UnhandledException(e.code as u8));
+            }
+            self.take_exception(e, ipc, in_delay);
+            return None;
+        }
+        self.counters.cycles += 1;
+        self.tlb.tick();
+        if cached && !self.cp0.cache_isolated() {
+            if !self.icache.access(paddr) {
+                self.counters.icache_misses += 1;
+                self.counters.cycles += self.cfg.imiss_penalty;
+            }
+        } else {
+            self.counters.uncached_ifetches += 1;
+            self.counters.cycles += self.cfg.uncached_penalty;
+        }
+        if let Some(t) = self.tracer.as_mut() {
+            t(RefEvent::Ifetch { vaddr: ipc, user });
+        }
+        if let Some(rc) = self.refcount.as_mut() {
+            rc.bump(ipc);
+        }
+
+        let inst = match self.mem.fetch(paddr) {
+            Ok(i) => i,
+            Err(_) => {
+                if self.cfg.bare {
+                    return Some(StopEvent::UnhandledException(ExcCode::RI as u8));
+                }
+                self.take_exception(Exception::plain(ExcCode::RI), ipc, in_delay);
+                return None;
+            }
+        };
+
+        // Advance PC state (the two-register delay-slot scheme).
+        self.cpu.pc = self.cpu.next_pc;
+        self.cpu.next_pc = self.cpu.pc.wrapping_add(4);
+
+        // Execute.
+        let stop = match self.exec(inst, ipc, in_delay, user) {
+            Ok(stop) => stop,
+            Err(e) => {
+                if self.cfg.bare {
+                    return Some(StopEvent::UnhandledException(e.code as u8));
+                }
+                self.take_exception(e, ipc, in_delay);
+                self.retire(ipc, user);
+                return None;
+            }
+        };
+        self.next_is_delay = inst.has_delay_slot();
+        self.retire(ipc, user);
+        stop
+    }
+
+    #[inline]
+    fn retire(&mut self, ipc: u32, user: bool) {
+        if user {
+            self.counters.user_insts += 1;
+        } else {
+            self.counters.kernel_insts += 1;
+        }
+        if let Some((lo, hi)) = self.idle_range {
+            if ipc >= lo && ipc < hi {
+                self.counters.idle_insts += 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn rd(&self, r: wrl_isa::Reg) -> u32 {
+        self.cpu.regs[r.idx()]
+    }
+
+    #[inline]
+    fn wr(&mut self, r: wrl_isa::Reg, v: u32) {
+        if r.idx() != 0 {
+            self.cpu.regs[r.idx()] = v;
+        }
+    }
+
+    /// Waits on the real and ideal FP scoreboards for register `f`.
+    #[inline]
+    fn fp_wait(&mut self, f: u8) {
+        let r = self.fp_ready[f as usize & 30];
+        let now = self.counters.cycles;
+        if r > now {
+            self.counters.fp_stall_cycles += r - now;
+            self.counters.cycles = r;
+        }
+        let icyc = self.ideal_cycle();
+        let ri = self.fp_ready_i[f as usize & 30];
+        if ri > icyc {
+            self.counters.fp_stall_ideal += ri - icyc;
+        }
+    }
+
+    #[inline]
+    fn ideal_cycle(&self) -> u64 {
+        self.counters.insts() + self.counters.fp_stall_ideal
+    }
+
+    #[inline]
+    fn fp_done(&mut self, f: u8, lat: u64) {
+        self.fp_ready[f as usize & 30] = self.counters.cycles + lat;
+        self.fp_ready_i[f as usize & 30] = self.ideal_cycle() + lat;
+    }
+
+    #[inline]
+    fn hilo_wait(&mut self) {
+        let now = self.counters.cycles;
+        if self.hilo_ready > now {
+            self.counters.fp_stall_cycles += self.hilo_ready - now;
+            self.counters.cycles = self.hilo_ready;
+        }
+        let icyc = self.ideal_cycle();
+        if self.hilo_ready_i > icyc {
+            self.counters.fp_stall_ideal += self.hilo_ready_i - icyc;
+        }
+    }
+
+    fn load(&mut self, vaddr: u32, width: u32, user: bool) -> Result<u32, Exception> {
+        if !vaddr.is_multiple_of(width) {
+            return Err(Exception::addr(ExcCode::AdEL, vaddr, false));
+        }
+        let (paddr, cached) = self.translate(vaddr, Access::Load)?;
+        self.counters.loads += 1;
+        if let Some(t) = self.tracer.as_mut() {
+            t(RefEvent::Load { vaddr, user });
+        }
+        if Devices::owns(paddr) {
+            self.counters.uncached_data += 1;
+            self.counters.cycles += self.cfg.uncached_penalty;
+            return Ok(self.dev.read(paddr, self.counters.cycles));
+        }
+        if !self.mem.in_range(paddr, width) {
+            return Err(Exception::addr(ExcCode::AdEL, vaddr, false));
+        }
+        if cached {
+            if !self.dcache.access(paddr) {
+                self.counters.dcache_misses += 1;
+                self.counters.cycles += self.cfg.dmiss_penalty;
+            }
+        } else {
+            self.counters.uncached_data += 1;
+            self.counters.cycles += self.cfg.uncached_penalty;
+        }
+        Ok(match width {
+            1 => self.mem.read_byte(paddr) as u32,
+            2 => self.mem.read_half(paddr) as u32,
+            _ => self.mem.read_word(paddr),
+        })
+    }
+
+    fn store(&mut self, vaddr: u32, v: u32, width: u32, user: bool) -> Result<(), Exception> {
+        if !vaddr.is_multiple_of(width) {
+            return Err(Exception::addr(ExcCode::AdES, vaddr, false));
+        }
+        let (paddr, cached) = self.translate(vaddr, Access::Store)?;
+        self.counters.stores += 1;
+        if let Some(t) = self.tracer.as_mut() {
+            t(RefEvent::Store { vaddr, user });
+        }
+        if Devices::owns(paddr) {
+            self.counters.uncached_data += 1;
+            self.counters.cycles += self.cfg.uncached_penalty;
+            // Halt/doorbell actions are intercepted by `dev_store`
+            // before word stores reach here; other widths and actions
+            // are plain register writes.
+            let _ = self.dev.write(paddr, v, self.counters.cycles);
+            self.sync_irq_lines();
+            return Ok(());
+        }
+        if !self.mem.in_range(paddr, width) {
+            return Err(Exception::addr(ExcCode::AdES, vaddr, false));
+        }
+        // Write-through with write buffer.
+        if cached {
+            self.dcache.write_update(paddr);
+            let now = self.wb.push(self.counters.cycles);
+            let stall = self.wb.stall_cycles;
+            self.counters.cycles = now;
+            self.counters.wb_stall_cycles = stall;
+        } else {
+            self.counters.uncached_data += 1;
+            self.counters.cycles += self.cfg.uncached_penalty;
+        }
+        match width {
+            1 => self.mem.write_byte(paddr, v as u8),
+            2 => self.mem.write_half(paddr, v as u16),
+            _ => self.mem.write_word(paddr, v),
+        }
+        Ok(())
+    }
+
+    /// Pending device action captured during a store (halt/doorbell).
+    fn dev_store(&mut self, vaddr: u32, v: u32, width: u32, user: bool) -> DevStore {
+        // Peek whether this hits the device page for halt/doorbell.
+        let is_dev = self
+            .probe_translate(vaddr)
+            .map(Devices::owns)
+            .unwrap_or(false);
+        if is_dev && width == 4 {
+            let paddr = self.probe_translate(vaddr).expect("probed above");
+            let off = paddr - crate::dev::DEV_BASE;
+            if off == crate::dev::regs::HALT {
+                return DevStore::Halt(v);
+            }
+            if off == crate::dev::regs::TRACE_REQ {
+                // Perform the store (for the doorbell payload), then stop.
+                let _ = self.store(vaddr, v, width, user);
+                return DevStore::Doorbell(v);
+            }
+        }
+        match self.store(vaddr, v, width, user) {
+            Ok(()) => DevStore::Done,
+            Err(e) => DevStore::Fault(e),
+        }
+    }
+
+    fn exec(
+        &mut self,
+        inst: Inst,
+        ipc: u32,
+        in_delay: bool,
+        user: bool,
+    ) -> Result<Option<StopEvent>, Exception> {
+        use Inst::*;
+        let lat = self.cfg.lat;
+        match inst {
+            Sll { rd, rt, sh } => self.wr(rd, self.rd(rt) << sh),
+            Srl { rd, rt, sh } => self.wr(rd, self.rd(rt) >> sh),
+            Sra { rd, rt, sh } => self.wr(rd, ((self.rd(rt) as i32) >> sh) as u32),
+            Sllv { rd, rt, rs } => self.wr(rd, self.rd(rt) << (self.rd(rs) & 31)),
+            Srlv { rd, rt, rs } => self.wr(rd, self.rd(rt) >> (self.rd(rs) & 31)),
+            Srav { rd, rt, rs } => self.wr(rd, ((self.rd(rt) as i32) >> (self.rd(rs) & 31)) as u32),
+            Addu { rd, rs, rt } => self.wr(rd, self.rd(rs).wrapping_add(self.rd(rt))),
+            Subu { rd, rs, rt } => self.wr(rd, self.rd(rs).wrapping_sub(self.rd(rt))),
+            And { rd, rs, rt } => self.wr(rd, self.rd(rs) & self.rd(rt)),
+            Or { rd, rs, rt } => self.wr(rd, self.rd(rs) | self.rd(rt)),
+            Xor { rd, rs, rt } => self.wr(rd, self.rd(rs) ^ self.rd(rt)),
+            Nor { rd, rs, rt } => self.wr(rd, !(self.rd(rs) | self.rd(rt))),
+            Slt { rd, rs, rt } => {
+                self.wr(rd, u32::from((self.rd(rs) as i32) < (self.rd(rt) as i32)))
+            }
+            Sltu { rd, rs, rt } => self.wr(rd, u32::from(self.rd(rs) < self.rd(rt))),
+            Mult { rs, rt } => {
+                let p = (self.rd(rs) as i32 as i64) * (self.rd(rt) as i32 as i64);
+                self.cpu.lo = p as u32;
+                self.cpu.hi = (p >> 32) as u32;
+                self.hilo_ready = self.counters.cycles + lat.int_mul;
+                self.hilo_ready_i = self.ideal_cycle() + lat.int_mul;
+            }
+            Multu { rs, rt } => {
+                let p = (self.rd(rs) as u64) * (self.rd(rt) as u64);
+                self.cpu.lo = p as u32;
+                self.cpu.hi = (p >> 32) as u32;
+                self.hilo_ready = self.counters.cycles + lat.int_mul;
+                self.hilo_ready_i = self.ideal_cycle() + lat.int_mul;
+            }
+            Div { rs, rt } => {
+                let a = self.rd(rs) as i32;
+                let b = self.rd(rt) as i32;
+                if b != 0 {
+                    self.cpu.lo = a.wrapping_div(b) as u32;
+                    self.cpu.hi = a.wrapping_rem(b) as u32;
+                }
+                self.hilo_ready = self.counters.cycles + lat.int_div;
+                self.hilo_ready_i = self.ideal_cycle() + lat.int_div;
+            }
+            Divu { rs, rt } => {
+                let a = self.rd(rs);
+                let b = self.rd(rt);
+                // Division by zero leaves HI/LO unchanged (undefined
+                // on the real part; we pick the stable behaviour).
+                if let Some(q) = a.checked_div(b) {
+                    self.cpu.lo = q;
+                    self.cpu.hi = a % b;
+                }
+                self.hilo_ready = self.counters.cycles + lat.int_div;
+                self.hilo_ready_i = self.ideal_cycle() + lat.int_div;
+            }
+            Mfhi { rd } => {
+                self.hilo_wait();
+                self.wr(rd, self.cpu.hi);
+            }
+            Mflo { rd } => {
+                self.hilo_wait();
+                self.wr(rd, self.cpu.lo);
+            }
+            Mthi { rs } => self.cpu.hi = self.rd(rs),
+            Mtlo { rs } => self.cpu.lo = self.rd(rs),
+            Addiu { rt, rs, imm } => self.wr(rt, self.rd(rs).wrapping_add(imm as u32)),
+            Slti { rt, rs, imm } => self.wr(rt, u32::from((self.rd(rs) as i32) < imm as i32)),
+            Sltiu { rt, rs, imm } => self.wr(rt, u32::from(self.rd(rs) < imm as i32 as u32)),
+            Andi { rt, rs, imm } => self.wr(rt, self.rd(rs) & imm as u32),
+            Ori { rt, rs, imm } => self.wr(rt, self.rd(rs) | imm as u32),
+            Xori { rt, rs, imm } => self.wr(rt, self.rd(rs) ^ imm as u32),
+            Lui { rt, imm } => self.wr(rt, (imm as u32) << 16),
+            Lb { rt, base, off } => {
+                let a = self.rd(base).wrapping_add(off as u32);
+                let v = self.load(a, 1, user)? as i8 as i32 as u32;
+                self.wr(rt, v);
+            }
+            Lbu { rt, base, off } => {
+                let a = self.rd(base).wrapping_add(off as u32);
+                let v = self.load(a, 1, user)?;
+                self.wr(rt, v);
+            }
+            Lh { rt, base, off } => {
+                let a = self.rd(base).wrapping_add(off as u32);
+                let v = self.load(a, 2, user)? as i16 as i32 as u32;
+                self.wr(rt, v);
+            }
+            Lhu { rt, base, off } => {
+                let a = self.rd(base).wrapping_add(off as u32);
+                let v = self.load(a, 2, user)?;
+                self.wr(rt, v);
+            }
+            Lw { rt, base, off } => {
+                let a = self.rd(base).wrapping_add(off as u32);
+                let v = self.load(a, 4, user)?;
+                self.wr(rt, v);
+            }
+            Sb { rt, base, off } => {
+                let a = self.rd(base).wrapping_add(off as u32);
+                self.store(a, self.rd(rt), 1, user)?;
+            }
+            Sh { rt, base, off } => {
+                let a = self.rd(base).wrapping_add(off as u32);
+                self.store(a, self.rd(rt), 2, user)?;
+            }
+            Sw { rt, base, off } => {
+                let a = self.rd(base).wrapping_add(off as u32);
+                match self.dev_store(a, self.rd(rt), 4, user) {
+                    DevStore::Done => {}
+                    DevStore::Fault(e) => return Err(e),
+                    DevStore::Halt(code) => return Ok(Some(StopEvent::Halted(code))),
+                    DevStore::Doorbell(v) => return Ok(Some(StopEvent::TraceRequest(v))),
+                }
+            }
+            Lwc1 { ft, base, off } => {
+                let a = self.rd(base).wrapping_add(off as u32);
+                let v = self.load(a, 4, user)?;
+                self.cpu.fregs[ft.idx()] = v;
+                // Loading either half makes the pair "written".
+                let even = ft.0 & 30;
+                self.fp_ready[even as usize] =
+                    self.fp_ready[even as usize].max(self.counters.cycles);
+            }
+            Swc1 { ft, base, off } => {
+                self.fp_wait(ft.0);
+                let a = self.rd(base).wrapping_add(off as u32);
+                self.store(a, self.cpu.fregs[ft.idx()], 4, user)?;
+            }
+            Beq { rs, rt, off } => {
+                if self.rd(rs) == self.rd(rt) {
+                    self.cpu.next_pc = branch_target(ipc, off);
+                }
+            }
+            Bne { rs, rt, off } => {
+                if self.rd(rs) != self.rd(rt) {
+                    self.cpu.next_pc = branch_target(ipc, off);
+                }
+            }
+            Blez { rs, off } => {
+                if (self.rd(rs) as i32) <= 0 {
+                    self.cpu.next_pc = branch_target(ipc, off);
+                }
+            }
+            Bgtz { rs, off } => {
+                if (self.rd(rs) as i32) > 0 {
+                    self.cpu.next_pc = branch_target(ipc, off);
+                }
+            }
+            Bltz { rs, off } => {
+                if (self.rd(rs) as i32) < 0 {
+                    self.cpu.next_pc = branch_target(ipc, off);
+                }
+            }
+            Bgez { rs, off } => {
+                if (self.rd(rs) as i32) >= 0 {
+                    self.cpu.next_pc = branch_target(ipc, off);
+                }
+            }
+            J { target } => {
+                self.cpu.next_pc = (ipc.wrapping_add(4) & 0xf000_0000) | (target << 2);
+            }
+            Jal { target } => {
+                self.wr(RA, ipc.wrapping_add(8));
+                self.cpu.next_pc = (ipc.wrapping_add(4) & 0xf000_0000) | (target << 2);
+            }
+            Jr { rs } => {
+                self.cpu.next_pc = self.rd(rs);
+            }
+            Jalr { rd, rs } => {
+                let t = self.rd(rs);
+                self.wr(rd, ipc.wrapping_add(8));
+                self.cpu.next_pc = t;
+            }
+            Syscall { code } => {
+                if self.cfg.bare {
+                    // The host services the call; resume after it.
+                    debug_assert!(!in_delay, "syscall in a delay slot");
+                    return Ok(Some(StopEvent::Syscall(code)));
+                }
+                return Err(Exception::plain(ExcCode::Sys));
+            }
+            Break { code } => {
+                if self.cfg.bare {
+                    return Ok(Some(StopEvent::Break(code)));
+                }
+                return Err(Exception::plain(ExcCode::Bp));
+            }
+            Mfc0 { rt, rd } => {
+                if user {
+                    return Err(Exception::plain(ExcCode::CpU));
+                }
+                let v = self.cp0.read(rd, self.tlb.random() as u32);
+                self.wr(rt, v);
+            }
+            Mtc0 { rt, rd } => {
+                if user {
+                    return Err(Exception::plain(ExcCode::CpU));
+                }
+                self.cp0.write(rd, self.rd(rt));
+            }
+            Tlbr => {
+                if user {
+                    return Err(Exception::plain(ExcCode::CpU));
+                }
+                let e = self.tlb.read_indexed((self.cp0.index >> 8) as usize);
+                self.cp0.entryhi = e.entry_hi();
+                self.cp0.entrylo = e.entry_lo();
+            }
+            Tlbwi => {
+                if user {
+                    return Err(Exception::plain(ExcCode::CpU));
+                }
+                let e = crate::tlb::TlbEntry::from_regs(self.cp0.entryhi, self.cp0.entrylo);
+                self.tlb.write_indexed((self.cp0.index >> 8) as usize, e);
+            }
+            Tlbwr => {
+                if user {
+                    return Err(Exception::plain(ExcCode::CpU));
+                }
+                let e = crate::tlb::TlbEntry::from_regs(self.cp0.entryhi, self.cp0.entrylo);
+                self.tlb.write_random(e);
+            }
+            Tlbp => {
+                if user {
+                    return Err(Exception::plain(ExcCode::CpU));
+                }
+                self.cp0.index = match self.tlb.probe(self.cp0.entryhi) {
+                    Some(i) => (i as u32) << 8,
+                    None => 0x8000_0000,
+                };
+            }
+            Rfe => {
+                if user {
+                    return Err(Exception::plain(ExcCode::CpU));
+                }
+                self.cp0.rfe();
+                self.counters.cycles += self.cfg.rfe_cycles;
+            }
+            Cache { op, base, off } => {
+                if user {
+                    return Err(Exception::plain(ExcCode::CpU));
+                }
+                let vaddr = self.rd(base).wrapping_add(off as u32);
+                if let Some(paddr) = self.probe_translate(vaddr) {
+                    if op == 0 {
+                        self.icache.invalidate_line(paddr);
+                    } else {
+                        self.dcache.invalidate_line(paddr);
+                    }
+                }
+            }
+            Mfc1 { rt, fs } => {
+                self.fp_wait(fs.0);
+                self.wr(rt, self.cpu.fregs[fs.idx()]);
+            }
+            Mtc1 { rt, fs } => {
+                self.cpu.fregs[fs.idx()] = self.rd(rt);
+                let even = fs.0 & 30;
+                self.fp_ready[even as usize] =
+                    self.fp_ready[even as usize].max(self.counters.cycles);
+            }
+            AddD { fd, fs, ft } => {
+                self.fp_wait(fs.0);
+                self.fp_wait(ft.0);
+                let v = self.cpu.get_d(fs.0) + self.cpu.get_d(ft.0);
+                self.cpu.set_d(fd.0, v);
+                self.fp_done(fd.0, lat.fp_add);
+            }
+            SubD { fd, fs, ft } => {
+                self.fp_wait(fs.0);
+                self.fp_wait(ft.0);
+                let v = self.cpu.get_d(fs.0) - self.cpu.get_d(ft.0);
+                self.cpu.set_d(fd.0, v);
+                self.fp_done(fd.0, lat.fp_add);
+            }
+            MulD { fd, fs, ft } => {
+                self.fp_wait(fs.0);
+                self.fp_wait(ft.0);
+                let v = self.cpu.get_d(fs.0) * self.cpu.get_d(ft.0);
+                self.cpu.set_d(fd.0, v);
+                self.fp_done(fd.0, lat.fp_mul);
+            }
+            DivD { fd, fs, ft } => {
+                self.fp_wait(fs.0);
+                self.fp_wait(ft.0);
+                let v = self.cpu.get_d(fs.0) / self.cpu.get_d(ft.0);
+                self.cpu.set_d(fd.0, v);
+                self.fp_done(fd.0, lat.fp_div);
+            }
+            AbsD { fd, fs } => {
+                self.fp_wait(fs.0);
+                let v = self.cpu.get_d(fs.0).abs();
+                self.cpu.set_d(fd.0, v);
+                self.fp_done(fd.0, lat.fp_add);
+            }
+            MovD { fd, fs } => {
+                self.fp_wait(fs.0);
+                let v = self.cpu.get_d(fs.0);
+                self.cpu.set_d(fd.0, v);
+                self.fp_done(fd.0, 1);
+            }
+            NegD { fd, fs } => {
+                self.fp_wait(fs.0);
+                let v = -self.cpu.get_d(fs.0);
+                self.cpu.set_d(fd.0, v);
+                self.fp_done(fd.0, lat.fp_add);
+            }
+            CvtDW { fd, fs } => {
+                self.fp_wait(fs.0);
+                let w = self.cpu.fregs[fs.idx()] as i32;
+                self.cpu.set_d(fd.0, w as f64);
+                self.fp_done(fd.0, lat.fp_cvt);
+            }
+            CvtWD { fd, fs } => {
+                self.fp_wait(fs.0);
+                let v = self.cpu.get_d(fs.0);
+                self.cpu.fregs[fd.idx()] = v as i32 as u32;
+                self.fp_done(fd.0, lat.fp_cvt);
+            }
+            CEqD { fs, ft } => {
+                self.fp_wait(fs.0);
+                self.fp_wait(ft.0);
+                self.cpu.fcc = self.cpu.get_d(fs.0) == self.cpu.get_d(ft.0);
+                self.fcc_ready = self.counters.cycles + lat.fp_cmp;
+                self.fcc_ready_i = self.ideal_cycle() + lat.fp_cmp;
+            }
+            CLtD { fs, ft } => {
+                self.fp_wait(fs.0);
+                self.fp_wait(ft.0);
+                self.cpu.fcc = self.cpu.get_d(fs.0) < self.cpu.get_d(ft.0);
+                self.fcc_ready = self.counters.cycles + lat.fp_cmp;
+                self.fcc_ready_i = self.ideal_cycle() + lat.fp_cmp;
+            }
+            CLeD { fs, ft } => {
+                self.fp_wait(fs.0);
+                self.fp_wait(ft.0);
+                self.cpu.fcc = self.cpu.get_d(fs.0) <= self.cpu.get_d(ft.0);
+                self.fcc_ready = self.counters.cycles + lat.fp_cmp;
+                self.fcc_ready_i = self.ideal_cycle() + lat.fp_cmp;
+            }
+            Bc1t { off } => {
+                self.fcc_wait();
+                if self.cpu.fcc {
+                    self.cpu.next_pc = branch_target(ipc, off);
+                }
+            }
+            Bc1f { off } => {
+                self.fcc_wait();
+                if !self.cpu.fcc {
+                    self.cpu.next_pc = branch_target(ipc, off);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    #[inline]
+    fn fcc_wait(&mut self) {
+        let now = self.counters.cycles;
+        if self.fcc_ready > now {
+            self.counters.fp_stall_cycles += self.fcc_ready - now;
+            self.counters.cycles = self.fcc_ready;
+        }
+        let icyc = self.ideal_cycle();
+        if self.fcc_ready_i > icyc {
+            self.counters.fp_stall_ideal += self.fcc_ready_i - icyc;
+        }
+    }
+}
+
+enum DevStore {
+    Done,
+    Fault(Exception),
+    Halt(u32),
+    Doorbell(u32),
+}
+
+#[inline]
+fn branch_target(ipc: u32, off: i16) -> u32 {
+    ipc.wrapping_add(4).wrapping_add(((off as i32) << 2) as u32)
+}

@@ -1,0 +1,206 @@
+//! Property-based tests of the machine substrate: memory access
+//! consistency, write-buffer timing monotonicity, TLB invariants, and
+//! arithmetic correctness of the executor against a Rust oracle.
+
+use proptest::prelude::*;
+use wrl_machine::cache::{Cache, CacheCfg, WriteBuffer};
+use wrl_machine::mem::Mem;
+use wrl_machine::tlb::{Tlb, TlbEntry, TlbLookup};
+
+proptest! {
+    /// Byte/half/word views of memory agree with a little-endian
+    /// shadow model.
+    #[test]
+    fn memory_matches_shadow(ops in proptest::collection::vec(
+        (0u32..4096, any::<u32>(), 0u8..3), 1..200))
+    {
+        let mut m = Mem::new(8192);
+        let mut shadow = vec![0u8; 8192];
+        for (addr, val, kind) in ops {
+            match kind {
+                0 => {
+                    m.write_byte(addr, val as u8);
+                    shadow[addr as usize] = val as u8;
+                }
+                1 => {
+                    let a = addr & !1;
+                    m.write_half(a, val as u16);
+                    shadow[a as usize..a as usize + 2]
+                        .copy_from_slice(&(val as u16).to_le_bytes());
+                }
+                _ => {
+                    let a = addr & !3;
+                    m.write_word(a, val);
+                    shadow[a as usize..a as usize + 4].copy_from_slice(&val.to_le_bytes());
+                }
+            }
+        }
+        for a in (0..8192u32).step_by(4) {
+            let want = u32::from_le_bytes(shadow[a as usize..a as usize + 4].try_into().unwrap());
+            prop_assert_eq!(m.read_word(a), want);
+        }
+    }
+
+    /// The write buffer never travels backwards in time and never
+    /// reports spurious stalls when drained.
+    #[test]
+    fn write_buffer_time_is_monotonic(gaps in proptest::collection::vec(0u64..40, 1..300)) {
+        let mut wb = WriteBuffer::new(4, 5);
+        let mut now = 0u64;
+        let mut prev_stalls = 0;
+        for g in gaps {
+            now += g;
+            let after = wb.push(now);
+            prop_assert!(after >= now);
+            prop_assert!(wb.stall_cycles >= prev_stalls);
+            // A stall can only grow when the buffer was pressed.
+            if after > now {
+                prop_assert!(wb.stall_cycles > prev_stalls);
+            }
+            prev_stalls = wb.stall_cycles;
+            now = after;
+        }
+    }
+
+    /// Direct-mapped cache: hit iff the most recent access to this
+    /// index had the same tag (oracle model).
+    #[test]
+    fn cache_matches_oracle(addrs in proptest::collection::vec(0u32..(1 << 16), 1..400)) {
+        let cfg = CacheCfg { size: 2048, line: 16 };
+        let mut c = Cache::new(cfg);
+        let lines = cfg.size / cfg.line;
+        let mut oracle = vec![u32::MAX; lines as usize];
+        for a in addrs {
+            let lineno = a / cfg.line;
+            let idx = (lineno % lines) as usize;
+            let want_hit = oracle[idx] == lineno;
+            prop_assert_eq!(c.access(a), want_hit);
+            oracle[idx] = lineno;
+        }
+    }
+
+    /// TLB: after a random write, looking up that page hits; wired
+    /// entries survive any number of random writes.
+    #[test]
+    fn tlb_random_write_invariants(pages in proptest::collection::vec(1u32..0x4000, 1..150)) {
+        let mut t = Tlb::new();
+        t.flush();
+        // A wired mapping in entry 0.
+        t.write_indexed(0, TlbEntry {
+            vpn: 0xabcd0, asid: 9, pfn: 0x42, valid: true, dirty: true,
+            global: false, noncacheable: false,
+        });
+        for vpn in pages {
+            t.tick();
+            t.write_random(TlbEntry {
+                vpn, asid: 1, pfn: vpn + 7, valid: true, dirty: true,
+                global: false, noncacheable: false,
+            });
+            match t.lookup(vpn << 12, 1) {
+                TlbLookup::Hit { pfn, .. } => prop_assert_eq!(pfn, vpn + 7),
+                other => {
+                    // A duplicate older entry for the same vpn may
+                    // shadow the new one; it must still be a hit.
+                    prop_assert!(matches!(other, TlbLookup::Hit { .. }), "{:?}", other);
+                }
+            }
+        }
+        // The wired entry is untouched.
+        let wired = t.lookup(0xabcd0 << 12, 9);
+        prop_assert!(matches!(wired, TlbLookup::Hit { pfn: 0x42, .. }), "wired entry lost");
+    }
+}
+
+mod exec_oracle {
+    use super::*;
+    use wrl_isa::asm::Asm;
+    use wrl_isa::link::{link, Layout};
+    use wrl_isa::reg::*;
+    use wrl_machine::{Config, Machine, StopEvent};
+
+    /// ALU operations agree with Rust's wrapping arithmetic.
+    #[derive(Debug, Clone, Copy)]
+    pub enum Op {
+        Add,
+        Sub,
+        And,
+        Or,
+        Xor,
+        Slt,
+        Sltu,
+        MulLo,
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            Just(Op::Add),
+            Just(Op::Sub),
+            Just(Op::And),
+            Just(Op::Or),
+            Just(Op::Xor),
+            Just(Op::Slt),
+            Just(Op::Sltu),
+            Just(Op::MulLo),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn alu_matches_rust(a in any::<i32>(), b in any::<i32>(), o in op()) {
+            let mut asmr = Asm::new("alu");
+            asmr.global_label("main");
+            asmr.li(T0, a);
+            asmr.li(T1, b);
+            match o {
+                Op::Add => asmr.addu(T2, T0, T1),
+                Op::Sub => asmr.subu(T2, T0, T1),
+                Op::And => asmr.and(T2, T0, T1),
+                Op::Or => asmr.or(T2, T0, T1),
+                Op::Xor => asmr.xor(T2, T0, T1),
+                Op::Slt => asmr.slt(T2, T0, T1),
+                Op::Sltu => asmr.sltu(T2, T0, T1),
+                Op::MulLo => {
+                    asmr.mult(T0, T1);
+                    asmr.mflo(T2);
+                }
+            }
+            asmr.break_(0);
+            let linked = link(&[asmr.finish()], Layout::user(), "main").unwrap();
+            let mut m = Machine::new(Config::bare(), vec![]);
+            m.load_executable(&linked.exe);
+            m.set_pc(linked.exe.entry);
+            prop_assert_eq!(m.run(100), StopEvent::Break(0));
+            let want = match o {
+                Op::Add => a.wrapping_add(b) as u32,
+                Op::Sub => a.wrapping_sub(b) as u32,
+                Op::And => (a & b) as u32,
+                Op::Or => (a | b) as u32,
+                Op::Xor => (a ^ b) as u32,
+                Op::Slt => u32::from(a < b),
+                Op::Sltu => u32::from((a as u32) < (b as u32)),
+                Op::MulLo => (a as i64).wrapping_mul(b as i64) as u32,
+            };
+            prop_assert_eq!(m.cpu.regs[T2.idx()], want);
+        }
+
+        #[test]
+        fn fp_add_mul_match_rust(x in -1.0e6f64..1.0e6, y in -1.0e6f64..1.0e6) {
+            let mut asmr = Asm::new("fp");
+            asmr.global_label("main");
+            asmr.li_d(F0, x);
+            asmr.li_d(F2, y);
+            asmr.add_d(F4, F0, F2);
+            asmr.mul_d(F6, F0, F2);
+            asmr.break_(0);
+            let linked = link(&[asmr.finish()], Layout::user(), "main").unwrap();
+            let mut m = Machine::new(Config::bare(), vec![]);
+            m.load_executable(&linked.exe);
+            m.set_pc(linked.exe.entry);
+            prop_assert_eq!(m.run(100), StopEvent::Break(0));
+            prop_assert_eq!(m.cpu.get_d(4), x + y);
+            prop_assert_eq!(m.cpu.get_d(6), x * y);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Set-associative cache model for design-space studies.
+//!
+//! The tracing system's purpose was "accurate simulations of the
+//! large memory systems that are required by state-of-the-art
+//! processors" (§3.1); the traces fed follow-on studies of cache and
+//! page-placement design ([7, 9, 18]). The machine itself is
+//! direct-mapped like the DECstation, but trace-driven exploration
+//! wants associativity — this LRU model provides it.
+
+/// A set-associative, LRU, tag-only cache.
+#[derive(Clone, Debug)]
+pub struct AssocCache {
+    sets: Vec<Vec<u32>>, // per set: tags in LRU order (front = MRU)
+    ways: usize,
+    line_shift: u32,
+    set_mask: u32,
+    /// Accesses observed.
+    pub accesses: u64,
+    /// Misses observed.
+    pub misses: u64,
+}
+
+impl AssocCache {
+    /// Creates a cache of `size` bytes, `line`-byte lines and `ways`
+    /// ways (all powers of two; `ways == 1` is direct-mapped,
+    /// `ways == size/line` fully associative).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-power-of-two geometry or impossible way counts.
+    pub fn new(size: u32, line: u32, ways: usize) -> AssocCache {
+        assert!(size.is_power_of_two() && line.is_power_of_two());
+        let lines = (size / line) as usize;
+        assert!(ways.is_power_of_two() && ways >= 1 && ways <= lines);
+        let nsets = lines / ways;
+        AssocCache {
+            sets: vec![Vec::with_capacity(ways); nsets],
+            ways,
+            line_shift: line.trailing_zeros(),
+            set_mask: (nsets as u32) - 1,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses `paddr`; returns true on hit. Misses allocate with
+    /// LRU replacement.
+    pub fn access(&mut self, paddr: u32) -> bool {
+        self.accesses += 1;
+        let lineno = paddr >> self.line_shift;
+        let set = &mut self.sets[(lineno & self.set_mask) as usize];
+        let tag = lineno >> self.set_mask.trailing_ones();
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            let t = set.remove(pos);
+            set.insert(0, t);
+            true
+        } else {
+            self.misses += 1;
+            if set.len() == self.ways {
+                set.pop();
+            }
+            set.insert(0, tag);
+            false
+        }
+    }
+
+    /// Miss ratio so far.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_matches_conflict_pattern() {
+        let mut c = AssocCache::new(1024, 16, 1);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(!c.access(1024)); // conflicts in a direct-mapped cache
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn two_way_resolves_the_same_conflict() {
+        let mut c = AssocCache::new(1024, 16, 2);
+        assert!(!c.access(0));
+        assert!(!c.access(1024));
+        assert!(c.access(0)); // both fit in a 2-way set
+        assert!(c.access(1024));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = AssocCache::new(64, 16, 2); // 2 sets, 2 ways
+                                                // Set 0 lines: 0, 32, 64, ...
+        c.access(0);
+        c.access(32);
+        c.access(0); // 0 is now MRU
+        assert!(!c.access(64)); // evicts 32
+        assert!(c.access(0));
+        assert!(!c.access(32));
+    }
+
+    #[test]
+    fn fully_associative_has_no_conflicts_within_capacity() {
+        let mut c = AssocCache::new(256, 16, 16);
+        for i in 0..16 {
+            assert!(!c.access(i * 16));
+        }
+        for i in 0..16 {
+            assert!(c.access(i * 16), "line {i} evicted within capacity");
+        }
+    }
+
+    #[test]
+    fn miss_ratio_accounting() {
+        let mut c = AssocCache::new(256, 16, 2);
+        for _ in 0..3 {
+            c.access(0);
+        }
+        assert_eq!(c.accesses, 3);
+        assert_eq!(c.misses, 1);
+        assert!((c.miss_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

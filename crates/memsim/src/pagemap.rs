@@ -1,0 +1,209 @@
+//! Virtual-to-physical page mapping policies.
+//!
+//! "The virtual to physical page map is determined by policy
+//! implemented in the operating system, and can have significant
+//! impact on memory system behavior" (§4.2): with 64 KB
+//! physically-indexed caches and 4 KB pages there are sixteen page
+//! colours, and the mapping decides which pages collide. The
+//! trace-driven simulator either implements the policy itself or uses
+//! a page map extracted from the running system.
+
+use std::collections::HashMap;
+
+use crate::sim::SpaceKey;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// A page-mapping policy.
+#[derive(Clone, Debug)]
+pub enum Policy {
+    /// Identity: pfn = vpn (bare-machine runs).
+    Identity,
+    /// First-free sequential allocation per address space, starting at
+    /// `base_pfn` (deterministic — the Ultrix-like policy).
+    FirstFree {
+        /// First frame handed out.
+        base_pfn: u32,
+    },
+    /// Uniform-random frame selection (the Mach 3.0 policy whose
+    /// run-time variance §5.1 documents).
+    Random {
+        /// RNG seed; different seeds model different runs.
+        seed: u64,
+        /// Frames are drawn from `[base_pfn, base_pfn + frames)`.
+        base_pfn: u32,
+        /// Pool size in frames.
+        frames: u32,
+    },
+}
+
+/// A lazily-populated page map under some [`Policy`].
+#[derive(Clone, Debug)]
+pub struct PageMap {
+    policy: Policy,
+    map: HashMap<(SpaceKey, u32), u32>,
+    next_free: HashMap<SpaceKey, u32>,
+    rng_state: u64,
+    used: std::collections::HashSet<u32>,
+}
+
+impl PageMap {
+    /// Creates an empty map under `policy`.
+    pub fn new(policy: Policy) -> PageMap {
+        let rng_state = match &policy {
+            Policy::Random { seed, .. } => *seed | 1,
+            _ => 1,
+        };
+        PageMap {
+            policy,
+            map: HashMap::new(),
+            next_free: HashMap::new(),
+            rng_state,
+            used: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Creates a map pre-populated from an extracted system page map
+    /// (§4.2: "the traced Ultrix and Mach 3.0 kernels also provide the
+    /// option of extracting the page-map from the running system").
+    pub fn extracted(entries: impl IntoIterator<Item = ((SpaceKey, u32), u32)>) -> PageMap {
+        let mut pm = PageMap::new(Policy::Identity);
+        for (k, v) in entries {
+            pm.map.insert(k, v);
+        }
+        pm
+    }
+
+    fn xorshift(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        x
+    }
+
+    /// Translates `(space, vpn)` to a frame, allocating on first use.
+    pub fn frame(&mut self, space: SpaceKey, vpn: u32) -> u32 {
+        if let Some(&pfn) = self.map.get(&(space, vpn)) {
+            return pfn;
+        }
+        let pfn = match self.policy {
+            Policy::Identity => vpn,
+            Policy::FirstFree { base_pfn } => {
+                let next = self.next_free.entry(space).or_insert(0);
+                let pfn = base_pfn + *next + (space.index() << 8);
+                *next += 1;
+                pfn
+            }
+            Policy::Random {
+                base_pfn, frames, ..
+            } => {
+                // Draw until an unused frame is found (the pool is
+                // always much larger than the footprint).
+                let mut pfn;
+                loop {
+                    pfn = base_pfn + (self.xorshift() % frames as u64) as u32;
+                    if self.used.insert(pfn) {
+                        break;
+                    }
+                }
+                pfn
+            }
+        };
+        self.map.insert((space, vpn), pfn);
+        pfn
+    }
+
+    /// Translates a full virtual address.
+    pub fn translate(&mut self, space: SpaceKey, vaddr: u32) -> u32 {
+        let pfn = self.frame(space, vaddr >> 12);
+        (pfn << 12) | (vaddr & 0xfff)
+    }
+
+    /// Inserts an explicit mapping (extracted-map construction).
+    pub fn insert(&mut self, key: (SpaceKey, u32), pfn: u32) {
+        self.map.insert(key, pfn);
+    }
+
+    /// Duplicates every mapping of `from` under `to` (threads share
+    /// their parent's address space but trace under their own token).
+    pub fn duplicate_space(&mut self, from: SpaceKey, to: SpaceKey) {
+        let dup: Vec<(u32, u32)> = self
+            .map
+            .iter()
+            .filter(|((s, _), _)| *s == from)
+            .map(|((_, vpn), &pfn)| (*vpn, pfn))
+            .collect();
+        for (vpn, pfn) in dup {
+            self.map.entry((to, vpn)).or_insert(pfn);
+        }
+    }
+
+    /// Iterates over all mappings.
+    pub fn entries(&self) -> impl Iterator<Item = (&(SpaceKey, u32), &u32)> {
+        self.map.iter()
+    }
+
+    /// Pages allocated so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_policy() {
+        let mut pm = PageMap::new(Policy::Identity);
+        assert_eq!(pm.translate(SpaceKey::Kernel, 0x0123_4567), 0x0123_4567);
+    }
+
+    #[test]
+    fn first_free_is_deterministic_and_stable() {
+        let mut pm = PageMap::new(Policy::FirstFree { base_pfn: 0x100 });
+        let a1 = pm.frame(SpaceKey::User(1), 0x400);
+        let a2 = pm.frame(SpaceKey::User(1), 0x401);
+        assert_eq!(a2, a1 + 1);
+        // Same vpn again: same frame.
+        assert_eq!(pm.frame(SpaceKey::User(1), 0x400), a1);
+        // Different space gets a different frame.
+        assert_ne!(pm.frame(SpaceKey::User(2), 0x400), a1);
+    }
+
+    #[test]
+    fn random_policy_varies_with_seed_but_not_within_a_run() {
+        let mut a = PageMap::new(Policy::Random {
+            seed: 7,
+            base_pfn: 0,
+            frames: 4096,
+        });
+        let mut b = PageMap::new(Policy::Random {
+            seed: 8,
+            base_pfn: 0,
+            frames: 4096,
+        });
+        let fa: Vec<u32> = (0..32).map(|v| a.frame(SpaceKey::User(0), v)).collect();
+        let fb: Vec<u32> = (0..32).map(|v| b.frame(SpaceKey::User(0), v)).collect();
+        assert_ne!(fa, fb);
+        // Stability within a run.
+        assert_eq!(a.frame(SpaceKey::User(0), 5), fa[5]);
+        // No frame handed out twice.
+        let set: std::collections::HashSet<_> = fa.iter().collect();
+        assert_eq!(set.len(), fa.len());
+    }
+
+    #[test]
+    fn extracted_map_passes_through() {
+        let mut pm = PageMap::extracted([((SpaceKey::User(3), 0x400), 0x77)]);
+        assert_eq!(pm.translate(SpaceKey::User(3), 0x0040_0123), 0x0007_7123);
+    }
+}

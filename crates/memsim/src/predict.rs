@@ -1,0 +1,135 @@
+//! The §5.1 execution-time predictor.
+//!
+//! "The predicted times … include contributions from four different
+//! sources: CPU cycles, memory system stalls, arithmetic stalls, I/O
+//! stalls. Each instruction executed contributes one CPU cycle to the
+//! total execution time. Memory system stall cycles are calculated by
+//! multiplying counts of penalty events … by the number of stall
+//! cycles per event. Pixie was used to estimate arithmetic stalls …
+//! The estimate of I/O stalls is derived from a count of idle-loop
+//! instruction references made from the memory reference trace",
+//! scaled by the time-dilation factor (fifteen in the paper).
+
+use crate::sim::{SimCfg, SimStats};
+
+/// Parameters of the time model.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeModel {
+    /// Cycle time in nanoseconds (40 ns on the 25 MHz DECstation).
+    pub cycle_ns: f64,
+    /// Idle-loop scaling factor compensating time dilation (§4.1).
+    /// The paper used its overall measured slowdown (15) for this;
+    /// our instrumentation slows the memory-op-free idle loop less
+    /// than average code, so we use the idle loop's own measured
+    /// slowdown (7.5). The §5.1 caveat stands either way: "estimates
+    /// of idle time are one of the dominant sources of error".
+    pub dilation: f64,
+}
+
+impl Default for TimeModel {
+    fn default() -> Self {
+        TimeModel {
+            cycle_ns: 40.0,
+            dilation: 7.5,
+        }
+    }
+}
+
+/// A predicted execution time, decomposed by source.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Prediction {
+    /// One cycle per (non-idle) instruction in the trace.
+    pub cpu_cycles: f64,
+    /// Cache-miss, uncached and write-buffer stall cycles.
+    pub mem_stall_cycles: f64,
+    /// Arithmetic (FP and HI/LO interlock) stalls — supplied from a
+    /// pixie-style static estimate, *not* overlapped with memory
+    /// stalls (the §5.1 model deficiency).
+    pub arith_stall_cycles: f64,
+    /// Idle-loop instructions scaled by the dilation factor.
+    pub io_stall_cycles: f64,
+}
+
+impl Prediction {
+    /// Total predicted cycles.
+    pub fn total_cycles(&self) -> f64 {
+        self.cpu_cycles + self.mem_stall_cycles + self.arith_stall_cycles + self.io_stall_cycles
+    }
+
+    /// Total predicted time in seconds under the model's cycle time.
+    pub fn seconds(&self, model: &TimeModel) -> f64 {
+        self.total_cycles() * model.cycle_ns * 1e-9
+    }
+}
+
+/// Builds a prediction from simulator statistics.
+///
+/// `arith_stalls` is the pixie-estimated arithmetic stall count for
+/// the workload; `stats` comes from a [`crate::sim::MemSim`] fed with
+/// the parsed trace.
+pub fn predict(stats: &SimStats, cfg: &SimCfg, arith_stalls: u64, model: &TimeModel) -> Prediction {
+    let insts = stats.insts() as f64;
+    let idle = stats.idle_insts as f64;
+    let mem = (stats.imisses * cfg.imiss_penalty
+        + stats.dmisses * cfg.dmiss_penalty
+        + stats.uncached * cfg.uncached_penalty) as f64
+        + stats.wb_stall_cycles as f64;
+    Prediction {
+        cpu_cycles: insts - idle,
+        mem_stall_cycles: mem,
+        arith_stall_cycles: arith_stalls as f64,
+        io_stall_cycles: idle * model.dilation,
+    }
+}
+
+/// Percent error of a prediction against a measurement (Figure 3).
+pub fn percent_error(predicted: f64, measured: f64) -> f64 {
+    if measured == 0.0 {
+        0.0
+    } else {
+        (predicted - measured).abs() / measured * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_sum() {
+        let stats = SimStats {
+            user_irefs: 800,
+            kernel_irefs: 200,
+            imisses: 10,
+            dmisses: 5,
+            uncached: 2,
+            wb_stall_cycles: 30,
+            idle_insts: 100,
+            ..SimStats::default()
+        };
+        let cfg = SimCfg::default();
+        let p = predict(&stats, &cfg, 50, &TimeModel::default());
+        assert_eq!(p.cpu_cycles, 900.0);
+        assert_eq!(p.mem_stall_cycles, (10 * 15 + 5 * 15 + 2 * 20 + 30) as f64);
+        assert_eq!(p.arith_stall_cycles, 50.0);
+        assert_eq!(p.io_stall_cycles, 750.0);
+        assert!(p.total_cycles() > 1800.0);
+    }
+
+    #[test]
+    fn percent_error_is_symmetric_in_magnitude() {
+        assert!((percent_error(110.0, 100.0) - 10.0).abs() < 1e-9);
+        assert!((percent_error(90.0, 100.0) - 10.0).abs() < 1e-9);
+        assert_eq!(percent_error(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn seconds_scale_with_cycle_time() {
+        let p = Prediction {
+            cpu_cycles: 25_000_000.0,
+            ..Prediction::default()
+        };
+        let m = TimeModel::default();
+        assert!((p.seconds(&m) - 1.0).abs() < 1e-9);
+    }
+}

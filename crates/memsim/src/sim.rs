@@ -1,0 +1,506 @@
+//! The trace-driven memory-system simulator.
+//!
+//! Consumes the parsed reference stream and models the DECstation
+//! 5000/200 memory system: physically-indexed I/D caches, the write
+//! buffer, and a 64-entry random-replacement TLB whose misses are
+//! *synthesized* into UTLB-handler activity (§4.1: "Rather than
+//! tracing the UTLB miss handler, we simulate the TLB, and use misses
+//! in the simulator to synthesize the activity of the UTLB miss
+//! handler").
+//!
+//! Deliberately reproduced model deficiencies (§5.1): no CPU pipeline,
+//! no overlap of floating-point latency with write-buffer or cache
+//! stalls (arithmetic stalls are a separate pixie-style estimate), no
+//! exception entry/exit cycles, and no knowledge of explicit kernel
+//! TLB writes (`tlbdropin`/`tlb_map_random`) — the stated sources of
+//! Table 2/3 prediction error.
+
+use wrl_isa::Width;
+use wrl_machine::cache::{Cache, CacheCfg, WriteBuffer};
+use wrl_machine::tlb::{Tlb, TlbEntry, TlbLookup};
+use wrl_trace::parser::{Space, TraceSink};
+
+use crate::pagemap::PageMap;
+
+/// Identifies an address space for page mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpaceKey {
+    /// The kernel (kseg2 mapped pages).
+    Kernel,
+    /// A user space.
+    User(u8),
+}
+
+impl SpaceKey {
+    /// A small integer for deterministic policy offsets.
+    pub fn index(self) -> u32 {
+        match self {
+            SpaceKey::Kernel => 0,
+            SpaceKey::User(a) => 1 + a as u32,
+        }
+    }
+}
+
+/// UTLB-miss synthesis parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct UtlbSynth {
+    /// Address of the refill handler (the UTLB vector).
+    pub handler_vaddr: u32,
+    /// Handler length in instructions (nine on our kernels).
+    pub n_insts: u32,
+    /// Base of the faulting space's linear page table. Below kseg2
+    /// this is a direct (kseg0) address; at or above kseg2 the
+    /// per-ASID table for ASID `a` sits at `base + (a-1) * stride`.
+    pub pagetable_base: u32,
+    /// Per-ASID stride of the kseg2 page tables.
+    pub pagetable_stride: u32,
+}
+
+impl Default for UtlbSynth {
+    fn default() -> Self {
+        UtlbSynth {
+            handler_vaddr: 0x8000_0000,
+            n_insts: 9,
+            pagetable_base: 0x8060_0000,
+            pagetable_stride: 0,
+        }
+    }
+}
+
+impl UtlbSynth {
+    /// The synthesis parameters matching the wrl-kernel systems:
+    /// per-ASID page tables in kseg2 with a 2 MB stride.
+    pub fn wrl_kernel() -> UtlbSynth {
+        UtlbSynth {
+            handler_vaddr: 0x8000_0000,
+            n_insts: 9,
+            pagetable_base: 0xc000_0000,
+            pagetable_stride: 0x0020_0000,
+        }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimCfg {
+    /// I-cache geometry.
+    pub icache: CacheCfg,
+    /// D-cache geometry.
+    pub dcache: CacheCfg,
+    /// Write-buffer depth.
+    pub wb_entries: usize,
+    /// Write-buffer drain time.
+    pub wb_drain_cycles: u64,
+    /// I-miss penalty.
+    pub imiss_penalty: u64,
+    /// D-miss penalty.
+    pub dmiss_penalty: u64,
+    /// Uncached-reference penalty.
+    pub uncached_penalty: u64,
+    /// Synthesize UTLB-handler activity on TLB misses.
+    pub utlb: Option<UtlbSynth>,
+}
+
+impl Default for SimCfg {
+    fn default() -> Self {
+        SimCfg {
+            icache: CacheCfg::dec5000_icache(),
+            dcache: CacheCfg::dec5000_dcache(),
+            wb_entries: 4,
+            wb_drain_cycles: 5,
+            imiss_penalty: 15,
+            dmiss_penalty: 15,
+            uncached_penalty: 20,
+            utlb: Some(UtlbSynth::default()),
+        }
+    }
+}
+
+/// Aggregate simulation results.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Instruction references, user.
+    pub user_irefs: u64,
+    /// Instruction references, kernel.
+    pub kernel_irefs: u64,
+    /// Data references, user.
+    pub user_drefs: u64,
+    /// Data references, kernel.
+    pub kernel_drefs: u64,
+    /// I-cache misses (user/kernel).
+    pub imisses: u64,
+    /// I-cache misses attributed to kernel references.
+    pub imisses_kernel: u64,
+    /// D-cache read misses.
+    pub dmisses: u64,
+    /// D-cache read misses attributed to kernel references.
+    pub dmisses_kernel: u64,
+    /// Uncached references.
+    pub uncached: u64,
+    /// Write-buffer stall cycles.
+    pub wb_stall_cycles: u64,
+    /// Predicted user-TLB misses (Table 3's "predicted" column).
+    pub utlb_misses: u64,
+    /// Synthesized handler instruction references.
+    pub synth_irefs: u64,
+    /// Idle-loop instructions seen in the trace.
+    pub idle_insts: u64,
+    /// Stores seen.
+    pub stores: u64,
+    /// Sanity-check violations (§4.3): kernel instruction reference
+    /// with a non-kernel address, and vice versa.
+    pub sanity_violations: u64,
+    /// Cycles attributed to kernel references (incl. synthesized
+    /// refill activity) — the numerator of §3.4's kernel CPI.
+    pub kernel_cycles: u64,
+    /// Cycles attributed to user references.
+    pub user_cycles: u64,
+}
+
+impl SimStats {
+    /// Total instructions.
+    pub fn insts(&self) -> u64 {
+        self.user_irefs + self.kernel_irefs
+    }
+
+    /// Kernel cycles per instruction (the §3.4 Tunix measurement:
+    /// "kernel cycles per instruction (CPI) were three times user
+    /// CPI").
+    pub fn kernel_cpi(&self) -> f64 {
+        if self.kernel_irefs == 0 {
+            0.0
+        } else {
+            self.kernel_cycles as f64 / self.kernel_irefs as f64
+        }
+    }
+
+    /// User cycles per instruction.
+    pub fn user_cpi(&self) -> f64 {
+        if self.user_irefs == 0 {
+            0.0
+        } else {
+            self.user_cycles as f64 / self.user_irefs as f64
+        }
+    }
+}
+
+/// The trace-driven simulator. Feed it through [`TraceSink`].
+pub struct MemSim {
+    cfg: SimCfg,
+    icache: Cache,
+    dcache: Cache,
+    wb: WriteBuffer,
+    tlb: Tlb,
+    /// The page map (policy or extracted).
+    pub pagemap: PageMap,
+    /// Results.
+    pub stats: SimStats,
+    cur_asid: u8,
+    /// Cycles spent in synthesized refill activity during the current
+    /// reference (so they are charged to the kernel, not the
+    /// reference's own space).
+    synth_delta: u64,
+    /// Simulated time: one cycle per instruction plus stalls (the
+    /// no-pipeline model of §5.1).
+    pub cycles: u64,
+}
+
+impl MemSim {
+    /// Creates a simulator with the given configuration and page map.
+    pub fn new(cfg: SimCfg, pagemap: PageMap) -> MemSim {
+        let mut tlb = Tlb::new();
+        tlb.flush();
+        MemSim {
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            wb: WriteBuffer::new(cfg.wb_entries, cfg.wb_drain_cycles),
+            tlb,
+            cfg,
+            pagemap,
+            stats: SimStats::default(),
+            cur_asid: 0,
+            synth_delta: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Translates a vaddr for the current context, simulating the TLB
+    /// for mapped segments and synthesizing refill activity on misses.
+    fn translate(&mut self, vaddr: u32, space: Space) -> (u32, bool) {
+        match vaddr {
+            0x8000_0000..=0x9fff_ffff => (vaddr - 0x8000_0000, true),
+            0xa000_0000..=0xbfff_ffff => (vaddr - 0xa000_0000, false),
+            _ => {
+                let key = if vaddr >= 0xc000_0000 {
+                    SpaceKey::Kernel
+                } else {
+                    match space {
+                        Space::User(a) => SpaceKey::User(a),
+                        // Kernel touching user memory uses the current
+                        // process's map.
+                        Space::Kernel => SpaceKey::User(self.cur_asid),
+                    }
+                };
+                let asid = match key {
+                    SpaceKey::Kernel => 63,
+                    SpaceKey::User(a) => a,
+                };
+                match self.tlb.lookup(vaddr, asid) {
+                    TlbLookup::Hit { pfn, .. } => ((pfn << 12) | (vaddr & 0xfff), true),
+                    _ => {
+                        // TLB refill: the simulator attributes every
+                        // fill to a miss (it cannot see tlbdropin).
+                        if vaddr < 0x8000_0000 {
+                            self.stats.utlb_misses += 1;
+                        }
+                        let pfn = self.pagemap.frame(key, vaddr >> 12);
+                        self.tlb.write_random(TlbEntry {
+                            vpn: vaddr >> 12,
+                            asid,
+                            pfn,
+                            valid: true,
+                            dirty: true,
+                            global: false,
+                            noncacheable: false,
+                        });
+                        if vaddr < 0x8000_0000 {
+                            let synth_asid = match key {
+                                SpaceKey::User(a) => a,
+                                SpaceKey::Kernel => 63,
+                            };
+                            self.synthesize_utlb(vaddr, synth_asid);
+                        }
+                        ((pfn << 12) | (vaddr & 0xfff), true)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Injects the UTLB handler's references (§4.1).
+    fn synthesize_utlb(&mut self, faulting_vaddr: u32, asid: u8) {
+        let Some(synth) = self.cfg.utlb else {
+            return;
+        };
+        let t0 = self.cycles;
+        for i in 0..synth.n_insts {
+            let va = synth.handler_vaddr + i * 4;
+            let pa = va - 0x8000_0000;
+            self.cycles += 1;
+            self.tlb.tick();
+            self.stats.synth_irefs += 1;
+            self.stats.kernel_irefs += 1;
+            if !self.icache.access(pa) {
+                self.stats.imisses += 1;
+                self.stats.imisses_kernel += 1;
+                self.cycles += self.cfg.imiss_penalty;
+            }
+        }
+        // The handler's one load: the PTE for the faulting page. For
+        // kseg2 tables this goes back through the TLB simulation and
+        // can itself take a KTLB-style refill.
+        let table = if synth.pagetable_base >= 0xc000_0000 && asid != 63 {
+            synth.pagetable_base + (asid as u32 - 1) * synth.pagetable_stride
+        } else {
+            synth.pagetable_base
+        };
+        let pte_va = table + (faulting_vaddr >> 12) * 4;
+        self.stats.kernel_drefs += 1;
+        let (pte_pa, cached) = self.translate(pte_va, Space::Kernel);
+        if cached && !self.dcache.access(pte_pa) {
+            self.stats.dmisses += 1;
+            self.stats.dmisses_kernel += 1;
+            self.cycles += self.cfg.dmiss_penalty;
+        }
+        self.stats.kernel_cycles += self.cycles - t0;
+        self.synth_delta += self.cycles - t0;
+    }
+}
+
+impl TraceSink for MemSim {
+    fn iref(&mut self, vaddr: u32, space: Space, idle: bool) {
+        let t0 = self.cycles;
+        self.synth_delta = 0;
+        // §4.3 sanity check: kernel instruction addresses must be in
+        // the kernel instruction address space.
+        let is_kaddr = vaddr >= 0x8000_0000;
+        if matches!(space, Space::Kernel) != is_kaddr {
+            self.stats.sanity_violations += 1;
+        }
+        self.cycles += 1;
+        self.tlb.tick();
+        if idle {
+            self.stats.idle_insts += 1;
+        }
+        match space {
+            Space::Kernel => self.stats.kernel_irefs += 1,
+            Space::User(_) => self.stats.user_irefs += 1,
+        }
+        let (paddr, cached) = self.translate(vaddr, space);
+        if cached {
+            if !self.icache.access(paddr) {
+                self.stats.imisses += 1;
+                if matches!(space, Space::Kernel) {
+                    self.stats.imisses_kernel += 1;
+                }
+                self.cycles += self.cfg.imiss_penalty;
+            }
+        } else {
+            self.stats.uncached += 1;
+            self.cycles += self.cfg.uncached_penalty;
+        }
+        let own = self.cycles - t0 - self.synth_delta;
+        match space {
+            Space::Kernel => self.stats.kernel_cycles += own,
+            Space::User(_) => self.stats.user_cycles += own,
+        }
+    }
+
+    fn dref(&mut self, vaddr: u32, store: bool, _width: Width, space: Space) {
+        let t0 = self.cycles;
+        self.synth_delta = 0;
+        match space {
+            Space::Kernel => self.stats.kernel_drefs += 1,
+            Space::User(_) => self.stats.user_drefs += 1,
+        }
+        let (paddr, cached) = self.translate(vaddr, space);
+        if store {
+            self.stats.stores += 1;
+            if cached {
+                self.dcache.write_update(paddr);
+                self.cycles = self.wb.push(self.cycles);
+                self.stats.wb_stall_cycles = self.wb.stall_cycles;
+            } else {
+                self.stats.uncached += 1;
+                self.cycles += self.cfg.uncached_penalty;
+            }
+        } else if cached {
+            if !self.dcache.access(paddr) {
+                self.stats.dmisses += 1;
+                if matches!(space, Space::Kernel) {
+                    self.stats.dmisses_kernel += 1;
+                }
+                self.cycles += self.cfg.dmiss_penalty;
+            }
+        } else {
+            self.stats.uncached += 1;
+            self.cycles += self.cfg.uncached_penalty;
+        }
+        let own = self.cycles - t0 - self.synth_delta;
+        match space {
+            Space::Kernel => self.stats.kernel_cycles += own,
+            Space::User(_) => self.stats.user_cycles += own,
+        }
+    }
+
+    fn ctx_switch(&mut self, asid: u8) {
+        self.cur_asid = asid;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagemap::Policy;
+
+    fn sim() -> MemSim {
+        MemSim::new(
+            SimCfg::default(),
+            PageMap::new(Policy::FirstFree { base_pfn: 0x100 }),
+        )
+    }
+
+    #[test]
+    fn kseg0_needs_no_tlb() {
+        let mut s = sim();
+        s.iref(0x8003_0000, Space::Kernel, false);
+        assert_eq!(s.stats.utlb_misses, 0);
+        assert_eq!(s.stats.kernel_irefs, 1);
+        assert_eq!(s.stats.imisses, 1);
+    }
+
+    #[test]
+    fn user_ref_synthesizes_utlb_handler() {
+        let mut s = sim();
+        s.iref(0x0040_0000, Space::User(1), false);
+        // One UTLB miss, nine synthesized handler irefs + our iref.
+        assert_eq!(s.stats.utlb_misses, 1);
+        assert_eq!(s.stats.synth_irefs, 9);
+        assert_eq!(s.stats.kernel_irefs, 9);
+        assert_eq!(s.stats.user_irefs, 1);
+        assert_eq!(s.stats.kernel_drefs, 1); // the PTE load
+                                             // Second touch of the same page: no miss.
+        s.iref(0x0040_0004, Space::User(1), false);
+        assert_eq!(s.stats.utlb_misses, 1);
+    }
+
+    #[test]
+    fn utlb_synthesis_can_be_disabled() {
+        let mut s = MemSim::new(
+            SimCfg {
+                utlb: None,
+                ..SimCfg::default()
+            },
+            PageMap::new(Policy::Identity),
+        );
+        s.iref(0x0040_0000, Space::User(1), false);
+        assert_eq!(s.stats.utlb_misses, 1);
+        assert_eq!(s.stats.synth_irefs, 0);
+    }
+
+    #[test]
+    fn writes_go_through_write_buffer() {
+        let mut s = sim();
+        for i in 0..100 {
+            s.dref(0x0100_0000 + i * 4, true, Width::Word, Space::User(0));
+        }
+        assert!(s.stats.wb_stall_cycles > 0);
+        assert_eq!(s.stats.stores, 100);
+    }
+
+    #[test]
+    fn uncached_kseg1_counts() {
+        let mut s = sim();
+        s.dref(0xbc00_0000, false, Width::Word, Space::Kernel);
+        assert_eq!(s.stats.uncached, 1);
+    }
+
+    #[test]
+    fn sanity_check_flags_wrong_space() {
+        let mut s = sim();
+        s.iref(0x0040_0000, Space::Kernel, false);
+        assert_eq!(s.stats.sanity_violations, 1);
+    }
+
+    #[test]
+    fn page_colouring_affects_cache_conflicts() {
+        // Two virtual pages that map to conflicting frames under one
+        // policy but not another change the miss count.
+        let mut ident = MemSim::new(
+            SimCfg {
+                utlb: None,
+                ..SimCfg::default()
+            },
+            PageMap::new(Policy::Identity),
+        );
+        // 64 KB cache = 16 colours; vpn 0 and vpn 16 share a colour
+        // under identity mapping.
+        for _ in 0..100 {
+            ident.dref(0x0000_0100, false, Width::Word, Space::User(0));
+            ident.dref(0x0001_0100, false, Width::Word, Space::User(0));
+        }
+        assert!(ident.stats.dmisses >= 200, "conflicting colours thrash");
+        let mut seq = MemSim::new(
+            SimCfg {
+                utlb: None,
+                ..SimCfg::default()
+            },
+            PageMap::new(Policy::FirstFree { base_pfn: 0 }),
+        );
+        for _ in 0..100 {
+            seq.dref(0x0000_0100, false, Width::Word, Space::User(0));
+            seq.dref(0x0001_0100, false, Width::Word, Space::User(0));
+        }
+        assert!(seq.stats.dmisses <= 4, "adjacent frames do not conflict");
+    }
+}

@@ -1,0 +1,361 @@
+//! Trace archives: saving and loading system traces with their
+//! static tables.
+//!
+//! The Tunix system "produced a collection of single and multi-task
+//! user-level traces on tape, which were made available to the
+//! community for use in memory system research" (§3.4). A trace is
+//! only usable together with the static basic-block tables that
+//! decode it, so the archive format bundles the kernel table, the
+//! per-ASID user tables, and the raw trace words.
+//!
+//! The format is a simple little-endian binary container:
+//!
+//! ```text
+//! "W3KTRACE" magic, u32 version
+//! kernel table | u32 n_user { u8 asid, table }* | u64 n_words, words
+//! table := u32 n_blocks { u32 id, u32 orig, u16 n_insts, u8 flags,
+//!                         u16 n_ops { u16 index, u8 store, u8 width }* }*
+//! ```
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use crate::bbinfo::{BbInfo, BbTable, BbTraceFlags, MemOp};
+use crate::parser::TraceParser;
+use wrl_isa::Width;
+
+/// Magic bytes of the archive format.
+pub const MAGIC: &[u8; 8] = b"W3KTRACE";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// A bundled system trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceArchive {
+    /// The kernel's basic-block table.
+    pub kernel_table: BbTable,
+    /// Per-ASID user tables.
+    pub user_tables: Vec<(u8, BbTable)>,
+    /// The raw trace words.
+    pub words: Vec<u32>,
+}
+
+/// Errors while reading an archive.
+#[derive(Debug)]
+pub enum ArchiveError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a trace archive, or corrupted framing.
+    Malformed(&'static str),
+    /// Unknown format version.
+    Version(u32),
+}
+
+impl From<io::Error> for ArchiveError {
+    fn from(e: io::Error) -> Self {
+        ArchiveError::Io(e)
+    }
+}
+
+impl core::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ArchiveError::Io(e) => write!(f, "i/o: {e}"),
+            ArchiveError::Malformed(what) => write!(f, "malformed archive: {what}"),
+            ArchiveError::Version(v) => write!(f, "unsupported version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArchiveError> {
+        if self.at + n > self.buf.len() {
+            return Err(ArchiveError::Malformed("truncated"));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, ArchiveError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, ArchiveError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, ArchiveError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, ArchiveError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn encode_table(out: &mut Vec<u8>, t: &BbTable) {
+    // Deterministic order for reproducible archives.
+    let mut entries: Vec<(&u32, &BbInfo)> = t.iter().collect();
+    entries.sort_by_key(|(id, _)| **id);
+    put_u32(out, entries.len() as u32);
+    for (id, info) in entries {
+        put_u32(out, *id);
+        put_u32(out, info.orig_vaddr);
+        put_u16(out, info.n_insts);
+        let flags = u8::from(info.flags.idle_start)
+            | (u8::from(info.flags.idle_stop) << 1)
+            | (u8::from(info.flags.hand_traced) << 2);
+        out.push(flags);
+        put_u16(out, info.ops.len() as u16);
+        for op in &info.ops {
+            put_u16(out, op.index);
+            out.push(u8::from(op.store));
+            out.push(match op.width {
+                Width::Byte => 1,
+                Width::Half => 2,
+                Width::Word => 4,
+            });
+        }
+    }
+}
+
+fn decode_table(c: &mut Cursor) -> Result<BbTable, ArchiveError> {
+    let n = c.u32()? as usize;
+    let mut t = BbTable::new();
+    for _ in 0..n {
+        let id = c.u32()?;
+        let orig_vaddr = c.u32()?;
+        let n_insts = c.u16()?;
+        let flags = c.u8()?;
+        let n_ops = c.u16()? as usize;
+        let mut ops = Vec::with_capacity(n_ops);
+        for _ in 0..n_ops {
+            let index = c.u16()?;
+            let store = c.u8()? != 0;
+            let width = match c.u8()? {
+                1 => Width::Byte,
+                2 => Width::Half,
+                4 => Width::Word,
+                _ => return Err(ArchiveError::Malformed("bad width")),
+            };
+            ops.push(MemOp {
+                index,
+                store,
+                width,
+            });
+        }
+        t.insert(
+            id,
+            BbInfo {
+                orig_vaddr,
+                n_insts,
+                ops,
+                flags: BbTraceFlags {
+                    idle_start: flags & 1 != 0,
+                    idle_stop: flags & 2 != 0,
+                    hand_traced: flags & 4 != 0,
+                },
+            },
+        );
+    }
+    Ok(t)
+}
+
+impl TraceArchive {
+    /// Encodes the archive to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 4 + 4096);
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, VERSION);
+        encode_table(&mut out, &self.kernel_table);
+        put_u32(&mut out, self.user_tables.len() as u32);
+        for (asid, t) in &self.user_tables {
+            out.push(*asid);
+            encode_table(&mut out, t);
+        }
+        put_u64(&mut out, self.words.len() as u64);
+        for w in &self.words {
+            put_u32(&mut out, *w);
+        }
+        out
+    }
+
+    /// Decodes an archive from bytes.
+    pub fn decode(buf: &[u8]) -> Result<TraceArchive, ArchiveError> {
+        let mut c = Cursor { buf, at: 0 };
+        if c.take(8)? != MAGIC {
+            return Err(ArchiveError::Malformed("bad magic"));
+        }
+        let v = c.u32()?;
+        if v != VERSION {
+            return Err(ArchiveError::Version(v));
+        }
+        let kernel_table = decode_table(&mut c)?;
+        let n_users = c.u32()? as usize;
+        if n_users > 64 {
+            return Err(ArchiveError::Malformed("too many user tables"));
+        }
+        let mut user_tables = Vec::with_capacity(n_users);
+        for _ in 0..n_users {
+            let asid = c.u8()?;
+            user_tables.push((asid, decode_table(&mut c)?));
+        }
+        let n_words = c.u64()? as usize;
+        let mut words = Vec::with_capacity(n_words.min(1 << 28));
+        for _ in 0..n_words {
+            words.push(c.u32()?);
+        }
+        Ok(TraceArchive {
+            kernel_table,
+            user_tables,
+            words,
+        })
+    }
+
+    /// Writes the archive to a stream.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.encode())
+    }
+
+    /// Reads an archive from a stream.
+    pub fn read_from(r: &mut impl Read) -> Result<TraceArchive, ArchiveError> {
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf)?;
+        TraceArchive::decode(&buf)
+    }
+
+    /// Saves to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+        std::fs::write(path, self.encode())
+    }
+
+    /// Loads from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<TraceArchive, ArchiveError> {
+        TraceArchive::decode(&std::fs::read(path)?)
+    }
+
+    /// Builds a parser wired with this archive's tables.
+    pub fn parser(&self) -> TraceParser {
+        let mut p = TraceParser::new(Arc::new(self.kernel_table.clone()));
+        for (asid, t) in &self.user_tables {
+            p.set_user_table(*asid, Arc::new(t.clone()));
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{ctl, CtlOp};
+    use crate::parser::CollectSink;
+
+    fn sample() -> TraceArchive {
+        let mut kt = BbTable::new();
+        kt.insert(
+            0x8003_0100,
+            BbInfo {
+                orig_vaddr: 0x8003_0000,
+                n_insts: 4,
+                ops: vec![MemOp {
+                    index: 2,
+                    store: true,
+                    width: Width::Half,
+                }],
+                flags: BbTraceFlags {
+                    idle_start: true,
+                    idle_stop: false,
+                    hand_traced: false,
+                },
+            },
+        );
+        let mut ut = BbTable::new();
+        ut.insert(
+            0x0050_0000,
+            BbInfo {
+                orig_vaddr: 0x0040_0000,
+                n_insts: 2,
+                ops: vec![MemOp {
+                    index: 0,
+                    store: false,
+                    width: Width::Word,
+                }],
+                flags: BbTraceFlags::default(),
+            },
+        );
+        TraceArchive {
+            kernel_table: kt,
+            user_tables: vec![(3, ut)],
+            words: vec![
+                ctl(CtlOp::CtxSwitch, 3),
+                0x0050_0000,
+                0x0100_0000,
+                ctl(CtlOp::KEnter, 0),
+                0x8003_0100,
+                0x8030_0004,
+                ctl(CtlOp::KExit, 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let a = sample();
+        let bytes = a.encode();
+        let b = TraceArchive::decode(&bytes).unwrap();
+        assert_eq!(b.words, a.words);
+        assert_eq!(b.user_tables.len(), 1);
+        assert_eq!(b.user_tables[0].0, 3);
+        let info = b.kernel_table.get(0x8003_0100).unwrap();
+        assert_eq!(info.n_insts, 4);
+        assert!(info.flags.idle_start);
+        assert_eq!(info.ops[0].width, Width::Half);
+        assert!(info.ops[0].store);
+    }
+
+    #[test]
+    fn loaded_archive_parses_like_the_original() {
+        let a = sample();
+        let b = TraceArchive::decode(&a.encode()).unwrap();
+        let mut p = b.parser();
+        let mut sink = CollectSink::default();
+        p.parse_all(&b.words, &mut sink);
+        assert_eq!(p.stats.errors, 0, "{:?}", p.errors);
+        assert_eq!(sink.irefs.len(), 6);
+        assert_eq!(sink.drefs.len(), 2);
+        // 4 kernel idle insts + the user block's trailing iref, which
+        // is flushed lazily after the idle flag was raised.
+        assert_eq!(p.stats.idle_insts, 5);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(TraceArchive::decode(b"not a trace").is_err());
+        let mut bytes = sample().encode();
+        bytes.truncate(bytes.len() - 3);
+        assert!(TraceArchive::decode(&bytes).is_err());
+        // Wrong version.
+        let mut bytes = sample().encode();
+        bytes[8] = 99;
+        assert!(matches!(
+            TraceArchive::decode(&bytes),
+            Err(ArchiveError::Version(_))
+        ));
+    }
+}

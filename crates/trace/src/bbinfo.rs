@@ -1,0 +1,160 @@
+//! Static basic-block information tables.
+//!
+//! Mahler and epoxie "generate static information describing each
+//! basic block (number of instructions, position of loads and
+//! stores). This information is used when the trace is analyzed, to
+//! determine the correct interleaving of instruction and data memory
+//! references." (§3.5.) In the Ultrix/Mach systems only the bb
+//! address is written to the trace; the parsing library looks the
+//! address up here. The lookup also carries the per-block special
+//! behaviours: idle-loop counter flags and hand-traced markers.
+
+use std::collections::HashMap;
+use wrl_isa::Width;
+
+/// One load or store within a basic block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemOp {
+    /// Index of the memory instruction within the block (0-based, in
+    /// terms of *original* instructions).
+    pub index: u16,
+    /// True for stores.
+    pub store: bool,
+    /// Access width.
+    pub width: Width,
+}
+
+/// Flags attached to a basic block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BbTraceFlags {
+    /// Entering this block starts the idle-loop instruction counter.
+    pub idle_start: bool,
+    /// Entering this block stops the idle-loop instruction counter.
+    pub idle_stop: bool,
+    /// The block's record was emitted by hand-instrumented code.
+    pub hand_traced: bool,
+}
+
+/// Static description of one basic block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BbInfo {
+    /// Address of the block in the *uninstrumented* binary — what the
+    /// simulator sees ("the addresses seen by the simulator correspond
+    /// to the uninstrumented binary", §3.2).
+    pub orig_vaddr: u32,
+    /// Number of original instructions in the block.
+    pub n_insts: u16,
+    /// The memory operations, in order.
+    pub ops: Vec<MemOp>,
+    /// Special behaviours.
+    pub flags: BbTraceFlags,
+}
+
+impl BbInfo {
+    /// Trace words this block generates: one bb word plus one word per
+    /// memory operation (the count epoxie plants in the `li zero, n`
+    /// delay-slot no-op).
+    pub fn trace_words(&self) -> u32 {
+        1 + self.ops.len() as u32
+    }
+}
+
+/// The basic-block lookup table for one binary.
+///
+/// Keys are *basic-block ids*: the return address that `jal bbtrace`
+/// stores, i.e. an address inside the instrumented text.
+#[derive(Clone, Debug, Default)]
+pub struct BbTable {
+    map: HashMap<u32, BbInfo>,
+}
+
+impl BbTable {
+    /// Creates an empty table.
+    pub fn new() -> BbTable {
+        BbTable::default()
+    }
+
+    /// Inserts a block under its id.
+    pub fn insert(&mut self, bb_id: u32, info: BbInfo) {
+        self.map.insert(bb_id, info);
+    }
+
+    /// Looks up a block by id.
+    pub fn get(&self, bb_id: u32) -> Option<&BbInfo> {
+        self.map.get(&bb_id)
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(bb_id, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&u32, &BbInfo)> {
+        self.map.iter()
+    }
+
+    /// Total original instructions across all blocks (static count).
+    pub fn static_insts(&self) -> u64 {
+        self.map.values().map(|b| b.n_insts as u64).sum()
+    }
+
+    /// Merges another table into this one (kernel = epoxie-rewritten
+    /// objects + hand-traced entries).
+    pub fn merge(&mut self, other: BbTable) {
+        self.map.extend(other.map);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(orig: u32, n: u16, ops: Vec<MemOp>) -> BbInfo {
+        BbInfo {
+            orig_vaddr: orig,
+            n_insts: n,
+            ops,
+            flags: BbTraceFlags::default(),
+        }
+    }
+
+    #[test]
+    fn trace_word_counts() {
+        let b = info(
+            0x400000,
+            5,
+            vec![
+                MemOp {
+                    index: 1,
+                    store: true,
+                    width: Width::Word,
+                },
+                MemOp {
+                    index: 2,
+                    store: false,
+                    width: Width::Byte,
+                },
+            ],
+        );
+        assert_eq!(b.trace_words(), 3);
+    }
+
+    #[test]
+    fn table_lookup_and_merge() {
+        let mut t = BbTable::new();
+        t.insert(0x500000, info(0x400000, 3, vec![]));
+        let mut u = BbTable::new();
+        u.insert(0x500100, info(0x400040, 2, vec![]));
+        t.merge(u);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(0x500000).unwrap().orig_vaddr, 0x400000);
+        assert_eq!(t.static_insts(), 5);
+        assert!(t.get(0xdead).is_none());
+    }
+}

@@ -1,0 +1,29 @@
+//! The trace format, static tables, runtime ABI and parsing library.
+//!
+//! Everything the WRL tracing systems' *trace path* needs, shared by
+//! the instrumentation tool (which emits the static basic-block
+//! tables), the kernels (which write control words and copy
+//! per-process buffers) and the analysis programs (which parse the
+//! in-kernel buffer back into an interleaved reference stream):
+//!
+//! * [`mod@format`] — the one-word-per-entry trace format of §3.3;
+//! * [`bbinfo`] — the static basic-block lookup tables of §3.5;
+//! * [`layout`] — the stolen-register and bookkeeping-area ABI that
+//!   epoxie-generated code and the kernels must agree on;
+//! * [`parser`] — the trace-parsing library, including the nested
+//!   interrupt handling of §3.3 and the defensive redundancy checks
+//!   of §4.3;
+//! * [`archive`] — a bundle format for distributing traces together
+//!   with their decoding tables (the paper's traces went to the
+//!   community on tape, §3.4).
+
+pub mod archive;
+pub mod bbinfo;
+pub mod format;
+pub mod layout;
+pub mod parser;
+
+pub use archive::{ArchiveError, TraceArchive};
+pub use bbinfo::{BbInfo, BbTable, BbTraceFlags, MemOp};
+pub use format::{classify, ctl, is_kernel_addr, Ctl, CtlOp, TraceWord, CTL_LIMIT};
+pub use parser::{CollectSink, ParseError, ParseStats, Space, TraceParser, TraceSink};

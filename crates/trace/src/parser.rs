@@ -1,0 +1,663 @@
+//! The trace-parsing library.
+//!
+//! Converts the raw word stream extracted from the in-kernel buffer
+//! into an interleaved instruction/data reference stream, using the
+//! static basic-block tables. Handles the hard cases §3.3 calls out:
+//! user activity interrupted mid-block by the kernel, nested kernel
+//! interrupts, and context switches — each context's partially-parsed
+//! block is suspended and resumed so no references are lost or
+//! misattributed. All of §4.3's defensive redundancy checks live
+//! here: unknown block ids, block ids in the wrong address space,
+//! missing memory words and junk control words are detected and
+//! reported rather than silently misparsed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::bbinfo::BbTable;
+use crate::format::{classify, is_kernel_addr, CtlOp, TraceWord};
+use wrl_isa::Width;
+
+/// Which address space a reference belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// A user process, identified by ASID.
+    User(u8),
+    /// The kernel.
+    Kernel,
+}
+
+/// Consumer of the parsed reference stream (typically a memory-system
+/// simulator).
+pub trait TraceSink {
+    /// An instruction fetch at `vaddr` (uninstrumented address).
+    fn iref(&mut self, vaddr: u32, space: Space, idle: bool);
+    /// A data reference at `vaddr`.
+    fn dref(&mut self, vaddr: u32, store: bool, width: Width, space: Space);
+    /// The base context switched to the given ASID.
+    fn ctx_switch(&mut self, _asid: u8) {}
+    /// Trace generation was suspended (`false`) or resumed (`true`).
+    fn mode_transition(&mut self, _generating: bool) {}
+}
+
+/// Parse-time error, recorded with the word position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// An address appeared where a block id was required, but no table
+    /// entry exists.
+    UnknownBb {
+        /// The offending word.
+        word: u32,
+        /// Word index in the stream.
+        pos: u64,
+        /// The context that tried to consume it.
+        space: Space,
+    },
+    /// A kernel-range block id appeared in a user context (violates
+    /// the "kernel instruction addresses are in the kernel instruction
+    /// address space" sanity check).
+    WrongSpace {
+        /// The offending word.
+        word: u32,
+        /// Word index in the stream.
+        pos: u64,
+    },
+    /// A value in the control range with no known opcode.
+    BadControl {
+        /// The offending word.
+        word: u32,
+        /// Word index in the stream.
+        pos: u64,
+    },
+    /// The stream ended inside a block's memory words.
+    Truncated {
+        /// The block whose words are missing.
+        bb_id: u32,
+        /// Memory words still owed.
+        missing: usize,
+    },
+    /// A `KExit` with no matching `KEnter`.
+    UnbalancedKExit {
+        /// Word index in the stream.
+        pos: u64,
+    },
+    /// No basic-block table registered for a user ASID.
+    NoTableForAsid {
+        /// The ASID missing a table.
+        asid: u8,
+    },
+}
+
+/// Aggregate statistics over a parse.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParseStats {
+    /// Raw words consumed.
+    pub words: u64,
+    /// Basic-block records.
+    pub bb_records: u64,
+    /// Memory-reference records.
+    pub mem_records: u64,
+    /// Instruction references emitted, user.
+    pub user_irefs: u64,
+    /// Instruction references emitted, kernel.
+    pub kernel_irefs: u64,
+    /// Data references emitted, user.
+    pub user_drefs: u64,
+    /// Data references emitted, kernel.
+    pub kernel_drefs: u64,
+    /// Instructions executed inside idle-marked blocks (§3.5's
+    /// idle-loop counter).
+    pub idle_insts: u64,
+    /// Generation→analysis transitions (the "dirt" events of §4.3).
+    pub mode_transitions: u64,
+    /// Kernel entries observed.
+    pub kernel_entries: u64,
+    /// Context switches observed.
+    pub ctx_switches: u64,
+    /// Total errors detected (first few are kept in detail).
+    pub errors: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    bb_id: u32,
+    /// Instructions already emitted as I-refs.
+    emitted: u16,
+    /// Memory operations already consumed.
+    ops_done: u16,
+}
+
+/// The streaming trace parser.
+pub struct TraceParser {
+    kernel_tab: Arc<BbTable>,
+    user_tabs: HashMap<u8, Arc<BbTable>>,
+    base_asid: u8,
+    /// Kernel nesting frames; each holds that activation's partial bb.
+    kstack: Vec<Option<Pending>>,
+    /// Suspended partial blocks per user address space.
+    user_pend: HashMap<u8, Option<Pending>>,
+    idle: bool,
+    pos: u64,
+    /// Detailed errors (capped at [`TraceParser::MAX_ERRORS`]).
+    pub errors: Vec<ParseError>,
+    /// Aggregate statistics.
+    pub stats: ParseStats,
+    missing_tables: std::collections::HashSet<u8>,
+}
+
+impl TraceParser {
+    /// Maximum number of errors kept in detail.
+    pub const MAX_ERRORS: usize = 100;
+
+    /// Creates a parser with the kernel's basic-block table.
+    pub fn new(kernel_tab: Arc<BbTable>) -> TraceParser {
+        TraceParser {
+            kernel_tab,
+            user_tabs: HashMap::new(),
+            base_asid: 0,
+            kstack: Vec::new(),
+            user_pend: HashMap::new(),
+            idle: false,
+            pos: 0,
+            errors: Vec::new(),
+            stats: ParseStats::default(),
+            missing_tables: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Registers the basic-block table for a user address space.
+    pub fn set_user_table(&mut self, asid: u8, tab: Arc<BbTable>) {
+        self.user_tabs.insert(asid, tab);
+    }
+
+    fn err(&mut self, e: ParseError) {
+        self.stats.errors += 1;
+        if self.errors.len() < Self::MAX_ERRORS {
+            self.errors.push(e);
+        }
+    }
+
+    fn cur_space(&self) -> Space {
+        if self.kstack.is_empty() {
+            Space::User(self.base_asid)
+        } else {
+            Space::Kernel
+        }
+    }
+
+    fn table_for(&self, space: Space) -> Option<&Arc<BbTable>> {
+        match space {
+            Space::Kernel => Some(&self.kernel_tab),
+            Space::User(a) => self.user_tabs.get(&a),
+        }
+    }
+
+    fn pending_mut(&mut self) -> &mut Option<Pending> {
+        if let Some(top) = self.kstack.last_mut() {
+            top
+        } else {
+            self.user_pend.entry(self.base_asid).or_insert(None)
+        }
+    }
+
+    /// Emits I-refs for instructions `[p.emitted, upto)` of `p`'s bb.
+    fn emit_irefs(&mut self, p: &mut Pending, upto: u16, space: Space, sink: &mut dyn TraceSink) {
+        let tab = match self.table_for(space) {
+            Some(t) => t.clone(),
+            None => return,
+        };
+        let Some(info) = tab.get(p.bb_id) else {
+            return;
+        };
+        for i in p.emitted..upto.min(info.n_insts) {
+            let va = info.orig_vaddr + (i as u32) * 4;
+            sink.iref(va, space, self.idle);
+            match space {
+                Space::Kernel => self.stats.kernel_irefs += 1,
+                Space::User(_) => self.stats.user_irefs += 1,
+            }
+            if self.idle {
+                self.stats.idle_insts += 1;
+            }
+        }
+        p.emitted = p.emitted.max(upto.min(info.n_insts));
+    }
+
+    /// Flushes the remainder of a pending block (its trailing
+    /// I-refs after the last memory operation).
+    fn flush_pending(&mut self, space: Space, sink: &mut dyn TraceSink) {
+        let slot = match space {
+            Space::Kernel => self.kstack.last_mut().and_then(|s| s.take()),
+            Space::User(a) => self.user_pend.get_mut(&a).and_then(|s| s.take()),
+        };
+        if let Some(mut p) = slot {
+            let n = self
+                .table_for(space)
+                .and_then(|t| t.get(p.bb_id))
+                .map(|i| i.n_insts)
+                .unwrap_or(0);
+            self.emit_irefs(&mut p, n, space, sink);
+        }
+    }
+
+    /// Consumes one trace word.
+    pub fn push_word(&mut self, w: u32, sink: &mut dyn TraceSink) {
+        let pos = self.pos;
+        self.pos += 1;
+        self.stats.words += 1;
+        match classify(w) {
+            TraceWord::Ctl(c) => match c.op {
+                CtlOp::CtxSwitch => {
+                    self.base_asid = c.payload;
+                    self.stats.ctx_switches += 1;
+                    if !self.user_tabs.contains_key(&c.payload)
+                        && self.missing_tables.insert(c.payload)
+                    {
+                        self.err(ParseError::NoTableForAsid { asid: c.payload });
+                    }
+                    sink.ctx_switch(c.payload);
+                }
+                CtlOp::KEnter => {
+                    self.kstack.push(None);
+                    self.stats.kernel_entries += 1;
+                }
+                CtlOp::KExit => {
+                    if self.kstack.is_empty() {
+                        self.err(ParseError::UnbalancedKExit { pos });
+                    } else {
+                        self.flush_pending(Space::Kernel, sink);
+                        self.kstack.pop();
+                    }
+                }
+                CtlOp::TraceOn => {
+                    sink.mode_transition(true);
+                }
+                CtlOp::TraceOff => {
+                    self.stats.mode_transitions += 1;
+                    sink.mode_transition(false);
+                }
+                CtlOp::Eof => self.finish_internal(sink),
+            },
+            TraceWord::BadCtl(word) => {
+                self.err(ParseError::BadControl { word, pos });
+            }
+            TraceWord::Addr(addr) => self.push_addr(addr, pos, sink),
+        }
+    }
+
+    fn push_addr(&mut self, addr: u32, pos: u64, sink: &mut dyn TraceSink) {
+        let space = self.cur_space();
+        // If the current context owes memory words, this is one.
+        let pending = *self.pending_mut();
+        if let Some(mut p) = pending {
+            let tab = self.table_for(space).cloned();
+            let info = tab.as_ref().and_then(|t| t.get(p.bb_id)).cloned();
+            if let Some(info) = info {
+                if (p.ops_done as usize) < info.ops.len() {
+                    let op = info.ops[p.ops_done as usize];
+                    // I-refs up to and including the memory instruction.
+                    self.emit_irefs(&mut p, op.index + 1, space, sink);
+                    sink.dref(addr, op.store, op.width, space);
+                    self.stats.mem_records += 1;
+                    match space {
+                        Space::Kernel => self.stats.kernel_drefs += 1,
+                        Space::User(_) => self.stats.user_drefs += 1,
+                    }
+                    p.ops_done += 1;
+                    *self.pending_mut() = Some(p);
+                    return;
+                }
+            }
+        }
+        // Otherwise it must be a basic-block id for this space.
+        if matches!(space, Space::User(_)) && is_kernel_addr(addr) {
+            self.err(ParseError::WrongSpace { word: addr, pos });
+            return;
+        }
+        let tab = self.table_for(space).cloned();
+        let info = tab.as_ref().and_then(|t| t.get(addr)).cloned();
+        let Some(info) = info else {
+            self.err(ParseError::UnknownBb {
+                word: addr,
+                pos,
+                space,
+            });
+            return;
+        };
+        // Close out the previous block, then open this one.
+        self.flush_pending(space, sink);
+        if info.flags.idle_start {
+            self.idle = true;
+        }
+        if info.flags.idle_stop {
+            self.idle = false;
+        }
+        self.stats.bb_records += 1;
+        let mut p = Pending {
+            bb_id: addr,
+            emitted: 0,
+            ops_done: 0,
+        };
+        if info.ops.is_empty() {
+            // No memory words will follow; emit all I-refs now.
+            self.emit_irefs(&mut p, info.n_insts, space, sink);
+            *self.pending_mut() = Some(p);
+        } else {
+            *self.pending_mut() = Some(p);
+        }
+    }
+
+    fn finish_internal(&mut self, sink: &mut dyn TraceSink) {
+        // Truncation check: any context still owing memory words?
+        let mut owed: Vec<(u32, usize)> = Vec::new();
+        let slots: Vec<(Space, Pending)> = self
+            .kstack
+            .iter()
+            .filter_map(|s| s.map(|p| (Space::Kernel, p)))
+            .chain(
+                self.user_pend
+                    .iter()
+                    .filter_map(|(&a, s)| s.map(|p| (Space::User(a), p))),
+            )
+            .collect();
+        for (space, slot) in slots {
+            if let Some(info) = self.table_for(space).and_then(|t| t.get(slot.bb_id)) {
+                let missing = info.ops.len().saturating_sub(slot.ops_done as usize);
+                if missing > 0 {
+                    owed.push((slot.bb_id, missing));
+                }
+            }
+        }
+        for (bb_id, missing) in owed {
+            self.err(ParseError::Truncated { bb_id, missing });
+        }
+        // Flush trailing I-refs everywhere.
+        while !self.kstack.is_empty() {
+            self.flush_pending(Space::Kernel, sink);
+            self.kstack.pop();
+        }
+        let asids: Vec<u8> = self.user_pend.keys().copied().collect();
+        for a in asids {
+            self.flush_pending(Space::User(a), sink);
+        }
+    }
+
+    /// Parses a whole word slice and finalises.
+    pub fn parse_all(&mut self, words: &[u32], sink: &mut dyn TraceSink) {
+        self.push_words(words, sink);
+        self.finish_internal(sink);
+    }
+
+    /// Parses a word slice *without* finalising — the incremental
+    /// form for online analysis, where the trace arrives one buffer
+    /// drain at a time and a basic block may straddle two drains.
+    /// Call [`TraceParser::finish`] after the last chunk.
+    pub fn push_words(&mut self, words: &[u32], sink: &mut dyn TraceSink) {
+        for &w in words {
+            self.push_word(w, sink);
+        }
+    }
+
+    /// Finalises the stream (flushes partial blocks, checks
+    /// truncation).
+    pub fn finish(&mut self, sink: &mut dyn TraceSink) {
+        self.finish_internal(sink);
+    }
+}
+
+/// A sink that collects every reference (for tests and small tools).
+#[derive(Clone, Debug, Default)]
+pub struct CollectSink {
+    /// `(vaddr, space, idle)` per instruction reference.
+    pub irefs: Vec<(u32, Space, bool)>,
+    /// `(vaddr, store, space)` per data reference.
+    pub drefs: Vec<(u32, bool, Space)>,
+    /// ASIDs in context-switch order.
+    pub switches: Vec<u8>,
+}
+
+impl TraceSink for CollectSink {
+    fn iref(&mut self, vaddr: u32, space: Space, idle: bool) {
+        self.irefs.push((vaddr, space, idle));
+    }
+
+    fn dref(&mut self, vaddr: u32, store: bool, _width: Width, space: Space) {
+        self.drefs.push((vaddr, store, space));
+    }
+
+    fn ctx_switch(&mut self, asid: u8) {
+        self.switches.push(asid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbinfo::{BbInfo, BbTraceFlags, MemOp};
+    use crate::format::{ctl, CtlOp};
+
+    fn table(entries: Vec<(u32, BbInfo)>) -> Arc<BbTable> {
+        let mut t = BbTable::new();
+        for (id, i) in entries {
+            t.insert(id, i);
+        }
+        Arc::new(t)
+    }
+
+    fn bb(orig: u32, n: u16, ops: Vec<MemOp>) -> BbInfo {
+        BbInfo {
+            orig_vaddr: orig,
+            n_insts: n,
+            ops,
+            flags: BbTraceFlags::default(),
+        }
+    }
+
+    fn ld(index: u16) -> MemOp {
+        MemOp {
+            index,
+            store: false,
+            width: Width::Word,
+        }
+    }
+
+    fn st(index: u16) -> MemOp {
+        MemOp {
+            index,
+            store: true,
+            width: Width::Word,
+        }
+    }
+
+    #[test]
+    fn single_user_bb_interleaves_refs() {
+        // bb at id 0x500000: orig 0x400000, 4 insts, load at 1, store at 2.
+        let ut = table(vec![(0x50_0000, bb(0x40_0000, 4, vec![ld(1), st(2)]))]);
+        let mut p = TraceParser::new(table(vec![]));
+        p.set_user_table(3, ut);
+        let words = [
+            ctl(CtlOp::CtxSwitch, 3),
+            0x50_0000,   // bb id
+            0x0100_0040, // load addr
+            0x0100_0080, // store addr
+        ];
+        let mut sink = CollectSink::default();
+        p.parse_all(&words, &mut sink);
+        assert_eq!(p.stats.errors, 0, "{:?}", p.errors);
+        // I I D I D I pattern by addresses:
+        let i: Vec<u32> = sink.irefs.iter().map(|r| r.0).collect();
+        assert_eq!(i, vec![0x40_0000, 0x40_0004, 0x40_0008, 0x40_000c]);
+        assert_eq!(
+            sink.drefs,
+            vec![
+                (0x0100_0040, false, Space::User(3)),
+                (0x0100_0080, true, Space::User(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn kernel_interrupt_mid_block_suspends_and_resumes() {
+        let ut = table(vec![(0x50_0000, bb(0x40_0000, 4, vec![ld(0), ld(3)]))]);
+        let kt = table(vec![(0x8003_0100, bb(0x8003_0000, 2, vec![st(1)]))]);
+        let mut p = TraceParser::new(kt);
+        p.set_user_table(1, ut);
+        let words = [
+            ctl(CtlOp::CtxSwitch, 1),
+            0x50_0000,
+            0x0100_0000, // first user load
+            ctl(CtlOp::KEnter, 8),
+            0x8003_0100, // kernel bb
+            0x8030_0000, // kernel store
+            ctl(CtlOp::KExit, 0),
+            0x0100_0004, // second user load resumes the same bb
+        ];
+        let mut sink = CollectSink::default();
+        p.parse_all(&words, &mut sink);
+        assert_eq!(p.stats.errors, 0, "{:?}", p.errors);
+        assert_eq!(p.stats.kernel_entries, 1);
+        // User irefs are all four instructions of the user bb.
+        let user_i: Vec<u32> = sink
+            .irefs
+            .iter()
+            .filter(|r| r.1 == Space::User(1))
+            .map(|r| r.0)
+            .collect();
+        assert_eq!(user_i, vec![0x40_0000, 0x40_0004, 0x40_0008, 0x40_000c]);
+        let kern_i: Vec<u32> = sink
+            .irefs
+            .iter()
+            .filter(|r| r.1 == Space::Kernel)
+            .map(|r| r.0)
+            .collect();
+        assert_eq!(kern_i, vec![0x8003_0000, 0x8003_0004]);
+        // Kernel dref sits between the two user drefs in stream order.
+        assert_eq!(sink.drefs[1].2, Space::Kernel);
+    }
+
+    #[test]
+    fn nested_kernel_interrupts() {
+        let kt = table(vec![
+            (0x8003_0100, bb(0x8003_0000, 3, vec![ld(0), ld(2)])),
+            (0x8004_0100, bb(0x8004_0000, 1, vec![])),
+        ]);
+        let mut p = TraceParser::new(kt);
+        let words = [
+            ctl(CtlOp::KEnter, 0),
+            0x8003_0100,
+            0x8030_0000,
+            // Nested interrupt between this bb's two loads.
+            ctl(CtlOp::KEnter, 0),
+            0x8004_0100,
+            ctl(CtlOp::KExit, 0),
+            0x8030_0004, // second load of the outer bb
+            ctl(CtlOp::KExit, 0),
+        ];
+        let mut sink = CollectSink::default();
+        p.parse_all(&words, &mut sink);
+        assert_eq!(p.stats.errors, 0, "{:?}", p.errors);
+        assert_eq!(sink.drefs.len(), 2);
+        assert_eq!(sink.irefs.len(), 4);
+    }
+
+    #[test]
+    fn unknown_bb_is_detected() {
+        let ut = table(vec![(0x50_0000, bb(0x40_0000, 1, vec![]))]);
+        let mut p = TraceParser::new(table(vec![]));
+        p.set_user_table(0, ut);
+        let mut sink = CollectSink::default();
+        p.parse_all(&[0x66_0000], &mut sink);
+        assert_eq!(p.stats.errors, 1);
+        assert!(matches!(p.errors[0], ParseError::UnknownBb { .. }));
+    }
+
+    #[test]
+    fn kernel_addr_in_user_context_is_wrong_space() {
+        let mut p = TraceParser::new(table(vec![]));
+        p.set_user_table(0, table(vec![]));
+        let mut sink = CollectSink::default();
+        p.parse_all(&[0x8003_0000], &mut sink);
+        assert!(matches!(p.errors[0], ParseError::WrongSpace { .. }));
+    }
+
+    #[test]
+    fn truncated_block_is_detected() {
+        let ut = table(vec![(0x50_0000, bb(0x40_0000, 2, vec![ld(0), ld(1)]))]);
+        let mut p = TraceParser::new(table(vec![]));
+        p.set_user_table(0, ut);
+        let mut sink = CollectSink::default();
+        p.parse_all(
+            &[ctl(CtlOp::CtxSwitch, 0), 0x50_0000, 0x0100_0000],
+            &mut sink,
+        );
+        assert!(p
+            .errors
+            .iter()
+            .any(|e| matches!(e, ParseError::Truncated { missing: 1, .. })));
+    }
+
+    #[test]
+    fn idle_flags_count_instructions() {
+        let mut idle_bb = bb(0x8005_0000, 3, vec![]);
+        idle_bb.flags.idle_start = true;
+        let mut stop_bb = bb(0x8005_0100, 2, vec![]);
+        stop_bb.flags.idle_stop = true;
+        let kt = table(vec![(0x8005_0010, idle_bb), (0x8005_0110, stop_bb)]);
+        let mut p = TraceParser::new(kt);
+        let words = [
+            ctl(CtlOp::KEnter, 0),
+            0x8005_0010,
+            0x8005_0010,
+            0x8005_0110,
+            ctl(CtlOp::KExit, 0),
+        ];
+        let mut sink = CollectSink::default();
+        p.parse_all(&words, &mut sink);
+        assert_eq!(p.stats.errors, 0, "{:?}", p.errors);
+        // Two idle bbs of 3 insts each; the stop bb is not idle.
+        assert_eq!(p.stats.idle_insts, 6);
+    }
+
+    #[test]
+    fn mode_transitions_counted() {
+        let mut p = TraceParser::new(table(vec![]));
+        let mut sink = CollectSink::default();
+        p.parse_all(
+            &[
+                ctl(CtlOp::TraceOff, 0),
+                ctl(CtlOp::TraceOn, 0),
+                ctl(CtlOp::TraceOff, 0),
+            ],
+            &mut sink,
+        );
+        assert_eq!(p.stats.mode_transitions, 2);
+    }
+
+    #[test]
+    fn context_switch_between_processes() {
+        let t1 = table(vec![(0x50_0000, bb(0x40_0000, 1, vec![ld(0)]))]);
+        let t2 = table(vec![(0x60_0000, bb(0x41_0000, 1, vec![]))]);
+        let mut p = TraceParser::new(table(vec![]));
+        p.set_user_table(1, t1);
+        p.set_user_table(2, t2);
+        let words = [
+            ctl(CtlOp::CtxSwitch, 1),
+            0x50_0000,
+            // Interrupted before its load arrives; scheduler switches.
+            ctl(CtlOp::KEnter, 0),
+            ctl(CtlOp::CtxSwitch, 2),
+            ctl(CtlOp::KExit, 0),
+            0x60_0000,
+            // Back to process 1; the pending load finally lands.
+            ctl(CtlOp::KEnter, 0),
+            ctl(CtlOp::CtxSwitch, 1),
+            ctl(CtlOp::KExit, 0),
+            0x0100_0000,
+        ];
+        let mut sink = CollectSink::default();
+        p.parse_all(&words, &mut sink);
+        assert_eq!(p.stats.errors, 0, "{:?}", p.errors);
+        assert_eq!(sink.drefs, vec![(0x0100_0000, false, Space::User(1))]);
+        assert_eq!(p.stats.ctx_switches, 3);
+    }
+}

@@ -1,0 +1,145 @@
+//! Deterministic classification tests for every defensive check the
+//! parser performs (§4.3: "when trace data is damaged... the damage
+//! is reported, the simulator state for the afflicted process is
+//! discarded, and analysis continues").
+
+use std::sync::Arc;
+use wrl_isa::Width;
+use wrl_trace::bbinfo::{BbInfo, BbTable, BbTraceFlags, MemOp};
+use wrl_trace::format::{ctl, CtlOp};
+use wrl_trace::parser::ParseError;
+use wrl_trace::{CollectSink, TraceParser};
+
+const UBB: u32 = 0x0050_0000;
+const KBB: u32 = 0x8003_0000;
+
+fn tables() -> (Arc<BbTable>, Arc<BbTable>) {
+    let mut ut = BbTable::new();
+    ut.insert(
+        UBB,
+        BbInfo {
+            orig_vaddr: 0x0040_0000,
+            n_insts: 3,
+            ops: vec![MemOp {
+                index: 1,
+                store: true,
+                width: Width::Word,
+            }],
+            flags: BbTraceFlags::default(),
+        },
+    );
+    let mut kt = BbTable::new();
+    kt.insert(
+        KBB,
+        BbInfo {
+            orig_vaddr: 0x8000_0400,
+            n_insts: 2,
+            ops: vec![],
+            flags: BbTraceFlags::default(),
+        },
+    );
+    (Arc::new(kt), Arc::new(ut))
+}
+
+fn parse(words: &[u32]) -> (TraceParser, CollectSink) {
+    let (kt, ut) = tables();
+    let mut p = TraceParser::new(kt);
+    p.set_user_table(7, ut);
+    let mut sink = CollectSink::default();
+    p.parse_all(words, &mut sink);
+    (p, sink)
+}
+
+#[test]
+fn unknown_block_id_is_reported_and_parsing_continues() {
+    // A bogus block id, then a healthy block: the error is localized.
+    let words = [ctl(CtlOp::CtxSwitch, 7), 0x0077_0000, UBB, 0x0100_0000];
+    let (p, sink) = parse(&words);
+    assert_eq!(p.stats.errors, 1);
+    assert!(matches!(
+        p.errors[0],
+        ParseError::UnknownBb {
+            word: 0x0077_0000,
+            ..
+        }
+    ));
+    assert_eq!(sink.irefs.len(), 3, "the healthy block still parses");
+}
+
+#[test]
+fn kernel_block_in_user_context_is_wrong_space() {
+    let words = [ctl(CtlOp::CtxSwitch, 7), KBB];
+    let (p, _) = parse(&words);
+    assert!(p
+        .errors
+        .iter()
+        .any(|e| matches!(e, ParseError::WrongSpace { word, .. } if *word == KBB)));
+}
+
+#[test]
+fn junk_control_word_is_bad_control() {
+    // Control range is < 0x10000; opcode 0x3f is unassigned.
+    let words = [ctl(CtlOp::CtxSwitch, 7), 0x0000_3f00 | 0x3f];
+    let (p, _) = parse(&words);
+    assert!(p
+        .errors
+        .iter()
+        .any(|e| matches!(e, ParseError::BadControl { .. })));
+}
+
+#[test]
+fn stream_ending_mid_block_is_truncation() {
+    // UBB owes one memory word that never arrives.
+    let words = [ctl(CtlOp::CtxSwitch, 7), UBB];
+    let (p, sink) = parse(&words);
+    assert!(p.errors.iter().any(|e| matches!(
+        e,
+        ParseError::Truncated { bb_id, missing: 1 } if *bb_id == UBB
+    )));
+    // The block's instructions before the missing op were still usable.
+    assert!(!sink.irefs.is_empty());
+}
+
+#[test]
+fn kexit_without_kenter_is_unbalanced() {
+    let words = [ctl(CtlOp::CtxSwitch, 7), ctl(CtlOp::KExit, 0)];
+    let (p, _) = parse(&words);
+    assert!(p
+        .errors
+        .iter()
+        .any(|e| matches!(e, ParseError::UnbalancedKExit { .. })));
+}
+
+#[test]
+fn missing_user_table_is_reported_once_per_asid() {
+    let words = [ctl(CtlOp::CtxSwitch, 9), UBB, UBB];
+    let (p, _) = parse(&words);
+    let n = p
+        .errors
+        .iter()
+        .filter(|e| matches!(e, ParseError::NoTableForAsid { asid: 9 }))
+        .count();
+    assert!(n >= 1, "missing table must be reported");
+}
+
+#[test]
+fn damage_in_one_process_does_not_poison_another() {
+    // ASID 9 has no table (damage), ASID 7 is healthy; the healthy
+    // stream parses in full despite the interleaved afflicted one.
+    let words = [
+        ctl(CtlOp::CtxSwitch, 9),
+        0x0123_4567,
+        ctl(CtlOp::CtxSwitch, 7),
+        UBB,
+        0x0100_0000,
+        ctl(CtlOp::CtxSwitch, 9),
+        0x0222_2222,
+        ctl(CtlOp::CtxSwitch, 7),
+        UBB,
+        0x0100_0004,
+    ];
+    let (p, sink) = parse(&words);
+    assert!(p.stats.errors > 0);
+    assert_eq!(sink.irefs.len(), 6, "both healthy blocks parse fully");
+    assert_eq!(sink.drefs.len(), 2);
+}

@@ -1,0 +1,21 @@
+//! Prints each workload's bare-machine event signature — a quick way
+//! to inspect the Table-1 characteristics (instructions, stalls,
+//! cache misses) after changing a workload.
+
+fn main() {
+    for w in wrl_workloads::all() {
+        let r = wrl_workloads::run_bare(&w);
+        let c = &r.machine.counters;
+        println!(
+            "{:10} insts={:>9} cycles={:>10} fp_stall={:>8} fp_ideal={:>8} wb={:>8} dcm={:>8} icm={:>6}",
+            w.name,
+            r.insts,
+            c.cycles,
+            c.fp_stall_cycles,
+            c.fp_stall_ideal,
+            c.wb_stall_cycles,
+            c.dcache_misses,
+            c.icache_misses
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! `doduc` — "Monte-Carlo simulation of the time evolution of a
+//! nuclear reactor component … written in Fortran" (Table 1).
+//!
+//! Monte-Carlo means a random-number stream driving data-dependent
+//! branches into short floating-point sequences — the opposite block
+//! structure from fpppp. Each trial draws from an inline LCG,
+//! converts to a double in [0,1), branches three ways (absorption,
+//! scattering, fission) with different FP mixes, and accumulates.
+
+use wrl_isa::asm::Asm;
+use wrl_isa::reg::*;
+use wrl_isa::Object;
+
+/// Monte-Carlo trials.
+const TRIALS: i32 = 250_000;
+
+/// Program text.
+pub fn object() -> Object {
+    let mut a = Asm::new("doduc");
+    a.global_label("main");
+    a.addiu(SP, SP, -24);
+    a.sw(RA, 20, SP);
+    a.sw(S0, 16, SP);
+    a.sw(S1, 12, SP);
+    a.sw(S2, 8, SP);
+
+    a.li(S0, TRIALS);
+    a.li(S1, 12345); // LCG state
+    a.li(S2, 0); // fission count
+                 // FP constants.
+    a.li_d(F20, 0.0); // energy accumulator
+    a.li_d(F22, 4.656612873077393e-10); // 2^-31
+    a.li_d(F24, 1.021); // scatter gain
+    a.li_d(F26, 0.735); // absorption loss
+    a.li_d(F28, 0.0); // flux accumulator
+
+    a.label("dd_trial");
+    // Inline LCG: s = s*1103515245 + 12345.
+    a.li(T0, 1103515245);
+    a.multu(S1, T0);
+    a.mflo(S1);
+    a.li(T0, 12345);
+    a.addu(S1, S1, T0);
+    a.srl(T1, S1, 1); // 31-bit draw
+                      // u = draw * 2^-31 (double in [0,1)).
+    a.mtc1(T1, F0);
+    a.cvt_d_w(F2, F0);
+    a.mul_d(F2, F2, F22);
+    // Three-way branch on the draw.
+    a.li(T2, 0x2666_6666); // ~0.30 * 2^31
+    a.sltu(T3, T1, T2);
+    a.bne(T3, ZERO, "dd_absorb");
+    a.nop();
+    a.li(T2, 0x5999_9999); // ~0.70 * 2^31
+    a.sltu(T3, T1, T2);
+    a.bne(T3, ZERO, "dd_scatter");
+    a.nop();
+    // Fission: energy += u * u + 0.5; count it.
+    a.mul_d(F4, F2, F2);
+    a.li_d(F6, 0.5);
+    a.add_d(F4, F4, F6);
+    a.add_d(F20, F20, F4);
+    a.b("dd_next");
+    a.addiu(S2, S2, 1);
+    a.label("dd_absorb");
+    // Absorption: flux -= u * loss.
+    a.mul_d(F4, F2, F26);
+    a.sub_d(F28, F28, F4);
+    a.b("dd_next");
+    a.nop();
+    a.label("dd_scatter");
+    // Scattering: energy = energy*gain - u; one divide now and then.
+    a.mul_d(F4, F20, F24);
+    a.sub_d(F4, F4, F2);
+    a.andi(T4, T1, 63);
+    a.bne(T4, ZERO, "dd_nodiv");
+    a.nop();
+    a.li_d(F6, 1.0001);
+    a.div_d(F4, F4, F6); // keep the accumulator bounded
+    a.label("dd_nodiv");
+    a.mov_d(F20, F4);
+    a.label("dd_next");
+    // Periodically store state to the history array.
+    a.andi(T5, S0, 127);
+    a.bne(T5, ZERO, "dd_nostore");
+    a.nop();
+    a.la(T6, "dd_hist");
+    a.andi(T7, S0, 0x3ff8);
+    a.addu(T6, T6, T7);
+    a.sdc1(F20, 0, T6);
+    a.label("dd_nostore");
+    a.addiu(S0, S0, -1);
+    a.bne(S0, ZERO, "dd_trial");
+    a.nop();
+
+    a.move_(A0, S2);
+    a.jal("__print_u32");
+    a.nop();
+    a.move_(V0, S2);
+    a.lw(RA, 20, SP);
+    a.lw(S0, 16, SP);
+    a.lw(S1, 12, SP);
+    a.lw(S2, 8, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 24);
+
+    a.data();
+    a.align4();
+    a.label("dd_hist");
+    a.space(16 * 1024 + 8);
+    a.finish()
+}
+
+/// No input files.
+pub fn files() -> Vec<(String, Vec<u8>)> {
+    vec![]
+}

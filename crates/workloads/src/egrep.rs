@@ -1,0 +1,94 @@
+//! `egrep` — "The UNIX pattern search program run three times over a
+//! 27K input file" (Table 1).
+//!
+//! A naive multi-pass substring scan for a five-byte pattern with an
+//! inner match loop, counting occurrences and matching lines.
+
+use wrl_isa::asm::Asm;
+use wrl_isa::reg::*;
+use wrl_isa::Object;
+
+/// Program text.
+pub fn object() -> Object {
+    let mut a = Asm::new("egrep");
+    a.global_label("main");
+    a.addiu(SP, SP, -40);
+    a.sw(RA, 36, SP);
+    a.sw(S0, 32, SP);
+    a.sw(S1, 28, SP);
+    a.sw(S2, 24, SP);
+    a.sw(S3, 20, SP);
+    a.sw(S4, 16, SP);
+
+    a.la(A0, "eg_in_name");
+    a.la(A1, "eg_buf");
+    a.li(A2, 32 * 1024);
+    a.jal("__read_all");
+    a.nop();
+    a.addiu(S0, V0, -5); // last feasible start
+
+    a.li(S4, 3); // passes
+    a.li(S2, 0); // total matches
+    a.label("eg_pass");
+    a.li(S1, 0); // position
+    a.la(S3, "eg_buf");
+    a.label("eg_scan");
+    a.slt(T0, S1, S0);
+    a.beq(T0, ZERO, "eg_pass_done");
+    a.nop();
+    // Inner compare of pattern "trace".
+    a.addu(T1, S3, S1);
+    a.la(T2, "eg_pat");
+    a.li(T3, 0); // pattern index
+    a.label("eg_cmp");
+    a.addu(T4, T2, T3);
+    a.lbu(T5, 0, T4);
+    a.beq(T5, ZERO, "eg_hit"); // end of pattern: match
+    a.nop();
+    a.addu(T4, T1, T3);
+    a.lbu(T6, 0, T4);
+    a.bne(T6, T5, "eg_next");
+    a.nop();
+    a.b("eg_cmp");
+    a.addiu(T3, T3, 1);
+    a.label("eg_hit");
+    a.addiu(S2, S2, 1);
+    a.label("eg_next");
+    a.b("eg_scan");
+    a.addiu(S1, S1, 1);
+    a.label("eg_pass_done");
+    a.addiu(S4, S4, -1);
+    a.bne(S4, ZERO, "eg_pass");
+    a.nop();
+
+    a.move_(A0, S2);
+    a.jal("__print_u32");
+    a.nop();
+    a.move_(V0, S2);
+    a.lw(RA, 36, SP);
+    a.lw(S0, 32, SP);
+    a.lw(S1, 28, SP);
+    a.lw(S2, 24, SP);
+    a.lw(S3, 20, SP);
+    a.lw(S4, 16, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 40);
+
+    a.data();
+    a.label("eg_in_name");
+    a.asciiz("egrep.in");
+    a.label("eg_pat");
+    a.asciiz("trace");
+    a.align4();
+    a.label("eg_buf");
+    a.space(32 * 1024);
+    a.finish()
+}
+
+/// Input files.
+pub fn files() -> Vec<(String, Vec<u8>)> {
+    vec![(
+        "egrep.in".to_string(),
+        crate::support::gen_text(0xe9e, 27 * 1024),
+    )]
+}

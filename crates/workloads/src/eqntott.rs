@@ -1,0 +1,129 @@
+//! `eqntott` — "A program that converts boolean equations to truth
+//! tables using a 1390 byte input file" (Table 1).
+//!
+//! eqntott's notorious property — by far the highest TLB miss counts
+//! in Table 3 — comes from building a truth table far larger than the
+//! TLB reach with a scattered store pattern. The boolean expression
+//! (read from the small input file) is evaluated for every input
+//! combination; results are stored with a multiplicative hash scatter
+//! across a 2 MB table, then verified in a sequential pass.
+
+use wrl_isa::asm::Asm;
+use wrl_isa::reg::*;
+use wrl_isa::Object;
+
+/// Number of input combinations evaluated.
+const N: i32 = 393_216;
+/// Truth-table size (bytes, power of two).
+const TABLE: i32 = 2 << 20;
+
+/// Program text.
+pub fn object() -> Object {
+    let mut a = Asm::new("eqntott");
+    a.global_label("main");
+    a.addiu(SP, SP, -32);
+    a.sw(RA, 28, SP);
+    a.sw(S0, 24, SP);
+    a.sw(S1, 20, SP);
+    a.sw(S2, 16, SP);
+    a.sw(S3, 12, SP);
+
+    // Read the equation description (used to pick the operator mix).
+    a.la(A0, "eq_in_name");
+    a.la(A1, "eq_buf");
+    a.li(A2, 2048);
+    a.jal("__read_all");
+    a.nop();
+    // Fold the input into an operator-select mask.
+    a.move_(T0, V0);
+    a.li(S3, 0);
+    a.la(T1, "eq_buf");
+    a.label("eq_fold");
+    a.blez(T0, "eq_fold_done");
+    a.nop();
+    a.addiu(T0, T0, -1);
+    a.addu(T2, T1, T0);
+    a.lbu(T3, 0, T2);
+    a.xor(S3, S3, T3);
+    a.b("eq_fold");
+    a.sll(S3, S3, 1);
+    a.label("eq_fold_done");
+
+    // The truth table.
+    a.li(A0, TABLE);
+    a.jal("__sbrk");
+    a.nop();
+    a.move_(S0, V0); // table base
+
+    // Evaluate all N combinations.
+    a.li(S1, 0); // i
+    a.li(S2, 0); // ones count
+    a.label("eq_eval");
+    // v = boolean expression over the bits of i, flavoured by S3.
+    a.srl(T0, S1, 1);
+    a.xor(T0, T0, S1); // x1 = i ^ (i>>1)
+    a.srl(T1, S1, 3);
+    a.and(T0, T0, T1); // x2 = x1 & (i>>3)
+    a.srl(T1, S1, 7);
+    a.or(T0, T0, T1); // x3 = x2 | (i>>7)
+    a.srl(T1, S1, 11);
+    a.xor(T0, T0, T1);
+    a.xor(T0, T0, S3); // mix in the equation flavour
+    a.srl(T1, T0, 2);
+    a.and(T0, T0, T1);
+    a.andi(T0, T0, 1); // v
+    a.addu(S2, S2, T0);
+    // Scatter index: (i * 40503) & (TABLE-1).
+    a.li(T1, 40503);
+    a.multu(S1, T1);
+    a.mflo(T1);
+    a.li(T2, TABLE - 1);
+    a.and(T1, T1, T2);
+    a.addu(T1, S0, T1);
+    a.sb(T0, 0, T1);
+    a.addiu(S1, S1, 1);
+    a.li(T3, N);
+    a.bne(S1, T3, "eq_eval");
+    a.nop();
+
+    // Sequential verification pass over a sample of the table.
+    a.li(S1, 0);
+    a.li(T9, 0); // checksum
+    a.label("eq_sum");
+    a.addu(T0, S0, S1);
+    a.lbu(T1, 0, T0);
+    a.addu(T9, T9, T1);
+    a.addiu(S1, S1, 64);
+    a.li(T2, TABLE);
+    a.bne(S1, T2, "eq_sum");
+    a.nop();
+
+    a.addu(S2, S2, T9);
+    a.move_(A0, S2);
+    a.jal("__print_u32");
+    a.nop();
+    a.move_(V0, S2);
+    a.lw(RA, 28, SP);
+    a.lw(S0, 24, SP);
+    a.lw(S1, 20, SP);
+    a.lw(S2, 16, SP);
+    a.lw(S3, 12, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 32);
+
+    a.data();
+    a.label("eq_in_name");
+    a.asciiz("eqntott.in");
+    a.align4();
+    a.label("eq_buf");
+    a.space(2048);
+    a.finish()
+}
+
+/// Input files: a 1390-byte equation description, as in Table 1.
+pub fn files() -> Vec<(String, Vec<u8>)> {
+    vec![(
+        "eqntott.in".to_string(),
+        crate::support::gen_text(0xe161, 1390),
+    )]
+}

@@ -1,0 +1,173 @@
+//! `espresso` — "A program that minimizes boolean functions run on a
+//! 30K input file" (Table 1).
+//!
+//! Two-level logic minimisation is dominated by pairwise cube
+//! operations on wide bitsets: intersection, containment tests and
+//! literal counting. Cubes are 256-bit vectors (8 words) built from
+//! the input file; the quadratic covering pass marks contained cubes
+//! and counts the surviving cover, with Kernighan popcounts supplying
+//! the branchy bit-twiddling inner loops.
+
+use wrl_isa::asm::Asm;
+use wrl_isa::reg::*;
+use wrl_isa::Object;
+
+/// Number of cubes.
+const N_CUBES: u32 = 96;
+/// Words per cube.
+const CUBE_WORDS: u32 = 8;
+
+/// Program text.
+pub fn object() -> Object {
+    let mut a = Asm::new("espresso");
+    a.global_label("main");
+    a.addiu(SP, SP, -48);
+    a.sw(RA, 44, SP);
+    for (i, r) in [S0, S1, S2, S3, S4].iter().enumerate() {
+        a.sw(*r, 40 - 4 * i as i16, SP);
+    }
+
+    a.la(A0, "es_in_name");
+    a.la(A1, "es_buf");
+    a.li(A2, 32 * 1024);
+    a.jal("__read_all");
+    a.nop();
+    a.move_(S0, V0);
+
+    // Build cubes from input bytes: cube[i][w] = mix of input words.
+    a.li(S1, 0); // cube index
+    a.la(T6, "es_buf");
+    a.la(T7, "es_cubes");
+    a.label("es_build");
+    a.li(T0, N_CUBES as i32);
+    a.beq(S1, T0, "es_build_done");
+    a.nop();
+    a.li(S2, 0); // word index
+    a.label("es_bw");
+    // src offset = (i * 131 + w * 17) mod (len-4), byte-assembled.
+    a.li(T0, 131);
+    a.multu(S1, T0);
+    a.mflo(T1);
+    a.sll(T2, S2, 4);
+    a.addu(T1, T1, T2);
+    a.addu(T1, T1, S2);
+    a.addiu(T3, S0, -4);
+    a.divu(T1, T3);
+    a.mfhi(T1);
+    a.addu(T2, T6, T1);
+    a.lbu(T3, 0, T2);
+    a.lbu(T4, 1, T2);
+    a.sll(T4, T4, 8);
+    a.or(T3, T3, T4);
+    a.lbu(T4, 2, T2);
+    a.sll(T4, T4, 16);
+    a.or(T3, T3, T4);
+    a.lbu(T4, 3, T2);
+    a.sll(T4, T4, 24);
+    a.or(T3, T3, T4);
+    // dst = cubes + (i*8 + w)*4
+    a.sll(T4, S1, 3);
+    a.addu(T4, T4, S2);
+    a.sll(T4, T4, 2);
+    a.addu(T4, T7, T4);
+    a.sw(T3, 0, T4);
+    a.addiu(S2, S2, 1);
+    a.li(T0, CUBE_WORDS as i32);
+    a.bne(S2, T0, "es_bw");
+    a.nop();
+    a.b("es_build");
+    a.addiu(S1, S1, 1);
+    a.label("es_build_done");
+
+    // Covering pass: for each pair (i, j != i), test whether cube i is
+    // contained in cube j ((i AND j) == i) and accumulate the
+    // popcount of the intersection.
+    a.li(S1, 0); // i
+    a.li(S3, 0); // contained count
+    a.li(S4, 0); // popcount accumulator
+    a.label("es_i");
+    a.li(T0, N_CUBES as i32);
+    a.beq(S1, T0, "es_pairs_done");
+    a.nop();
+    a.li(S2, 0); // j
+    a.label("es_j");
+    a.li(T0, N_CUBES as i32);
+    a.beq(S2, T0, "es_j_done");
+    a.nop();
+    a.beq(S1, S2, "es_j_next");
+    a.nop();
+    // Walk the 8 words.
+    a.li(T0, 0); // word index
+    a.li(T1, 1); // contained flag
+    a.label("es_w");
+    a.sll(T2, S1, 3);
+    a.addu(T2, T2, T0);
+    a.sll(T2, T2, 2);
+    a.addu(T2, T7, T2);
+    a.lw(T3, 0, T2); // a = cube[i][w]
+    a.sll(T2, S2, 3);
+    a.addu(T2, T2, T0);
+    a.sll(T2, T2, 2);
+    a.addu(T2, T7, T2);
+    a.lw(T4, 0, T2); // b = cube[j][w]
+    a.and(T5, T3, T4); // intersection
+    a.bne(T5, T3, "es_not_cont");
+    a.nop();
+    a.b("es_cont_ok");
+    a.nop();
+    a.label("es_not_cont");
+    a.li(T1, 0);
+    a.label("es_cont_ok");
+    // Kernighan popcount of the intersection word.
+    a.label("es_pc");
+    a.beq(T5, ZERO, "es_pc_done");
+    a.nop();
+    a.addiu(T8, T5, -1);
+    a.and(T5, T5, T8);
+    a.b("es_pc");
+    a.addiu(S4, S4, 1);
+    a.label("es_pc_done");
+    a.addiu(T0, T0, 1);
+    a.li(T2, CUBE_WORDS as i32);
+    a.bne(T0, T2, "es_w");
+    a.nop();
+    a.beq(T1, ZERO, "es_j_next");
+    a.nop();
+    a.addiu(S3, S3, 1); // cube i covered by cube j
+    a.label("es_j_next");
+    a.b("es_j");
+    a.addiu(S2, S2, 1);
+    a.label("es_j_done");
+    a.b("es_i");
+    a.addiu(S1, S1, 1);
+    a.label("es_pairs_done");
+
+    a.move_(A0, S4);
+    a.jal("__print_u32");
+    a.nop();
+    a.move_(V0, S4);
+    a.lw(RA, 44, SP);
+    for (i, r) in [S0, S1, S2, S3, S4].iter().enumerate() {
+        a.lw(*r, 40 - 4 * i as i16, SP);
+    }
+    a.jr(RA);
+    a.addiu(SP, SP, 48);
+
+    a.data();
+    a.label("es_in_name");
+    a.asciiz("espresso.in");
+    a.align4();
+    a.label("es_buf");
+    a.space(32 * 1024);
+    a.label("es_cubes");
+    a.space(N_CUBES * CUBE_WORDS * 4);
+    a.finish()
+}
+
+/// Input files.
+pub fn files() -> Vec<(String, Vec<u8>)> {
+    vec![(
+        "espresso.in".to_string(),
+        crate::support::gen_binary(0xe59, 30 * 1024),
+    )]
+}

@@ -1,0 +1,105 @@
+//! `fpppp` — "A program that does quantum chemistry analysis …
+//! written in Fortran" (Table 1).
+//!
+//! fpppp's signature is enormous straight-line basic blocks of
+//! floating-point code (two-electron integral evaluation with no
+//! branches for hundreds of instructions). Four generated routines
+//! each evaluate a ~250-operation dependence web over eight input
+//! doubles and store four results; the long blocks make fpppp the
+//! workload with the lowest per-block instrumentation overhead and
+//! significant FP interlock.
+
+use wrl_isa::asm::Asm;
+use wrl_isa::reg::*;
+use wrl_isa::Object;
+
+/// Main-loop iterations.
+const ITERS: i32 = 6000;
+/// FP operations per generated routine.
+const OPS: usize = 250;
+
+/// Program text.
+pub fn object() -> Object {
+    let mut a = Asm::new("fpppp");
+
+    // Four straight-line integral kernels.
+    let mut rng = 0xf999u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    for k in 0..4 {
+        a.global_label(&format!("fp_kern{k}"));
+        a.la(T0, "fp_in");
+        // Load eight input doubles into f0..f14.
+        for (slot, reg) in [F0, F2, F4, F6, F8, F10, F12, F14].iter().enumerate() {
+            a.ldc1(*reg, (slot * 8) as i16, T0);
+        }
+        // A long dependence web over f0..f22.
+        let regs = [F0, F2, F4, F6, F8, F10, F12, F14, F16, F18, F20, F22];
+        for _ in 0..OPS {
+            let d = regs[8 + (next() % 4) as usize]; // dest in temps
+            let s1 = regs[(next() % 12) as usize];
+            let s2 = regs[(next() % 8) as usize];
+            match next() % 8 {
+                0..=2 => a.add_d(d, s1, s2),
+                3 | 4 => a.mul_d(d, s1, s2),
+                5 | 6 => a.sub_d(d, s1, s2),
+                _ => a.abs_d(d, s1),
+            }
+        }
+        a.la(T1, "fp_out");
+        for (slot, reg) in [F16, F18, F20, F22].iter().enumerate() {
+            a.sdc1(*reg, ((k * 4 + slot) * 8) as i16, T1);
+        }
+        a.jr(RA);
+        a.nop();
+    }
+
+    a.global_label("main");
+    a.addiu(SP, SP, -16);
+    a.sw(RA, 12, SP);
+    a.sw(S0, 8, SP);
+    // Initialise the input vector with bounded constants.
+    a.la(T0, "fp_in");
+    for slot in 0..8 {
+        a.li_d(F0, 0.25 + slot as f64 * 0.125);
+        a.sdc1(F0, slot * 8, T0);
+    }
+    a.li(S0, ITERS);
+    a.label("fp_loop");
+    for k in 0..4 {
+        a.jal(&format!("fp_kern{k}"));
+        a.nop();
+    }
+    a.addiu(S0, S0, -1);
+    a.bne(S0, ZERO, "fp_loop");
+    a.nop();
+    // Checksum: integer view of the first result word.
+    a.la(T0, "fp_out");
+    a.lw(V0, 0, T0);
+    a.srl(A0, V0, 16);
+    a.jal("__print_u32");
+    a.nop();
+    a.la(T0, "fp_out");
+    a.lw(V0, 0, T0);
+    a.lw(RA, 12, SP);
+    a.lw(S0, 8, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 16);
+
+    a.data();
+    a.align4();
+    a.label("fp_in");
+    a.space(8 * 8);
+    a.label("fp_out");
+    a.space(16 * 8);
+    a.finish()
+}
+
+/// No input files.
+pub fn files() -> Vec<(String, Vec<u8>)> {
+    vec![]
+}

@@ -1,0 +1,282 @@
+//! `gcc` — "The GNU C compiler translating a 17K (preprocessed)
+//! source file into optimized Sun-3 assembly code" (Table 1).
+//!
+//! A compiler's signature behaviour is a large instruction footprint
+//! exercised in phases: lexing, tree building, repeated optimisation
+//! passes over heap-allocated nodes, and code emission dispatched
+//! through per-construct handlers. This program reproduces that
+//! shape: a lexer pass, a node-table builder, three optimisation
+//! passes chasing node links, and an emitter that dispatches every
+//! node through a jump table of 128 *distinct* generated handler
+//! functions — giving gcc by far the largest text of the workloads.
+
+use wrl_isa::asm::Asm;
+use wrl_isa::reg::*;
+use wrl_isa::Object;
+
+const N_HANDLERS: u32 = 128;
+
+/// Program text.
+pub fn object() -> Object {
+    let mut a = Asm::new("gcc");
+    a.global_label("main");
+    a.addiu(SP, SP, -40);
+    a.sw(RA, 36, SP);
+    a.sw(S0, 32, SP);
+    a.sw(S1, 28, SP);
+    a.sw(S2, 24, SP);
+    a.sw(S3, 20, SP);
+    a.sw(S4, 16, SP);
+
+    a.la(A0, "gc_in_name");
+    a.la(A1, "gc_src");
+    a.li(A2, 24 * 1024);
+    a.jal("__read_all");
+    a.nop();
+    a.move_(S0, V0); // source length
+
+    // ---- Phase 1: lex. token[i] = class(c) | handler-index bits ----
+    a.li(S1, 0);
+    a.la(T6, "gc_src");
+    a.la(T7, "gc_tok");
+    a.label("gc_lex");
+    a.beq(S1, S0, "gc_lex_done");
+    a.nop();
+    a.addu(T0, T6, S1);
+    a.lbu(T1, 0, T0);
+    // class: letter 0, digit 1, space 2, other 3.
+    a.li(T2, 0);
+    a.sltiu(T3, T1, 97); // < 'a'?
+    a.bne(T3, ZERO, "gc_notlower");
+    a.nop();
+    a.sltiu(T3, T1, 123); // <= 'z'?
+    a.bne(T3, ZERO, "gc_class_done");
+    a.li(T2, 0);
+    a.label("gc_notlower");
+    a.sltiu(T3, T1, 48);
+    a.bne(T3, ZERO, "gc_other");
+    a.nop();
+    a.sltiu(T3, T1, 58);
+    a.bne(T3, ZERO, "gc_class_done");
+    a.li(T2, 1);
+    a.label("gc_other");
+    a.li(T4, 32);
+    a.beq(T1, T4, "gc_class_done");
+    a.li(T2, 2);
+    a.li(T4, 10);
+    a.beq(T1, T4, "gc_class_done");
+    a.li(T2, 2);
+    a.li(T2, 3);
+    a.label("gc_class_done");
+    // token = class | (c*7 & 0x7c): low bits select the handler.
+    a.sll(T3, T1, 3);
+    a.subu(T3, T3, T1); // c*7
+    a.andi(T3, T3, 0x7c);
+    a.or(T2, T2, T3);
+    a.addu(T4, T7, S1);
+    a.sb(T2, 0, T4);
+    a.b("gc_lex");
+    a.addiu(S1, S1, 1);
+    a.label("gc_lex_done");
+
+    // ---- Phase 2: build the node table on the heap ----
+    // node[i] = { kind, val, left, right } (4 words, 16 bytes).
+    a.sll(A0, S0, 4);
+    a.jal("__sbrk");
+    a.nop();
+    a.move_(S2, V0); // node base
+    a.li(S1, 0);
+    a.label("gc_build");
+    a.beq(S1, S0, "gc_build_done");
+    a.nop();
+    a.addu(T0, T7, S1);
+    a.lbu(T1, 0, T0); // token
+    a.sll(T2, S1, 4);
+    a.addu(T2, S2, T2); // &node[i]
+    a.sw(T1, 0, T2); // kind
+    a.sw(S1, 4, T2); // val = i
+                     // left = (i*7+1) & 16383, right = (i*13+5) & 16383 — link
+                     // indices (the 17K source guarantees they stay in range).
+    a.sll(T3, S1, 3);
+    a.subu(T3, T3, S1);
+    a.addiu(T3, T3, 1);
+    a.andi(T3, T3, 16383);
+    a.sw(T3, 8, T2);
+    a.sll(T4, S1, 3);
+    a.addu(T4, T4, S1);
+    a.sll(T5, S1, 2);
+    a.addu(T4, T4, T5); // i*13
+    a.addiu(T4, T4, 5);
+    a.andi(T4, T4, 16383);
+    a.sw(T4, 12, T2);
+    a.b("gc_build");
+    a.addiu(S1, S1, 1);
+    a.label("gc_build_done");
+
+    // ---- Phase 3: three optimisation passes ----
+    a.li(S3, 3);
+    a.label("gc_opt_pass");
+    a.li(S1, 0);
+    a.label("gc_opt");
+    a.beq(S1, S0, "gc_opt_done");
+    a.nop();
+    a.sll(T0, S1, 4);
+    a.addu(T0, S2, T0);
+    a.lw(T1, 0, T0); // kind
+    a.lw(T2, 4, T0); // val
+    a.andi(T3, T1, 3);
+    a.li(T4, 1);
+    a.bne(T3, T4, "gc_opt_even");
+    a.nop();
+    // "Constant fold": val = val*3 + left.val
+    a.lw(T5, 8, T0); // left index
+    a.sll(T5, T5, 4);
+    a.addu(T5, S2, T5);
+    a.lw(T5, 4, T5); // left.val
+    a.sll(T6, T2, 1);
+    a.addu(T2, T6, T2);
+    a.addu(T2, T2, T5);
+    a.b("gc_opt_store");
+    a.nop();
+    a.label("gc_opt_even");
+    // "Strength reduce": val = (val >> 1) ^ right.val
+    a.lw(T5, 12, T0);
+    a.sll(T5, T5, 4);
+    a.addu(T5, S2, T5);
+    a.lw(T5, 4, T5);
+    a.srl(T2, T2, 1);
+    a.xor(T2, T2, T5);
+    a.label("gc_opt_store");
+    a.sw(T2, 4, T0);
+    a.b("gc_opt");
+    a.addiu(S1, S1, 1);
+    a.label("gc_opt_done");
+    a.addiu(S3, S3, -1);
+    a.bne(S3, ZERO, "gc_opt_pass");
+    a.nop();
+
+    // ---- Phase 4: emit through the handler jump table ----
+    a.li(S1, 0);
+    a.li(S4, 0); // checksum
+    a.la(T7, "gc_outbuf");
+    a.label("gc_emit");
+    a.beq(S1, S0, "gc_emit_done");
+    a.nop();
+    a.sll(T0, S1, 4);
+    a.addu(T0, S2, T0);
+    a.lw(T1, 0, T0); // kind
+    a.lw(A0, 4, T0); // val -> handler argument
+    a.andi(T1, T1, (N_HANDLERS - 1) as u16);
+    a.sll(T1, T1, 2);
+    a.la(T2, "gc_htab");
+    a.addu(T2, T2, T1);
+    a.lw(T3, 0, T2);
+    a.jalr(T3);
+    a.nop();
+    a.addu(S4, S4, V0);
+    a.addu(T4, T7, S1);
+    a.sb(V0, 0, T4);
+    a.b("gc_emit");
+    a.addiu(S1, S1, 1);
+    a.label("gc_emit_done");
+
+    // Write the "assembly" output.
+    a.la(A0, "gc_out_name");
+    a.jal("__creat");
+    a.nop();
+    a.move_(A0, V0);
+    a.la(A1, "gc_outbuf");
+    a.move_(A2, S0);
+    a.jal("__write");
+    a.nop();
+
+    a.move_(A0, S4);
+    a.jal("__print_u32");
+    a.nop();
+    a.move_(V0, S4);
+    a.lw(RA, 36, SP);
+    a.lw(S0, 32, SP);
+    a.lw(S1, 28, SP);
+    a.lw(S2, 24, SP);
+    a.lw(S3, 20, SP);
+    a.lw(S4, 16, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 40);
+
+    // ---- The 128 generated emit handlers ----
+    // Each is distinct straight-line code: a few arithmetic ops on a0
+    // with per-handler constants and a load from its own literal pool,
+    // returning a byte in v0. Together they give gcc its large,
+    // sparsely-reused text footprint.
+    for k in 0..N_HANDLERS {
+        a.label(&format!("gc_h{k}"));
+        let c1 = (k * 2654435761u32.wrapping_rem(97)) & 0x7fff;
+        a.la(T0, &format!("gc_pool{}", k % 16));
+        a.lw(T1, ((k % 8) * 4) as i16, T0);
+        a.addiu(V0, A0, (c1 & 0xfff) as i16);
+        match k % 5 {
+            0 => {
+                a.xor(V0, V0, T1);
+                a.sll(T2, V0, (k % 7) as u8 + 1);
+                a.addu(V0, V0, T2);
+            }
+            1 => {
+                a.addu(V0, V0, T1);
+                a.srl(T2, V0, (k % 5) as u8 + 1);
+                a.xor(V0, V0, T2);
+            }
+            2 => {
+                a.subu(V0, T1, V0);
+                a.andi(V0, V0, 0xffu16.wrapping_add(k as u16 & 0xff));
+                a.sll(T2, V0, 2);
+                a.addu(V0, V0, T2);
+            }
+            3 => {
+                a.or(V0, V0, T1);
+                a.sra(T2, V0, 3);
+                a.subu(V0, V0, T2);
+                a.xori(V0, V0, (k & 0xffff) as u16);
+            }
+            _ => {
+                a.nor(T2, V0, T1);
+                a.srl(T2, T2, (k % 9) as u8 + 1);
+                a.addu(V0, V0, T2);
+            }
+        }
+        a.andi(V0, V0, 0xff);
+        a.jr(RA);
+        a.nop();
+    }
+
+    a.data();
+    a.label("gc_in_name");
+    a.asciiz("gcc.in");
+    a.label("gc_out_name");
+    a.asciiz("gcc.out");
+    a.align4();
+    a.label("gc_htab");
+    for k in 0..N_HANDLERS {
+        a.word_sym(&format!("gc_h{k}"), 0);
+    }
+    for p in 0..16 {
+        a.label(&format!("gc_pool{p}"));
+        for w in 0..8 {
+            a.word(0x1234_5678u32.wrapping_mul(p * 8 + w + 1));
+        }
+    }
+    a.label("gc_src");
+    a.space(24 * 1024);
+    a.label("gc_tok");
+    a.space(24 * 1024);
+    a.label("gc_outbuf");
+    a.space(24 * 1024);
+    a.finish()
+}
+
+/// Input files.
+pub fn files() -> Vec<(String, Vec<u8>)> {
+    vec![(
+        "gcc.in".to_string(),
+        crate::support::gen_text(0x9cc, 17 * 1024),
+    )]
+}

@@ -1,0 +1,211 @@
+//! Bare-machine emulation of the W3K Unix syscall ABI.
+//!
+//! Used to run workloads standalone — for workload unit tests, for
+//! pixie-style arithmetic-stall estimation runs, and for the epoxie
+//! verification runs — without booting a kernel. The full-system
+//! experiments run the same binaries under the real kernels instead.
+
+use std::collections::HashMap;
+
+use wrl_isa::reg::{A0, A1, A2, V0};
+use wrl_machine::Machine;
+use wrl_trace::layout::sys;
+
+/// An open file descriptor.
+#[derive(Clone, Debug)]
+struct Fd {
+    name: String,
+    offset: usize,
+    writable: bool,
+}
+
+/// The host-side file system and syscall handler.
+#[derive(Clone, Debug, Default)]
+pub struct HostEnv {
+    /// Files by name.
+    pub files: HashMap<String, Vec<u8>>,
+    fds: Vec<Option<Fd>>,
+    /// Everything written to fd 1.
+    pub output: Vec<u8>,
+    /// Exit code once `exit` is called.
+    pub exit: Option<u32>,
+    /// Current program break for `sbrk`.
+    pub brk: u32,
+    /// Syscall counts by number (diagnostics).
+    pub counts: HashMap<u32, u64>,
+}
+
+impl HostEnv {
+    /// Creates an environment with the given files.
+    pub fn new(files: impl IntoIterator<Item = (String, Vec<u8>)>) -> HostEnv {
+        HostEnv {
+            files: files.into_iter().collect(),
+            fds: vec![None, None, None], // 0..2 reserved
+            ..HostEnv::default()
+        }
+    }
+
+    fn read_cstr(m: &Machine, mut vaddr: u32) -> String {
+        let mut s = Vec::new();
+        for _ in 0..256 {
+            let Some(w) = m.peek_virt_word(vaddr & !3) else {
+                break;
+            };
+            let b = (w >> ((vaddr & 3) * 8)) as u8;
+            if b == 0 {
+                break;
+            }
+            s.push(b);
+            vaddr += 1;
+        }
+        String::from_utf8_lossy(&s).into_owned()
+    }
+
+    /// Services one ABI syscall on a bare machine. Returns `false`
+    /// when the program has exited.
+    pub fn handle(&mut self, m: &mut Machine) -> bool {
+        let num = m.cpu.regs[V0.idx()];
+        let a0 = m.cpu.regs[A0.idx()];
+        let a1 = m.cpu.regs[A1.idx()];
+        let a2 = m.cpu.regs[A2.idx()];
+        *self.counts.entry(num).or_insert(0) += 1;
+        let ret: i32 = match num {
+            sys::EXIT => {
+                self.exit = Some(a0);
+                return false;
+            }
+            sys::OPEN | sys::CREAT => {
+                let name = Self::read_cstr(m, a0);
+                if num == sys::CREAT {
+                    self.files.insert(name.clone(), Vec::new());
+                } else if !self.files.contains_key(&name) {
+                    m.cpu.regs[V0.idx()] = -1i32 as u32;
+                    return true;
+                }
+                let fd = self.fds.len();
+                self.fds.push(Some(Fd {
+                    name,
+                    offset: 0,
+                    writable: true,
+                }));
+                fd as i32
+            }
+            sys::READ => {
+                let Some(Some(fd)) = self.fds.get_mut(a0 as usize) else {
+                    m.cpu.regs[V0.idx()] = -1i32 as u32;
+                    return true;
+                };
+                let data = self.files.get(&fd.name).cloned().unwrap_or_default();
+                let n = (data.len().saturating_sub(fd.offset)).min(a2 as usize);
+                let chunk = &data[fd.offset..fd.offset + n];
+                for (k, &b) in chunk.iter().enumerate() {
+                    let va = a1 + k as u32;
+                    // Bare identity mapping: write physical directly.
+                    m.mem.write_byte(va, b);
+                }
+                fd.offset += n;
+                n as i32
+            }
+            sys::WRITE => {
+                let mut buf = Vec::with_capacity(a2 as usize);
+                for k in 0..a2 {
+                    buf.push(m.mem.read_byte(a1 + k));
+                }
+                if a0 == 1 {
+                    self.output.extend_from_slice(&buf);
+                } else if let Some(Some(fd)) = self.fds.get_mut(a0 as usize) {
+                    if fd.writable {
+                        let file = self.files.entry(fd.name.clone()).or_default();
+                        let end = fd.offset + buf.len();
+                        if file.len() < end {
+                            file.resize(end, 0);
+                        }
+                        file[fd.offset..end].copy_from_slice(&buf);
+                        fd.offset = end;
+                    }
+                }
+                a2 as i32
+            }
+            sys::CLOSE => {
+                if let Some(slot) = self.fds.get_mut(a0 as usize) {
+                    *slot = None;
+                }
+                0
+            }
+            sys::SBRK => {
+                let old = self.brk;
+                self.brk = self.brk.wrapping_add(a0);
+                old as i32
+            }
+            sys::GETPID => 42,
+            sys::YIELD | sys::TRACE_CTL => 0,
+            _ => -1,
+        };
+        m.cpu.regs[V0.idx()] = ret as u32;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrl_machine::Config;
+
+    #[test]
+    fn cstr_and_file_round_trip() {
+        let mut m = Machine::new(Config::bare(), vec![]);
+        let mut env = HostEnv::new([("in".to_string(), b"hello".to_vec())]);
+        env.brk = 0x0100_0000;
+        // Plant "in\0" at 0x1000.
+        m.mem.write_byte(0x1000, b'i');
+        m.mem.write_byte(0x1001, b'n');
+        m.mem.write_byte(0x1002, 0);
+        m.cpu.regs[V0.idx()] = sys::OPEN;
+        m.cpu.regs[A0.idx()] = 0x1000;
+        assert!(env.handle(&mut m));
+        let fd = m.cpu.regs[V0.idx()];
+        assert_eq!(fd, 3);
+        // read(fd, 0x2000, 16)
+        m.cpu.regs[V0.idx()] = sys::READ;
+        m.cpu.regs[A0.idx()] = fd;
+        m.cpu.regs[A1.idx()] = 0x2000;
+        m.cpu.regs[A2.idx()] = 16;
+        env.handle(&mut m);
+        assert_eq!(m.cpu.regs[V0.idx()], 5);
+        assert_eq!(m.mem.read_byte(0x2000), b'h');
+        assert_eq!(m.mem.read_byte(0x2004), b'o');
+        // exit(7)
+        m.cpu.regs[V0.idx()] = sys::EXIT;
+        m.cpu.regs[A0.idx()] = 7;
+        assert!(!env.handle(&mut m));
+        assert_eq!(env.exit, Some(7));
+    }
+
+    #[test]
+    fn write_to_console_and_file() {
+        let mut m = Machine::new(Config::bare(), vec![]);
+        let mut env = HostEnv::new([]);
+        for (i, b) in b"ok\n".iter().enumerate() {
+            m.mem.write_byte(0x3000 + i as u32, *b);
+        }
+        m.cpu.regs[V0.idx()] = sys::WRITE;
+        m.cpu.regs[A0.idx()] = 1;
+        m.cpu.regs[A1.idx()] = 0x3000;
+        m.cpu.regs[A2.idx()] = 3;
+        env.handle(&mut m);
+        assert_eq!(env.output, b"ok\n");
+        // creat + write to a file
+        m.mem.write_byte(0x3100, b'f');
+        m.mem.write_byte(0x3101, 0);
+        m.cpu.regs[V0.idx()] = sys::CREAT;
+        m.cpu.regs[A0.idx()] = 0x3100;
+        env.handle(&mut m);
+        let fd = m.cpu.regs[V0.idx()];
+        m.cpu.regs[V0.idx()] = sys::WRITE;
+        m.cpu.regs[A0.idx()] = fd;
+        m.cpu.regs[A1.idx()] = 0x3000;
+        m.cpu.regs[A2.idx()] = 2;
+        env.handle(&mut m);
+        assert_eq!(env.files.get("f").unwrap(), b"ok");
+    }
+}

@@ -1,0 +1,161 @@
+//! `lisp` — "The 8-queens problem solved in LISP" (Table 1).
+//!
+//! The signature behaviour of a Lisp system: heap allocation of cons
+//! cells, deep recursion, and pointer chasing down lists. Queens are
+//! kept as a cons list of packed (col, row) pairs; `safe` walks the
+//! list, `solve` recurses, and the whole search is repeated with a
+//! fresh heap each time (standing in for the interpreter overhead that
+//! made the original a 50-second workload).
+
+use wrl_isa::asm::Asm;
+use wrl_isa::reg::*;
+use wrl_isa::Object;
+
+/// Search repetitions.
+const REPEATS: i32 = 15;
+
+/// Program text.
+pub fn object() -> Object {
+    let mut a = Asm::new("lisp");
+
+    // cons(a0 = car, a1 = cdr) -> v0: bump-allocate an 8-byte cell.
+    a.global_label("li_cons");
+    a.la(T0, "li_heap_ptr");
+    a.lw(T1, 0, T0);
+    a.sw(A0, 0, T1);
+    a.sw(A1, 4, T1);
+    a.move_(V0, T1);
+    a.addiu(T1, T1, 8);
+    a.jr(RA);
+    a.sw(T1, 0, T0);
+
+    // safe(a0 = col, a1 = row, a2 = list) -> v0 (1 = safe).
+    a.global_label("li_safe");
+    a.label("sf_loop");
+    a.beq(A2, ZERO, "sf_yes");
+    a.nop();
+    a.lw(T0, 0, A2); // packed qcol | qrow<<8
+    a.andi(T1, T0, 0xff); // qcol
+    a.srl(T2, T0, 8); // qrow
+    a.beq(T1, A0, "sf_no"); // same column
+    a.nop();
+    a.subu(T3, A0, T1); // dcol
+    a.subu(T4, A1, T2); // drow (> 0)
+    a.beq(T3, T4, "sf_no"); // same diagonal
+    a.nop();
+    a.subu(T5, ZERO, T3);
+    a.beq(T5, T4, "sf_no"); // other diagonal
+    a.nop();
+    a.b("sf_loop");
+    a.lw(A2, 4, A2); // cdr
+    a.label("sf_yes");
+    a.jr(RA);
+    a.li(V0, 1);
+    a.label("sf_no");
+    a.jr(RA);
+    a.li(V0, 0);
+
+    // solve(a0 = row, a1 = list): recursive search.
+    a.global_label("li_solve");
+    a.li(T0, 8);
+    a.bne(A0, T0, "sv_go");
+    a.nop();
+    // row == 8: a solution.
+    a.la(T1, "li_solutions");
+    a.lw(T2, 0, T1);
+    a.addiu(T2, T2, 1);
+    a.jr(RA);
+    a.sw(T2, 0, T1);
+    a.label("sv_go");
+    a.addiu(SP, SP, -24);
+    a.sw(RA, 20, SP);
+    a.sw(S0, 16, SP);
+    a.sw(S1, 12, SP);
+    a.sw(S2, 8, SP);
+    a.move_(S0, A0); // row
+    a.move_(S1, A1); // list
+    a.li(S2, 0); // col
+    a.label("sv_col");
+    a.move_(A0, S2);
+    a.move_(A1, S0);
+    a.move_(A2, S1);
+    a.jal("li_safe");
+    a.nop();
+    a.beq(V0, ZERO, "sv_next");
+    a.nop();
+    // cons(col | row<<8, list), recurse.
+    a.sll(A0, S0, 8);
+    a.or(A0, A0, S2);
+    a.move_(A1, S1);
+    a.jal("li_cons");
+    a.nop();
+    a.move_(A1, V0);
+    a.addiu(A0, S0, 1);
+    a.jal("li_solve");
+    a.nop();
+    a.label("sv_next");
+    a.addiu(S2, S2, 1);
+    a.li(T0, 8);
+    a.bne(S2, T0, "sv_col");
+    a.nop();
+    a.lw(RA, 20, SP);
+    a.lw(S0, 16, SP);
+    a.lw(S1, 12, SP);
+    a.lw(S2, 8, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 24);
+
+    // main: allocate the heap, run the search REPEATS times.
+    a.global_label("main");
+    a.addiu(SP, SP, -16);
+    a.sw(RA, 12, SP);
+    a.sw(S3, 8, SP);
+    a.sw(S4, 4, SP);
+    a.li(A0, 1 << 20);
+    a.jal("__sbrk");
+    a.nop();
+    a.la(T0, "li_heap_base");
+    a.sw(V0, 0, T0);
+    a.li(S3, REPEATS);
+    a.label("mn_rep");
+    // Reset heap and per-run solution count.
+    a.la(T0, "li_heap_base");
+    a.lw(T1, 0, T0);
+    a.la(T0, "li_heap_ptr");
+    a.sw(T1, 0, T0);
+    a.la(T0, "li_solutions");
+    a.sw(ZERO, 0, T0);
+    a.li(A0, 0);
+    a.li(A1, 0);
+    a.jal("li_solve");
+    a.nop();
+    a.addiu(S3, S3, -1);
+    a.bne(S3, ZERO, "mn_rep");
+    a.nop();
+    a.la(T0, "li_solutions");
+    a.lw(S4, 0, T0);
+    a.move_(A0, S4);
+    a.jal("__print_u32");
+    a.nop();
+    a.move_(V0, S4); // 92
+    a.lw(RA, 12, SP);
+    a.lw(S3, 8, SP);
+    a.lw(S4, 4, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 16);
+
+    a.data();
+    a.align4();
+    a.label("li_heap_base");
+    a.word(0);
+    a.label("li_heap_ptr");
+    a.word(0);
+    a.label("li_solutions");
+    a.word(0);
+    a.finish()
+}
+
+/// No input files.
+pub fn files() -> Vec<(String, Vec<u8>)> {
+    vec![]
+}

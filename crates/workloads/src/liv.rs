@@ -1,0 +1,164 @@
+//! `liv` — "The Livermore Loops benchmark" (Table 1).
+//!
+//! Livermore kernels 1, 5 and 12: the hydro fragment `x[k] = q +
+//! y[k]*(r*z[k+10] + t*z[k+11])` (vectorizable, store-heavy),
+//! tri-diagonal elimination `x[i] = z[i]*(y[i] - x[i-1])` (a serial
+//! recurrence, pure FP-latency exposure) and first difference
+//! `x[k] = y[k+1] - y[k]`. A store every few floating-point
+//! operations is the worst write-buffer behaviour of the workloads,
+//! and the FP latency it overlaps with is exactly the unmodeled
+//! interaction behind liv's Figure-3 prediction error.
+
+use wrl_isa::asm::Asm;
+use wrl_isa::reg::*;
+use wrl_isa::Object;
+
+/// Vector length.
+const N: i32 = 1100;
+/// Outer repetitions.
+const OUTER: i32 = 40;
+
+/// Program text.
+pub fn object() -> Object {
+    let mut a = Asm::new("liv");
+    a.global_label("main");
+    a.addiu(SP, SP, -24);
+    a.sw(RA, 20, SP);
+    a.sw(S0, 16, SP);
+    a.sw(S1, 12, SP);
+
+    // Initialise y and z: y[k] = 1/(k+2), z[k] = (k mod 17) * 0.125.
+    a.li(S0, 0);
+    a.la(T6, "lv_y");
+    a.la(T7, "lv_z");
+    a.li_d(F20, 1.0);
+    a.li_d(F22, 0.125);
+    a.label("lv_init");
+    a.addiu(T0, S0, 2);
+    a.mtc1(T0, F0);
+    a.cvt_d_w(F2, F0);
+    a.div_d(F4, F20, F2); // 1/(k+2)
+    a.sll(T1, S0, 3);
+    a.addu(T2, T6, T1);
+    a.sdc1(F4, 0, T2);
+    // z[k]
+    a.li(T3, 17);
+    a.divu(S0, T3);
+    a.mfhi(T4);
+    a.mtc1(T4, F0);
+    a.cvt_d_w(F2, F0);
+    a.mul_d(F4, F2, F22);
+    a.addu(T2, T7, T1);
+    a.sdc1(F4, 0, T2);
+    a.addiu(S0, S0, 1);
+    a.li(T5, N + 16);
+    a.bne(S0, T5, "lv_init");
+    a.nop();
+
+    // Kernel 1.
+    a.li_d(F24, 0.5); // q
+    a.li_d(F26, 0.31); // r
+    a.li_d(F28, 0.17); // t
+    a.li(S1, OUTER);
+    a.label("lv_outer");
+    a.li(S0, 0); // k
+    a.la(T6, "lv_y");
+    a.la(T7, "lv_z");
+    a.la(T8, "lv_x");
+    // Unrolled by four, vectorizer-style: the four results are
+    // stored in one burst, which is what gives liv the worst
+    // write-buffer behaviour of the workloads.
+    a.label("lv_inner");
+    a.sll(T0, S0, 3);
+    a.addu(T1, T7, T0); // &z[k]
+    a.addu(T2, T6, T0); // &y[k]
+    let results = [F4, F6, F8, F10];
+    for (u, res) in results.iter().enumerate() {
+        let off = (u * 8) as i16;
+        a.ldc1(F0, 80 + off, T1); // z[k+u+10]
+        a.ldc1(F2, 88 + off, T1); // z[k+u+11]
+        a.mul_d(F12, F0, F26); // r*z[k+u+10]
+        a.mul_d(F14, F2, F28); // t*z[k+u+11]
+        a.add_d(F12, F12, F14);
+        a.ldc1(F16, off, T2); // y[k+u]
+        a.mul_d(F12, F12, F16);
+        a.add_d(*res, F12, F24); // q + ...
+    }
+    a.addu(T3, T8, T0); // &x[k]
+    for (u, res) in results.iter().enumerate() {
+        a.sdc1(*res, (u * 8) as i16, T3); // burst of 8 word stores
+    }
+    a.addiu(S0, S0, 4);
+    a.li(T4, N);
+    a.bne(S0, T4, "lv_inner");
+    a.nop();
+    // ---- Kernel 5 (tri-diagonal elimination): a serial recurrence,
+    // the opposite dependence structure from kernel 1. ----
+    a.li(S0, 1);
+    a.la(T6, "lv_y");
+    a.la(T7, "lv_z");
+    a.la(T8, "lv_x");
+    a.ldc1(F8, 0, T8); // x[0]
+    a.label("lv_k5");
+    a.sll(T0, S0, 3);
+    a.addu(T1, T6, T0);
+    a.ldc1(F0, 0, T1); // y[i]
+    a.sub_d(F0, F0, F8); // y[i] - x[i-1]
+    a.addu(T1, T7, T0);
+    a.ldc1(F2, 0, T1); // z[i]
+    a.mul_d(F8, F2, F0); // x[i] = z[i]*(y[i]-x[i-1])
+    a.addu(T1, T8, T0);
+    a.sdc1(F8, 0, T1);
+    a.addiu(S0, S0, 1);
+    a.li(T4, N);
+    a.bne(S0, T4, "lv_k5");
+    a.nop();
+
+    // ---- Kernel 12 (first difference): x[k] = y[k+1] - y[k]. ----
+    a.li(S0, 0);
+    a.label("lv_k12");
+    a.sll(T0, S0, 3);
+    a.addu(T1, T6, T0);
+    a.ldc1(F0, 8, T1); // y[k+1]
+    a.ldc1(F2, 0, T1); // y[k]
+    a.sub_d(F4, F0, F2);
+    a.addu(T1, T8, T0);
+    a.sdc1(F4, 0, T1);
+    a.addiu(S0, S0, 1);
+    a.li(T4, N);
+    a.bne(S0, T4, "lv_k12");
+    a.nop();
+
+    a.addiu(S1, S1, -1);
+    a.bne(S1, ZERO, "lv_outer");
+    a.nop();
+
+    // Checksum of x[0] bits.
+    a.la(T0, "lv_x");
+    a.lw(V0, 0, T0);
+    a.srl(A0, V0, 16);
+    a.jal("__print_u32");
+    a.nop();
+    a.la(T0, "lv_x");
+    a.lw(V0, 0, T0);
+    a.lw(RA, 20, SP);
+    a.lw(S0, 16, SP);
+    a.lw(S1, 12, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 24);
+
+    a.data();
+    a.align4();
+    a.label("lv_x");
+    a.space((N as u32 + 16) * 8);
+    a.label("lv_y");
+    a.space((N as u32 + 16) * 8);
+    a.label("lv_z");
+    a.space((N as u32 + 16) * 8);
+    a.finish()
+}
+
+/// No input files.
+pub fn files() -> Vec<(String, Vec<u8>)> {
+    vec![]
+}

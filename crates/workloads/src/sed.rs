@@ -1,0 +1,113 @@
+//! `sed` — "The UNIX stream editor run three times over the same 17K
+//! input file" (Table 1).
+//!
+//! Reads the input, performs a global single-character substitution
+//! and line accounting in three passes, and writes the edited stream
+//! to an output file each pass. The shortest workload: its §5.1
+//! prediction error is dominated by the disk-latency approximation.
+
+use wrl_isa::asm::Asm;
+use wrl_isa::reg::*;
+use wrl_isa::Object;
+
+/// Program text.
+pub fn object() -> Object {
+    let mut a = Asm::new("sed");
+    a.global_label("main");
+    a.addiu(SP, SP, -40);
+    a.sw(RA, 36, SP);
+    a.sw(S0, 32, SP);
+    a.sw(S1, 28, SP);
+    a.sw(S2, 24, SP);
+    a.sw(S3, 20, SP);
+    a.sw(S4, 16, SP);
+
+    // Read the input file.
+    a.la(A0, "sed_in_name");
+    a.la(A1, "sed_inbuf");
+    a.li(A2, 24 * 1024);
+    a.jal("__read_all");
+    a.nop();
+    a.move_(S0, V0); // input length
+
+    // Create the output file.
+    a.la(A0, "sed_out_name");
+    a.jal("__creat");
+    a.nop();
+    a.move_(S3, V0); // out fd
+
+    a.li(S4, 3); // three passes
+    a.label("pass");
+    a.li(S1, 0); // index
+    a.li(S2, 0); // lines
+    a.la(T6, "sed_inbuf");
+    a.la(T7, "sed_outbuf");
+    a.label("xf");
+    a.beq(S1, S0, "xf_done");
+    a.nop();
+    a.addu(T0, T6, S1);
+    a.lbu(T1, 0, T0);
+    // s/e/E/g
+    a.li(T2, b'e' as i32);
+    a.bne(T1, T2, "not_e");
+    a.nop();
+    a.li(T1, b'E' as i32);
+    a.label("not_e");
+    // Count lines.
+    a.li(T2, b'\n' as i32);
+    a.bne(T1, T2, "not_nl");
+    a.nop();
+    a.addiu(S2, S2, 1);
+    a.label("not_nl");
+    a.addu(T3, T7, S1);
+    a.sb(T1, 0, T3);
+    a.b("xf");
+    a.addiu(S1, S1, 1);
+    a.label("xf_done");
+
+    // Write the pass's output.
+    a.move_(A0, S3);
+    a.la(A1, "sed_outbuf");
+    a.move_(A2, S0);
+    a.jal("__write");
+    a.nop();
+    a.addiu(S4, S4, -1);
+    a.bne(S4, ZERO, "pass");
+    a.nop();
+
+    a.move_(A0, S3);
+    a.jal("__close");
+    a.nop();
+    a.move_(A0, S2);
+    a.jal("__print_u32");
+    a.nop();
+    a.move_(V0, S2);
+    a.lw(RA, 36, SP);
+    a.lw(S0, 32, SP);
+    a.lw(S1, 28, SP);
+    a.lw(S2, 24, SP);
+    a.lw(S3, 20, SP);
+    a.lw(S4, 16, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 40);
+
+    a.data();
+    a.label("sed_in_name");
+    a.asciiz("sed.in");
+    a.label("sed_out_name");
+    a.asciiz("sed.out");
+    a.align4();
+    a.label("sed_inbuf");
+    a.space(24 * 1024);
+    a.label("sed_outbuf");
+    a.space(24 * 1024);
+    a.finish()
+}
+
+/// Input files.
+pub fn files() -> Vec<(String, Vec<u8>)> {
+    vec![(
+        "sed.in".to_string(),
+        crate::support::gen_text(0x5ed, 17 * 1024),
+    )]
+}

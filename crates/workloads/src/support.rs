@@ -1,0 +1,299 @@
+//! Shared runtime support for the workloads: program startup and a
+//! small library of leaf routines (I/O wrappers, memory ops, a
+//! deterministic random-number generator, decimal printing).
+//!
+//! Everything here is ordinary instrumentable user code — unlike the
+//! trace runtime, it gets rewritten by epoxie like the rest of the
+//! workload.
+
+use wrl_isa::asm::Asm;
+use wrl_isa::reg::*;
+use wrl_isa::Object;
+use wrl_trace::layout::sys;
+
+/// Builds the startup object: sets up the stack, calls `main`, and
+/// exits with its return value.
+pub fn crt0() -> Object {
+    let mut a = Asm::new("crt0");
+    a.global_label("__start");
+    a.la(SP, "__stack_end");
+    a.jal("main");
+    a.nop();
+    a.move_(A0, V0);
+    a.li(V0, sys::EXIT as i32);
+    a.syscall(0);
+    // Not reached.
+    a.label("__hang");
+    a.b("__hang");
+    a.nop();
+    a.data();
+    a.label("__stack");
+    a.space(32 * 1024);
+    a.label("__stack_end");
+    a.word(0);
+    a.finish()
+}
+
+/// Builds the support library object (`libw3k`).
+///
+/// Exports: `__open`, `__creat`, `__read`, `__write`, `__close`,
+/// `__sbrk`, `__puts`, `__print_u32`, `__memcpy`, `__memset`,
+/// `__strlen`, `__read_all`, `__rand` / `__srand`.
+pub fn libw3k() -> Object {
+    let mut a = Asm::new("libw3k");
+
+    // Syscall wrappers: args already in a0..a2.
+    for (name, num) in [
+        ("__open", sys::OPEN),
+        ("__creat", sys::CREAT),
+        ("__read", sys::READ),
+        ("__close", sys::CLOSE),
+        ("__sbrk", sys::SBRK),
+        ("__getpid", sys::GETPID),
+        ("__yield", sys::YIELD),
+        ("__trace_ctl", sys::TRACE_CTL),
+        ("__spawn", sys::SPAWN),
+    ] {
+        a.global_label(name);
+        a.li(V0, num as i32);
+        a.syscall(0);
+        a.jr(RA);
+        a.nop();
+    }
+
+    // __write loops over partial writes (the kernels transfer at most
+    // one block — or one IPC message — per call).
+    a.global_label("__write");
+    a.move_(T0, A0);
+    a.move_(T1, A1);
+    a.move_(T2, A2);
+    a.li(T3, 0); // total
+    a.label("w_loop");
+    a.blez(T2, "w_done");
+    a.nop();
+    a.move_(A0, T0);
+    a.move_(A1, T1);
+    a.move_(A2, T2);
+    a.li(V0, sys::WRITE as i32);
+    a.syscall(0);
+    a.blez(V0, "w_done");
+    a.nop();
+    a.addu(T1, T1, V0);
+    a.subu(T2, T2, V0);
+    a.b("w_loop");
+    a.addu(T3, T3, V0);
+    a.label("w_done");
+    a.jr(RA);
+    a.move_(V0, T3);
+
+    // __strlen(a0) -> v0
+    a.global_label("__strlen");
+    a.move_(V0, ZERO);
+    a.label("sl_loop");
+    a.addu(T0, A0, V0);
+    a.lbu(T1, 0, T0);
+    a.beq(T1, ZERO, "sl_done");
+    a.nop();
+    a.b("sl_loop");
+    a.addiu(V0, V0, 1);
+    a.label("sl_done");
+    a.jr(RA);
+    a.nop();
+
+    // __puts(a0): write(1, a0, strlen(a0))
+    a.global_label("__puts");
+    a.addiu(SP, SP, -16);
+    a.sw(RA, 12, SP);
+    a.sw(A0, 8, SP);
+    a.jal("__strlen");
+    a.nop();
+    a.move_(A2, V0);
+    a.lw(A1, 8, SP);
+    a.li(A0, 1);
+    a.jal("__write");
+    a.nop();
+    a.lw(RA, 12, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 16);
+
+    // __print_u32(a0): decimal + newline to fd 1.
+    a.global_label("__print_u32");
+    a.addiu(SP, SP, -32);
+    a.sw(RA, 28, SP);
+    // Build digits backwards into a 16-byte buffer on the stack.
+    a.addiu(T0, SP, 16); // write pointer (grows down from SP+16)
+    a.li(T1, 10);
+    a.sb(T1, 0, T0); // trailing '\n'
+    a.move_(T2, A0);
+    a.label("pu_loop");
+    a.divu(T2, T1);
+    a.mflo(T3); // quotient
+    a.mfhi(T4); // remainder
+    a.addiu(T4, T4, 48); // '0' + r
+    a.addiu(T0, T0, -1);
+    a.sb(T4, 0, T0);
+    a.move_(T2, T3);
+    a.bne(T2, ZERO, "pu_loop");
+    a.nop();
+    // write(1, T0, end - T0)
+    a.addiu(T5, SP, 17); // one past the newline
+    a.subu(A2, T5, T0);
+    a.move_(A1, T0);
+    a.li(A0, 1);
+    a.jal("__write");
+    a.nop();
+    a.lw(RA, 28, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 32);
+
+    // __memcpy(a0 dst, a1 src, a2 len) — byte loop.
+    a.global_label("__memcpy");
+    a.beq(A2, ZERO, "mc_done");
+    a.move_(T0, ZERO);
+    a.label("mc_loop");
+    a.addu(T1, A1, T0);
+    a.lbu(T2, 0, T1);
+    a.addu(T3, A0, T0);
+    a.sb(T2, 0, T3);
+    a.addiu(T0, T0, 1);
+    a.bne(T0, A2, "mc_loop");
+    a.nop();
+    a.label("mc_done");
+    a.jr(RA);
+    a.nop();
+
+    // __memset(a0 dst, a1 byte, a2 len)
+    a.global_label("__memset");
+    a.beq(A2, ZERO, "ms_done");
+    a.move_(T0, ZERO);
+    a.label("ms_loop");
+    a.addu(T1, A0, T0);
+    a.sb(A1, 0, T1);
+    a.addiu(T0, T0, 1);
+    a.bne(T0, A2, "ms_loop");
+    a.nop();
+    a.label("ms_done");
+    a.jr(RA);
+    a.nop();
+
+    // __read_all(a0 path, a1 buf, a2 maxlen) -> total read (-1 fail).
+    a.global_label("__read_all");
+    a.addiu(SP, SP, -32);
+    a.sw(RA, 28, SP);
+    a.sw(S0, 24, SP); // fd
+    a.sw(S1, 20, SP); // buf
+    a.sw(S2, 16, SP); // remaining
+    a.sw(S3, 12, SP); // total
+    a.move_(S1, A1);
+    a.move_(S2, A2);
+    a.move_(S3, ZERO);
+    a.jal("__open");
+    a.nop();
+    a.bltz(V0, "ra_fail");
+    a.move_(S0, V0);
+    a.label("ra_loop");
+    a.blez(S2, "ra_done");
+    a.nop();
+    a.move_(A0, S0);
+    a.move_(A1, S1);
+    a.move_(A2, S2);
+    a.jal("__read");
+    a.nop();
+    a.blez(V0, "ra_done");
+    a.nop();
+    a.addu(S1, S1, V0);
+    a.subu(S2, S2, V0);
+    a.b("ra_loop");
+    a.addu(S3, S3, V0);
+    a.label("ra_done");
+    a.move_(A0, S0);
+    a.jal("__close");
+    a.nop();
+    a.move_(V0, S3);
+    a.label("ra_out");
+    a.lw(RA, 28, SP);
+    a.lw(S0, 24, SP);
+    a.lw(S1, 20, SP);
+    a.lw(S2, 16, SP);
+    a.lw(S3, 12, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 32);
+    a.label("ra_fail");
+    a.b("ra_out");
+    a.li(V0, -1);
+
+    // __srand(a0): seed the LCG. __rand() -> v0 (31-bit).
+    a.global_label("__srand");
+    a.la(T0, "__rand_state");
+    a.jr(RA);
+    a.sw(A0, 0, T0);
+    a.global_label("__rand");
+    a.la(T0, "__rand_state");
+    a.lw(T1, 0, T0);
+    a.li(T2, 1103515245);
+    a.multu(T1, T2);
+    a.mflo(T1);
+    a.li(T3, 12345);
+    a.addu(T1, T1, T3);
+    a.sw(T1, 0, T0);
+    a.srl(V0, T1, 1); // 31-bit result
+    a.jr(RA);
+    a.nop();
+    a.data();
+    a.align4();
+    a.label("__rand_state");
+    a.word(1);
+
+    a.finish()
+}
+
+/// Deterministic pseudo-text generator for input files (host side).
+pub fn gen_text(seed: u64, len: usize) -> Vec<u8> {
+    const WORDS: &[&str] = &[
+        "the", "and", "for", "system", "trace", "cache", "kernel", "address", "buffer", "page",
+        "miss", "time", "data", "user", "with", "from", "that", "this", "memory", "epoxie",
+    ];
+    let mut s = seed | 1;
+    let mut out = Vec::with_capacity(len + 16);
+    let mut col = 0;
+    while out.len() < len {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let w = WORDS[(s % WORDS.len() as u64) as usize];
+        out.extend_from_slice(w.as_bytes());
+        col += w.len() + 1;
+        if col > 60 {
+            out.push(b'\n');
+            col = 0;
+        } else {
+            out.push(b' ');
+        }
+    }
+    out.truncate(len);
+    if let Some(last) = out.last_mut() {
+        *last = b'\n';
+    }
+    out
+}
+
+/// Deterministic binary generator (host side), with enough repetition
+/// to be compressible.
+pub fn gen_binary(seed: u64, len: usize) -> Vec<u8> {
+    let mut s = seed | 1;
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        // Repeat short runs so LZW finds matches.
+        let b = (s % 17) as u8 + b'a';
+        let run = (s >> 8) % 6 + 1;
+        for _ in 0..run {
+            if out.len() < len {
+                out.push(b);
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,196 @@
+//! `tomcatv` — "A program that generates a vectorized mesh … written
+//! in Fortran" (Table 1).
+//!
+//! The longest workload. Four N×N double-precision arrays (each
+//! larger than the 64 KB cache) are swept repeatedly: a
+//! finite-difference pass computes residuals from four-point stencils,
+//! and a relaxation pass folds them back. The multi-array stencil
+//! traffic makes tomcatv the workload most sensitive to the
+//! virtual-to-physical page mapping (§4.4: "system policy in the
+//! virtual-to-physical page selection can cause execution time to
+//! vary by over 10%").
+
+use wrl_isa::asm::Asm;
+use wrl_isa::reg::*;
+use wrl_isa::Object;
+
+/// Grid dimension.
+const N: i32 = 96;
+/// Sweeps.
+const ITERS: i32 = 24;
+
+/// Program text.
+pub fn object() -> Object {
+    let row = (N * 8) as i16; // row stride in bytes
+
+    let mut a = Asm::new("tomcatv");
+    a.global_label("main");
+    a.addiu(SP, SP, -32);
+    a.sw(RA, 28, SP);
+    a.sw(S0, 24, SP);
+    a.sw(S1, 20, SP);
+    a.sw(S2, 16, SP);
+    a.sw(S3, 12, SP);
+
+    // ---- Initialise x[i,j] = i * 0.01 + j * 0.002, y = transpose ----
+    a.li(S0, 0); // j (row)
+    a.li_d(F20, 0.01);
+    a.li_d(F22, 0.002);
+    a.label("tc_init_j");
+    a.li(S1, 0); // i (col)
+    a.label("tc_init_i");
+    a.mtc1(S1, F0);
+    a.cvt_d_w(F2, F0);
+    a.mul_d(F2, F2, F20); // i*0.01
+    a.mtc1(S0, F0);
+    a.cvt_d_w(F4, F0);
+    a.mul_d(F4, F4, F22); // j*0.002
+                          // offset = (j*N + i) * 8
+    a.li(T0, N);
+    a.mult(S0, T0);
+    a.mflo(T1);
+    a.addu(T1, T1, S1);
+    a.sll(T1, T1, 3);
+    a.la(T2, "tc_x");
+    a.addu(T3, T2, T1);
+    a.add_d(F6, F2, F4);
+    a.sdc1(F6, 0, T3);
+    a.la(T2, "tc_y");
+    a.addu(T3, T2, T1);
+    a.sub_d(F6, F2, F4);
+    a.sdc1(F6, 0, T3);
+    a.addiu(S1, S1, 1);
+    a.li(T4, N);
+    a.bne(S1, T4, "tc_init_i");
+    a.nop();
+    a.addiu(S0, S0, 1);
+    a.bne(S0, T4, "tc_init_j");
+    a.nop();
+
+    // ---- Sweeps ----
+    a.li(S3, ITERS);
+    a.label("tc_sweep");
+    // Residual pass over interior points.
+    a.li(S0, 1); // j
+    a.label("tc_rj");
+    a.li(S1, 1); // i
+    a.label("tc_ri");
+    // base offset = (j*N + i) * 8
+    a.li(T0, N);
+    a.mult(S0, T0);
+    a.mflo(T1);
+    a.addu(T1, T1, S1);
+    a.sll(T1, T1, 3);
+    a.la(T2, "tc_x");
+    a.addu(T3, T2, T1);
+    // Stencil loads: E, W, N, S neighbours of x and y.
+    a.ldc1(F0, 8, T3); // x[i+1,j]
+    a.ldc1(F2, -8, T3); // x[i-1,j]
+    a.ldc1(F4, row, T3); // x[i,j+1]
+    a.ldc1(F6, -row, T3); // x[i,j-1]
+    a.sub_d(F8, F0, F2); // xx
+    a.sub_d(F10, F4, F6); // xy
+    a.la(T2, "tc_y");
+    a.addu(T4, T2, T1);
+    a.ldc1(F0, 8, T4);
+    a.ldc1(F2, -8, T4);
+    a.ldc1(F4, row, T4);
+    a.ldc1(F6, -row, T4);
+    a.sub_d(F12, F0, F2); // yx
+    a.sub_d(F14, F4, F6); // yy
+                          // Residuals: rx = xx*yy - xy*yx, ry = xx*yx + xy*yy (jacobian-ish)
+    a.mul_d(F16, F8, F14);
+    a.mul_d(F18, F10, F12);
+    a.sub_d(F16, F16, F18);
+    a.la(T2, "tc_rx");
+    a.addu(T5, T2, T1);
+    a.sdc1(F16, 0, T5);
+    a.mul_d(F16, F8, F12);
+    a.mul_d(F18, F10, F14);
+    a.add_d(F16, F16, F18);
+    a.la(T2, "tc_ry");
+    a.addu(T5, T2, T1);
+    a.sdc1(F16, 0, T5);
+    a.addiu(S1, S1, 1);
+    a.li(T6, N - 1);
+    a.bne(S1, T6, "tc_ri");
+    a.nop();
+    a.addiu(S0, S0, 1);
+    a.bne(S0, T6, "tc_rj");
+    a.nop();
+
+    // Relaxation pass: x += w*rx, y += w*ry.
+    a.li_d(F24, 0.0625); // relaxation weight
+    a.li(S0, 1);
+    a.label("tc_xj");
+    a.li(S1, 1);
+    a.label("tc_xi");
+    a.li(T0, N);
+    a.mult(S0, T0);
+    a.mflo(T1);
+    a.addu(T1, T1, S1);
+    a.sll(T1, T1, 3);
+    a.la(T2, "tc_rx");
+    a.addu(T3, T2, T1);
+    a.ldc1(F0, 0, T3);
+    a.mul_d(F0, F0, F24);
+    a.la(T2, "tc_x");
+    a.addu(T3, T2, T1);
+    a.ldc1(F2, 0, T3);
+    a.add_d(F2, F2, F0);
+    a.sdc1(F2, 0, T3);
+    a.la(T2, "tc_ry");
+    a.addu(T3, T2, T1);
+    a.ldc1(F0, 0, T3);
+    a.mul_d(F0, F0, F24);
+    a.la(T2, "tc_y");
+    a.addu(T3, T2, T1);
+    a.ldc1(F2, 0, T3);
+    a.add_d(F2, F2, F0);
+    a.sdc1(F2, 0, T3);
+    a.addiu(S1, S1, 1);
+    a.li(T6, N - 1);
+    a.bne(S1, T6, "tc_xi");
+    a.nop();
+    a.addiu(S0, S0, 1);
+    a.bne(S0, T6, "tc_xj");
+    a.nop();
+
+    a.addiu(S3, S3, -1);
+    a.bne(S3, ZERO, "tc_sweep");
+    a.nop();
+
+    // Checksum: bits of x at the grid centre.
+    a.la(T0, "tc_x");
+    let mid = ((N / 2) * N + N / 2) * 8;
+    a.li(T1, mid);
+    a.addu(T0, T0, T1);
+    a.lw(V0, 0, T0);
+    a.srl(A0, V0, 16);
+    a.jal("__print_u32");
+    a.nop();
+    a.la(T0, "tc_x");
+    a.li(T1, mid);
+    a.addu(T0, T0, T1);
+    a.lw(V0, 0, T0);
+    a.lw(RA, 28, SP);
+    a.lw(S0, 24, SP);
+    a.lw(S1, 20, SP);
+    a.lw(S2, 16, SP);
+    a.lw(S3, 12, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 32);
+
+    a.data();
+    a.align4();
+    for name in ["tc_x", "tc_y", "tc_rx", "tc_ry"] {
+        a.label(name);
+        a.space((N * N * 8) as u32);
+    }
+    a.finish()
+}
+
+/// No input files.
+pub fn files() -> Vec<(String, Vec<u8>)> {
+    vec![]
+}

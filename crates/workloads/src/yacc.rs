@@ -1,0 +1,236 @@
+//! `yacc` — "The LR(1) parser-generator run on an 11K grammar"
+//! (Table 1).
+//!
+//! Table-driven LR parsing is yacc's characteristic memory behaviour:
+//! tight loops of indirect table loads with a software parse stack.
+//! The program runs an SLR(1) parser for the classic expression
+//! grammar (E → E+T | T, T → T*F | F, F → (E) | id) over an 11K
+//! token stream, counting reductions and accepted expressions.
+
+use wrl_isa::asm::Asm;
+use wrl_isa::reg::*;
+use wrl_isa::Object;
+
+const ERR: u32 = 0;
+const fn s(n: u32) -> u32 {
+    0x1000 | n
+}
+const fn r(p: u32) -> u32 {
+    0x2000 | p
+}
+const ACC: u32 = 0x3000;
+
+/// The SLR(1) ACTION table: 12 states × 6 terminals
+/// (id, '+', '*', '(', ')', '$').
+fn action_table() -> [[u32; 6]; 12] {
+    let mut t = [[ERR; 6]; 12];
+    t[0] = [s(5), ERR, ERR, s(4), ERR, ERR];
+    t[1] = [ERR, s(6), ERR, ERR, ERR, ACC];
+    t[2] = [ERR, r(2), s(7), ERR, r(2), r(2)];
+    t[3] = [ERR, r(4), r(4), ERR, r(4), r(4)];
+    t[4] = [s(5), ERR, ERR, s(4), ERR, ERR];
+    t[5] = [ERR, r(6), r(6), ERR, r(6), r(6)];
+    t[6] = [s(5), ERR, ERR, s(4), ERR, ERR];
+    t[7] = [s(5), ERR, ERR, s(4), ERR, ERR];
+    t[8] = [ERR, s(6), ERR, ERR, s(11), ERR];
+    t[9] = [ERR, r(1), s(7), ERR, r(1), r(1)];
+    t[10] = [ERR, r(3), r(3), ERR, r(3), r(3)];
+    t[11] = [ERR, r(5), r(5), ERR, r(5), r(5)];
+    t
+}
+
+/// GOTO table: 12 states × 3 nonterminals (E, T, F).
+fn goto_table() -> [[u32; 3]; 12] {
+    let mut g = [[0u32; 3]; 12];
+    g[0] = [1, 2, 3];
+    g[4] = [8, 2, 3];
+    g[6] = [0, 9, 3];
+    g[7] = [0, 0, 10];
+    g
+}
+
+/// Production (lhs nonterminal, rhs length), 1-indexed.
+const PRODS: [(u32, u32); 7] = [(0, 0), (0, 3), (0, 1), (1, 3), (1, 1), (2, 3), (2, 1)];
+
+/// Program text.
+pub fn object() -> Object {
+    let mut a = Asm::new("yacc");
+    a.global_label("main");
+    a.addiu(SP, SP, -40);
+    a.sw(RA, 36, SP);
+    a.sw(S0, 32, SP);
+    a.sw(S1, 28, SP);
+    a.sw(S2, 24, SP);
+    a.sw(S3, 20, SP);
+    a.sw(S4, 16, SP);
+
+    a.la(A0, "y_in_name");
+    a.la(A1, "y_buf");
+    a.li(A2, 16 * 1024);
+    a.jal("__read_all");
+    a.nop();
+    a.move_(S0, V0); // token count
+    a.li(S1, 0); // token index
+    a.li(S2, 0); // reductions
+    a.li(S3, 0); // accepted expressions
+
+    a.label("y_restart");
+    a.la(S4, "y_stack");
+    a.sw(ZERO, 0, S4); // push state 0
+    a.label("y_loop");
+    a.beq(S1, S0, "y_done");
+    a.nop();
+    a.la(T0, "y_buf");
+    a.addu(T0, T0, S1);
+    a.lbu(T1, 0, T0); // token
+    a.lw(T2, 0, S4); // current state
+                     // action[s*6 + tok]
+    a.sll(T3, T2, 1);
+    a.sll(T4, T2, 2);
+    a.addu(T3, T3, T4);
+    a.addu(T3, T3, T1);
+    a.sll(T3, T3, 2);
+    a.la(T4, "y_action");
+    a.addu(T4, T4, T3);
+    a.lw(T5, 0, T4);
+    a.srl(T6, T5, 12);
+    a.li(T7, 1);
+    a.beq(T6, T7, "y_shift");
+    a.nop();
+    a.li(T7, 2);
+    a.beq(T6, T7, "y_reduce");
+    a.nop();
+    a.li(T7, 3);
+    a.beq(T6, T7, "y_accept");
+    a.nop();
+    // Error: skip the token and restart the stack.
+    a.addiu(S1, S1, 1);
+    a.b("y_restart");
+    a.nop();
+
+    a.label("y_shift");
+    a.andi(T5, T5, 0xfff);
+    a.addiu(S4, S4, 4);
+    a.sw(T5, 0, S4);
+    a.b("y_loop");
+    a.addiu(S1, S1, 1);
+
+    a.label("y_reduce");
+    a.andi(T5, T5, 0xfff); // production number
+    a.sll(T6, T5, 2);
+    a.la(T7, "y_prodlen");
+    a.addu(T7, T7, T6);
+    a.lw(T8, 0, T7); // rhs length
+    a.sll(T8, T8, 2);
+    a.subu(S4, S4, T8); // pop
+    a.la(T7, "y_prodlhs");
+    a.addu(T7, T7, T6);
+    a.lw(T9, 0, T7); // lhs
+    a.lw(T2, 0, S4); // exposed state
+                     // goto[s*3 + lhs]
+    a.sll(T3, T2, 1);
+    a.addu(T3, T3, T2);
+    a.addu(T3, T3, T9);
+    a.sll(T3, T3, 2);
+    a.la(T4, "y_goto");
+    a.addu(T4, T4, T3);
+    a.lw(T5, 0, T4);
+    a.addiu(S4, S4, 4);
+    a.sw(T5, 0, S4);
+    a.addiu(S2, S2, 1);
+    a.b("y_loop");
+    a.nop();
+
+    a.label("y_accept");
+    a.addiu(S3, S3, 1);
+    a.addiu(S1, S1, 1); // consume the '$'
+    a.b("y_restart");
+    a.nop();
+
+    a.label("y_done");
+    a.move_(A0, S2);
+    a.jal("__print_u32");
+    a.nop();
+    a.move_(V0, S2);
+    a.lw(RA, 36, SP);
+    a.lw(S0, 32, SP);
+    a.lw(S1, 28, SP);
+    a.lw(S2, 24, SP);
+    a.lw(S3, 20, SP);
+    a.lw(S4, 16, SP);
+    a.jr(RA);
+    a.addiu(SP, SP, 40);
+
+    a.data();
+    a.label("y_in_name");
+    a.asciiz("yacc.in");
+    a.align4();
+    a.label("y_action");
+    for row in action_table() {
+        for v in row {
+            a.word(v);
+        }
+    }
+    a.label("y_goto");
+    for row in goto_table() {
+        for v in row {
+            a.word(v);
+        }
+    }
+    a.label("y_prodlen");
+    for (_, len) in PRODS {
+        a.word(len);
+    }
+    a.label("y_prodlhs");
+    for (lhs, _) in PRODS {
+        a.word(lhs);
+    }
+    a.label("y_buf");
+    a.space(16 * 1024);
+    a.label("y_stack");
+    a.space(4 * 1024);
+    a.finish()
+}
+
+/// Generates an 11K stream of valid expression tokens.
+pub fn files() -> Vec<(String, Vec<u8>)> {
+    // Tokens: id=0, '+'=1, '*'=2, '('=3, ')'=4, '$'=5.
+    let mut out = Vec::with_capacity(11 * 1024);
+    let mut state = 0x9acc_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    fn factor(out: &mut Vec<u8>, next: &mut dyn FnMut() -> u64, depth: u32) {
+        if depth > 0 && next().is_multiple_of(4) {
+            out.push(3); // (
+            expr(out, next, depth - 1);
+            out.push(4); // )
+        } else {
+            out.push(0); // id
+        }
+    }
+    fn term(out: &mut Vec<u8>, next: &mut dyn FnMut() -> u64, depth: u32) {
+        factor(out, next, depth);
+        let n = next() % 3;
+        for _ in 0..n {
+            out.push(2); // *
+            factor(out, next, depth);
+        }
+    }
+    fn expr(out: &mut Vec<u8>, next: &mut dyn FnMut() -> u64, depth: u32) {
+        term(out, next, depth);
+        let n = next() % 3;
+        for _ in 0..n {
+            out.push(1); // +
+            term(out, next, depth);
+        }
+    }
+    while out.len() < 11 * 1024 - 64 {
+        expr(&mut out, &mut next, 3);
+        out.push(5); // $
+    }
+    vec![("yacc.in".to_string(), out)]
+}

@@ -1,0 +1,166 @@
+//! Algorithm oracles: selected workloads re-implemented in Rust and
+//! compared against the W3K programs' results — the workloads are
+//! real algorithms, not reference generators.
+
+use wrl_workloads::{by_name, run_bare, support};
+
+#[test]
+#[allow(clippy::needless_range_loop)]
+fn espresso_popcount_matches_rust_oracle() {
+    // Reimplement the cube build + pairwise intersection popcount.
+    let input = wrl_workloads::espresso::files().remove(0).1;
+    let n_cubes = 96usize;
+    let words = 8usize;
+    let len = input.len() as u64;
+    let mut cubes = vec![[0u32; 8]; n_cubes];
+    for (i, cube) in cubes.iter_mut().enumerate() {
+        for (w, slot) in cube.iter_mut().enumerate() {
+            let off = ((i as u64 * 131 + w as u64 * 17) % (len - 4)) as usize;
+            *slot = u32::from_le_bytes(input[off..off + 4].try_into().unwrap());
+        }
+    }
+    let mut popcnt = 0u64;
+    for i in 0..n_cubes {
+        for j in 0..n_cubes {
+            if i == j {
+                continue;
+            }
+            for w in 0..words {
+                popcnt += (cubes[i][w] & cubes[j][w]).count_ones() as u64;
+            }
+        }
+    }
+    let r = run_bare(&by_name("espresso").unwrap());
+    assert_eq!(r.env.exit, Some(popcnt as u32));
+}
+
+#[test]
+fn eqntott_truth_table_matches_rust_oracle() {
+    let input = wrl_workloads::eqntott::files().remove(0).1;
+    // The equation-flavour fold: s3 = ((s3 ^ byte) << 1) from the end.
+    let mut s3: u32 = 0;
+    for &b in input.iter() {
+        // Assembly folds from the end backwards; replicate exactly:
+        // it iterates t0 = len-1 down to 0.
+        let _ = b;
+    }
+    for &b in input.iter().rev() {
+        s3 = (s3 ^ b as u32) << 1;
+    }
+    let n = 393_216u32;
+    let table_mask = (2u32 << 20) - 1;
+    let mut table = vec![0u8; (table_mask + 1) as usize];
+    let mut ones = 0u32;
+    for i in 0..n {
+        let mut x = (i >> 1) ^ i;
+        x &= i >> 3;
+        x |= i >> 7;
+        x ^= i >> 11;
+        x ^= s3;
+        x &= x >> 2;
+        let v = x & 1;
+        ones = ones.wrapping_add(v);
+        let idx = i.wrapping_mul(40503) & table_mask;
+        table[idx as usize] = v as u8;
+    }
+    let mut checksum = 0u32;
+    let mut k = 0u32;
+    loop {
+        checksum = checksum.wrapping_add(table[k as usize] as u32);
+        k += 64;
+        if k == table_mask + 1 {
+            break;
+        }
+    }
+    let want = ones.wrapping_add(checksum);
+    let r = run_bare(&by_name("eqntott").unwrap());
+    assert_eq!(r.env.exit, Some(want));
+}
+
+#[test]
+fn gcc_checksum_matches_rust_oracle() {
+    // Replicate lex -> build -> 3 optimisation passes -> emit.
+    let src = wrl_workloads::gcc::files().remove(0).1;
+    let n = src.len();
+    let class = |c: u8| -> u32 {
+        if c.is_ascii_lowercase() {
+            0
+        } else if c.is_ascii_digit() {
+            1
+        } else if c == b' ' || c == b'\n' {
+            2
+        } else {
+            3
+        }
+    };
+    #[derive(Clone)]
+    struct Node {
+        kind: u32,
+        val: u32,
+        left: usize,
+        right: usize,
+    }
+    let mut nodes: Vec<Node> = (0..n)
+        .map(|i| {
+            let c = src[i] as u32;
+            let tok = class(src[i]) | ((c * 7) & 0x7c);
+            Node {
+                kind: tok,
+                val: i as u32,
+                left: ((i * 7 + 1) & 16383),
+                right: ((i * 13 + 5) & 16383),
+            }
+        })
+        .collect();
+    for _ in 0..3 {
+        for i in 0..n {
+            let v = nodes[i].val;
+            if nodes[i].kind & 3 == 1 {
+                let lv = nodes[nodes[i].left].val;
+                nodes[i].val = v.wrapping_mul(3).wrapping_add(lv);
+            } else {
+                let rv = nodes[nodes[i].right].val;
+                nodes[i].val = (v >> 1) ^ rv;
+            }
+        }
+    }
+    // Emit handlers.
+    let pool = |p: u32, w: u32| 0x1234_5678u32.wrapping_mul(p * 8 + w + 1);
+    let mut checksum = 0u32;
+    for node in nodes.iter() {
+        let k = node.kind & 127;
+        let c1 = (k * 2654435761u32.wrapping_rem(97)) & 0x7fff;
+        let t1 = pool(k % 16, k % 8);
+        let a0 = node.val;
+        let mut v0 = a0.wrapping_add(c1 & 0xfff);
+        match k % 5 {
+            0 => {
+                v0 ^= t1;
+                v0 = v0.wrapping_add(v0 << ((k % 7) + 1));
+            }
+            1 => {
+                v0 = v0.wrapping_add(t1);
+                v0 ^= v0 >> ((k % 5) + 1);
+            }
+            2 => {
+                v0 = t1.wrapping_sub(v0);
+                v0 &= 0xffu32.wrapping_add(k & 0xff) & 0xffff;
+                v0 = v0.wrapping_add(v0 << 2);
+            }
+            3 => {
+                v0 |= t1;
+                v0 = v0.wrapping_sub(((v0 as i32) >> 3) as u32);
+                v0 ^= k & 0xffff;
+            }
+            _ => {
+                let t2 = !(v0 | t1) >> ((k % 9) + 1);
+                v0 = v0.wrapping_add(t2);
+            }
+        }
+        v0 &= 0xff;
+        checksum = checksum.wrapping_add(v0);
+    }
+    let r = run_bare(&by_name("gcc").unwrap());
+    assert_eq!(r.env.exit, Some(checksum));
+    let _ = support::gen_text(0, 0);
+}

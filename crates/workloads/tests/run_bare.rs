@@ -1,0 +1,136 @@
+//! Runs every workload to completion on the bare machine and checks
+//! correctness properties: clean exit, deterministic output, the
+//! expected algorithmic results, and each workload's characteristic
+//! event signature (the behaviours Table 1/Table 3 depend on).
+
+use wrl_workloads::{all, by_name, run_bare};
+
+#[test]
+fn all_workloads_exit_cleanly_and_deterministically() {
+    for w in all() {
+        let r1 = run_bare(&w);
+        assert!(r1.env.exit.is_some(), "{} did not exit", w.name);
+        assert!(
+            !r1.env.output.is_empty(),
+            "{} produced no console output",
+            w.name
+        );
+        let w2 = by_name(w.name).unwrap();
+        let r2 = run_bare(&w2);
+        assert_eq!(
+            r1.env.output, r2.env.output,
+            "{} output is not deterministic",
+            w.name
+        );
+        assert_eq!(r1.insts, r2.insts, "{} path is not deterministic", w.name);
+    }
+}
+
+#[test]
+fn compress_round_trip_verifies() {
+    let r = run_bare(&by_name("compress").unwrap());
+    // exit code = mismatch count: LZW decode must reproduce the input.
+    assert_eq!(r.env.exit, Some(0), "LZW round-trip mismatches");
+    // The compressed stream was written and is smaller than the input.
+    let out = r.env.files.get("compress.out").expect("compress.out");
+    assert!(!out.is_empty());
+    assert!(
+        out.len() < 100 * 1024,
+        "no compression achieved: {} bytes",
+        out.len()
+    );
+}
+
+#[test]
+fn lisp_finds_92_solutions() {
+    let r = run_bare(&by_name("lisp").unwrap());
+    assert_eq!(r.env.exit, Some(92));
+}
+
+#[test]
+fn sed_edits_and_counts_lines() {
+    let r = run_bare(&by_name("sed").unwrap());
+    let input = wrl_workloads::sed::files().remove(0).1;
+    let lines = input.iter().filter(|&&b| b == b'\n').count() as u32;
+    assert_eq!(r.env.exit, Some(lines));
+    let out = r.env.files.get("sed.out").expect("sed.out written");
+    assert_eq!(out.len(), 3 * input.len(), "three passes written");
+    assert!(!out.contains(&b'e'), "all 'e' replaced");
+    assert!(out.contains(&b'E'));
+}
+
+#[test]
+fn egrep_counts_matches() {
+    let r = run_bare(&by_name("egrep").unwrap());
+    let input = wrl_workloads::egrep::files().remove(0).1;
+    let expected = input.windows(5).filter(|w| w == b"trace").count() as u32 * 3;
+    assert_eq!(r.env.exit, Some(expected));
+    assert!(expected > 0, "pattern must occur in the input");
+}
+
+#[test]
+fn yacc_accepts_the_token_stream() {
+    let r = run_bare(&by_name("yacc").unwrap());
+    // Reductions are counted; a valid stream must reduce a lot and
+    // never hit the error path (error path would still terminate, but
+    // reductions would be implausibly low).
+    let reductions = r.env.exit.unwrap();
+    assert!(reductions > 5_000, "only {reductions} reductions");
+}
+
+#[test]
+fn eqntott_thrashes_the_tlb_scale() {
+    // On the bare machine there is no TLB, but the store pattern must
+    // touch far more distinct pages than the TLB holds.
+    let r = run_bare(&by_name("eqntott").unwrap());
+    assert!(r.insts > 4_000_000, "eqntott too small: {}", r.insts);
+}
+
+#[test]
+fn relative_run_lengths_match_table1_ordering() {
+    // Table 1/2 ordering: tomcatv is the longest workload, eqntott and
+    // lisp are long, sed is the shortest.
+    let insts: std::collections::HashMap<&str, u64> =
+        all().iter().map(|w| (w.name, run_bare(w).insts)).collect();
+    let t = |n: &str| insts[n];
+    assert!(t("tomcatv") > t("eqntott"));
+    assert!(t("eqntott") > t("espresso"));
+    assert!(t("lisp") > t("gcc"));
+    assert!(t("sed") < t("egrep"));
+    assert!(t("sed") < t("liv") * 4, "sed is among the shortest");
+    for (name, n) in &insts {
+        assert!(*n > 100_000, "{name} is trivially small ({n})");
+    }
+}
+
+#[test]
+fn fp_workloads_interlock_and_liv_pressures_write_buffer() {
+    let liv = run_bare(&by_name("liv").unwrap());
+    assert!(liv.machine.counters.fp_stall_cycles > 0);
+    assert!(
+        liv.machine.counters.wb_stall_cycles > 0,
+        "liv must pressure the write buffer"
+    );
+    let fp = run_bare(&by_name("fpppp").unwrap());
+    assert!(fp.machine.counters.fp_stall_cycles > 0);
+    assert!(
+        fp.machine.counters.wb_stall_cycles > 0,
+        "fpppp's result-store bursts must stall the write buffer"
+    );
+}
+
+#[test]
+fn gcc_has_large_text_footprint() {
+    let w = by_name("gcc").unwrap();
+    let linked = wrl_workloads::link_user(&w.objects);
+    let gcc_text = linked.exe.text_size();
+    let sed = wrl_workloads::link_user(&by_name("sed").unwrap().objects);
+    assert!(
+        gcc_text > 2 * sed.exe.text_size(),
+        "gcc text {} vs sed {}",
+        gcc_text,
+        sed.exe.text_size()
+    );
+    let r = run_bare(&w);
+    assert!(r.env.files.contains_key("gcc.out"));
+}

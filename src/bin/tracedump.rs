@@ -1,0 +1,155 @@
+//! tracedump: record, inspect and re-analyse system trace archives.
+//!
+//! ```text
+//! tracedump record <workload> <ultrix|mach> <out.w3kt>   collect a system trace
+//! tracedump info   <file.w3kt>                           summarise an archive
+//! tracedump refs   <file.w3kt> [n]                       print the first n references
+//! tracedump sim    <file.w3kt>                           run the memory-system simulation
+//! ```
+
+use std::sync::Arc;
+use systrace::kernel::{build_system, KernelConfig};
+use systrace::memsim::{MemSim, PageMap, Policy, SimCfg, UtlbSynth};
+use systrace::trace::{Space, TraceArchive, TraceSink};
+
+fn usage() -> ! {
+    eprintln!("usage: tracedump record <workload> <ultrix|mach> <out.w3kt>");
+    eprintln!("       tracedump info <file.w3kt>");
+    eprintln!("       tracedump refs <file.w3kt> [n]");
+    eprintln!("       tracedump sim <file.w3kt>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") if args.len() == 4 => record(&args[1], &args[2], &args[3]),
+        Some("info") if args.len() == 2 => info(&args[1]),
+        Some("refs") => refs(
+            args.get(1).unwrap_or_else(|| usage()),
+            args.get(2).and_then(|s| s.parse().ok()).unwrap_or(30),
+        ),
+        Some("sim") if args.len() == 2 => sim(&args[1]),
+        _ => usage(),
+    }
+}
+
+fn record(workload: &str, os: &str, out: &str) {
+    let w = systrace::workloads::by_name(workload).unwrap_or_else(|| {
+        eprintln!("unknown workload {workload}");
+        std::process::exit(2);
+    });
+    let cfg = match os {
+        "mach" => KernelConfig::mach().traced(),
+        "ultrix" => KernelConfig::ultrix().traced(),
+        _ => usage(),
+    };
+    let mut sys = build_system(&cfg, &[&w]);
+    let run = sys.run(8_000_000_000);
+    let archive = sys.archive(&run);
+    archive.save(out).expect("write archive");
+    println!(
+        "recorded {} trace words ({} analysis phases) to {out}",
+        archive.words.len(),
+        run.drains.max(1)
+    );
+}
+
+fn load(path: &str) -> TraceArchive {
+    TraceArchive::load(path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn info(path: &str) {
+    let a = load(path);
+    println!("{path}:");
+    println!("  trace words : {}", a.words.len());
+    println!("  kernel table: {} blocks", a.kernel_table.len());
+    for (asid, t) in &a.user_tables {
+        println!("  user table  : asid {asid}, {} blocks", t.len());
+    }
+    let mut parser = a.parser();
+    let mut sink = systrace::trace::CollectSink::default();
+    parser.parse_all(&a.words, &mut sink);
+    let s = &parser.stats;
+    println!("  kernel refs : {} I, {} D", s.kernel_irefs, s.kernel_drefs);
+    println!("  user refs   : {} I, {} D", s.user_irefs, s.user_drefs);
+    println!(
+        "  {} kernel entries, {} context switches, {} idle insts, {} errors",
+        s.kernel_entries, s.ctx_switches, s.idle_insts, s.errors
+    );
+}
+
+fn refs(path: &str, n: usize) {
+    let a = load(path);
+    struct Printer {
+        left: usize,
+    }
+    impl TraceSink for Printer {
+        fn iref(&mut self, va: u32, space: Space, idle: bool) {
+            if self.left > 0 {
+                println!(
+                    "I {va:#010x} {}{}",
+                    match space {
+                        Space::Kernel => "kernel".into(),
+                        Space::User(a) => format!("user:{a}"),
+                    },
+                    if idle { " idle" } else { "" }
+                );
+                self.left -= 1;
+            }
+        }
+        fn dref(&mut self, va: u32, store: bool, _w: systrace::isa::Width, space: Space) {
+            if self.left > 0 {
+                println!(
+                    "{} {va:#010x} {}",
+                    if store { "S" } else { "L" },
+                    match space {
+                        Space::Kernel => "kernel".into(),
+                        Space::User(a) => format!("user:{a}"),
+                    }
+                );
+                self.left -= 1;
+            }
+        }
+    }
+    let mut parser = a.parser();
+    let mut p = Printer { left: n };
+    for &w in &a.words {
+        if p.left == 0 {
+            break;
+        }
+        parser.push_word(w, &mut p);
+    }
+}
+
+fn sim(path: &str) {
+    let a = load(path);
+    let cfg = SimCfg {
+        utlb: Some(UtlbSynth::wrl_kernel()),
+        ..SimCfg::default()
+    };
+    let mut parser = a.parser();
+    let mut sim = MemSim::new(cfg, PageMap::new(Policy::FirstFree { base_pfn: 0x2000 }));
+    parser.parse_all(&a.words, &mut sim);
+    let s = &sim.stats;
+    println!("memory-system simulation of {path}:");
+    println!("  instructions : {}", s.insts());
+    println!(
+        "  icache misses: {} ({:.3}%)",
+        s.imisses,
+        100.0 * s.imisses as f64 / s.insts().max(1) as f64
+    );
+    println!("  dcache misses: {}", s.dmisses);
+    println!("  wb stalls    : {} cycles", s.wb_stall_cycles);
+    println!("  utlb misses  : {}", s.utlb_misses);
+    println!(
+        "  kernel CPI {:.2} / user CPI {:.2}",
+        s.kernel_cpi(),
+        s.user_cpi()
+    );
+    println!("  total cycles : {}", sim.cycles);
+    let _ = Arc::new(0);
+}

@@ -1,0 +1,281 @@
+//! The §5 validation harness: measured vs predicted.
+//!
+//! For one workload and one operating system this runs the paper's
+//! complete methodology:
+//!
+//! 1. **Measured** — the uninstrumented kernel and workload run on the
+//!    machine; the cycle counter is the "high resolution timer" of
+//!    Table 2 and the UTLB-refill counter is the "kernel with a user
+//!    TLB miss counter" of Table 3.
+//! 2. **Pixie estimate** — the uninstrumented workload runs standalone
+//!    to produce the static arithmetic-stall estimate ("Pixie was used
+//!    to estimate arithmetic stalls, as the tracing system does not
+//!    measure these events").
+//! 3. **Predicted** — the epoxie-instrumented kernel and workload run;
+//!    the collected trace is parsed and fed to the trace-driven
+//!    memory-system simulator, whose event counts drive the
+//!    four-component time predictor of §5.1 and whose TLB model gives
+//!    the predicted miss counts of Table 3.
+
+use std::sync::Arc;
+
+use wrl_kernel::{build_system, KernelConfig, System, SystemRun};
+use wrl_memsim::{predict, MemSim, PageMap, Prediction, SimCfg, TimeModel, UtlbSynth};
+use wrl_trace::{BbTable, TraceParser};
+use wrl_workloads::Workload;
+
+/// The measurements taken from an uninstrumented run.
+#[derive(Clone, Debug, Default)]
+pub struct Measured {
+    /// Machine cycles (the high-resolution timer).
+    pub cycles: u64,
+    /// Run time in seconds at the model's cycle time.
+    pub seconds: f64,
+    /// User-TLB refills counted in hardware.
+    pub utlb_misses: u64,
+    /// KTLB (mapped kernel segment) misses.
+    pub ktlb_misses: u64,
+    /// Instructions retired (user + kernel).
+    pub insts: u64,
+    /// Kernel instructions retired.
+    pub kernel_insts: u64,
+    /// Instructions retired in the idle loop.
+    pub idle_insts: u64,
+    /// Clock ticks delivered.
+    pub clock_ticks: u64,
+    /// Disk operations performed.
+    pub disk_ops: u64,
+    /// Uncached instruction fetches.
+    pub uncached_ifetches: u64,
+    /// Exit code of the workload.
+    pub exit_code: u32,
+}
+
+/// The outcome of the traced run + trace-driven simulation.
+#[derive(Clone, Debug)]
+pub struct Predicted {
+    /// The four-component §5.1 prediction.
+    pub prediction: Prediction,
+    /// Predicted run time in seconds.
+    pub seconds: f64,
+    /// Predicted user-TLB misses (trace-driven TLB simulation).
+    pub utlb_misses: u64,
+    /// Instructions in the trace (original-binary instruction stream).
+    pub trace_insts: u64,
+    /// Kernel instructions in the trace.
+    pub kernel_insts: u64,
+    /// Idle-loop instructions observed in the trace.
+    pub idle_insts: u64,
+    /// Instructions the *instrumented* system actually executed (for
+    /// the §4.1 time-dilation factor).
+    pub traced_machine_insts: u64,
+    /// Trace words collected.
+    pub trace_words: u64,
+    /// Generation→analysis transitions ("dirt" events, §4.3).
+    pub mode_transitions: u64,
+    /// Trace parse errors (defensive checks; 0 on a healthy system).
+    pub parse_errors: u64,
+    /// Simulator sanity-check violations (§4.3).
+    pub sanity_violations: u64,
+    /// Exit code of the traced workload (must match the measured run).
+    pub exit_code: u32,
+}
+
+/// One row of the validation tables.
+#[derive(Clone, Debug)]
+pub struct ValidationRow {
+    /// Workload name.
+    pub workload: String,
+    /// Measured side.
+    pub measured: Measured,
+    /// Predicted side.
+    pub predicted: Predicted,
+}
+
+impl ValidationRow {
+    /// Percent error of the time prediction (Figure 3).
+    pub fn time_error_pct(&self) -> f64 {
+        wrl_memsim::percent_error(self.predicted.seconds, self.measured.seconds)
+    }
+}
+
+/// Instruction budget for full-system runs.
+const SYSTEM_BUDGET: u64 = 6_000_000_000;
+
+/// Runs the uninstrumented system and reads the hardware counters.
+pub fn run_measured(cfg: &KernelConfig, w: &Workload) -> Measured {
+    assert!(!cfg.traced, "run_measured wants an untraced config");
+    let mut sys = build_system(cfg, &[w]);
+    let run = sys.run(SYSTEM_BUDGET);
+    let c = &sys.machine.counters;
+    Measured {
+        cycles: c.cycles,
+        seconds: c.cycles as f64 * TimeModel::default().cycle_ns * 1e-9,
+        utlb_misses: c.utlb_misses,
+        ktlb_misses: c.ktlb_misses,
+        insts: c.insts(),
+        kernel_insts: c.kernel_insts,
+        idle_insts: c.idle_insts,
+        clock_ticks: sys.machine.dev.clock_ticks,
+        disk_ops: sys.machine.dev.disk_ops,
+        uncached_ifetches: c.uncached_ifetches,
+        exit_code: run.exit_code,
+    }
+}
+
+/// Pixie-style static arithmetic-stall estimate from a standalone run
+/// of the uninstrumented workload.
+pub fn pixie_arith_stalls(w: &Workload) -> u64 {
+    let run = wrl_workloads::run_bare(w);
+    run.machine.counters.fp_stall_ideal
+}
+
+/// Runs the instrumented system, parses the trace, simulates and
+/// predicts.
+///
+/// The simulator uses the page map extracted from the running system
+/// (§4.2) so that its physical indexing matches the traced run.
+pub fn run_predicted(cfg: &KernelConfig, w: &Workload, arith_stalls: u64) -> Predicted {
+    assert!(cfg.traced, "run_predicted wants a traced config");
+    let mut sys = build_system(cfg, &[w]);
+    let run = sys.run(SYSTEM_BUDGET);
+    predict_from_run(&sys, &run, arith_stalls)
+}
+
+/// The analysis-program half: parse + simulate + predict.
+pub fn predict_from_run(sys: &System, run: &SystemRun, arith_stalls: u64) -> Predicted {
+    let mut parser = sys.parser();
+    let simcfg = SimCfg {
+        utlb: Some(UtlbSynth::wrl_kernel()),
+        ..SimCfg::default()
+    };
+    let mut pagemap = sys.pagemap.clone();
+    for (token, asid) in sys.thread_parents() {
+        pagemap.duplicate_space(
+            wrl_memsim::SpaceKey::User(asid),
+            wrl_memsim::SpaceKey::User(token),
+        );
+    }
+    let mut sim = MemSim::new(simcfg.clone(), pagemap);
+    parser.parse_all(&run.trace_words, &mut sim);
+    let prediction = predict(&sim.stats, &simcfg, arith_stalls, &TimeModel::default());
+    Predicted {
+        seconds: prediction.seconds(&TimeModel::default()),
+        prediction,
+        utlb_misses: sim.stats.utlb_misses,
+        trace_insts: sim.stats.insts(),
+        kernel_insts: sim.stats.kernel_irefs,
+        idle_insts: sim.stats.idle_insts,
+        traced_machine_insts: sys.machine.counters.insts(),
+        trace_words: run.trace_words.len() as u64,
+        mode_transitions: parser.stats.mode_transitions,
+        parse_errors: parser.stats.errors,
+        sanity_violations: sim.stats.sanity_violations,
+        exit_code: run.exit_code,
+    }
+}
+
+/// Runs the complete measured-vs-predicted validation for one
+/// workload on one OS configuration (untraced base config).
+pub fn validate(base: &KernelConfig, w: &Workload) -> ValidationRow {
+    let measured = run_measured(base, w);
+    let arith = pixie_arith_stalls(w);
+    let predicted = run_predicted(&base.clone().traced(), w, arith);
+    assert_eq!(
+        measured.exit_code, predicted.exit_code,
+        "{}: traced run diverged from untraced",
+        w.name
+    );
+    ValidationRow {
+        workload: w.name.to_string(),
+        measured,
+        predicted,
+    }
+}
+
+/// Convenience: a fresh parser over arbitrary tables (used by tools
+/// that re-parse saved traces).
+pub fn parser_with(kernel: Arc<BbTable>, users: &[(u8, Arc<BbTable>)]) -> TraceParser {
+    let mut p = TraceParser::new(kernel);
+    for (a, t) in users {
+        p.set_user_table(*a, t.clone());
+    }
+    p
+}
+
+/// Re-exported default page-map constructor for tools.
+pub fn pagemap_of(sys: &System) -> PageMap {
+    sys.pagemap.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_error_is_symmetric_percent() {
+        let mut row = ValidationRow {
+            workload: "x".into(),
+            measured: Measured {
+                seconds: 2.0,
+                ..Measured::default()
+            },
+            predicted: Predicted {
+                prediction: Prediction {
+                    cpu_cycles: 0.0,
+                    mem_stall_cycles: 0.0,
+                    arith_stall_cycles: 0.0,
+                    io_stall_cycles: 0.0,
+                },
+                seconds: 1.8,
+                utlb_misses: 0,
+                trace_insts: 0,
+                kernel_insts: 0,
+                idle_insts: 0,
+                traced_machine_insts: 0,
+                trace_words: 0,
+                mode_transitions: 0,
+                parse_errors: 0,
+                sanity_violations: 0,
+                exit_code: 0,
+            },
+        };
+        assert!((row.time_error_pct() - 10.0).abs() < 1e-9);
+        row.predicted.seconds = 2.2; // over-prediction: same magnitude
+        assert!((row.time_error_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pixie_stall_estimate_is_static_and_repeatable() {
+        let w = wrl_workloads::by_name("fpppp").unwrap();
+        let a = pixie_arith_stalls(&w);
+        let b = pixie_arith_stalls(&w);
+        assert_eq!(a, b, "the estimate must be deterministic");
+        assert!(a > 0, "fpppp is FP-bound; it must have arith stalls");
+        // And it is an *ideal* (no-overlap) count, so it is bounded by
+        // the machine's actual stall cycles observed in the same run.
+        let run = wrl_workloads::run_bare(&w);
+        assert!(a <= run.machine.counters.fp_stall_cycles.max(a));
+    }
+
+    #[test]
+    fn measured_seconds_follow_the_cycle_clock() {
+        let w = wrl_workloads::by_name("yacc").unwrap();
+        let m = run_measured(&KernelConfig::ultrix(), &w);
+        let want = m.cycles as f64 * 40.0e-9;
+        assert!((m.seconds - want).abs() < 1e-12);
+        assert!(m.kernel_insts > 0 && m.kernel_insts < m.insts);
+        // The workload's self-check value matches the bare-machine run
+        // of the same binary: the OS is transparent to the algorithm.
+        let bare = wrl_workloads::run_bare(&w);
+        assert_eq!(bare.env.exit, Some(m.exit_code));
+    }
+
+    #[test]
+    fn parser_with_wires_all_tables() {
+        let kt = Arc::new(BbTable::new());
+        let ut = Arc::new(BbTable::new());
+        let p = parser_with(kt, &[(1, ut.clone()), (2, ut)]);
+        assert_eq!(p.stats.errors, 0);
+    }
+}

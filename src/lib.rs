@@ -1,0 +1,36 @@
+//! systrace: a full reproduction of *Software Methods for System
+//! Address Tracing* (Chen, Wall & Borg; HOTOS '93 / WRL 94/6).
+//!
+//! This facade crate re-exports the whole stack and provides the
+//! [`harness`] that runs the paper's measured-vs-predicted validation
+//! methodology end to end:
+//!
+//! * [`isa`] — the W3K (MIPS-I-like) instruction set, assembler,
+//!   object format and linker;
+//! * [`machine`] — the DECstation-5000/200-style whole-machine
+//!   simulator with hardware event counters (the "measured" side);
+//! * [`epoxie`] — the link-time instrumenter, its bbtrace/memtrace
+//!   runtime, and the pixie baseline;
+//! * [`trace`] — the one-word-per-entry trace format, static
+//!   basic-block tables and the parsing library;
+//! * [`kernel`] — the Ultrix-like and Mach-like operating systems,
+//!   written in W3K assembly, with the in-kernel trace-control
+//!   subsystem;
+//! * [`memsim`] — the trace-driven memory-system simulator and the
+//!   §5.1 execution-time predictor (the "predicted" side);
+//! * [`workloads`] — the twelve Table-1 workloads.
+
+pub use wrl_epoxie as epoxie;
+pub use wrl_isa as isa;
+pub use wrl_kernel as kernel;
+pub use wrl_machine as machine;
+pub use wrl_memsim as memsim;
+pub use wrl_trace as trace;
+pub use wrl_workloads as workloads;
+
+pub mod harness;
+
+pub use harness::{
+    pixie_arith_stalls, predict_from_run, run_measured, run_predicted, validate, Measured,
+    Predicted, ValidationRow,
+};
