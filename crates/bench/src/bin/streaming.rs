@@ -1,0 +1,109 @@
+//! Batch vs streaming analysis: end-to-end wall time.
+//!
+//! The paper's motivation for on-the-fly analysis is that traces are
+//! "too large to store" (§3.2) — but it is also simply *faster*: the
+//! analysis program consumes each buffer while it is hot instead of
+//! accumulating the whole trace and replaying it cold. This binary
+//! times the two workflows end to end (traced machine run + parse +
+//! memory-system simulation) and checks that they produce identical
+//! predictions.
+//!
+//! Usage: `streaming [workload ...]` (default: sed yacc).
+
+use std::time::{Duration, Instant};
+
+use systrace::kernel::KernelConfig;
+use systrace::trace::PipelineCfg;
+use systrace::Predicted;
+
+fn timed<T>(mut f: impl FnMut() -> T) -> (Duration, T) {
+    let t0 = Instant::now();
+    let v = f();
+    (t0.elapsed(), v)
+}
+
+fn same_prediction(a: &Predicted, b: &Predicted) -> bool {
+    a.prediction == b.prediction
+        && a.utlb_misses == b.utlb_misses
+        && a.trace_insts == b.trace_insts
+        && a.kernel_insts == b.kernel_insts
+        && a.idle_insts == b.idle_insts
+        && a.trace_words == b.trace_words
+        && a.parse_errors == b.parse_errors
+        && a.sanity_violations == b.sanity_violations
+        && a.exit_code == b.exit_code
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let names: Vec<&str> = if args.is_empty() {
+        vec!["sed", "yacc"]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    const RUNS: u32 = 15;
+
+    println!("Batch vs streaming trace analysis (Ultrix, best of {RUNS})");
+    println!(
+        "{:9} | {:>9} | {:>9} | {:>7} | {:>12}",
+        "", "batch", "stream", "ratio", "trace words"
+    );
+    println!("{:-<60}", "");
+    for name in names {
+        let w =
+            systrace::workloads::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+        let cfg = KernelConfig::ultrix().traced();
+        let arith = systrace::pixie_arith_stalls(&w);
+
+        // Interleave the two modes and flip their order every
+        // iteration, so slow drift (frequency scaling, neighbours on
+        // a shared host) and within-pair warm-up bias hit both
+        // equally; keep the minimum of each, the best estimate of
+        // the true floor.
+        let mut t_batch = Duration::MAX;
+        let mut t_stream = Duration::MAX;
+        let mut p_batch = None;
+        let mut p_stream = None;
+        for i in 0..RUNS {
+            let batch = || timed(|| systrace::run_predicted(&cfg, &w, arith));
+            let stream = || {
+                timed(|| systrace::run_predicted_streaming(&cfg, &w, arith, PipelineCfg::default()))
+            };
+            let ((tb, pb), (ts, ps)) = if i % 2 == 0 {
+                let b = batch();
+                let s = stream();
+                (b, s)
+            } else {
+                let s = stream();
+                let b = batch();
+                (b, s)
+            };
+            t_batch = t_batch.min(tb);
+            t_stream = t_stream.min(ts);
+            p_batch = Some(pb);
+            p_stream = Some(ps);
+        }
+        let (p_batch, p_stream) = (p_batch.expect("RUNS > 0"), p_stream.expect("RUNS > 0"));
+        assert!(
+            same_prediction(&p_batch, &p_stream),
+            "{name}: streaming diverged from batch"
+        );
+        println!(
+            "{:9} | {:>8.3}s | {:>8.3}s | {:>6.2}x | {:>12}",
+            name,
+            t_batch.as_secs_f64(),
+            t_stream.as_secs_f64(),
+            t_batch.as_secs_f64() / t_stream.as_secs_f64(),
+            p_batch.trace_words,
+        );
+    }
+    println!("{:-<60}", "");
+    println!("ratio > 1: streaming wins. Identical predictions are asserted.");
+    println!("The trace is never accumulated, so streaming skips batch's");
+    println!("replay pass; on a single-CPU host that pass is a small slice of");
+    println!("the machine run and the ratio sits at ~1.00, while extra CPUs");
+    println!("let the consumer stages overlap the machine run for a real win.");
+}

@@ -10,7 +10,13 @@ use systrace::ValidationRow;
 /// Workload subset selection from argv: all twelve by default, or the
 /// names given on the command line (useful for quick runs).
 pub fn selected_workloads() -> Vec<systrace::workloads::Workload> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Skip flag-like arguments so harness flags (e.g. the `--quiet`
+    // that `cargo test -q` forwards to test binaries) never read as
+    // workload names.
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
     if args.is_empty() {
         systrace::workloads::all()
     } else {

@@ -36,7 +36,7 @@ impl Default for TimeModel {
 }
 
 /// A predicted execution time, decomposed by source.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Prediction {
     /// One cycle per (non-idle) instruction in the trace.
     pub cpu_cycles: f64,

@@ -1,0 +1,88 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<T>` with a length drawn from `len`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Generates vectors of `element` values with lengths in `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<T>` with a target size drawn from `size`.
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates hash sets of `element` values with sizes in `size`
+/// (best effort: bounded retries against duplicate draws).
+pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    assert!(size.start < size.end, "empty size range");
+    HashSetStrategy { element, size }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let n = self.size.generate(rng);
+        let mut out = HashSet::with_capacity(n);
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n.saturating_mul(50) + 100 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_of_pairs() {
+        let mut rng = TestRng::new(1);
+        let s = vec((0u32..4, 0u32..4), 1..10);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((1..10).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn set_reaches_target_size() {
+        let mut rng = TestRng::new(2);
+        let s = hash_set(0u32..0x2000, 1..300);
+        for _ in 0..20 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 300);
+        }
+    }
+}

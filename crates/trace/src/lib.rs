@@ -22,8 +22,10 @@ pub mod bbinfo;
 pub mod format;
 pub mod layout;
 pub mod parser;
+pub mod stream;
 
 pub use archive::{ArchiveError, TraceArchive};
 pub use bbinfo::{BbInfo, BbTable, BbTraceFlags, MemOp};
 pub use format::{classify, ctl, is_kernel_addr, Ctl, CtlOp, TraceWord, CTL_LIMIT};
 pub use parser::{CollectSink, ParseError, ParseStats, Space, TraceParser, TraceSink};
+pub use stream::{Pipeline, PipelineCfg, PipelineReport, RefEvent, StreamSink, TraceChunk};

@@ -118,6 +118,25 @@ pub struct ParseStats {
     pub errors: u64,
 }
 
+impl ParseStats {
+    /// Field-wise accumulation. All fields are exact integer counts,
+    /// so merging per-segment stats reproduces a whole-trace parse.
+    pub fn merge(&mut self, other: &ParseStats) {
+        self.words += other.words;
+        self.bb_records += other.bb_records;
+        self.mem_records += other.mem_records;
+        self.user_irefs += other.user_irefs;
+        self.kernel_irefs += other.kernel_irefs;
+        self.user_drefs += other.user_drefs;
+        self.kernel_drefs += other.kernel_drefs;
+        self.idle_insts += other.idle_insts;
+        self.mode_transitions += other.mode_transitions;
+        self.kernel_entries += other.kernel_entries;
+        self.ctx_switches += other.ctx_switches;
+        self.errors += other.errors;
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Pending {
     bb_id: u32,
@@ -242,10 +261,17 @@ impl TraceParser {
 
     /// Consumes one trace word.
     pub fn push_word(&mut self, w: u32, sink: &mut dyn TraceSink) {
+        self.push_classified(classify(w), sink);
+    }
+
+    /// Consumes one pre-classified trace word. Classification is pure
+    /// and per-word, so the streaming pipeline's decode stage can run
+    /// it off-thread; the words must still arrive in stream order.
+    pub fn push_classified(&mut self, w: TraceWord, sink: &mut dyn TraceSink) {
         let pos = self.pos;
         self.pos += 1;
         self.stats.words += 1;
-        match classify(w) {
+        match w {
             TraceWord::Ctl(c) => match c.op {
                 CtlOp::CtxSwitch => {
                     self.base_asid = c.payload;
@@ -349,15 +375,21 @@ impl TraceParser {
 
     fn finish_internal(&mut self, sink: &mut dyn TraceSink) {
         // Truncation check: any context still owing memory words?
+        // User contexts are visited in ASID order: `user_pend` is a
+        // HashMap, and hash order would make the trailing flush (and
+        // so the emitted reference order) vary from run to run —
+        // breaking the streaming pipeline's bit-identical guarantee.
+        let mut user_asids: Vec<u8> = self.user_pend.keys().copied().collect();
+        user_asids.sort_unstable();
         let mut owed: Vec<(u32, usize)> = Vec::new();
         let slots: Vec<(Space, Pending)> = self
             .kstack
             .iter()
             .filter_map(|s| s.map(|p| (Space::Kernel, p)))
             .chain(
-                self.user_pend
+                user_asids
                     .iter()
-                    .filter_map(|(&a, s)| s.map(|p| (Space::User(a), p))),
+                    .filter_map(|&a| self.user_pend[&a].map(|p| (Space::User(a), p))),
             )
             .collect();
         for (space, slot) in slots {
@@ -376,8 +408,7 @@ impl TraceParser {
             self.flush_pending(Space::Kernel, sink);
             self.kstack.pop();
         }
-        let asids: Vec<u8> = self.user_pend.keys().copied().collect();
-        for a in asids {
+        for a in user_asids {
             self.flush_pending(Space::User(a), sink);
         }
     }

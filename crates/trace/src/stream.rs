@@ -1,0 +1,707 @@
+//! On-the-fly streaming trace analysis.
+//!
+//! The paper's tracing system analyses the trace *while it is being
+//! generated*: the kernel fills a trace buffer, and on every
+//! buffer-full interrupt the analysis program drains it before
+//! execution resumes (§3.2, "on-the-fly analysis"). This module is
+//! the software analogue: a bounded double-buffer channel between the
+//! producer (the simulated machine draining its kernel trace buffer)
+//! and a small pipeline of consumer threads running [`TraceParser`]
+//! and a [`TraceSink`] (typically the memory-system simulator)
+//! incrementally, so cache/TLB simulation overlaps machine execution.
+//!
+//! # Topology
+//!
+//! `workers` selects how many consumer threads the pipeline owns.
+//! Parsing and simulation are inherently sequential state machines, so
+//! the pipeline scales by *stage*, never by sharding the stream —
+//! which is what keeps every configuration bit-identical:
+//!
+//! ```text
+//! workers = 1:  feed ─(inline, same thread)─▶ parse+sink
+//! workers = 2:  feed ──chunks──▶ [parse] ──events──▶ [sink]
+//! workers = 3:  feed ──chunks──▶ [decode] ──classified──▶ [parse] ──events──▶ [sink]
+//! workers = 4:  feed ──chunks──▶ [decode ×2] ─(reordered by seq)──▶ [parse] ──events──▶ [sink]
+//! ```
+//!
+//! The decode stage runs [`classify`], which is pure and per-word;
+//! with two decoders, chunks may finish out of order, so the parse
+//! stage reorders them by sequence number before consuming. The
+//! parser therefore always sees the exact word order of the raw
+//! stream, and the sink always sees the exact event order the parser
+//! emitted — results are independent of chunk size and worker count
+//! by construction.
+//!
+//! # Backpressure
+//!
+//! Every channel is a bounded [`sync_channel`] of depth
+//! [`PipelineCfg::depth`] (default 2 — classic double buffering: one
+//! chunk in flight, one being filled). When a consumer falls behind,
+//! `feed` blocks, exactly like the traced kernel stalling on a full
+//! trace buffer. No unbounded queue can hide a slow consumer. With a
+//! single worker there is no channel at all: `feed` analyses the
+//! words before returning, the strictest backpressure there is.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::format::{classify, TraceWord};
+use crate::parser::{ParseError, ParseStats, Space, TraceParser, TraceSink};
+use wrl_isa::Width;
+
+/// A run of raw trace words handed from producer to consumer, tagged
+/// with its position in the stream.
+#[derive(Clone, Debug)]
+pub struct TraceChunk {
+    /// Zero-based position of this chunk in the stream.
+    pub seq: u64,
+    /// The raw trace words.
+    pub words: Vec<u32>,
+}
+
+/// One parsed reference event, as emitted by [`TraceParser`] into a
+/// [`TraceSink`]. `StreamSink` batches these across a channel so the
+/// parse and simulate stages can run on different threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefEvent {
+    /// An instruction fetch.
+    Iref {
+        /// Uninstrumented virtual address.
+        vaddr: u32,
+        /// Owning address space.
+        space: Space,
+        /// Whether the block is idle-marked.
+        idle: bool,
+    },
+    /// A data reference.
+    Dref {
+        /// Virtual address.
+        vaddr: u32,
+        /// Store (vs. load).
+        store: bool,
+        /// Access width.
+        width: Width,
+        /// Owning address space.
+        space: Space,
+    },
+    /// The base context switched to the given ASID.
+    CtxSwitch(u8),
+    /// Trace generation suspended (`false`) or resumed (`true`).
+    ModeTransition(bool),
+}
+
+impl RefEvent {
+    /// Replays this event into a sink.
+    pub fn apply(self, sink: &mut dyn TraceSink) {
+        match self {
+            RefEvent::Iref { vaddr, space, idle } => sink.iref(vaddr, space, idle),
+            RefEvent::Dref {
+                vaddr,
+                store,
+                width,
+                space,
+            } => sink.dref(vaddr, store, width, space),
+            RefEvent::CtxSwitch(asid) => sink.ctx_switch(asid),
+            RefEvent::ModeTransition(g) => sink.mode_transition(g),
+        }
+    }
+}
+
+/// A [`TraceSink`] that forwards events over a bounded channel in
+/// batches, preserving order. Used as the bridge between the parse
+/// stage and a downstream consumer thread.
+pub struct StreamSink {
+    tx: SyncSender<Vec<RefEvent>>,
+    batch: Vec<RefEvent>,
+    batch_events: usize,
+}
+
+impl StreamSink {
+    /// Creates a sink batching up to `batch_events` events per send.
+    pub fn new(tx: SyncSender<Vec<RefEvent>>, batch_events: usize) -> StreamSink {
+        let batch_events = batch_events.max(1);
+        StreamSink {
+            tx,
+            batch: Vec::with_capacity(batch_events),
+            batch_events,
+        }
+    }
+
+    fn push(&mut self, ev: RefEvent) {
+        self.batch.push(ev);
+        if self.batch.len() >= self.batch_events {
+            self.flush();
+        }
+    }
+
+    /// Sends any buffered events now. A send failure means the
+    /// consumer is gone; the events are dropped here and the
+    /// consumer's panic (if any) surfaces when the pipeline joins it.
+    pub fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(self.batch_events));
+        let _ = self.tx.send(batch);
+    }
+}
+
+impl TraceSink for StreamSink {
+    fn iref(&mut self, vaddr: u32, space: Space, idle: bool) {
+        self.push(RefEvent::Iref { vaddr, space, idle });
+    }
+
+    fn dref(&mut self, vaddr: u32, store: bool, width: Width, space: Space) {
+        self.push(RefEvent::Dref {
+            vaddr,
+            store,
+            width,
+            space,
+        });
+    }
+
+    fn ctx_switch(&mut self, asid: u8) {
+        self.push(RefEvent::CtxSwitch(asid));
+    }
+
+    fn mode_transition(&mut self, generating: bool) {
+        self.push(RefEvent::ModeTransition(generating));
+    }
+}
+
+/// Pipeline shape parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineCfg {
+    /// Words per chunk handed to the consumer side. `feed` accepts
+    /// arbitrary slices and re-chunks to this size.
+    pub chunk_words: usize,
+    /// Bound of every inter-stage channel, in chunks/batches. 2 is
+    /// classic double buffering.
+    pub depth: usize,
+    /// Consumer stages, clamped to 1..=4 (see module docs for the
+    /// topology each count selects). 1 runs parse+sink inline on the
+    /// caller's thread; 2..=4 spawn that many consumer threads.
+    pub workers: usize,
+    /// Events per batch on the parse→sink channel (stage topologies
+    /// with a separate sink thread only).
+    pub batch_events: usize,
+}
+
+impl Default for PipelineCfg {
+    /// Defaults to the fused single-worker topology on a single-CPU
+    /// host (a second stage there only adds cross-thread event
+    /// traffic) and the parse|simulate split when real parallelism is
+    /// available.
+    fn default() -> PipelineCfg {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(2))
+            .unwrap_or(1);
+        PipelineCfg {
+            chunk_words: 4096,
+            depth: 2,
+            workers,
+            batch_events: 8192,
+        }
+    }
+}
+
+/// What a finished pipeline reports: the parser's statistics and
+/// errors, plus chunk accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Parser statistics, identical to a batch `parse_all`.
+    pub parse: ParseStats,
+    /// Parse errors in stream order (first few kept in detail).
+    pub errors: Vec<ParseError>,
+    /// Chunks shipped through the pipeline.
+    pub chunks: u64,
+    /// Raw words shipped.
+    pub words: u64,
+}
+
+/// Result of parsing on the consumer side: stats, detailed errors.
+type ParseOutcome = (ParseStats, Vec<ParseError>);
+
+enum Tail<S> {
+    /// workers = 1: parser and sink run fused on the producer's own
+    /// thread — no channel, no thread, no hand-off copy. `feed`
+    /// itself is the backpressure: it returns only when the words
+    /// are analysed, exactly like the paper's analysis program
+    /// holding the traced system stopped while it drains the buffer.
+    Inline(Box<(TraceParser, S)>),
+    /// workers ≥ 2: parse and sink stages on separate threads.
+    Split {
+        parse: JoinHandle<ParseOutcome>,
+        sink: JoinHandle<S>,
+    },
+}
+
+/// A running streaming-analysis pipeline. Construct with
+/// [`Pipeline::new`], push trace words with [`Pipeline::feed`] (e.g.
+/// from the machine's buffer-drain callback), then call
+/// [`Pipeline::finish`] to join the workers and collect the sink and
+/// report. Dropping without `finish` detaches the threads after the
+/// channel closes (they drain and exit).
+pub struct Pipeline<S: TraceSink + Send + 'static> {
+    tx: Option<SyncSender<TraceChunk>>,
+    decoders: Vec<JoinHandle<()>>,
+    tail: Option<Tail<S>>,
+    pend: Vec<u32>,
+    seq: u64,
+    chunks: u64,
+    words: u64,
+    cfg: PipelineCfg,
+}
+
+impl<S: TraceSink + Send + 'static> Pipeline<S> {
+    /// Spawns the consumer stage(s) for `cfg.workers` and returns the
+    /// producer handle. `parser` carries the basic-block tables (and
+    /// any pre-run wiring); `sink` is returned by value from
+    /// [`Pipeline::finish`].
+    pub fn new(parser: TraceParser, sink: S, cfg: PipelineCfg) -> Pipeline<S> {
+        let cfg = PipelineCfg {
+            chunk_words: cfg.chunk_words.max(1),
+            depth: cfg.depth.max(1),
+            workers: cfg.workers.clamp(1, 4),
+            batch_events: cfg.batch_events.max(1),
+        };
+        if cfg.workers == 1 {
+            return Pipeline {
+                tx: None,
+                decoders: Vec::new(),
+                tail: Some(Tail::Inline(Box::new((parser, sink)))),
+                pend: Vec::new(),
+                seq: 0,
+                chunks: 0,
+                words: 0,
+                cfg,
+            };
+        }
+        let (tx, rx) = sync_channel::<TraceChunk>(cfg.depth);
+        let tail = match cfg.workers {
+            2 => {
+                let (ev_tx, ev_rx) = sync_channel::<Vec<RefEvent>>(cfg.depth);
+                Tail::Split {
+                    parse: spawn_parse_raw(rx, parser, ev_tx, cfg.batch_events),
+                    sink: spawn_sink(ev_rx, sink),
+                }
+            }
+            n => {
+                // One or two decode workers feeding a reordering
+                // parse stage, then the sink stage.
+                let (dec_tx, dec_rx) = sync_channel::<DecodedChunk>(cfg.depth);
+                let shared = Arc::new(Mutex::new(rx));
+                let decoders = (0..n - 2)
+                    .map(|i| spawn_decoder(i, Arc::clone(&shared), dec_tx.clone()))
+                    .collect::<Vec<_>>();
+                drop(dec_tx);
+                let (ev_tx, ev_rx) = sync_channel::<Vec<RefEvent>>(cfg.depth);
+                let parse = spawn_parse_decoded(dec_rx, parser, ev_tx, cfg.batch_events);
+                let sink = spawn_sink(ev_rx, sink);
+                return Pipeline {
+                    tx: Some(tx),
+                    decoders,
+                    tail: Some(Tail::Split { parse, sink }),
+                    pend: Vec::new(),
+                    seq: 0,
+                    chunks: 0,
+                    words: 0,
+                    cfg,
+                };
+            }
+        };
+        Pipeline {
+            tx: Some(tx),
+            decoders: Vec::new(),
+            tail: Some(tail),
+            pend: Vec::new(),
+            seq: 0,
+            chunks: 0,
+            words: 0,
+            cfg,
+        }
+    }
+
+    /// Pushes raw trace words into the pipeline, blocking when the
+    /// consumer side is `cfg.depth` chunks behind (backpressure).
+    /// Slices of any size are accepted and re-chunked to
+    /// `cfg.chunk_words`.
+    pub fn feed(&mut self, words: &[u32]) {
+        self.words += words.len() as u64;
+        let mut rest = words;
+        // Top up a pending partial chunk first.
+        if !self.pend.is_empty() {
+            let need = self.cfg.chunk_words - self.pend.len();
+            let take = need.min(rest.len());
+            self.pend.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.pend.len() == self.cfg.chunk_words {
+                let full = std::mem::take(&mut self.pend);
+                self.ship(full);
+            }
+        }
+        while rest.len() >= self.cfg.chunk_words {
+            let (head, tail) = rest.split_at(self.cfg.chunk_words);
+            self.ship(head.to_vec());
+            rest = tail;
+        }
+        self.pend.extend_from_slice(rest);
+    }
+
+    /// Like [`Pipeline::feed`], but takes ownership of the buffer and
+    /// ships it as a single chunk without re-chunking or copying —
+    /// the zero-copy path for producers that already hand over whole
+    /// drained buffers. Chunk-size configuration only affects
+    /// backpressure granularity, never results, so mixing `feed` and
+    /// `feed_owned` is fine.
+    pub fn feed_owned(&mut self, words: Vec<u32>) {
+        if words.is_empty() {
+            return;
+        }
+        self.words += words.len() as u64;
+        if !self.pend.is_empty() {
+            let partial = std::mem::take(&mut self.pend);
+            self.ship(partial);
+        }
+        self.ship(words);
+    }
+
+    fn ship(&mut self, words: Vec<u32>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.chunks += 1;
+        if let Some(Tail::Inline(fused)) = self.tail.as_mut() {
+            let (parser, sink) = &mut **fused;
+            for &w in &words {
+                parser.push_word(w, sink);
+            }
+            return;
+        }
+        if let Some(tx) = &self.tx {
+            // A send failure means a worker died; keep accepting input
+            // and surface the worker's panic when `finish` joins it.
+            let _ = tx.send(TraceChunk { seq, words });
+        }
+    }
+
+    /// Flushes the final partial chunk, closes the channel, joins all
+    /// workers and returns the finalised report plus the sink. The
+    /// parser's `finish` runs on the consumer side, so partial blocks
+    /// are flushed exactly as `parse_all` would.
+    pub fn finish(mut self) -> (PipelineReport, S) {
+        if !self.pend.is_empty() {
+            let last = std::mem::take(&mut self.pend);
+            self.ship(last);
+        }
+        drop(self.tx.take());
+        for d in self.decoders.drain(..) {
+            join_or_propagate(d);
+        }
+        let ((parse, errors), sink) = match self.tail.take().expect("finish called once") {
+            Tail::Inline(fused) => {
+                let (mut parser, mut sink) = *fused;
+                parser.finish(&mut sink);
+                (
+                    (parser.stats.clone(), std::mem::take(&mut parser.errors)),
+                    sink,
+                )
+            }
+            Tail::Split { parse, sink } => (join_or_propagate(parse), join_or_propagate(sink)),
+        };
+        (
+            PipelineReport {
+                parse,
+                errors,
+                chunks: self.chunks,
+                words: self.words,
+            },
+            sink,
+        )
+    }
+}
+
+struct DecodedChunk {
+    seq: u64,
+    words: Vec<TraceWord>,
+}
+
+fn join_or_propagate<T>(h: JoinHandle<T>) -> T {
+    match h.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+fn spawn_parse_raw(
+    rx: Receiver<TraceChunk>,
+    mut parser: TraceParser,
+    ev_tx: SyncSender<Vec<RefEvent>>,
+    batch_events: usize,
+) -> JoinHandle<ParseOutcome> {
+    std::thread::Builder::new()
+        .name("wrl-stream-parse".into())
+        .spawn(move || {
+            let mut out = StreamSink::new(ev_tx, batch_events);
+            for chunk in rx {
+                for &w in &chunk.words {
+                    parser.push_word(w, &mut out);
+                }
+            }
+            parser.finish(&mut out);
+            out.flush();
+            (parser.stats.clone(), std::mem::take(&mut parser.errors))
+        })
+        .expect("spawn stream worker")
+}
+
+fn spawn_decoder(
+    idx: usize,
+    rx: Arc<Mutex<Receiver<TraceChunk>>>,
+    tx: SyncSender<DecodedChunk>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("wrl-stream-decode{idx}"))
+        .spawn(move || loop {
+            // Hold the lock only for the receive, not the decode, so
+            // two decoders actually overlap.
+            let chunk = match rx.lock().expect("decoder rx lock").recv() {
+                Ok(c) => c,
+                Err(_) => return,
+            };
+            let words = chunk.words.iter().map(|&w| classify(w)).collect();
+            if tx
+                .send(DecodedChunk {
+                    seq: chunk.seq,
+                    words,
+                })
+                .is_err()
+            {
+                return;
+            }
+        })
+        .expect("spawn stream worker")
+}
+
+fn spawn_parse_decoded(
+    rx: Receiver<DecodedChunk>,
+    mut parser: TraceParser,
+    ev_tx: SyncSender<Vec<RefEvent>>,
+    batch_events: usize,
+) -> JoinHandle<ParseOutcome> {
+    std::thread::Builder::new()
+        .name("wrl-stream-parse".into())
+        .spawn(move || {
+            let mut out = StreamSink::new(ev_tx, batch_events);
+            // With two decoders, chunks can arrive out of order;
+            // reorder by sequence number so the parser sees exact
+            // stream order. The map holds at most (decoders × depth)
+            // chunks, so this adds no unbounded buffering.
+            let mut next = 0u64;
+            let mut held: BTreeMap<u64, Vec<TraceWord>> = BTreeMap::new();
+            for chunk in rx {
+                held.insert(chunk.seq, chunk.words);
+                while let Some(words) = held.remove(&next) {
+                    for &w in &words {
+                        parser.push_classified(w, &mut out);
+                    }
+                    next += 1;
+                }
+            }
+            debug_assert!(held.is_empty(), "stream ended with a sequence gap");
+            parser.finish(&mut out);
+            out.flush();
+            (parser.stats.clone(), std::mem::take(&mut parser.errors))
+        })
+        .expect("spawn stream worker")
+}
+
+fn spawn_sink<S: TraceSink + Send + 'static>(
+    rx: Receiver<Vec<RefEvent>>,
+    mut sink: S,
+) -> JoinHandle<S> {
+    std::thread::Builder::new()
+        .name("wrl-stream-sink".into())
+        .spawn(move || {
+            for batch in rx {
+                for ev in batch {
+                    ev.apply(&mut sink);
+                }
+            }
+            sink
+        })
+        .expect("spawn stream worker")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbinfo::{BbInfo, BbTable, BbTraceFlags, MemOp};
+    use crate::format::{ctl, CtlOp};
+    use crate::parser::CollectSink;
+    use std::sync::Arc;
+
+    const USER_BB: u32 = 0x0040_0000;
+    const KERNEL_BB: u32 = 0x8001_0000;
+
+    fn table() -> Arc<BbTable> {
+        let mut t = BbTable::new();
+        t.insert(
+            USER_BB,
+            BbInfo {
+                orig_vaddr: 0x0040_1000,
+                n_insts: 3,
+                ops: vec![MemOp {
+                    index: 1,
+                    store: false,
+                    width: Width::Word,
+                }],
+                flags: BbTraceFlags::default(),
+            },
+        );
+        t.insert(
+            KERNEL_BB,
+            BbInfo {
+                orig_vaddr: 0x8002_0000,
+                n_insts: 2,
+                ops: vec![MemOp {
+                    index: 0,
+                    store: true,
+                    width: Width::Word,
+                }],
+                flags: BbTraceFlags::default(),
+            },
+        );
+        Arc::new(t)
+    }
+
+    /// A trace exercising blocks, memory words, kernel entry/exit and
+    /// a context switch, long enough to span many small chunks.
+    fn words() -> Vec<u32> {
+        let mut w = Vec::new();
+        for i in 0..200u32 {
+            w.push(USER_BB); // user block with one load
+            w.push(0x7000_0000 + i * 8); // its memory address
+            if i % 7 == 0 {
+                w.push(ctl(CtlOp::KEnter, 0));
+                w.push(KERNEL_BB); // kernel block with one store
+                w.push(0x8030_0000 + i * 4);
+                w.push(ctl(CtlOp::KExit, 0));
+            }
+            if i == 100 {
+                w.push(ctl(CtlOp::CtxSwitch, 5));
+            }
+        }
+        w
+    }
+
+    fn fresh_parser() -> TraceParser {
+        let mut p = TraceParser::new(table());
+        p.set_user_table(0, table());
+        p.set_user_table(5, table());
+        p
+    }
+
+    fn batch_reference() -> (ParseStats, CollectSink) {
+        let mut p = fresh_parser();
+        let mut sink = CollectSink::default();
+        p.parse_all(&words(), &mut sink);
+        (p.stats.clone(), sink)
+    }
+
+    #[test]
+    fn matches_batch_for_all_shapes() {
+        let (ref_stats, ref_sink) = batch_reference();
+        let w = words();
+        for workers in 1..=4 {
+            for chunk_words in [1usize, 3, 64, 4096] {
+                for feed_len in [1usize, 17, w.len()] {
+                    let pl = Pipeline::new(
+                        fresh_parser(),
+                        CollectSink::default(),
+                        PipelineCfg {
+                            chunk_words,
+                            workers,
+                            depth: 2,
+                            batch_events: 32,
+                        },
+                    );
+                    let mut pl = pl;
+                    for piece in w.chunks(feed_len) {
+                        pl.feed(piece);
+                    }
+                    let (report, sink) = pl.finish();
+                    assert_eq!(
+                        report.parse, ref_stats,
+                        "workers={workers} chunk={chunk_words}"
+                    );
+                    assert_eq!(
+                        sink.irefs, ref_sink.irefs,
+                        "workers={workers} chunk={chunk_words}"
+                    );
+                    assert_eq!(sink.drefs, ref_sink.drefs);
+                    assert_eq!(sink.switches, ref_sink.switches);
+                    assert_eq!(report.words, w.len() as u64);
+                    let expect_chunks = w.len().div_ceil(chunk_words) as u64;
+                    assert_eq!(report.chunks, expect_chunks);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_finishes_clean() {
+        for workers in 1..=4 {
+            let pl = Pipeline::new(
+                fresh_parser(),
+                CollectSink::default(),
+                PipelineCfg {
+                    workers,
+                    ..PipelineCfg::default()
+                },
+            );
+            let (report, sink) = pl.finish();
+            assert_eq!(report.parse, ParseStats::default());
+            assert_eq!(report.chunks, 0);
+            assert!(sink.irefs.is_empty());
+        }
+    }
+
+    #[test]
+    fn stream_sink_batches_preserve_order() {
+        let (tx, rx) = sync_channel(64);
+        let mut s = StreamSink::new(tx, 3);
+        for i in 0..10u32 {
+            s.iref(i, Space::Kernel, false);
+        }
+        s.flush();
+        drop(s);
+        let mut replay = CollectSink::default();
+        for batch in rx {
+            assert!(batch.len() <= 3);
+            for ev in batch {
+                ev.apply(&mut replay);
+            }
+        }
+        let got: Vec<u32> = replay.irefs.iter().map(|&(v, _, _)| v).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        // An unknown block id must surface in the report's errors,
+        // not vanish into a worker thread.
+        let pl = Pipeline::new(
+            fresh_parser(),
+            CollectSink::default(),
+            PipelineCfg::default(),
+        );
+        let mut pl = pl;
+        // 0x0050_0000: a user address with no table entry.
+        pl.feed(&[USER_BB, 0x7000_0000, 0x0050_0000]);
+        let (report, _) = pl.finish();
+        assert_eq!(report.parse.errors, 1);
+        assert_eq!(report.errors.len(), 1);
+    }
+}

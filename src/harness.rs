@@ -175,6 +175,50 @@ pub fn predict_from_run(sys: &System, run: &SystemRun, arith_stalls: u64) -> Pre
     }
 }
 
+/// Streaming variant of [`run_predicted`]: the trace is parsed and
+/// simulated *while the machine runs*, on the pipeline's consumer
+/// threads, instead of being accumulated and replayed afterwards.
+///
+/// The parser and page map are wired *before* the run, so this form
+/// covers workloads whose processes all exist at boot (runtime-spawned
+/// threads would need their tables mid-run; none of the validation
+/// workloads spawn any). Results are bit-identical to
+/// [`run_predicted`] regardless of `pcfg` — that invariant is held by
+/// `tests/streaming_differential.rs`.
+pub fn run_predicted_streaming(
+    cfg: &KernelConfig,
+    w: &Workload,
+    arith_stalls: u64,
+    pcfg: wrl_trace::PipelineCfg,
+) -> Predicted {
+    assert!(cfg.traced, "run_predicted_streaming wants a traced config");
+    let mut sys = build_system(cfg, &[w]);
+    let parser = sys.parser();
+    let simcfg = SimCfg {
+        utlb: Some(UtlbSynth::wrl_kernel()),
+        ..SimCfg::default()
+    };
+    let sim = MemSim::new(simcfg.clone(), sys.pagemap.clone());
+    let mut pipe = wrl_trace::Pipeline::new(parser, sim, pcfg);
+    let run = sys.run_streaming(SYSTEM_BUDGET, |words| pipe.feed_owned(words));
+    let (report, sim) = pipe.finish();
+    let prediction = predict(&sim.stats, &simcfg, arith_stalls, &TimeModel::default());
+    Predicted {
+        seconds: prediction.seconds(&TimeModel::default()),
+        prediction,
+        utlb_misses: sim.stats.utlb_misses,
+        trace_insts: sim.stats.insts(),
+        kernel_insts: sim.stats.kernel_irefs,
+        idle_insts: sim.stats.idle_insts,
+        traced_machine_insts: sys.machine.counters.insts(),
+        trace_words: run.words_drained,
+        mode_transitions: report.parse.mode_transitions,
+        parse_errors: report.parse.errors,
+        sanity_violations: sim.stats.sanity_violations,
+        exit_code: run.exit_code,
+    }
+}
+
 /// Runs the complete measured-vs-predicted validation for one
 /// workload on one OS configuration (untraced base config).
 pub fn validate(base: &KernelConfig, w: &Workload) -> ValidationRow {

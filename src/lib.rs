@@ -31,6 +31,6 @@ pub use wrl_workloads as workloads;
 pub mod harness;
 
 pub use harness::{
-    pixie_arith_stalls, predict_from_run, run_measured, run_predicted, validate, Measured,
-    Predicted, ValidationRow,
+    pixie_arith_stalls, predict_from_run, run_measured, run_predicted, run_predicted_streaming,
+    validate, Measured, Predicted, ValidationRow,
 };

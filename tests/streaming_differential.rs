@@ -1,0 +1,128 @@
+//! Differential validation of the streaming pipeline: for real
+//! system traces, the streaming analysis must produce *bit-identical*
+//! `ParseStats` and `SimStats` to the batch `parse_all` path, for
+//! every tested chunk size and consumer-thread count. This is the
+//! pipeline's non-negotiable invariant — chunking and threading are
+//! allowed to change wall time, never results.
+//!
+//! One traced machine run per workload supplies the words; the same
+//! words then go through the batch reference once and through the
+//! pipeline for each (chunk size × worker count) combination.
+
+use systrace::kernel::{build_system, KernelConfig, System};
+use systrace::memsim::{MemSim, SimCfg, SimStats, UtlbSynth};
+use systrace::trace::{ParseStats, Pipeline, PipelineCfg};
+
+/// Mirrors the harness's simulator wiring (`predict_from_run`).
+fn fresh_sim(sys: &System) -> (SimCfg, MemSim) {
+    let simcfg = SimCfg {
+        utlb: Some(UtlbSynth::wrl_kernel()),
+        ..SimCfg::default()
+    };
+    let mut pagemap = sys.pagemap.clone();
+    for (token, asid) in sys.thread_parents() {
+        pagemap.duplicate_space(
+            systrace::memsim::SpaceKey::User(asid),
+            systrace::memsim::SpaceKey::User(token),
+        );
+    }
+    let sim = MemSim::new(simcfg.clone(), pagemap);
+    (simcfg, sim)
+}
+
+/// Batch reference: `parse_all` into a fresh simulator.
+fn batch_reference(sys: &System, words: &[u32]) -> (ParseStats, SimStats, u64) {
+    let mut parser = sys.parser();
+    let (_, mut sim) = fresh_sim(sys);
+    parser.parse_all(words, &mut sim);
+    (parser.stats.clone(), sim.stats.clone(), sim.cycles)
+}
+
+fn check_workload(name: &str, cfg: KernelConfig) {
+    let w = systrace::workloads::by_name(name).unwrap();
+    let mut sys = build_system(&cfg.traced(), &[&w]);
+    let run = sys.run(6_000_000_000);
+    assert!(
+        run.trace_words.len() > 100_000,
+        "{name}: trace too small to be a meaningful differential"
+    );
+
+    let full = &run.trace_words[..];
+    // Chunk size 1 sends one word per channel message — correct but
+    // slow, so it gets a prefix; the larger sizes get the full trace.
+    let prefix = &run.trace_words[..100_000];
+    for &(chunk_words, words) in &[(1usize, prefix), (64, full), (4096, full)] {
+        let (ref_parse, ref_sim, ref_cycles) = batch_reference(&sys, words);
+        for workers in 1..=4 {
+            let parser = sys.parser();
+            let (_, sim) = fresh_sim(&sys);
+            let mut pipe = Pipeline::new(
+                parser,
+                sim,
+                PipelineCfg {
+                    chunk_words,
+                    workers,
+                    ..PipelineCfg::default()
+                },
+            );
+            pipe.feed(words);
+            let (report, sim) = pipe.finish();
+            let tag = format!("{name} chunk={chunk_words} workers={workers}");
+            assert_eq!(report.parse, ref_parse, "{tag}: ParseStats diverged");
+            assert_eq!(sim.stats, ref_sim, "{tag}: SimStats diverged");
+            assert_eq!(sim.cycles, ref_cycles, "{tag}: simulated cycles diverged");
+            assert_eq!(report.words, words.len() as u64, "{tag}: word accounting");
+        }
+    }
+}
+
+#[test]
+fn streaming_matches_batch_sed() {
+    check_workload("sed", KernelConfig::ultrix());
+}
+
+#[test]
+fn streaming_matches_batch_yacc() {
+    check_workload("yacc", KernelConfig::ultrix());
+}
+
+#[test]
+fn streaming_matches_batch_egrep() {
+    check_workload("egrep", KernelConfig::ultrix());
+}
+
+#[test]
+fn streaming_matches_batch_tomcatv() {
+    check_workload("tomcatv", KernelConfig::mach());
+}
+
+/// The full harness path end to end: a streamed run (producer thread
+/// feeding the pipeline as buffers drain) predicts exactly what the
+/// batch harness predicts.
+#[test]
+fn streamed_harness_matches_batch_harness() {
+    let w = systrace::workloads::by_name("sed").unwrap();
+    let cfg = KernelConfig::ultrix().traced();
+    let arith = systrace::pixie_arith_stalls(&w);
+    let batch = systrace::run_predicted(&cfg, &w, arith);
+    for workers in [1, 2, 4] {
+        let streamed = systrace::run_predicted_streaming(
+            &cfg,
+            &w,
+            arith,
+            PipelineCfg {
+                workers,
+                ..PipelineCfg::default()
+            },
+        );
+        assert_eq!(streamed.prediction, batch.prediction, "workers={workers}");
+        assert_eq!(streamed.utlb_misses, batch.utlb_misses);
+        assert_eq!(streamed.trace_insts, batch.trace_insts);
+        assert_eq!(streamed.kernel_insts, batch.kernel_insts);
+        assert_eq!(streamed.idle_insts, batch.idle_insts);
+        assert_eq!(streamed.trace_words, batch.trace_words);
+        assert_eq!(streamed.parse_errors, batch.parse_errors);
+        assert_eq!(streamed.sanity_violations, batch.sanity_violations);
+        assert_eq!(streamed.exit_code, batch.exit_code);
+    }
+}
