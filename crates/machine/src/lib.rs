@@ -17,7 +17,7 @@ pub mod mem;
 pub mod tlb;
 
 pub use cache::{Cache, CacheCfg, WriteBuffer};
-pub use counters::{Counters, RefCounter};
+pub use counters::{Counters, CountersObs, RefCounter};
 pub use cp0::{Cp0, ExcCode, Exception};
 pub use dev::{DevAction, Devices, DISK_BLOCK_SIZE};
 pub use machine::{Config, Cpu, Latencies, Machine, RefEvent, RefTracer, StopEvent};

@@ -11,11 +11,13 @@
 //! the same mechanisms.
 
 pub mod assoc;
+pub mod obs;
 pub mod pagemap;
 pub mod predict;
 pub mod sim;
 
 pub use assoc::AssocCache;
+pub use obs::SimObs;
 pub use pagemap::{PageMap, Policy, PAGE_SIZE};
 pub use predict::{percent_error, predict, Prediction, TimeModel};
 pub use sim::{MemSim, SimCfg, SimStats, SpaceKey, UtlbSynth};

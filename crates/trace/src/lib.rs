@@ -15,17 +15,23 @@
 //!   of §4.3;
 //! * [`archive`] — a bundle format for distributing traces together
 //!   with their decoding tables (the paper's traces went to the
-//!   community on tape, §3.4).
+//!   community on tape, §3.4);
+//! * [`obs`] — `wrl-obs` wiring: live §4.3 error tallies and
+//!   end-of-run parse-statistics exports (see `docs/METRICS.md`).
 
 pub mod archive;
 pub mod bbinfo;
 pub mod format;
 pub mod layout;
+pub mod obs;
 pub mod parser;
 pub mod stream;
 
 pub use archive::{ArchiveError, TraceArchive};
 pub use bbinfo::{BbInfo, BbTable, BbTraceFlags, MemOp};
 pub use format::{classify, ctl, is_kernel_addr, Ctl, CtlOp, TraceWord, CTL_LIMIT};
+pub use obs::{ParseStatsObs, ParserObs};
 pub use parser::{CollectSink, ParseError, ParseStats, Space, TraceParser, TraceSink};
-pub use stream::{Pipeline, PipelineCfg, PipelineReport, RefEvent, StreamSink, TraceChunk};
+pub use stream::{
+    EventVec, Pipeline, PipelineCfg, PipelineReport, RefEvent, StreamSink, TraceChunk,
+};

@@ -162,6 +162,8 @@ pub struct TraceParser {
     /// Aggregate statistics.
     pub stats: ParseStats,
     missing_tables: std::collections::HashSet<u8>,
+    /// Live error tallies (§4.3), bumped as errors are detected.
+    obs: Option<crate::obs::ParserObs>,
 }
 
 impl TraceParser {
@@ -181,6 +183,7 @@ impl TraceParser {
             errors: Vec::new(),
             stats: ParseStats::default(),
             missing_tables: std::collections::HashSet::new(),
+            obs: None,
         }
     }
 
@@ -189,8 +192,18 @@ impl TraceParser {
         self.user_tabs.insert(asid, tab);
     }
 
+    /// Attaches live error-tally counters: every defensive-check
+    /// error detected from now on also bumps its
+    /// `trace.parse.error.*` counter (see `docs/METRICS.md`).
+    pub fn attach_obs(&mut self, obs: crate::obs::ParserObs) {
+        self.obs = Some(obs);
+    }
+
     fn err(&mut self, e: ParseError) {
         self.stats.errors += 1;
+        if let Some(obs) = &self.obs {
+            obs.tally(&e);
+        }
         if self.errors.len() < Self::MAX_ERRORS {
             self.errors.push(e);
         }

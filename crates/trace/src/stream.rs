@@ -50,6 +50,97 @@ use std::thread::JoinHandle;
 use crate::format::{classify, TraceWord};
 use crate::parser::{ParseError, ParseStats, Space, TraceParser, TraceSink};
 use wrl_isa::Width;
+use wrl_obs::{counter, gauge, global, histogram, span, Counter, Gauge, Histogram, Span};
+
+/// `wrl-obs` metrics for the streaming pipeline, registered by every
+/// [`Pipeline::new`] (registration is idempotent; all pipelines in a
+/// process share the counters). Queue-depth gauges and the
+/// backpressure span are exactly the §3.2 behaviour the paper's
+/// analysis program exhibits when it falls behind the generator.
+#[derive(Clone)]
+pub struct StreamObs {
+    pub(crate) chunks: Arc<Counter>,
+    pub(crate) words: Arc<Counter>,
+    pub(crate) chunk_words: Arc<Histogram>,
+    pub(crate) stall: Arc<Span>,
+    pub(crate) q_chunks: Arc<Gauge>,
+    pub(crate) q_events: Arc<Gauge>,
+    pub(crate) parse_words: Arc<Counter>,
+    pub(crate) sink_events: Arc<Counter>,
+    pub(crate) sink_batches: Arc<Counter>,
+}
+
+impl StreamObs {
+    /// Registers the `stream.*` metrics in the global registry.
+    pub fn register() -> StreamObs {
+        let r = global();
+        StreamObs {
+            chunks: counter!(
+                r,
+                "stream.chunks",
+                "chunks",
+                "§3.2",
+                "Chunks shipped into the pipeline."
+            ),
+            words: counter!(
+                r,
+                "stream.words",
+                "words",
+                "§3.2",
+                "Raw trace words fed to the pipeline."
+            ),
+            chunk_words: histogram!(
+                r,
+                "stream.chunk.words",
+                "words",
+                "§3.2",
+                "Distribution of chunk sizes (words per shipped chunk)."
+            ),
+            stall: span!(
+                r,
+                "stream.backpressure.stall",
+                "ns",
+                "§3.2",
+                "Producer time spent blocked shipping chunks (one record per send; total is the backpressure stall)."
+            ),
+            q_chunks: gauge!(
+                r,
+                "stream.queue.chunks",
+                "chunks",
+                "§3.2",
+                "Producer→consumer chunk-channel occupancy (high = deepest backlog)."
+            ),
+            q_events: gauge!(
+                r,
+                "stream.queue.events",
+                "batches",
+                "§3.2",
+                "Parse→sink event-batch channel occupancy (high = deepest backlog)."
+            ),
+            parse_words: counter!(
+                r,
+                "stream.parse.words",
+                "words",
+                "§3.3",
+                "Words consumed by the parse stage (stage throughput)."
+            ),
+            sink_events: counter!(
+                r,
+                "stream.sink.events",
+                "events",
+                "§3.3",
+                "Reference events applied to the sink stage."
+            ),
+            sink_batches: counter!(
+                r,
+                "stream.sink.batches",
+                "batches",
+                "§3.3",
+                "Event batches delivered to the sink stage."
+            ),
+        }
+    }
+}
 
 /// A run of raw trace words handed from producer to consumer, tagged
 /// with its position in the stream.
@@ -109,6 +200,37 @@ impl RefEvent {
     }
 }
 
+/// A [`TraceSink`] that simply buffers every event in order, for
+/// later replay with [`RefEvent::apply`]. Lets a caller separate the
+/// *parse* and *simulate* phases of a batch analysis (the metered
+/// harness times them individually) without changing what the
+/// downstream sink observes.
+#[derive(Clone, Debug, Default)]
+pub struct EventVec(pub Vec<RefEvent>);
+
+impl TraceSink for EventVec {
+    fn iref(&mut self, vaddr: u32, space: Space, idle: bool) {
+        self.0.push(RefEvent::Iref { vaddr, space, idle });
+    }
+
+    fn dref(&mut self, vaddr: u32, store: bool, width: Width, space: Space) {
+        self.0.push(RefEvent::Dref {
+            vaddr,
+            store,
+            width,
+            space,
+        });
+    }
+
+    fn ctx_switch(&mut self, asid: u8) {
+        self.0.push(RefEvent::CtxSwitch(asid));
+    }
+
+    fn mode_transition(&mut self, generating: bool) {
+        self.0.push(RefEvent::ModeTransition(generating));
+    }
+}
+
 /// A [`TraceSink`] that forwards events over a bounded channel in
 /// batches, preserving order. Used as the bridge between the parse
 /// stage and a downstream consumer thread.
@@ -116,6 +238,7 @@ pub struct StreamSink {
     tx: SyncSender<Vec<RefEvent>>,
     batch: Vec<RefEvent>,
     batch_events: usize,
+    queue: Option<Arc<Gauge>>,
 }
 
 impl StreamSink {
@@ -126,7 +249,15 @@ impl StreamSink {
             tx,
             batch: Vec::with_capacity(batch_events),
             batch_events,
+            queue: None,
         }
+    }
+
+    /// Attaches a queue-occupancy gauge, incremented per delivered
+    /// batch (the receiver decrements it).
+    pub fn gauged(mut self, queue: Arc<Gauge>) -> StreamSink {
+        self.queue = Some(queue);
+        self
     }
 
     fn push(&mut self, ev: RefEvent) {
@@ -144,7 +275,15 @@ impl StreamSink {
             return;
         }
         let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(self.batch_events));
-        let _ = self.tx.send(batch);
+        // Occupancy goes up before the send; see `Pipeline::ship`.
+        if let Some(q) = &self.queue {
+            q.add(1);
+        }
+        if self.tx.send(batch).is_err() {
+            if let Some(q) = &self.queue {
+                q.add(-1);
+            }
+        }
     }
 }
 
@@ -253,6 +392,7 @@ pub struct Pipeline<S: TraceSink + Send + 'static> {
     chunks: u64,
     words: u64,
     cfg: PipelineCfg,
+    obs: StreamObs,
 }
 
 impl<S: TraceSink + Send + 'static> Pipeline<S> {
@@ -267,6 +407,7 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
             workers: cfg.workers.clamp(1, 4),
             batch_events: cfg.batch_events.max(1),
         };
+        let obs = StreamObs::register();
         if cfg.workers == 1 {
             return Pipeline {
                 tx: None,
@@ -277,6 +418,7 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
                 chunks: 0,
                 words: 0,
                 cfg,
+                obs,
             };
         }
         let (tx, rx) = sync_channel::<TraceChunk>(cfg.depth);
@@ -284,8 +426,8 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
             2 => {
                 let (ev_tx, ev_rx) = sync_channel::<Vec<RefEvent>>(cfg.depth);
                 Tail::Split {
-                    parse: spawn_parse_raw(rx, parser, ev_tx, cfg.batch_events),
-                    sink: spawn_sink(ev_rx, sink),
+                    parse: spawn_parse_raw(rx, parser, ev_tx, cfg.batch_events, obs.clone()),
+                    sink: spawn_sink(ev_rx, sink, obs.clone()),
                 }
             }
             n => {
@@ -294,12 +436,13 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
                 let (dec_tx, dec_rx) = sync_channel::<DecodedChunk>(cfg.depth);
                 let shared = Arc::new(Mutex::new(rx));
                 let decoders = (0..n - 2)
-                    .map(|i| spawn_decoder(i, Arc::clone(&shared), dec_tx.clone()))
+                    .map(|i| spawn_decoder(i, Arc::clone(&shared), dec_tx.clone(), obs.clone()))
                     .collect::<Vec<_>>();
                 drop(dec_tx);
                 let (ev_tx, ev_rx) = sync_channel::<Vec<RefEvent>>(cfg.depth);
-                let parse = spawn_parse_decoded(dec_rx, parser, ev_tx, cfg.batch_events);
-                let sink = spawn_sink(ev_rx, sink);
+                let parse =
+                    spawn_parse_decoded(dec_rx, parser, ev_tx, cfg.batch_events, obs.clone());
+                let sink = spawn_sink(ev_rx, sink, obs.clone());
                 return Pipeline {
                     tx: Some(tx),
                     decoders,
@@ -309,6 +452,7 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
                     chunks: 0,
                     words: 0,
                     cfg,
+                    obs,
                 };
             }
         };
@@ -321,6 +465,7 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
             chunks: 0,
             words: 0,
             cfg,
+            obs,
         }
     }
 
@@ -330,6 +475,7 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
     /// `cfg.chunk_words`.
     pub fn feed(&mut self, words: &[u32]) {
         self.words += words.len() as u64;
+        self.obs.words.add(words.len() as u64);
         let mut rest = words;
         // Top up a pending partial chunk first.
         if !self.pend.is_empty() {
@@ -361,6 +507,7 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
             return;
         }
         self.words += words.len() as u64;
+        self.obs.words.add(words.len() as u64);
         if !self.pend.is_empty() {
             let partial = std::mem::take(&mut self.pend);
             self.ship(partial);
@@ -372,7 +519,10 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
         let seq = self.seq;
         self.seq += 1;
         self.chunks += 1;
+        self.obs.chunks.inc();
+        self.obs.chunk_words.record(words.len() as u64);
         if let Some(Tail::Inline(fused)) = self.tail.as_mut() {
+            self.obs.parse_words.add(words.len() as u64);
             let (parser, sink) = &mut **fused;
             for &w in &words {
                 parser.push_word(w, sink);
@@ -382,7 +532,16 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
         if let Some(tx) = &self.tx {
             // A send failure means a worker died; keep accepting input
             // and surface the worker's panic when `finish` joins it.
-            let _ = tx.send(TraceChunk { seq, words });
+            // The span covers the send itself: when the channel is
+            // full this is exactly the producer's backpressure stall.
+            // The occupancy gauge goes up *before* the send — once the
+            // send completes the consumer may already have drained (and
+            // decremented) the chunk.
+            let _t = self.obs.stall.start();
+            self.obs.q_chunks.add(1);
+            if tx.send(TraceChunk { seq, words }).is_err() {
+                self.obs.q_chunks.add(-1);
+            }
         }
     }
 
@@ -439,12 +598,15 @@ fn spawn_parse_raw(
     mut parser: TraceParser,
     ev_tx: SyncSender<Vec<RefEvent>>,
     batch_events: usize,
+    obs: StreamObs,
 ) -> JoinHandle<ParseOutcome> {
     std::thread::Builder::new()
         .name("wrl-stream-parse".into())
         .spawn(move || {
-            let mut out = StreamSink::new(ev_tx, batch_events);
+            let mut out = StreamSink::new(ev_tx, batch_events).gauged(Arc::clone(&obs.q_events));
             for chunk in rx {
+                obs.q_chunks.add(-1);
+                obs.parse_words.add(chunk.words.len() as u64);
                 for &w in &chunk.words {
                     parser.push_word(w, &mut out);
                 }
@@ -460,6 +622,7 @@ fn spawn_decoder(
     idx: usize,
     rx: Arc<Mutex<Receiver<TraceChunk>>>,
     tx: SyncSender<DecodedChunk>,
+    obs: StreamObs,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("wrl-stream-decode{idx}"))
@@ -470,6 +633,7 @@ fn spawn_decoder(
                 Ok(c) => c,
                 Err(_) => return,
             };
+            obs.q_chunks.add(-1);
             let words = chunk.words.iter().map(|&w| classify(w)).collect();
             if tx
                 .send(DecodedChunk {
@@ -489,11 +653,12 @@ fn spawn_parse_decoded(
     mut parser: TraceParser,
     ev_tx: SyncSender<Vec<RefEvent>>,
     batch_events: usize,
+    obs: StreamObs,
 ) -> JoinHandle<ParseOutcome> {
     std::thread::Builder::new()
         .name("wrl-stream-parse".into())
         .spawn(move || {
-            let mut out = StreamSink::new(ev_tx, batch_events);
+            let mut out = StreamSink::new(ev_tx, batch_events).gauged(Arc::clone(&obs.q_events));
             // With two decoders, chunks can arrive out of order;
             // reorder by sequence number so the parser sees exact
             // stream order. The map holds at most (decoders × depth)
@@ -503,6 +668,7 @@ fn spawn_parse_decoded(
             for chunk in rx {
                 held.insert(chunk.seq, chunk.words);
                 while let Some(words) = held.remove(&next) {
+                    obs.parse_words.add(words.len() as u64);
                     for &w in &words {
                         parser.push_classified(w, &mut out);
                     }
@@ -520,11 +686,15 @@ fn spawn_parse_decoded(
 fn spawn_sink<S: TraceSink + Send + 'static>(
     rx: Receiver<Vec<RefEvent>>,
     mut sink: S,
+    obs: StreamObs,
 ) -> JoinHandle<S> {
     std::thread::Builder::new()
         .name("wrl-stream-sink".into())
         .spawn(move || {
             for batch in rx {
+                obs.q_events.add(-1);
+                obs.sink_batches.inc();
+                obs.sink_events.add(batch.len() as u64);
                 for ev in batch {
                     ev.apply(&mut sink);
                 }
@@ -686,6 +856,26 @@ mod tests {
         }
         let got: Vec<u32> = replay.irefs.iter().map(|&(v, _, _)| v).collect();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn event_vec_replay_matches_direct_parse() {
+        // Parsing into an EventVec and replaying must equal parsing
+        // straight into the sink — the metered harness depends on it.
+        let mut direct = CollectSink::default();
+        let mut p = fresh_parser();
+        p.parse_all(&words(), &mut direct);
+
+        let mut buf = EventVec::default();
+        let mut p2 = fresh_parser();
+        p2.parse_all(&words(), &mut buf);
+        let mut replayed = CollectSink::default();
+        for ev in buf.0 {
+            ev.apply(&mut replayed);
+        }
+        assert_eq!(replayed.irefs, direct.irefs);
+        assert_eq!(replayed.drefs, direct.drefs);
+        assert_eq!(replayed.switches, direct.switches);
     }
 
     #[test]

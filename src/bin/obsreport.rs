@@ -1,0 +1,83 @@
+//! obsreport: run the metered validation pipeline and export metrics.
+//!
+//! ```text
+//! obsreport [workload] [ultrix|mach] [out.json]
+//! ```
+//!
+//! Runs the batch *and* streaming metered predictors for one workload
+//! (default `sed` on Ultrix), asserts they agree, writes the full
+//! `wrl-obs` registry as `wrl-obs-metrics/v1` JSON (default
+//! `results/metrics-<workload>-<os>.json`) and prints the
+//! human-readable table.
+//!
+//! The streaming pass uses a *fixed* pipeline shape (2 workers, 4096
+//! words per chunk, depth 2, 8192 events per batch) rather than
+//! auto-detecting parallelism, so every counter in the emitted JSON is
+//! reproducible across hosts — `tests/metrics_pinned.rs` pins the
+//! committed file against a fresh run.
+
+use systrace::kernel::KernelConfig;
+use systrace::obs;
+use systrace::trace::PipelineCfg;
+use systrace::{pixie_arith_stalls, run_predicted_metered, run_predicted_streaming_metered};
+
+/// The reproducible pipeline shape used for exported metrics.
+pub const REPORT_PCFG: PipelineCfg = PipelineCfg {
+    chunk_words: 4096,
+    depth: 2,
+    workers: 2,
+    batch_events: 8192,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = args.first().map(String::as_str).unwrap_or("sed");
+    let os = args.get(1).map(String::as_str).unwrap_or("ultrix");
+    let default_out = format!("results/metrics-{workload}-{os}.json");
+    let out = args.get(2).map(String::as_str).unwrap_or(&default_out);
+
+    let w = systrace::workloads::by_name(workload).unwrap_or_else(|| {
+        eprintln!("unknown workload {workload}");
+        std::process::exit(2);
+    });
+    let cfg = match os {
+        "ultrix" => KernelConfig::ultrix().traced(),
+        "mach" => KernelConfig::mach().traced(),
+        _ => {
+            eprintln!("unknown os {os} (want ultrix|mach)");
+            std::process::exit(2);
+        }
+    };
+
+    obs::register_all();
+    obs::global().reset();
+
+    let arith = pixie_arith_stalls(&w);
+    let batch = run_predicted_metered(&cfg, &w, arith);
+    let streaming = run_predicted_streaming_metered(&cfg, &w, arith, REPORT_PCFG);
+    assert_eq!(
+        batch.prediction, streaming.prediction,
+        "batch and streaming predictions must agree"
+    );
+    assert_eq!(batch.utlb_misses, streaming.utlb_misses);
+    assert_eq!(batch.parse_errors, 0, "healthy system expected");
+
+    let snap = obs::global().snapshot();
+    let json = snap.to_json(&[
+        ("workload", workload),
+        ("os", os),
+        ("generator", "obsreport"),
+    ]);
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(out, &json).expect("write metrics json");
+
+    println!("{}", snap.render());
+    println!(
+        "predicted {:.4}s (batch == streaming), {} trace words, wrote {out}",
+        batch.seconds, batch.trace_words
+    );
+}

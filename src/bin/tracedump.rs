@@ -5,6 +5,7 @@
 //! tracedump info   <file.w3kt>                           summarise an archive
 //! tracedump refs   <file.w3kt> [n]                       print the first n references
 //! tracedump sim    <file.w3kt>                           run the memory-system simulation
+//! tracedump metrics <file.w3kt> [out.json]               re-analyse and dump wrl-obs metrics
 //! ```
 
 use std::sync::Arc;
@@ -17,6 +18,7 @@ fn usage() -> ! {
     eprintln!("       tracedump info <file.w3kt>");
     eprintln!("       tracedump refs <file.w3kt> [n]");
     eprintln!("       tracedump sim <file.w3kt>");
+    eprintln!("       tracedump metrics <file.w3kt> [out.json]");
     std::process::exit(2);
 }
 
@@ -30,6 +32,9 @@ fn main() {
             args.get(2).and_then(|s| s.parse().ok()).unwrap_or(30),
         ),
         Some("sim") if args.len() == 2 => sim(&args[1]),
+        Some("metrics") if args.len() == 2 || args.len() == 3 => {
+            metrics(&args[1], args.get(2).map(String::as_str))
+        }
         _ => usage(),
     }
 }
@@ -152,4 +157,29 @@ fn sim(path: &str) {
     );
     println!("  total cycles : {}", sim.cycles);
     let _ = Arc::new(0);
+}
+
+fn metrics(path: &str, out: Option<&str>) {
+    systrace::obs::register_all();
+    let a = load(path);
+    let cfg = SimCfg {
+        utlb: Some(UtlbSynth::wrl_kernel()),
+        ..SimCfg::default()
+    };
+    let mut parser = a.parser();
+    parser.attach_obs(systrace::trace::ParserObs::register());
+    let mut sim = MemSim::new(cfg, PageMap::new(Policy::FirstFree { base_pfn: 0x2000 }));
+    parser.parse_all(&a.words, &mut sim);
+    parser.stats.export_obs();
+    sim.stats.export_obs();
+    let json = systrace::obs::global()
+        .snapshot()
+        .to_json(&[("source", path)]);
+    match out {
+        Some(f) => {
+            std::fs::write(f, &json).expect("write metrics json");
+            eprintln!("wrote metrics to {f}");
+        }
+        None => println!("{json}"),
+    }
 }

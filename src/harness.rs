@@ -21,8 +21,71 @@ use std::sync::Arc;
 
 use wrl_kernel::{build_system, KernelConfig, System, SystemRun};
 use wrl_memsim::{predict, MemSim, PageMap, Prediction, SimCfg, TimeModel, UtlbSynth};
-use wrl_trace::{BbTable, TraceParser};
+use wrl_obs::{global, span, time, Span};
+use wrl_trace::{BbTable, EventVec, TraceParser};
 use wrl_workloads::Workload;
+
+/// Phase timers for the validation harness, one [`Span`] per pipeline
+/// phase. Registered by the metered entry points
+/// ([`run_predicted_metered`], [`run_predicted_streaming_metered`]);
+/// the unmetered functions read no clocks at all.
+pub struct HarnessObs {
+    /// System construction (assemble + link + instrument + load).
+    pub build: Arc<Span>,
+    /// Machine execution of the traced system.
+    pub run: Arc<Span>,
+    /// Trace parsing (batch form only; streaming parses on the
+    /// pipeline's own threads, measured by `stream.*`).
+    pub parse: Arc<Span>,
+    /// Memory-system simulation (batch form only).
+    pub simulate: Arc<Span>,
+    /// The §5.1 time predictor.
+    pub predict: Arc<Span>,
+}
+
+impl HarnessObs {
+    /// Registers the `harness.phase.*` spans in the global registry.
+    pub fn register() -> HarnessObs {
+        let r = global();
+        HarnessObs {
+            build: span!(
+                r,
+                "harness.phase.build",
+                "ns",
+                "§4.1",
+                "System construction: assemble, link, instrument, load."
+            ),
+            run: span!(
+                r,
+                "harness.phase.run",
+                "ns",
+                "§4.1",
+                "Machine execution of the (traced) system."
+            ),
+            parse: span!(
+                r,
+                "harness.phase.parse",
+                "ns",
+                "§3.3",
+                "Batch trace parse into buffered reference events."
+            ),
+            simulate: span!(
+                r,
+                "harness.phase.simulate",
+                "ns",
+                "§5.1",
+                "Replay of buffered events through the memory-system simulator."
+            ),
+            predict: span!(
+                r,
+                "harness.phase.predict",
+                "ns",
+                "§5.1",
+                "The four-component execution-time predictor."
+            ),
+        }
+    }
+}
 
 /// The measurements taken from an uninstrumented run.
 #[derive(Clone, Debug, Default)]
@@ -203,6 +266,127 @@ pub fn run_predicted_streaming(
     let run = sys.run_streaming(SYSTEM_BUDGET, |words| pipe.feed_owned(words));
     let (report, sim) = pipe.finish();
     let prediction = predict(&sim.stats, &simcfg, arith_stalls, &TimeModel::default());
+    Predicted {
+        seconds: prediction.seconds(&TimeModel::default()),
+        prediction,
+        utlb_misses: sim.stats.utlb_misses,
+        trace_insts: sim.stats.insts(),
+        kernel_insts: sim.stats.kernel_irefs,
+        idle_insts: sim.stats.idle_insts,
+        traced_machine_insts: sys.machine.counters.insts(),
+        trace_words: run.words_drained,
+        mode_transitions: report.parse.mode_transitions,
+        parse_errors: report.parse.errors,
+        sanity_violations: sim.stats.sanity_violations,
+        exit_code: run.exit_code,
+    }
+}
+
+/// Metered variant of [`run_predicted`]: identical result, with
+/// `harness.phase.*` spans timing each phase and the machine, parser
+/// and simulator statistics exported to the `wrl-obs` registry.
+///
+/// To time *parse* and *simulate* separately, the trace is parsed
+/// into a buffered [`EventVec`] and replayed into the simulator —
+/// bit-identical to the fused single pass, because the simulator only
+/// ever sees the parser's event stream (the same replay-equivalence
+/// that `tests/streaming_differential.rs` pins for the pipeline).
+pub fn run_predicted_metered(cfg: &KernelConfig, w: &Workload, arith_stalls: u64) -> Predicted {
+    assert!(cfg.traced, "run_predicted_metered wants a traced config");
+    let obs = HarnessObs::register();
+    let parser_obs = wrl_trace::ParserObs::register();
+
+    let mut sys = time!(obs.build, build_system(cfg, &[w]));
+    let run = time!(obs.run, sys.run(SYSTEM_BUDGET));
+
+    let mut parser = sys.parser();
+    parser.attach_obs(parser_obs);
+    let mut events = EventVec::default();
+    time!(obs.parse, parser.parse_all(&run.trace_words, &mut events));
+
+    let simcfg = SimCfg {
+        utlb: Some(UtlbSynth::wrl_kernel()),
+        ..SimCfg::default()
+    };
+    let mut pagemap = sys.pagemap.clone();
+    for (token, asid) in sys.thread_parents() {
+        pagemap.duplicate_space(
+            wrl_memsim::SpaceKey::User(asid),
+            wrl_memsim::SpaceKey::User(token),
+        );
+    }
+    let mut sim = MemSim::new(simcfg.clone(), pagemap);
+    time!(obs.simulate, {
+        for ev in events.0 {
+            ev.apply(&mut sim);
+        }
+    });
+    let prediction = time!(
+        obs.predict,
+        predict(&sim.stats, &simcfg, arith_stalls, &TimeModel::default())
+    );
+
+    sys.machine.counters.export_obs();
+    parser.stats.export_obs();
+    sim.stats.export_obs();
+
+    Predicted {
+        seconds: prediction.seconds(&TimeModel::default()),
+        prediction,
+        utlb_misses: sim.stats.utlb_misses,
+        trace_insts: sim.stats.insts(),
+        kernel_insts: sim.stats.kernel_irefs,
+        idle_insts: sim.stats.idle_insts,
+        traced_machine_insts: sys.machine.counters.insts(),
+        trace_words: run.trace_words.len() as u64,
+        mode_transitions: parser.stats.mode_transitions,
+        parse_errors: parser.stats.errors,
+        sanity_violations: sim.stats.sanity_violations,
+        exit_code: run.exit_code,
+    }
+}
+
+/// Metered variant of [`run_predicted_streaming`]: identical result,
+/// with the build/run/predict phases timed here and the per-stage
+/// throughput, queue-depth and backpressure metrics recorded by the
+/// pipeline itself (`stream.*` — parse and simulate run on the
+/// pipeline's consumer threads, so they have no harness-side span).
+pub fn run_predicted_streaming_metered(
+    cfg: &KernelConfig,
+    w: &Workload,
+    arith_stalls: u64,
+    pcfg: wrl_trace::PipelineCfg,
+) -> Predicted {
+    assert!(
+        cfg.traced,
+        "run_predicted_streaming_metered wants a traced config"
+    );
+    let obs = HarnessObs::register();
+    let parser_obs = wrl_trace::ParserObs::register();
+
+    let mut sys = time!(obs.build, build_system(cfg, &[w]));
+    let mut parser = sys.parser();
+    parser.attach_obs(parser_obs);
+    let simcfg = SimCfg {
+        utlb: Some(UtlbSynth::wrl_kernel()),
+        ..SimCfg::default()
+    };
+    let sim = MemSim::new(simcfg.clone(), sys.pagemap.clone());
+    let mut pipe = wrl_trace::Pipeline::new(parser, sim, pcfg);
+    let run = time!(
+        obs.run,
+        sys.run_streaming(SYSTEM_BUDGET, |words| pipe.feed_owned(words))
+    );
+    let (report, sim) = pipe.finish();
+    let prediction = time!(
+        obs.predict,
+        predict(&sim.stats, &simcfg, arith_stalls, &TimeModel::default())
+    );
+
+    sys.machine.counters.export_obs();
+    report.parse.export_obs();
+    sim.stats.export_obs();
+
     Predicted {
         seconds: prediction.seconds(&TimeModel::default()),
         prediction,

@@ -18,7 +18,9 @@
 //!   subsystem;
 //! * [`memsim`] — the trace-driven memory-system simulator and the
 //!   §5.1 execution-time predictor (the "predicted" side);
-//! * [`workloads`] — the twelve Table-1 workloads.
+//! * [`workloads`] — the twelve Table-1 workloads;
+//! * [`obs`] — the `wrl-obs` metrics facade (registry, exports and
+//!   [`obs::register_all`]; see `docs/METRICS.md`).
 
 pub use wrl_epoxie as epoxie;
 pub use wrl_isa as isa;
@@ -29,8 +31,10 @@ pub use wrl_trace as trace;
 pub use wrl_workloads as workloads;
 
 pub mod harness;
+pub mod obs;
 
 pub use harness::{
-    pixie_arith_stalls, predict_from_run, run_measured, run_predicted, run_predicted_streaming,
-    validate, Measured, Predicted, ValidationRow,
+    pixie_arith_stalls, predict_from_run, run_measured, run_predicted, run_predicted_metered,
+    run_predicted_streaming, run_predicted_streaming_metered, validate, HarnessObs, Measured,
+    Predicted, ValidationRow,
 };
