@@ -3,64 +3,54 @@
 //! A single traced run of a workload is re-simulated across cache
 //! sizes and associativities — the kind of study the WRL traces fed
 //! ([7, 9, 18]).
+//!
+//! The sweep runs on the `wrl-store` replay farm: the trace is
+//! compressed into a block store once, then replayed into all fifteen
+//! cache geometries at once — decoding and parsing the trace one time
+//! instead of fifteen. The results are bit-identical to feeding each
+//! geometry its own sequential parse (`tests/store_farm.rs` pins
+//! this).
 
-use std::sync::Arc;
 use systrace::kernel::{build_system, KernelConfig};
-use systrace::memsim::{AssocCache, PageMap, SpaceKey};
-use systrace::trace::{Space, TraceSink};
-
-/// A sink that feeds one I-cache and one D-cache through a page map.
-struct CacheStudy {
-    icache: AssocCache,
-    dcache: AssocCache,
-    pagemap: PageMap,
-    cur_asid: u8,
-}
-
-impl CacheStudy {
-    fn translate(&mut self, vaddr: u32, space: Space) -> u32 {
-        match vaddr {
-            0x8000_0000..=0xbfff_ffff => vaddr & 0x1fff_ffff,
-            _ => {
-                let key = if vaddr >= 0xc000_0000 {
-                    SpaceKey::Kernel
-                } else {
-                    match space {
-                        Space::User(a) => SpaceKey::User(a),
-                        Space::Kernel => SpaceKey::User(self.cur_asid),
-                    }
-                };
-                self.pagemap.translate(key, vaddr)
-            }
-        }
-    }
-}
-
-impl TraceSink for CacheStudy {
-    fn iref(&mut self, vaddr: u32, space: Space, _idle: bool) {
-        let pa = self.translate(vaddr, space);
-        self.icache.access(pa);
-    }
-    fn dref(&mut self, vaddr: u32, _store: bool, _w: systrace::isa::Width, space: Space) {
-        let pa = self.translate(vaddr, space);
-        self.dcache.access(pa);
-    }
-    fn ctx_switch(&mut self, asid: u8) {
-        self.cur_asid = asid;
-    }
-}
+use systrace::store::{replay, FarmCfg, StoreObs, TraceStore, DEFAULT_BLOCK_WORDS};
+use wrl_bench::{sweep_geometries, CacheStudy};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "tomcatv".into());
+    let workers: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     let w = systrace::workloads::by_name(&name).expect("workload");
     eprintln!("collecting one traced run of {name} (Ultrix)...");
     let mut sys = build_system(&KernelConfig::ultrix().traced(), &[&w]);
     let run = sys.run(8_000_000_000);
     let archive = sys.archive(&run);
+    let store = TraceStore::from_archive(&archive, DEFAULT_BLOCK_WORDS);
     eprintln!(
-        "{} trace words; sweeping cache designs\n",
-        archive.words.len()
+        "{} trace words in {} blocks ({} -> {} bytes, {:.2}x); \
+         sweeping cache designs on {workers} workers\n",
+        store.n_words,
+        store.n_blocks(),
+        store.raw_bytes(),
+        store.compressed_bytes(),
+        store.raw_bytes() as f64 / store.compressed_bytes().max(1) as f64,
     );
+
+    let geometries = sweep_geometries();
+    let sinks: Vec<CacheStudy> = geometries
+        .iter()
+        .map(|&(size, ways)| CacheStudy::new(size, ways, sys.pagemap.clone()))
+        .collect();
+
+    let cfg = FarmCfg {
+        workers,
+        ..FarmCfg::default()
+    };
+    let (report, sinks) = replay(&store, sinks, cfg).expect("replay");
+    let obs = StoreObs::register();
+    obs.export_store(&store);
+    obs.export_farm(&report);
 
     println!("Cache design sweep over one {name} system trace");
     println!(
@@ -68,29 +58,14 @@ fn main() {
         "size", "ways", "imiss ratio", "dmiss ratio"
     );
     println!("{:-<44}", "");
-    for size in [16u32 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10] {
-        for ways in [1usize, 2, 4] {
-            let mut study = CacheStudy {
-                icache: AssocCache::new(size, 16, ways),
-                dcache: AssocCache::new(size, 16, ways),
-                pagemap: sys.pagemap.clone(),
-                cur_asid: 1,
-            };
-            let mut parser = Arc::new(archive.kernel_table.clone());
-            let mut p = systrace::trace::TraceParser::new(parser.clone());
-            for (asid, t) in &archive.user_tables {
-                p.set_user_table(*asid, Arc::new(t.clone()));
-            }
-            p.parse_all(&archive.words, &mut study);
-            println!(
-                "{:>4} KB {:>5} | {:>11.4}% {:>11.4}%",
-                size >> 10,
-                ways,
-                100.0 * study.icache.miss_ratio(),
-                100.0 * study.dcache.miss_ratio(),
-            );
-            let _ = &mut parser;
-        }
+    for ((size, ways), study) in geometries.into_iter().zip(&sinks) {
+        println!(
+            "{:>4} KB {:>5} | {:>11.4}% {:>11.4}%",
+            size >> 10,
+            ways,
+            100.0 * study.icache.miss_ratio(),
+            100.0 * study.dcache.miss_ratio(),
+        );
     }
     println!("{:-<44}", "");
     println!("one trace, fifteen memory systems — the §3.1 motivation in action");

@@ -1,0 +1,296 @@
+//! The block codec: a dependency-free, lossless compressor for
+//! trace-word runs.
+//!
+//! The paper keeps traces out of storage because raw system traces
+//! are enormous (§3.1–§3.2: one word per basic block or memory
+//! reference adds up to gigabytes per minute of traced execution).
+//! But trace words are extremely *regular*, and the regularity is
+//! exactly the structure §3.3 describes:
+//!
+//! * basic-block ids within one run of execution are near-monotone —
+//!   consecutive blocks of straight-line code are a few hundred bytes
+//!   apart, and loops revisit the *same* block sequence over and over;
+//! * data addresses cluster (stack frames, array sweeps) and loops
+//!   touch recurring addresses;
+//! * page-0 control words are rare (a handful of context switches and
+//!   kernel entries per thousands of address words).
+//!
+//! The codec exploits both forms of locality with one dependency-free
+//! model, used two ways per word:
+//!
+//! 1. **FCM hit** — a finite-context model: a small table maps (a hash
+//!    of) the previous word to the word that followed it last time.
+//!    Loops make this predictor nearly perfect after their first
+//!    iteration, and a hit costs a single byte (varint `0`).
+//! 2. **Delta against the prediction** — on a miss, the word is coded
+//!    as a zigzag+varint delta against the FCM's (wrong but usually
+//!    *close*) prediction, or against the previous word when the slot
+//!    is cold. A loop walking an array, or a context revisited with a
+//!    slightly different successor, misses by a handful of bytes — a
+//!    one-byte token — where a delta against some fixed reference
+//!    would pay for the full address.
+//!
+//! Both encoder and decoder run the identical model state machine, so
+//! decompression is exact. All state is per-block: every block decodes
+//! independently, which is what lets `farm` workers decode blocks
+//! concurrently and lets a seekable reader jump anywhere.
+
+/// Errors from [`decompress_block`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The compressed bytes ended inside a token.
+    Truncated,
+    /// A varint token ran longer than any valid encoding.
+    Overlong,
+    /// The block decoded to its word count with bytes left over.
+    TrailingBytes(usize),
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "compressed block truncated mid-token"),
+            CodecError::Overlong => write!(f, "overlong varint token"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after last word"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Entries in the finite-context predictor table (per block, zeroed
+/// at each block boundary so blocks stay independent).
+const FCM_SIZE: usize = 4096;
+
+#[inline]
+fn fcm_slot(prev: u32) -> usize {
+    // Fibonacci hash of the previous word; the multiplier spreads
+    // nearby addresses across the table.
+    (prev.wrapping_mul(0x9e37_79b1) >> (32 - 12)) as usize & (FCM_SIZE - 1)
+}
+
+#[inline]
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn take_varint(buf: &[u8], at: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*at).ok_or(CodecError::Truncated)?;
+        *at += 1;
+        // Tokens are ≤ zigzag(u32 delta) + 1 < 2^34, so anything
+        // needing more than five varint groups is junk.
+        if shift > 28 {
+            return Err(CodecError::Overlong);
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Shared model state; encoder and decoder step it identically.
+struct Model {
+    fcm: Box<[u32; FCM_SIZE]>,
+    prev: u32,
+}
+
+impl Model {
+    fn new() -> Model {
+        Model {
+            fcm: Box::new([0; FCM_SIZE]),
+            prev: 0,
+        }
+    }
+
+    /// The prediction for the next word, and the miss-delta base: the
+    /// prediction itself if the slot is warm, else the previous word.
+    /// (A zero slot is indistinguishable from a cold one; both sides
+    /// apply the same rule, so the choice only affects size, and zero
+    /// is never a *useful* prediction — page-zero words below the
+    /// control opcodes don't occur in healthy traces.)
+    #[inline]
+    fn predict(&self) -> (u32, u32) {
+        let pred = self.fcm[fcm_slot(self.prev)];
+        let base = if pred != 0 { pred } else { self.prev };
+        (pred, base)
+    }
+
+    /// Advances the model past one (just-coded) word.
+    #[inline]
+    fn advance(&mut self, w: u32) {
+        self.fcm[fcm_slot(self.prev)] = w;
+        self.prev = w;
+    }
+}
+
+/// Compresses one block of trace words. The output decodes with
+/// [`decompress_block`] given the exact word count.
+pub fn compress_block(words: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() + 16);
+    let mut m = Model::new();
+    for &w in words {
+        let (pred, base) = m.predict();
+        if pred == w {
+            // FCM hit: one byte.
+            put_varint(&mut out, 0);
+        } else {
+            let d = i64::from(w) - i64::from(base);
+            put_varint(&mut out, zigzag(d) + 1);
+        }
+        m.advance(w);
+    }
+    out
+}
+
+/// Decompresses a block produced by [`compress_block`]. `n_words` is
+/// the block's word count from the store index; the byte stream must
+/// decode to exactly that many words with no bytes left over.
+pub fn decompress_block(bytes: &[u8], n_words: usize) -> Result<Vec<u32>, CodecError> {
+    let mut words = Vec::with_capacity(n_words);
+    let mut m = Model::new();
+    let mut at = 0usize;
+    for _ in 0..n_words {
+        let token = take_varint(bytes, &mut at)?;
+        let (pred, base) = m.predict();
+        let w = if token == 0 {
+            pred
+        } else {
+            // Wrapping on an out-of-range delta keeps decode total;
+            // the CRC catches real corruption.
+            (i64::from(base) + unzigzag(token - 1)) as u32
+        };
+        words.push(w);
+        m.advance(w);
+    }
+    if at != bytes.len() {
+        return Err(CodecError::TrailingBytes(bytes.len() - at));
+    }
+    Ok(words)
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over a little-endian byte view of
+/// the words — the end-to-end integrity check of the §4.3 defensive
+/// discipline, extended to storage: it runs over the *decoded* words,
+/// so it catches codec bugs and at-rest corruption alike.
+pub fn crc32_words(words: &[u32]) -> u32 {
+    let mut crc = !0u32;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            crc ^= u32::from(b);
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+            }
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrl_trace::{ctl, CtlOp};
+
+    #[test]
+    fn empty_block_round_trips() {
+        let bytes = compress_block(&[]);
+        assert!(bytes.is_empty());
+        assert_eq!(decompress_block(&bytes, 0).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn loopy_trace_compresses_hard() {
+        // A loop re-executing the same three-block sequence: after the
+        // first iteration the FCM predicts every word, so the whole
+        // block approaches one byte per word.
+        let mut words = Vec::new();
+        for i in 0..1000u32 {
+            words.push(0x8003_0100);
+            words.push(0x8003_0140);
+            words.push(0x8040_0000 + (i % 4) * 8); // recurring data addrs
+            words.push(0x8003_0180);
+        }
+        let bytes = compress_block(&words);
+        assert!(
+            bytes.len() * 3 <= words.len() * 4,
+            "loopy trace must compress ≥3x, got {} bytes for {} words",
+            bytes.len(),
+            words.len()
+        );
+        assert_eq!(decompress_block(&bytes, words.len()).unwrap(), words);
+    }
+
+    #[test]
+    fn mixed_controls_and_addresses_round_trip() {
+        let words = vec![
+            ctl(CtlOp::CtxSwitch, 3),
+            0x0050_0000,
+            0x7fff_fff0,
+            ctl(CtlOp::KEnter, 8),
+            0x8003_0100,
+            0x8030_0004,
+            ctl(CtlOp::KExit, 0),
+            0x0050_0040,
+            0x0000_0000, // a (corrupt-trace) zero word must still round-trip
+            0xffff_ffff,
+            ctl(CtlOp::Eof, 0),
+        ];
+        let bytes = compress_block(&words);
+        assert_eq!(decompress_block(&bytes, words.len()).unwrap(), words);
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_detected() {
+        let words: Vec<u32> = (0..100).map(|i| 0x8000_0000 + i * 4096).collect();
+        let bytes = compress_block(&words);
+        assert!(matches!(
+            decompress_block(&bytes[..bytes.len() - 1], words.len()),
+            Err(CodecError::Truncated)
+        ));
+        let mut extra = bytes.clone();
+        extra.push(0x00);
+        assert!(matches!(
+            decompress_block(&extra, words.len()),
+            Err(CodecError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let junk = vec![0xffu8; 12];
+        assert!(matches!(
+            decompress_block(&junk, 1),
+            Err(CodecError::Overlong)
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // CRC-32("abcd") little-endian packed as one word.
+        let w = u32::from_le_bytes(*b"abcd");
+        assert_eq!(crc32_words(&[w]), 0xed82_cd11);
+        assert_eq!(crc32_words(&[]), 0);
+    }
+}

@@ -1,0 +1,495 @@
+//! The parallel replay farm: fan one stored trace across many
+//! analysis sinks at once.
+//!
+//! The paper's methodology is *on-the-fly* analysis (§3.4) because
+//! traces are too big to keep — but a cache study still wants to run
+//! the same reference stream through fifteen cache geometries. The
+//! compressed store makes the trace cheap to keep; the farm makes
+//! re-running it cheap: one [`TraceStore`] is replayed into N sinks
+//! with the work spread over worker threads, and the result is
+//! guaranteed bit-identical to feeding each sink from a sequential
+//! [`wrl_trace::TraceParser::parse_all`] pass.
+//!
+//! Two schedules, both exact:
+//!
+//! * **Shared parse** (the default): one feeder decodes blocks and
+//!   parses the word stream *once*, broadcasting batches of parsed
+//!   [`RefEvent`]s to every worker over bounded channels; each worker
+//!   owns a round-robin share of the sinks and applies every batch to
+//!   each of its sinks, in stream order. This amortises the decode and
+//!   parse — the expensive, table-driven part — across all N sinks,
+//!   which is the winning schedule even on a single CPU.
+//! * **Per-worker parse** (`shared_parse = false`): every worker
+//!   decodes and parses the whole store itself for its own sinks.
+//!   N× the decode work, but zero cross-thread traffic — the
+//!   scale-out schedule for machines with cores to spare.
+//!
+//! Ordering argument: a sink observes exactly the callback sequence of
+//! a sequential parse. In shared mode the single feeder produces
+//! batches in stream order and each per-worker channel is FIFO; a
+//! worker applies batches in arrival order, one whole batch per sink
+//! at a time. In per-worker mode each worker *is* a sequential parse.
+//! Either way no events are reordered, dropped or duplicated, so any
+//! deterministic [`TraceSink`] finishes in the same state — the same
+//! bit-identical guarantee the streaming pipeline makes, extended
+//! across a worker pool.
+
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread;
+
+use wrl_isa::Width;
+use wrl_trace::{ParseStats, RefEvent, Space, TraceSink};
+
+use crate::container::{StoreError, TraceStore};
+
+/// Farm shape parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FarmCfg {
+    /// Worker threads. Sinks are dealt round-robin across workers;
+    /// extra workers beyond the sink count are not spawned.
+    pub workers: usize,
+    /// `true`: decode+parse once and broadcast parsed events.
+    /// `false`: every worker decodes and parses for itself.
+    pub shared_parse: bool,
+    /// Events per broadcast batch (shared-parse mode).
+    pub batch_events: usize,
+    /// Bound of each worker's channel, in batches (shared-parse mode).
+    pub depth: usize,
+}
+
+impl Default for FarmCfg {
+    fn default() -> FarmCfg {
+        FarmCfg {
+            workers: 4,
+            shared_parse: true,
+            batch_events: 8192,
+            depth: 4,
+        }
+    }
+}
+
+/// What one replay did.
+#[derive(Clone, Debug)]
+pub struct FarmReport {
+    /// Parse statistics for one full pass over the trace. (In
+    /// per-worker mode every worker's pass is identical; one is
+    /// reported.)
+    pub stats: ParseStats,
+    /// Blocks decoded per pass.
+    pub blocks: usize,
+    /// Words replayed per pass.
+    pub words: u64,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Sinks fed.
+    pub sinks: usize,
+    /// Event batches broadcast (shared-parse mode; 0 otherwise).
+    pub batches: u64,
+}
+
+/// A [`TraceSink`] that buffers events and broadcasts each full batch
+/// to every worker channel, sharing one allocation per batch.
+struct Broadcast {
+    txs: Vec<SyncSender<Arc<Vec<RefEvent>>>>,
+    batch: Vec<RefEvent>,
+    batch_events: usize,
+    batches: u64,
+}
+
+impl Broadcast {
+    fn new(txs: Vec<SyncSender<Arc<Vec<RefEvent>>>>, batch_events: usize) -> Broadcast {
+        let batch_events = batch_events.max(1);
+        Broadcast {
+            txs,
+            batch: Vec::with_capacity(batch_events),
+            batch_events,
+            batches: 0,
+        }
+    }
+
+    fn push(&mut self, ev: RefEvent) {
+        self.batch.push(ev);
+        if self.batch.len() >= self.batch_events {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let batch = Arc::new(std::mem::replace(
+            &mut self.batch,
+            Vec::with_capacity(self.batch_events),
+        ));
+        self.batches += 1;
+        for tx in &self.txs {
+            // A send failure means that worker panicked; its join
+            // below will surface the panic.
+            let _ = tx.send(batch.clone());
+        }
+    }
+}
+
+impl TraceSink for Broadcast {
+    fn iref(&mut self, vaddr: u32, space: Space, idle: bool) {
+        self.push(RefEvent::Iref { vaddr, space, idle });
+    }
+
+    fn dref(&mut self, vaddr: u32, store: bool, width: Width, space: Space) {
+        self.push(RefEvent::Dref {
+            vaddr,
+            store,
+            width,
+            space,
+        });
+    }
+
+    fn ctx_switch(&mut self, asid: u8) {
+        self.push(RefEvent::CtxSwitch(asid));
+    }
+
+    fn mode_transition(&mut self, generating: bool) {
+        self.push(RefEvent::ModeTransition(generating));
+    }
+}
+
+/// A [`TraceSink`] that forwards every callback to each owned sink,
+/// in order (per-worker parse mode).
+struct FanOut<'a, S>(&'a mut [(usize, S)]);
+
+impl<S: TraceSink> TraceSink for FanOut<'_, S> {
+    fn iref(&mut self, vaddr: u32, space: Space, idle: bool) {
+        for (_, s) in self.0.iter_mut() {
+            s.iref(vaddr, space, idle);
+        }
+    }
+
+    fn dref(&mut self, vaddr: u32, store: bool, width: Width, space: Space) {
+        for (_, s) in self.0.iter_mut() {
+            s.dref(vaddr, store, width, space);
+        }
+    }
+
+    fn ctx_switch(&mut self, asid: u8) {
+        for (_, s) in self.0.iter_mut() {
+            s.ctx_switch(asid);
+        }
+    }
+
+    fn mode_transition(&mut self, generating: bool) {
+        for (_, s) in self.0.iter_mut() {
+            s.mode_transition(generating);
+        }
+    }
+}
+
+/// Replays the whole store into every sink, spreading work across
+/// `cfg.workers` threads. Returns the report and the sinks in their
+/// original order, each in exactly the state a sequential
+/// `parse_all` pass would have left it in. Decode or CRC failures
+/// abort the replay with the block's typed error.
+pub fn replay<S: TraceSink + Send>(
+    store: &TraceStore,
+    sinks: Vec<S>,
+    cfg: FarmCfg,
+) -> Result<(FarmReport, Vec<S>), StoreError> {
+    let n_sinks = sinks.len();
+    let workers = cfg.workers.clamp(1, n_sinks.max(1));
+    // Deal sinks round-robin, remembering original positions so the
+    // returned vector matches the input order.
+    let mut shares: Vec<Vec<(usize, S)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, s) in sinks.into_iter().enumerate() {
+        shares[i % workers].push((i, s));
+    }
+
+    let (report, shares) = if cfg.shared_parse {
+        replay_shared(store, shares, cfg)?
+    } else {
+        replay_per_worker(store, shares)?
+    };
+
+    let mut out: Vec<Option<S>> = (0..n_sinks).map(|_| None).collect();
+    for (i, s) in shares.into_iter().flatten() {
+        out[i] = Some(s);
+    }
+    let sinks = out
+        .into_iter()
+        .map(|s| s.expect("every sink returns"))
+        .collect();
+    Ok((
+        FarmReport {
+            workers,
+            sinks: n_sinks,
+            ..report
+        },
+        sinks,
+    ))
+}
+
+type Shares<S> = Vec<Vec<(usize, S)>>;
+
+fn replay_shared<S: TraceSink + Send>(
+    store: &TraceStore,
+    shares: Shares<S>,
+    cfg: FarmCfg,
+) -> Result<(FarmReport, Shares<S>), StoreError> {
+    thread::scope(|scope| {
+        let mut txs = Vec::with_capacity(shares.len());
+        let mut handles = Vec::with_capacity(shares.len());
+        for mut share in shares {
+            let (tx, rx) = sync_channel::<Arc<Vec<RefEvent>>>(cfg.depth.max(1));
+            txs.push(tx);
+            handles.push(scope.spawn(move || {
+                for batch in rx {
+                    for (_, sink) in share.iter_mut() {
+                        for &ev in batch.iter() {
+                            ev.apply(sink);
+                        }
+                    }
+                }
+                share
+            }));
+        }
+
+        let mut parser = store.parser();
+        let mut feed = Broadcast::new(txs, cfg.batch_events);
+        let mut failed = None;
+        // One continuous parse across all blocks: `push_words` per
+        // block (a basic block's words may straddle two store blocks),
+        // one `finish` at the end.
+        for i in 0..store.n_blocks() {
+            match store.decode_block(i) {
+                Ok(words) => parser.push_words(&words, &mut feed),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        if failed.is_none() {
+            parser.finish(&mut feed);
+        }
+        feed.flush();
+        let batches = feed.batches;
+        drop(feed); // close the channels so workers drain and exit
+        let shares: Shares<S> = handles
+            .into_iter()
+            .map(|h| h.join().expect("farm worker panicked"))
+            .collect();
+        match failed {
+            Some(e) => Err(e),
+            None => Ok((
+                FarmReport {
+                    stats: parser.stats.clone(),
+                    blocks: store.n_blocks(),
+                    words: store.n_words,
+                    workers: 0,
+                    sinks: 0,
+                    batches,
+                },
+                shares,
+            )),
+        }
+    })
+}
+
+fn replay_per_worker<S: TraceSink + Send>(
+    store: &TraceStore,
+    shares: Shares<S>,
+) -> Result<(FarmReport, Shares<S>), StoreError> {
+    thread::scope(|scope| {
+        let handles: Vec<_> = shares
+            .into_iter()
+            .map(|mut share| {
+                scope.spawn(move || {
+                    let mut parser = store.parser();
+                    {
+                        let mut fan = FanOut(&mut share);
+                        for i in 0..store.n_blocks() {
+                            let words = store.decode_block(i)?;
+                            parser.push_words(&words, &mut fan);
+                        }
+                        parser.finish(&mut fan);
+                    }
+                    Ok::<_, StoreError>((parser.stats, share))
+                })
+            })
+            .collect();
+        let mut stats = None;
+        let mut shares = Vec::new();
+        let mut failed = None;
+        for h in handles {
+            match h.join().expect("farm worker panicked") {
+                Ok((s, share)) => {
+                    stats.get_or_insert(s);
+                    shares.push(share);
+                }
+                Err(e) => failed = Some(e),
+            }
+        }
+        match failed {
+            Some(e) => Err(e),
+            None => Ok((
+                FarmReport {
+                    stats: stats.unwrap_or_default(),
+                    blocks: store.n_blocks(),
+                    words: store.n_words,
+                    workers: 0,
+                    sinks: 0,
+                    batches: 0,
+                },
+                shares,
+            )),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrl_trace::bbinfo::{BbInfo, BbTraceFlags, MemOp};
+    use wrl_trace::{ctl, BbTable, CollectSink, CtlOp, TraceArchive};
+
+    /// A trace with kernel + user activity, context switches and
+    /// nested kernel entries, so ordering bugs have something to bite.
+    fn busy_store(block_words: usize) -> TraceStore {
+        let mut kt = BbTable::new();
+        for i in 0..8u32 {
+            kt.insert(
+                0x8003_0000 + i * 0x40,
+                BbInfo {
+                    orig_vaddr: 0x8001_0000 + i * 0x40,
+                    n_insts: 3,
+                    ops: vec![MemOp {
+                        index: 1,
+                        store: i % 2 == 0,
+                        width: Width::Word,
+                    }],
+                    flags: BbTraceFlags::default(),
+                },
+            );
+        }
+        let mut ut = BbTable::new();
+        for i in 0..8u32 {
+            ut.insert(
+                0x0040_0000 + i * 0x40,
+                BbInfo {
+                    orig_vaddr: 0x0041_0000 + i * 0x40,
+                    n_insts: 2,
+                    ops: vec![],
+                    flags: BbTraceFlags::default(),
+                },
+            );
+        }
+        let mut words = vec![ctl(CtlOp::CtxSwitch, 5)];
+        for i in 0..3000u32 {
+            let k = i % 8;
+            words.push(0x0040_0000 + k * 0x40);
+            if i % 7 == 0 {
+                words.push(ctl(CtlOp::KEnter, 3));
+                words.push(0x8003_0000 + k * 0x40);
+                words.push(0x8040_0000 + (i % 16) * 4); // its data word
+                words.push(ctl(CtlOp::KExit, 0));
+            }
+        }
+        words.push(ctl(CtlOp::Eof, 0));
+        let a = TraceArchive {
+            kernel_table: kt,
+            user_tables: vec![(5, ut)],
+            words,
+        };
+        TraceStore::from_archive(&a, block_words)
+    }
+
+    fn sequential(store: &TraceStore, n: usize) -> Vec<CollectSink> {
+        let words = store.words().unwrap();
+        (0..n)
+            .map(|_| {
+                let mut sink = CollectSink::default();
+                store.parser().parse_all(&words, &mut sink);
+                sink
+            })
+            .collect()
+    }
+
+    fn assert_identical(farmed: &[CollectSink], baseline: &[CollectSink]) {
+        assert_eq!(farmed.len(), baseline.len());
+        for (f, b) in farmed.iter().zip(baseline) {
+            assert_eq!(f.irefs, b.irefs);
+            assert_eq!(f.drefs, b.drefs);
+        }
+    }
+
+    #[test]
+    fn shared_parse_matches_sequential_for_any_worker_count() {
+        let store = busy_store(256);
+        let baseline = sequential(&store, 5);
+        for workers in [1, 2, 4, 8] {
+            let sinks = vec![CollectSink::default(); 5];
+            let cfg = FarmCfg {
+                workers,
+                batch_events: 100, // small batches: exercise batching
+                ..FarmCfg::default()
+            };
+            let (report, farmed) = replay(&store, sinks, cfg).unwrap();
+            assert_identical(&farmed, &baseline);
+            assert_eq!(report.workers, workers.min(5));
+            assert_eq!(report.words, store.n_words);
+            assert!(report.batches > 0);
+        }
+    }
+
+    #[test]
+    fn per_worker_parse_matches_sequential() {
+        let store = busy_store(512);
+        let baseline = sequential(&store, 3);
+        let cfg = FarmCfg {
+            workers: 3,
+            shared_parse: false,
+            ..FarmCfg::default()
+        };
+        let (report, farmed) = replay(&store, vec![CollectSink::default(); 3], cfg).unwrap();
+        assert_identical(&farmed, &baseline);
+        assert_eq!(report.batches, 0);
+        assert_eq!(report.stats, {
+            let mut p = store.parser();
+            p.parse_all(&store.words().unwrap(), &mut CollectSink::default());
+            p.stats
+        });
+    }
+
+    #[test]
+    fn zero_sinks_still_reports_a_parse() {
+        let store = busy_store(256);
+        let (report, sinks) = replay::<CollectSink>(&store, vec![], FarmCfg::default()).unwrap();
+        assert!(sinks.is_empty());
+        assert_eq!(report.words, store.n_words);
+        assert!(report.stats.bb_records > 0);
+    }
+
+    #[test]
+    fn corrupt_block_aborts_both_modes() {
+        let store = busy_store(128);
+        let mut bytes = store.encode();
+        // Flip the last byte of the block area (just before the index,
+        // whose position the trailer records).
+        let tail_at = bytes.len() - 20;
+        let index_pos =
+            u64::from_le_bytes(bytes[tail_at + 4..tail_at + 12].try_into().unwrap()) as usize;
+        bytes[index_pos - 1] ^= 0xff;
+        let bad = TraceStore::decode(&bytes).unwrap();
+        for shared_parse in [true, false] {
+            let cfg = FarmCfg {
+                shared_parse,
+                ..FarmCfg::default()
+            };
+            let err = replay(&bad, vec![CollectSink::default(); 2], cfg).unwrap_err();
+            assert!(matches!(
+                err,
+                StoreError::CrcMismatch { .. } | StoreError::BlockCodec { .. }
+            ));
+        }
+    }
+}

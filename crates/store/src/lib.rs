@@ -1,0 +1,34 @@
+//! `wrl-store`: a compressed, seekable trace container and a parallel
+//! replay farm.
+//!
+//! The paper's central bind is that system traces are too large to
+//! store (§3.1–§3.2: on-the-fly analysis exists *because* raw traces
+//! outrun any disk of the day), yet every stored trace is worth many
+//! analysis runs — the WRL traces were distributed to the community on
+//! tape (§3.4) precisely so others could re-run them. This crate
+//! resolves the bind for the modern repo:
+//!
+//! * [`codec`] — a dependency-free delta + finite-context compressor
+//!   exploiting the trace word regularities of §3.3; loop-dominated
+//!   traces approach one byte per four-byte word.
+//! * [`container`] — archive format v2: fixed-size blocks compressed
+//!   independently, with a footer index (offset, word count, CRC-32,
+//!   ASID bounds per block) so any block is seekable and decodable on
+//!   its own. Version-1 archives still load transparently.
+//! * [`farm`] — replays one store into N analysis sinks across worker
+//!   threads, bit-identical to a sequential parse: the schedule moves
+//!   work between threads but never reorders a sink's event stream.
+//! * [`obs`] — `wrl-obs` wiring: store-shape gauges and §4.3-style
+//!   integrity-failure tallies (see `docs/METRICS.md`).
+
+#![deny(missing_docs)]
+
+pub mod codec;
+pub mod container;
+pub mod farm;
+pub mod obs;
+
+pub use codec::{compress_block, crc32_words, decompress_block, CodecError};
+pub use container::{BlockMeta, StoreError, TraceStore, DEFAULT_BLOCK_WORDS, STORE_VERSION};
+pub use farm::{replay, FarmCfg, FarmReport};
+pub use obs::StoreObs;

@@ -1,0 +1,201 @@
+//! Observability for the trace store: once-per-run gauges describing
+//! the last store built or loaded and the last farm replay, plus
+//! rare-path counters for integrity failures.
+//!
+//! Follows the trace path's split (see `wrl-trace`'s `obs` module):
+//! sizes and ratios are exact properties of a finished store and are
+//! exported once, while CRC and codec failures are §4.3-style
+//! defensive events counted the moment they are detected (a healthy
+//! system records all zeros). Rows in `docs/METRICS.md` are kept
+//! honest by the `metrics_doc_sync` test.
+
+use std::sync::Arc;
+
+use wrl_obs::{counter, gauge, global, histogram, Counter, Gauge, Histogram};
+
+use crate::container::{StoreError, TraceStore};
+use crate::farm::FarmReport;
+
+/// Gauges, histograms and error tallies for the store and farm.
+#[derive(Clone)]
+pub struct StoreObs {
+    blocks: Arc<Gauge>,
+    raw_bytes: Arc<Gauge>,
+    compressed_bytes: Arc<Gauge>,
+    block_comp_bytes: Arc<Histogram>,
+    crc_errors: Arc<Counter>,
+    codec_errors: Arc<Counter>,
+    farm_workers: Arc<Gauge>,
+    farm_sinks: Arc<Gauge>,
+    farm_batches: Arc<Gauge>,
+    farm_words: Arc<Gauge>,
+}
+
+impl StoreObs {
+    /// Registers every `store.*` metric in the global registry.
+    pub fn register() -> StoreObs {
+        let r = global();
+        StoreObs {
+            blocks: gauge!(
+                r,
+                "store.blocks",
+                "blocks",
+                "§3.2",
+                "Block count of the last store built or loaded."
+            ),
+            raw_bytes: gauge!(
+                r,
+                "store.raw_bytes",
+                "bytes",
+                "§3.2",
+                "Uncompressed word-stream size of the last store."
+            ),
+            compressed_bytes: gauge!(
+                r,
+                "store.compressed_bytes",
+                "bytes",
+                "§3.2",
+                "Compressed block-area size of the last store."
+            ),
+            block_comp_bytes: histogram!(
+                r,
+                "store.block.comp_bytes",
+                "bytes",
+                "§3.2",
+                "Per-block compressed sizes of the last store."
+            ),
+            crc_errors: counter!(
+                r,
+                "store.crc_errors",
+                "errors",
+                "§4.3",
+                "Blocks whose decoded words failed their index CRC."
+            ),
+            codec_errors: counter!(
+                r,
+                "store.codec_errors",
+                "errors",
+                "§4.3",
+                "Blocks whose compressed bytes failed to decode."
+            ),
+            farm_workers: gauge!(
+                r,
+                "store.farm.workers",
+                "workers",
+                "§3.4",
+                "Worker threads used by the last farm replay."
+            ),
+            farm_sinks: gauge!(
+                r,
+                "store.farm.sinks",
+                "sinks",
+                "§3.4",
+                "Analysis sinks fed by the last farm replay."
+            ),
+            farm_batches: gauge!(
+                r,
+                "store.farm.batches",
+                "batches",
+                "§3.4",
+                "Event batches broadcast by the last shared-parse replay."
+            ),
+            farm_words: gauge!(
+                r,
+                "store.farm.words",
+                "words",
+                "§3.4",
+                "Trace words replayed per pass by the last farm replay."
+            ),
+        }
+    }
+
+    /// Exports one store's shape: block count, raw and compressed
+    /// sizes, and the per-block compressed-size distribution.
+    pub fn export_store(&self, s: &TraceStore) {
+        self.blocks.set(s.n_blocks() as i64);
+        self.raw_bytes.set(s.raw_bytes() as i64);
+        self.compressed_bytes.set(s.compressed_bytes() as i64);
+        for i in 0..s.n_blocks() {
+            self.block_comp_bytes
+                .record(u64::from(s.block_meta(i).comp_len));
+        }
+    }
+
+    /// Exports one farm replay's shape.
+    pub fn export_farm(&self, r: &FarmReport) {
+        self.farm_workers.set(r.workers as i64);
+        self.farm_sinks.set(r.sinks as i64);
+        self.farm_batches.set(r.batches as i64);
+        self.farm_words.set(r.words as i64);
+    }
+
+    /// Bumps the matching integrity counter for a detected error
+    /// (framing and I/O errors have no counter — they abort loads
+    /// rather than accumulating).
+    pub fn tally_error(&self, e: &StoreError) {
+        match e {
+            StoreError::CrcMismatch { .. } => self.crc_errors.inc(),
+            StoreError::BlockCodec { .. } => self.codec_errors.inc(),
+            _ => {}
+        }
+    }
+}
+
+impl FarmReport {
+    /// Registers (idempotently) and sets the `store.farm.*` gauges
+    /// from this replay.
+    pub fn export_obs(&self) {
+        StoreObs::register().export_farm(self);
+    }
+}
+
+impl TraceStore {
+    /// Registers (idempotently) and sets the `store.*` size gauges
+    /// from this store.
+    pub fn export_obs(&self) {
+        StoreObs::register().export_store(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrl_trace::TraceArchive;
+
+    #[test]
+    fn export_sets_store_gauges() {
+        let a = TraceArchive {
+            words: vec![0x8003_0100; 500],
+            ..TraceArchive::default()
+        };
+        let s = TraceStore::from_archive(&a, 64);
+        s.export_obs();
+        if wrl_obs::recording() {
+            let snap = wrl_obs::global().snapshot();
+            let blocks = snap
+                .metrics
+                .iter()
+                .find(|m| m.desc.name == "store.blocks")
+                .expect("registered");
+            match blocks.value {
+                wrl_obs::ValueSnap::Gauge { value, .. } => assert_eq!(value, 8),
+                _ => panic!("gauge expected"),
+            }
+        }
+    }
+
+    #[test]
+    fn crc_errors_are_tallied() {
+        let obs = StoreObs::register();
+        let before = obs.crc_errors.get();
+        obs.tally_error(&StoreError::CrcMismatch {
+            block: 0,
+            want: 1,
+            got: 2,
+        });
+        obs.tally_error(&StoreError::Malformed("not counted"));
+        if wrl_obs::recording() {
+            assert_eq!(obs.crc_errors.get(), before + 1);
+        }
+    }
+}

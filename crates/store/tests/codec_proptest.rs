@@ -1,0 +1,96 @@
+//! Property-based tests of the block codec and container: compression
+//! is lossless on arbitrary word sequences — including page-zero
+//! control words, ASID switches and adversarial values the trace path
+//! would reject — and decode is total on arbitrary bytes.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use wrl_store::{compress_block, crc32_words, decompress_block, TraceStore};
+use wrl_trace::{ctl, CtlOp, TraceArchive};
+
+/// Block sizes exercised everywhere: degenerate (1 word/block), prime
+/// and misaligned (7), and the production default (4096).
+const BLOCK_SIZES: [usize; 3] = [1, 7, 4096];
+
+/// Trace-shaped words: mostly addresses with recurring structure,
+/// salted with control words (context switches to arbitrary ASIDs,
+/// kernel crossings, mode transitions) and raw arbitrary values.
+fn word_strategy() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        // Kernel text/data addresses with loop-like low entropy.
+        (0u32..4096).prop_map(|i| 0x8003_0000 + i * 4),
+        // User addresses.
+        (0u32..4096).prop_map(|i| 0x0040_0000 + i * 4),
+        // Control words: every opcode, arbitrary payload (CtxSwitch
+        // payload is the ASID, so this covers ASID switches).
+        (0u8..6, any::<u8>()).prop_map(|(op, payload)| {
+            let op = match op {
+                0 => CtlOp::CtxSwitch,
+                1 => CtlOp::KEnter,
+                2 => CtlOp::KExit,
+                3 => CtlOp::TraceOn,
+                4 => CtlOp::TraceOff,
+                _ => CtlOp::Eof,
+            };
+            ctl(op, payload)
+        }),
+        // Fully arbitrary words, including page-zero junk the parser
+        // would flag — the codec must round-trip them regardless.
+        any::<u32>(),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trip_is_identity(words in vec(word_strategy(), 0..2000)) {
+        for bs in BLOCK_SIZES {
+            for chunk in words.chunks(bs) {
+                let bytes = compress_block(chunk);
+                let back = decompress_block(&bytes, chunk.len()).expect("own encoding decodes");
+                prop_assert_eq!(&back, chunk);
+            }
+        }
+    }
+
+    #[test]
+    fn store_round_trip_is_identity_at_every_block_size(
+        words in vec(word_strategy(), 0..2000),
+    ) {
+        let a = TraceArchive { words, ..TraceArchive::default() };
+        for bs in BLOCK_SIZES {
+            let store = TraceStore::from_archive(&a, bs);
+            let decoded = TraceStore::decode(&store.encode()).expect("own encoding decodes");
+            prop_assert_eq!(decoded.words().expect("all CRCs hold"), a.words.clone());
+            prop_assert_eq!(decoded.n_words, a.words.len() as u64);
+        }
+    }
+
+    #[test]
+    fn decompress_arbitrary_bytes_never_panics(
+        bytes in vec(any::<u8>(), 0..400),
+        n_words in 0usize..600,
+    ) {
+        // Decode must be total: junk either errors or yields exactly
+        // n_words (whose CRC the container layer would then check).
+        if let Ok(words) = decompress_block(&bytes, n_words) {
+            assert_eq!(words.len(), n_words);
+            let _ = crc32_words(&words);
+        }
+    }
+
+    #[test]
+    fn store_decode_arbitrary_bytes_never_panics(bytes in vec(any::<u8>(), 0..400)) {
+        let _ = TraceStore::decode(&bytes);
+    }
+
+    #[test]
+    fn truncated_stores_never_decode(words in vec(word_strategy(), 1..500)) {
+        let a = TraceArchive { words, ..TraceArchive::default() };
+        let bytes = TraceStore::from_archive(&a, 64).encode();
+        // The trailer pins the index position and the index pins every
+        // block, so any proper prefix must be rejected.
+        for cut in [1usize, 8, 16, bytes.len() / 2, bytes.len() - 1] {
+            prop_assert!(TraceStore::decode(&bytes[..cut]).is_err(), "cut={}", cut);
+        }
+    }
+}

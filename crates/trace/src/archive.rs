@@ -47,8 +47,11 @@ pub enum ArchiveError {
     Io(io::Error),
     /// Not a trace archive, or corrupted framing.
     Malformed(&'static str),
-    /// Unknown format version.
-    Version(u32),
+    /// The file *is* a trace archive, but in a format version this
+    /// decoder does not speak — distinguish "your tooling is too old
+    /// (or too new)" from actual corruption. Version-2 archives (the
+    /// compressed block format) are decoded by `wrl-store`, not here.
+    UnsupportedVersion(u32),
 }
 
 impl From<io::Error> for ArchiveError {
@@ -62,7 +65,12 @@ impl core::fmt::Display for ArchiveError {
         match self {
             ArchiveError::Io(e) => write!(f, "i/o: {e}"),
             ArchiveError::Malformed(what) => write!(f, "malformed archive: {what}"),
-            ArchiveError::Version(v) => write!(f, "unsupported version {v}"),
+            ArchiveError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported archive version {v} (is your tooling current?)"
+                )
+            }
         }
     }
 }
@@ -135,6 +143,40 @@ fn encode_table(out: &mut Vec<u8>, t: &BbTable) {
     }
 }
 
+/// Encodes the full table section — kernel table followed by the
+/// per-ASID user tables — in the exact byte layout both archive
+/// versions share. Public so the `wrl-store` v2 container can embed
+/// an identical table section without duplicating the codec.
+pub fn encode_table_section(out: &mut Vec<u8>, kernel: &BbTable, users: &[(u8, BbTable)]) {
+    encode_table(out, kernel);
+    put_u32(out, users.len() as u32);
+    for (asid, t) in users {
+        out.push(*asid);
+        encode_table(out, t);
+    }
+}
+
+/// A decoded table section: the kernel table, the per-ASID user
+/// tables, and the number of bytes the section occupied.
+pub type TableSection = (BbTable, Vec<(u8, BbTable)>, usize);
+
+/// Decodes a table section produced by [`encode_table_section`],
+/// returning the tables and the number of bytes consumed.
+pub fn decode_table_section(buf: &[u8]) -> Result<TableSection, ArchiveError> {
+    let mut c = Cursor { buf, at: 0 };
+    let kernel = decode_table(&mut c)?;
+    let n_users = c.u32()? as usize;
+    if n_users > 64 {
+        return Err(ArchiveError::Malformed("too many user tables"));
+    }
+    let mut users = Vec::with_capacity(n_users);
+    for _ in 0..n_users {
+        let asid = c.u8()?;
+        users.push((asid, decode_table(&mut c)?));
+    }
+    Ok((kernel, users, c.at))
+}
+
 fn decode_table(c: &mut Cursor) -> Result<BbTable, ArchiveError> {
     let n = c.u32()? as usize;
     let mut t = BbTable::new();
@@ -183,12 +225,7 @@ impl TraceArchive {
         let mut out = Vec::with_capacity(self.words.len() * 4 + 4096);
         out.extend_from_slice(MAGIC);
         put_u32(&mut out, VERSION);
-        encode_table(&mut out, &self.kernel_table);
-        put_u32(&mut out, self.user_tables.len() as u32);
-        for (asid, t) in &self.user_tables {
-            out.push(*asid);
-            encode_table(&mut out, t);
-        }
+        encode_table_section(&mut out, &self.kernel_table, &self.user_tables);
         put_u64(&mut out, self.words.len() as u64);
         for w in &self.words {
             put_u32(&mut out, *w);
@@ -204,18 +241,10 @@ impl TraceArchive {
         }
         let v = c.u32()?;
         if v != VERSION {
-            return Err(ArchiveError::Version(v));
+            return Err(ArchiveError::UnsupportedVersion(v));
         }
-        let kernel_table = decode_table(&mut c)?;
-        let n_users = c.u32()? as usize;
-        if n_users > 64 {
-            return Err(ArchiveError::Malformed("too many user tables"));
-        }
-        let mut user_tables = Vec::with_capacity(n_users);
-        for _ in 0..n_users {
-            let asid = c.u8()?;
-            user_tables.push((asid, decode_table(&mut c)?));
-        }
+        let (kernel_table, user_tables, used) = decode_table_section(&buf[c.at..])?;
+        c.at += used;
         let n_words = c.u64()? as usize;
         let mut words = Vec::with_capacity(n_words.min(1 << 28));
         for _ in 0..n_words {
@@ -355,7 +384,31 @@ mod tests {
         bytes[8] = 99;
         assert!(matches!(
             TraceArchive::decode(&bytes),
-            Err(ArchiveError::Version(_))
+            Err(ArchiveError::UnsupportedVersion(99))
         ));
+    }
+
+    #[test]
+    fn v2_archive_is_unsupported_not_malformed() {
+        // A version-2 (compressed) archive read by the v1 decoder must
+        // report "your tooling is old", not "corrupt file".
+        let mut bytes = sample().encode();
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        match TraceArchive::decode(&bytes) {
+            Err(ArchiveError::UnsupportedVersion(2)) => {}
+            other => panic!("expected UnsupportedVersion(2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_section_round_trips_standalone() {
+        let a = sample();
+        let mut buf = Vec::new();
+        encode_table_section(&mut buf, &a.kernel_table, &a.user_tables);
+        let (kernel, users, used) = decode_table_section(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(kernel.len(), a.kernel_table.len());
+        assert_eq!(users.len(), 1);
+        assert_eq!(users[0].0, 3);
     }
 }

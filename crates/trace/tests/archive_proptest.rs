@@ -119,7 +119,7 @@ proptest! {
         let mut bytes = a.encode();
         bytes[at] ^= xor;
         match TraceArchive::decode(&bytes) {
-            Err(ArchiveError::Malformed(_)) | Err(ArchiveError::Version(_)) => {}
+            Err(ArchiveError::Malformed(_)) | Err(ArchiveError::UnsupportedVersion(_)) => {}
             Err(ArchiveError::Io(e)) => prop_assert!(false, "io error from memory: {e}"),
             Ok(_) => prop_assert!(false, "corrupt header accepted"),
         }

@@ -2,15 +2,20 @@
 //!
 //! ```text
 //! tracedump record <workload> <ultrix|mach> <out.w3kt>   collect a system trace
-//! tracedump info   <file.w3kt>                           summarise an archive
+//! tracedump info   <file.w3kt>                           summarise an archive (v1 or v2)
 //! tracedump refs   <file.w3kt> [n]                       print the first n references
 //! tracedump sim    <file.w3kt>                           run the memory-system simulation
 //! tracedump metrics <file.w3kt> [out.json]               re-analyse and dump wrl-obs metrics
+//! tracedump compress <in.w3kt> <out.w3kt> [block_words]  write a compressed v2 store
 //! ```
+//!
+//! Every reading subcommand accepts both archive versions: raw v1
+//! archives and compressed, block-indexed v2 stores (`wrl-store`).
 
 use std::sync::Arc;
 use systrace::kernel::{build_system, KernelConfig};
 use systrace::memsim::{MemSim, PageMap, Policy, SimCfg, UtlbSynth};
+use systrace::store::{StoreObs, TraceStore, DEFAULT_BLOCK_WORDS, STORE_VERSION};
 use systrace::trace::{Space, TraceArchive, TraceSink};
 
 fn usage() -> ! {
@@ -19,6 +24,7 @@ fn usage() -> ! {
     eprintln!("       tracedump refs <file.w3kt> [n]");
     eprintln!("       tracedump sim <file.w3kt>");
     eprintln!("       tracedump metrics <file.w3kt> [out.json]");
+    eprintln!("       tracedump compress <in.w3kt> <out.w3kt> [block_words]");
     std::process::exit(2);
 }
 
@@ -35,6 +41,13 @@ fn main() {
         Some("metrics") if args.len() == 2 || args.len() == 3 => {
             metrics(&args[1], args.get(2).map(String::as_str))
         }
+        Some("compress") if args.len() == 3 || args.len() == 4 => compress(
+            &args[1],
+            &args[2],
+            args.get(3)
+                .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(DEFAULT_BLOCK_WORDS),
+        ),
         _ => usage(),
     }
 }
@@ -60,16 +73,52 @@ fn record(workload: &str, os: &str, out: &str) {
     );
 }
 
-fn load(path: &str) -> TraceArchive {
-    TraceArchive::load(path).unwrap_or_else(|e| {
+/// Loads either archive version as a block store (a v1 file is
+/// compressed in memory).
+fn load_store(path: &str) -> TraceStore {
+    TraceStore::load(path).unwrap_or_else(|e| {
         eprintln!("{path}: {e}");
         std::process::exit(1);
     })
 }
 
+/// Loads either archive version as a raw in-memory archive.
+fn load(path: &str) -> TraceArchive {
+    load_store(path).to_archive().unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// The on-disk format version of a `W3KTRACE` file, if readable.
+fn disk_version(path: &str) -> Option<u32> {
+    let mut header = [0u8; 12];
+    use std::io::Read;
+    let mut f = std::fs::File::open(path).ok()?;
+    f.read_exact(&mut header).ok()?;
+    (&header[..8] == systrace::trace::archive::MAGIC)
+        .then(|| u32::from_le_bytes(header[8..12].try_into().unwrap()))
+}
+
 fn info(path: &str) {
-    let a = load(path);
+    let store = load_store(path);
+    let a = store.to_archive().unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
     println!("{path}:");
+    match disk_version(path) {
+        Some(v) if v >= STORE_VERSION => println!(
+            "  format      : v{v} store, {} blocks of {} words, {} -> {} bytes ({:.2}x)",
+            store.n_blocks(),
+            store.block_words,
+            store.raw_bytes(),
+            store.compressed_bytes(),
+            store.raw_bytes() as f64 / store.compressed_bytes().max(1) as f64,
+        ),
+        Some(v) => println!("  format      : v{v} archive (raw words)"),
+        None => {}
+    }
     println!("  trace words : {}", a.words.len());
     println!("  kernel table: {} blocks", a.kernel_table.len());
     for (asid, t) in &a.user_tables {
@@ -182,4 +231,25 @@ fn metrics(path: &str, out: Option<&str>) {
         }
         None => println!("{json}"),
     }
+}
+
+fn compress(inp: &str, out: &str, block_words: usize) {
+    let obs = StoreObs::register();
+    // Rebuild from the raw words so the requested block size applies
+    // regardless of the input's format or original block size.
+    let a = load(inp);
+    let store = TraceStore::from_archive(&a, block_words);
+    store.save(out).unwrap_or_else(|e| {
+        eprintln!("{out}: {e}");
+        std::process::exit(1);
+    });
+    obs.export_store(&store);
+    println!(
+        "compressed {} words into {} blocks: {} -> {} bytes ({:.2}x)",
+        store.n_words,
+        store.n_blocks(),
+        store.raw_bytes(),
+        store.compressed_bytes(),
+        store.raw_bytes() as f64 / store.compressed_bytes().max(1) as f64,
+    );
 }

@@ -19,6 +19,8 @@
 //! * [`memsim`] — the trace-driven memory-system simulator and the
 //!   §5.1 execution-time predictor (the "predicted" side);
 //! * [`workloads`] — the twelve Table-1 workloads;
+//! * [`store`] — the compressed, seekable trace store (archive v2)
+//!   and the parallel replay farm;
 //! * [`obs`] — the `wrl-obs` metrics facade (registry, exports and
 //!   [`obs::register_all`]; see `docs/METRICS.md`).
 
@@ -27,6 +29,7 @@ pub use wrl_isa as isa;
 pub use wrl_kernel as kernel;
 pub use wrl_machine as machine;
 pub use wrl_memsim as memsim;
+pub use wrl_store as store;
 pub use wrl_trace as trace;
 pub use wrl_workloads as workloads;
 

@@ -19,6 +19,7 @@ pub fn register_all() {
     wrl_trace::stream::StreamObs::register();
     wrl_machine::CountersObs::register();
     wrl_memsim::SimObs::register();
+    wrl_store::StoreObs::register();
 }
 
 #[cfg(test)]
@@ -35,6 +36,7 @@ mod tests {
             "stream.chunks",
             "machine.cycles",
             "sim.irefs.kernel",
+            "store.blocks",
         ] {
             assert!(names.contains(&expect), "{expect} missing from registry");
         }
