@@ -1,0 +1,487 @@
+//! The chaos engine: run one [`FaultPlan`] against a golden trace and
+//! classify what the stack did about it.
+//!
+//! Every plan ends in exactly one [`Outcome`]:
+//!
+//! * **Detected** — the stack surfaced the fault as a typed error, a
+//!   parse-error tally, or a lost-chunk count. The §4.3 discipline at
+//!   work: damage you can name.
+//! * **Harmless** — the fault demonstrably changed nothing: results
+//!   are bit-identical to the unfaulted baseline. Stalls and
+//!   reorderings *must* land here (they may only cost throughput).
+//! * **Absorbed** — the corrupted input happens to be a well-formed
+//!   trace in its own right (a flip forging a valid word, a
+//!   truncation at a record boundary). Indistinguishable from a
+//!   different trace, so no detector can fire — but the stack must
+//!   still process it deterministically, which the engine verifies by
+//!   comparing a batch parse against a streaming parse of the same
+//!   corrupted words.
+//! * **Forbidden** — a panic, or a silently wrong answer (different
+//!   results with no error raised, or nondeterminism). The campaign's
+//!   invariant is that this set is empty.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use crate::inject::{flip_byte_bits_in, flip_word_bits, short_read, store_regions, truncate_words};
+use crate::plan::{FaultPlan, FaultSite, Layer};
+use crate::SplitMix64;
+use wrl_store::{replay_with_hooks, FarmCfg, FarmHooks, TraceStore};
+use wrl_trace::{
+    ChaosHooks, ChunkFate, CollectSink, ParseStats, Pipeline, PipelineCfg, StageSite, TraceArchive,
+};
+
+/// How the stack handled one injected fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The fault was surfaced: a typed error, parse-error tallies, or
+    /// a nonzero lost-chunk count.
+    Detected {
+        /// What fired (an error's display text or a tally name).
+        what: String,
+    },
+    /// Results are bit-identical to the unfaulted baseline.
+    Harmless,
+    /// The corrupted input is itself a well-formed trace — nothing to
+    /// detect — and the stack processed it deterministically.
+    Absorbed,
+    /// A panic, a silently wrong answer, or nondeterminism. Must
+    /// never happen.
+    Forbidden {
+        /// What went wrong.
+        why: String,
+    },
+}
+
+impl Outcome {
+    /// Short classification label (for tables and tallies).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Outcome::Detected { .. } => "detected",
+            Outcome::Harmless => "harmless",
+            Outcome::Absorbed => "absorbed",
+            Outcome::Forbidden { .. } => "forbidden",
+        }
+    }
+}
+
+/// The golden input a campaign attacks, prepared once: the archive,
+/// its unfaulted baseline results, and its v2 store encoding.
+pub struct ChaosInput {
+    /// The pristine trace (tables + words).
+    pub archive: TraceArchive,
+    /// Baseline sink state from a sequential batch parse.
+    pub baseline: CollectSink,
+    /// Baseline statistics from the same parse.
+    pub baseline_stats: ParseStats,
+    /// The archive encoded as a v2 store (block size
+    /// [`ChaosInput::BLOCK_WORDS`]), the store injectors' target.
+    pub store_bytes: Vec<u8>,
+}
+
+impl ChaosInput {
+    /// Words per store block — small enough that the golden trace
+    /// spans tens of blocks, so block-granular faults have targets.
+    pub const BLOCK_WORDS: usize = 256;
+    /// Words per pipeline chunk, matching the block size so stream
+    /// faults likewise have tens of chunks to pick from.
+    pub const CHUNK_WORDS: usize = 256;
+
+    /// Prepares a campaign input from a pristine archive.
+    pub fn new(archive: TraceArchive) -> ChaosInput {
+        let mut parser = archive.parser();
+        let mut baseline = CollectSink::default();
+        parser.parse_all(&archive.words, &mut baseline);
+        let baseline_stats = parser.stats.clone();
+        let store_bytes = TraceStore::from_archive(&archive, Self::BLOCK_WORDS).encode();
+        ChaosInput {
+            archive,
+            baseline,
+            baseline_stats,
+            store_bytes,
+        }
+    }
+
+    /// Chunks the golden word stream spans at
+    /// [`ChaosInput::CHUNK_WORDS`] words per chunk.
+    pub fn n_chunks(&self) -> u64 {
+        self.archive.words.len().div_ceil(Self::CHUNK_WORDS) as u64
+    }
+
+    fn sinks_equal(&self, sink: &CollectSink) -> bool {
+        sink.irefs == self.baseline.irefs
+            && sink.drefs == self.baseline.drefs
+            && sink.switches == self.baseline.switches
+    }
+}
+
+/// Batch-parses `words` with the input's tables.
+fn batch(input: &ChaosInput, words: &[u32]) -> (ParseStats, CollectSink) {
+    let mut parser = input.archive.parser();
+    let mut sink = CollectSink::default();
+    parser.parse_all(words, &mut sink);
+    (parser.stats, sink)
+}
+
+/// Streams `words` through a hooked pipeline at the given worker
+/// count and chunk size, returning the report and sink.
+fn stream(
+    input: &ChaosInput,
+    words: &[u32],
+    workers: usize,
+    hooks: ChaosHooks,
+) -> (wrl_trace::PipelineReport, CollectSink) {
+    let cfg = PipelineCfg {
+        chunk_words: ChaosInput::CHUNK_WORDS,
+        workers,
+        ..PipelineCfg::default()
+    };
+    let mut pipe = Pipeline::with_hooks(input.archive.parser(), CollectSink::default(), cfg, hooks);
+    pipe.feed(words);
+    pipe.finish()
+}
+
+/// Classifies a corrupted word stream: errors ⇒ detected; identical
+/// results ⇒ harmless; otherwise the corruption forged a well-formed
+/// trace, which is absorbed only if batch and streaming parses of it
+/// agree exactly (determinism is the last line of defence when no
+/// detector can fire).
+fn classify_words(input: &ChaosInput, words: &[u32]) -> Outcome {
+    let (stats, sink) = batch(input, words);
+    if stats.errors > 0 {
+        return Outcome::Detected {
+            what: format!("trace.parse.error tallies ({} errors)", stats.errors),
+        };
+    }
+    if stats == input.baseline_stats && input.sinks_equal(&sink) {
+        return Outcome::Harmless;
+    }
+    let (report, ssink) = stream(input, words, 2, ChaosHooks::default());
+    if report.parse == stats
+        && report.lost_chunks == 0
+        && ssink.irefs == sink.irefs
+        && ssink.drefs == sink.drefs
+        && ssink.switches == sink.switches
+    {
+        Outcome::Absorbed
+    } else {
+        Outcome::Forbidden {
+            why: "batch and streaming parses of the corrupted words disagree".into(),
+        }
+    }
+}
+
+/// Classifies a corrupted store encoding: any typed error on decode
+/// or word extraction ⇒ detected; bit-identical words ⇒ harmless; a
+/// store that decodes cleanly to *different* words is a silent wrong
+/// answer ⇒ forbidden (the meta CRC and per-block CRCs exist exactly
+/// to make this branch unreachable).
+fn classify_store(input: &ChaosInput, bytes: &[u8]) -> Outcome {
+    let store = match TraceStore::decode_any(bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            return Outcome::Detected {
+                what: e.to_string(),
+            }
+        }
+    };
+    match store.words() {
+        Err(e) => Outcome::Detected {
+            what: e.to_string(),
+        },
+        Ok(words) if words == input.archive.words => Outcome::Harmless,
+        Ok(_) => Outcome::Forbidden {
+            why: "store decoded cleanly to different words".into(),
+        },
+    }
+}
+
+/// Distinct random values in `0..n` ( `count` clamped to `n`).
+fn pick_distinct(rng: &mut SplitMix64, n: u64, count: u64) -> HashSet<u64> {
+    let mut set = HashSet::new();
+    while (set.len() as u64) < count.min(n) {
+        set.insert(rng.below(n));
+    }
+    set
+}
+
+fn run_site(input: &ChaosInput, plan: FaultPlan) -> Outcome {
+    let mut rng = SplitMix64::new(plan.seed);
+    let intensity = plan.intensity.max(1);
+    match plan.site {
+        FaultSite::ParserBitFlip => {
+            let mut words = input.archive.words.clone();
+            flip_word_bits(&mut words, &mut rng, intensity);
+            classify_words(input, &words)
+        }
+        FaultSite::ParserTruncate => {
+            let mut words = input.archive.words.clone();
+            truncate_words(&mut words, &mut rng);
+            classify_words(input, &words)
+        }
+        FaultSite::StoreBlock
+        | FaultSite::StoreIndex
+        | FaultSite::StoreHeader
+        | FaultSite::StoreTrailer => {
+            let mut bytes = input.store_bytes.clone();
+            let r = store_regions(&bytes).expect("golden store is well-formed");
+            let region = match plan.site {
+                FaultSite::StoreBlock => r.blocks,
+                FaultSite::StoreIndex => r.index,
+                FaultSite::StoreHeader => r.header,
+                _ => r.trailer,
+            };
+            flip_byte_bits_in(&mut bytes, region, &mut rng, intensity);
+            classify_store(input, &bytes)
+        }
+        FaultSite::StoreShortRead => {
+            let mut bytes = input.store_bytes.clone();
+            short_read(&mut bytes, &mut rng);
+            classify_store(input, &bytes)
+        }
+        FaultSite::StreamStall => {
+            // Stall every k-th chunk at the parse boundary; by
+            // contract this may only cost throughput.
+            let workers = 1 + rng.below(4) as usize;
+            let every = 1 + u64::from(intensity);
+            let hooks = ChaosHooks::on_chunk(move |_, seq| {
+                if seq % every == 0 {
+                    ChunkFate::Stall(Duration::from_micros(200))
+                } else {
+                    ChunkFate::Deliver
+                }
+            });
+            let (report, sink) = stream(input, &input.archive.words, workers, hooks);
+            if report.lost_chunks == 0
+                && report.parse == input.baseline_stats
+                && input.sinks_equal(&sink)
+            {
+                Outcome::Harmless
+            } else {
+                Outcome::Forbidden {
+                    why: format!("stalls changed results (workers {workers})"),
+                }
+            }
+        }
+        FaultSite::StreamReorder => {
+            // Stall one of the two decode workers (workers = 4 is the
+            // only topology with parallel decoders) so chunks finish
+            // out of order; the parse stage's sequence reordering must
+            // make this invisible.
+            let hooks = ChaosHooks::on_chunk(move |site, seq| {
+                if site == StageSite::Decode && seq % 2 == 0 {
+                    ChunkFate::Stall(Duration::from_micros(300))
+                } else {
+                    ChunkFate::Deliver
+                }
+            });
+            let (report, sink) = stream(input, &input.archive.words, 4, hooks);
+            if report.lost_chunks == 0
+                && report.parse == input.baseline_stats
+                && input.sinks_equal(&sink)
+            {
+                Outcome::Harmless
+            } else {
+                Outcome::Forbidden {
+                    why: "reordering changed results".into(),
+                }
+            }
+        }
+        FaultSite::StreamDrop => {
+            // Drop chunks at the parse boundary; every drop must be
+            // counted in `lost_chunks`, never silently shorten the
+            // stream.
+            let workers = 1 + rng.below(4) as usize;
+            let dropped = pick_distinct(&mut rng, input.n_chunks(), u64::from(intensity));
+            let n_dropped = dropped.len() as u64;
+            let hooks = ChaosHooks::on_chunk(move |site, seq| {
+                if site == StageSite::Parse && dropped.contains(&seq) {
+                    ChunkFate::Drop
+                } else {
+                    ChunkFate::Deliver
+                }
+            });
+            let (report, _) = stream(input, &input.archive.words, workers, hooks);
+            if report.lost_chunks == n_dropped {
+                Outcome::Detected {
+                    what: format!("stream.chunks.lost = {n_dropped}"),
+                }
+            } else {
+                Outcome::Forbidden {
+                    why: format!(
+                        "dropped {n_dropped} chunks but lost_chunks = {} (workers {workers})",
+                        report.lost_chunks
+                    ),
+                }
+            }
+        }
+        FaultSite::FarmStall | FaultSite::FarmDrop => {
+            let store = TraceStore::decode_any(&input.store_bytes).expect("golden store decodes");
+            let shared_parse = rng.chance(1, 2);
+            let cfg = FarmCfg {
+                workers: 2,
+                shared_parse,
+                batch_events: 512,
+                ..FarmCfg::default()
+            };
+            let hooks = if plan.site == FaultSite::FarmStall {
+                let every = 1 + u64::from(intensity);
+                FarmHooks::on_item(move |worker, seq| {
+                    if worker == 0 && seq % every == 0 {
+                        ChunkFate::Stall(Duration::from_micros(200))
+                    } else {
+                        ChunkFate::Deliver
+                    }
+                })
+            } else {
+                // Drop one early item on one worker; item sequences
+                // are blocks (per-worker mode) or batches (shared
+                // mode), and both streams have more than four items
+                // for the golden input.
+                let worker = rng.below(2) as usize;
+                let seq = rng.below(4);
+                FarmHooks::on_item(move |w, s| {
+                    if w == worker && s == seq {
+                        ChunkFate::Drop
+                    } else {
+                        ChunkFate::Deliver
+                    }
+                })
+            };
+            let sinks = vec![CollectSink::default(); 2];
+            match (plan.site, replay_with_hooks(&store, sinks, cfg, hooks)) {
+                (FaultSite::FarmStall, Ok((report, sinks))) => {
+                    if report.stats == input.baseline_stats
+                        && sinks.iter().all(|s| input.sinks_equal(s))
+                    {
+                        Outcome::Harmless
+                    } else {
+                        Outcome::Forbidden {
+                            why: format!("farm stalls changed results (shared {shared_parse})"),
+                        }
+                    }
+                }
+                (FaultSite::FarmStall, Err(e)) => Outcome::Forbidden {
+                    why: format!("farm stalls raised an error: {e}"),
+                },
+                (_, Err(e @ wrl_store::StoreError::FarmDesync { .. })) => Outcome::Detected {
+                    what: e.to_string(),
+                },
+                (_, Err(e)) => Outcome::Forbidden {
+                    why: format!("farm drop raised the wrong error: {e}"),
+                },
+                (_, Ok(_)) => Outcome::Forbidden {
+                    why: "farm drop went unnoticed".into(),
+                },
+            }
+        }
+    }
+}
+
+/// Runs one plan against the input, converting any panic on the
+/// injection path into [`Outcome::Forbidden`] (worker-thread panics
+/// propagate through the joins inside, so they are caught here too).
+pub fn run_plan(input: &ChaosInput, plan: FaultPlan) -> Outcome {
+    match catch_unwind(AssertUnwindSafe(|| run_site(input, plan))) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            let why = e
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| e.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic".into());
+            Outcome::Forbidden {
+                why: format!("panic: {why}"),
+            }
+        }
+    }
+}
+
+/// One finished campaign: every plan with its outcome, in order.
+pub struct CampaignReport {
+    /// Plans and their outcomes.
+    pub results: Vec<(FaultPlan, Outcome)>,
+}
+
+impl CampaignReport {
+    /// Totals as (detected, harmless, absorbed, forbidden).
+    pub fn totals(&self) -> (u64, u64, u64, u64) {
+        let mut t = (0, 0, 0, 0);
+        for (_, o) in &self.results {
+            match o {
+                Outcome::Detected { .. } => t.0 += 1,
+                Outcome::Harmless => t.1 += 1,
+                Outcome::Absorbed => t.2 += 1,
+                Outcome::Forbidden { .. } => t.3 += 1,
+            }
+        }
+        t
+    }
+
+    /// The forbidden outcomes (plan + reason) — must be empty.
+    pub fn forbidden(&self) -> Vec<(FaultPlan, String)> {
+        self.results
+            .iter()
+            .filter_map(|(p, o)| match o {
+                Outcome::Forbidden { why } => Some((*p, why.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Layers with at least one *detected* fault.
+    pub fn detected_layers(&self) -> HashSet<Layer> {
+        self.results
+            .iter()
+            .filter(|(_, o)| matches!(o, Outcome::Detected { .. }))
+            .map(|(p, _)| p.site.layer())
+            .collect()
+    }
+
+    /// A per-site outcome table (markdown), for logs and artifacts.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "| site | plans | detected | harmless | absorbed | forbidden |\n\
+             |---|---|---|---|---|---|\n",
+        );
+        for site in crate::plan::ALL_SITES {
+            let mut row = [0u64; 4];
+            let mut n = 0u64;
+            for (_, o) in self.results.iter().filter(|(p, _)| p.site == site) {
+                n += 1;
+                match o {
+                    Outcome::Detected { .. } => row[0] += 1,
+                    Outcome::Harmless => row[1] += 1,
+                    Outcome::Absorbed => row[2] += 1,
+                    Outcome::Forbidden { .. } => row[3] += 1,
+                }
+            }
+            out.push_str(&format!(
+                "| {site} | {n} | {} | {} | {} | {} |\n",
+                row[0], row[1], row[2], row[3]
+            ));
+        }
+        let (d, h, a, f) = self.totals();
+        out.push_str(&format!(
+            "| **total** | {} | {d} | {h} | {a} | {f} |\n",
+            self.results.len()
+        ));
+        out
+    }
+}
+
+/// Runs every plan, tallying outcomes into the `fault.*` metric
+/// family as it goes.
+pub fn run_campaign(input: &ChaosInput, plans: &[FaultPlan]) -> CampaignReport {
+    let obs = crate::obs::FaultObs::register();
+    let results = plans
+        .iter()
+        .map(|&plan| {
+            let outcome = run_plan(input, plan);
+            obs.tally(&outcome);
+            (plan, outcome)
+        })
+        .collect();
+    CampaignReport { results }
+}

@@ -1,0 +1,161 @@
+//! The injectors: seeded corruption primitives for each stack layer.
+//!
+//! Each injector is a pure function of `(input, rng, intensity)` so a
+//! [`crate::FaultPlan`] replays the identical corruption everywhere.
+//! Word and byte flips attack content; truncation models short reads;
+//! [`store_regions`] maps an encoded store's byte ranges so a plan can
+//! aim at exactly one structural region (header+tables, block area,
+//! footer index, or trailer) and the campaign can assert per-region
+//! detection guarantees.
+
+use crate::SplitMix64;
+use wrl_store::TRAILER_BYTES;
+use wrl_trace::archive::decode_table_section;
+
+/// Flips `n` random single bits across `words` (no-op on an empty
+/// slice). The same `(rng state, n)` always flips the same bits.
+pub fn flip_word_bits(words: &mut [u32], rng: &mut SplitMix64, n: u32) {
+    if words.is_empty() {
+        return;
+    }
+    for _ in 0..n {
+        let i = rng.below(words.len() as u64) as usize;
+        let bit = rng.below(32) as u32;
+        words[i] ^= 1 << bit;
+    }
+}
+
+/// Flips `n` random single bits within `bytes[range]` (no-op on an
+/// empty range).
+pub fn flip_byte_bits_in(
+    bytes: &mut [u8],
+    range: core::ops::Range<usize>,
+    rng: &mut SplitMix64,
+    n: u32,
+) {
+    if range.is_empty() {
+        return;
+    }
+    for _ in 0..n {
+        let i = range.start + rng.below(range.len() as u64) as usize;
+        let bit = rng.below(8) as u32;
+        bytes[i] ^= 1 << bit;
+    }
+}
+
+/// Truncates `words` at a random point strictly inside the slice —
+/// the short-read model for the raw word stream.
+pub fn truncate_words(words: &mut Vec<u32>, rng: &mut SplitMix64) {
+    if words.is_empty() {
+        return;
+    }
+    let keep = rng.below(words.len() as u64) as usize;
+    words.truncate(keep);
+}
+
+/// Truncates `bytes` at a random point strictly inside the buffer —
+/// the short-read model for an encoded store.
+pub fn short_read(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let keep = rng.below(bytes.len() as u64) as usize;
+    bytes.truncate(keep);
+}
+
+/// The structural byte ranges of an encoded v2 store, located the way
+/// a real reader does: table section from the front, index position
+/// from the fixed trailer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreRegions {
+    /// Magic, version, block size, table section and word count — the
+    /// decoding metadata ahead of the blocks.
+    pub header: core::ops::Range<usize>,
+    /// The concatenated compressed blocks.
+    pub blocks: core::ops::Range<usize>,
+    /// The footer index entries.
+    pub index: core::ops::Range<usize>,
+    /// The fixed trailer (n_blocks, index_pos, meta CRC, tail magic).
+    pub trailer: core::ops::Range<usize>,
+}
+
+/// Maps the regions of an encoded v2 store. Returns `None` when the
+/// buffer isn't a well-formed v2 container (the injectors only target
+/// stores they themselves encoded, so this never fires in a campaign).
+pub fn store_regions(bytes: &[u8]) -> Option<StoreRegions> {
+    if bytes.len() < 16 + TRAILER_BYTES {
+        return None;
+    }
+    let (_, _, used) = decode_table_section(&bytes[16..]).ok()?;
+    let blocks_at = 16 + used + 8;
+    let tail_at = bytes.len() - TRAILER_BYTES;
+    let index_pos =
+        u64::from_le_bytes(bytes.get(tail_at + 4..tail_at + 12)?.try_into().ok()?) as usize;
+    if blocks_at > index_pos || index_pos > tail_at {
+        return None;
+    }
+    Some(StoreRegions {
+        header: 0..blocks_at,
+        blocks: blocks_at..index_pos,
+        index: index_pos..tail_at,
+        trailer: tail_at..bytes.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrl_store::{TraceStore, INDEX_ENTRY_BYTES};
+    use wrl_trace::TraceArchive;
+
+    fn encoded_store() -> Vec<u8> {
+        let a = TraceArchive {
+            words: (0..500).map(|i| 0x8000_0000 + i * 4).collect(),
+            ..TraceArchive::default()
+        };
+        TraceStore::from_archive(&a, 64).encode()
+    }
+
+    #[test]
+    fn regions_tile_the_store_exactly() {
+        let bytes = encoded_store();
+        let r = store_regions(&bytes).unwrap();
+        assert_eq!(r.header.start, 0);
+        assert_eq!(r.header.end, r.blocks.start);
+        assert_eq!(r.blocks.end, r.index.start);
+        assert_eq!(r.index.end, r.trailer.start);
+        assert_eq!(r.trailer.end, bytes.len());
+        assert_eq!(r.trailer.len(), TRAILER_BYTES);
+        assert_eq!(r.index.len() % INDEX_ENTRY_BYTES, 0);
+        assert!(!r.blocks.is_empty());
+    }
+
+    #[test]
+    fn injectors_replay_identically_per_seed() {
+        let mut a = vec![0u32; 100];
+        let mut b = vec![0u32; 100];
+        flip_word_bits(&mut a, &mut SplitMix64::new(9), 5);
+        flip_word_bits(&mut b, &mut SplitMix64::new(9), 5);
+        assert_eq!(a, b);
+        assert_ne!(a, vec![0u32; 100], "five flips must change something");
+
+        let mut x = vec![0u8; 64];
+        let mut y = vec![0u8; 64];
+        flip_byte_bits_in(&mut x, 10..20, &mut SplitMix64::new(3), 4);
+        flip_byte_bits_in(&mut y, 10..20, &mut SplitMix64::new(3), 4);
+        assert_eq!(x, y);
+        assert!(x[..10].iter().all(|&v| v == 0), "flips stay in range");
+        assert!(x[20..].iter().all(|&v| v == 0), "flips stay in range");
+    }
+
+    #[test]
+    fn truncation_always_shortens() {
+        let mut w: Vec<u32> = (0..50).collect();
+        truncate_words(&mut w, &mut SplitMix64::new(1));
+        assert!(w.len() < 50);
+        let mut b = encoded_store();
+        let before = b.len();
+        short_read(&mut b, &mut SplitMix64::new(1));
+        assert!(b.len() < before);
+    }
+}

@@ -1,0 +1,245 @@
+//! Fault plans: the replayable one-line spec of one injected fault.
+//!
+//! A campaign is nothing but a list of [`FaultPlan`]s, and a plan is
+//! three values — *where* ([`FaultSite`]), *how hard* (intensity) and
+//! *which exact bits* (seed). `Display`/`FromStr` round-trip the
+//! whole plan through a `site:seed:intensity` string, so any campaign
+//! failure is reproducible from the one line a CI log prints.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// The stack layer a fault site belongs to — the campaign asserts at
+/// least one *detected* corruption per layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// The `wrl-trace` parser and its raw word stream.
+    Parser,
+    /// The `wrl-store` container bytes.
+    Store,
+    /// The streaming pipeline and replay farm channels.
+    Farm,
+}
+
+/// Where in the stack one fault is injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Flip random bits in raw trace words before the parser.
+    ParserBitFlip,
+    /// Truncate the word stream at a random point before the parser.
+    ParserTruncate,
+    /// Flip random bits in the store's compressed block area.
+    StoreBlock,
+    /// Flip random bits in the store's footer index.
+    StoreIndex,
+    /// Flip random bits in the store's header + table section.
+    StoreHeader,
+    /// Flip random bits in the store's fixed trailer.
+    StoreTrailer,
+    /// Truncate the encoded store (a short read).
+    StoreShortRead,
+    /// Stall pipeline chunks at stage boundaries (harmless by
+    /// contract: stalls may only cost throughput).
+    StreamStall,
+    /// Drop pipeline chunks (must be detected as lost chunks).
+    StreamDrop,
+    /// Stall one of two decode workers so chunks finish out of order
+    /// (harmless by contract: the parse stage reorders by sequence).
+    StreamReorder,
+    /// Stall farm workers (harmless by contract).
+    FarmStall,
+    /// Drop farm items on one worker (must be detected as a desync).
+    FarmDrop,
+}
+
+/// Every site, in campaign round-robin order.
+pub const ALL_SITES: [FaultSite; 12] = [
+    FaultSite::ParserBitFlip,
+    FaultSite::ParserTruncate,
+    FaultSite::StoreBlock,
+    FaultSite::StoreIndex,
+    FaultSite::StoreHeader,
+    FaultSite::StoreTrailer,
+    FaultSite::StoreShortRead,
+    FaultSite::StreamStall,
+    FaultSite::StreamDrop,
+    FaultSite::StreamReorder,
+    FaultSite::FarmStall,
+    FaultSite::FarmDrop,
+];
+
+impl FaultSite {
+    /// The stable spec name (`Display`/`FromStr` use it).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::ParserBitFlip => "parser.bitflip",
+            FaultSite::ParserTruncate => "parser.truncate",
+            FaultSite::StoreBlock => "store.block",
+            FaultSite::StoreIndex => "store.index",
+            FaultSite::StoreHeader => "store.header",
+            FaultSite::StoreTrailer => "store.trailer",
+            FaultSite::StoreShortRead => "store.shortread",
+            FaultSite::StreamStall => "stream.stall",
+            FaultSite::StreamDrop => "stream.drop",
+            FaultSite::StreamReorder => "stream.reorder",
+            FaultSite::FarmStall => "farm.stall",
+            FaultSite::FarmDrop => "farm.drop",
+        }
+    }
+
+    /// Parses a spec name back to a site.
+    pub fn parse(s: &str) -> Option<FaultSite> {
+        ALL_SITES.into_iter().find(|site| site.name() == s)
+    }
+
+    /// The layer this site attacks.
+    pub fn layer(self) -> Layer {
+        match self {
+            FaultSite::ParserBitFlip | FaultSite::ParserTruncate => Layer::Parser,
+            FaultSite::StoreBlock
+            | FaultSite::StoreIndex
+            | FaultSite::StoreHeader
+            | FaultSite::StoreTrailer
+            | FaultSite::StoreShortRead => Layer::Store,
+            FaultSite::StreamStall
+            | FaultSite::StreamDrop
+            | FaultSite::StreamReorder
+            | FaultSite::FarmStall
+            | FaultSite::FarmDrop => Layer::Farm,
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One replayable fault: a site, a seed selecting the exact bits or
+/// chunks attacked, and an intensity scaling how many.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Seed for the injection's [`crate::SplitMix64`].
+    pub seed: u64,
+    /// Where the fault strikes.
+    pub site: FaultSite,
+    /// How many corruptions (bit flips, dropped items, stall events)
+    /// the injector aims for; clamped to ≥ 1.
+    pub intensity: u32,
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:#x}:{}", self.site, self.seed, self.intensity)
+    }
+}
+
+/// A plan spec that failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BadPlanSpec(pub String);
+
+impl fmt::Display for BadPlanSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad fault-plan spec {:?} (want site:seed:intensity)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for BadPlanSpec {}
+
+impl FromStr for FaultPlan {
+    type Err = BadPlanSpec;
+
+    /// Parses `site:seed:intensity`; the seed accepts decimal or
+    /// `0x`-prefixed hex (the `Display` form).
+    fn from_str(s: &str) -> Result<FaultPlan, BadPlanSpec> {
+        let bad = || BadPlanSpec(s.to_string());
+        let mut it = s.split(':');
+        let site = FaultSite::parse(it.next().ok_or_else(bad)?).ok_or_else(bad)?;
+        let seed_s = it.next().ok_or_else(bad)?;
+        let seed = match seed_s.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => seed_s.parse(),
+        }
+        .map_err(|_| bad())?;
+        let intensity = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        if it.next().is_some() {
+            return Err(bad());
+        }
+        Ok(FaultPlan {
+            seed,
+            site,
+            intensity,
+        })
+    }
+}
+
+/// A deterministic campaign: `n` plans cycling round-robin through
+/// every site, with per-plan seeds and intensities drawn from
+/// `base_seed`. Campaign (base_seed, n) is the whole spec — the same
+/// pair replays the same faults anywhere.
+pub fn campaign(base_seed: u64, n: usize) -> Vec<FaultPlan> {
+    let mut rng = crate::SplitMix64::new(base_seed);
+    (0..n)
+        .map(|i| FaultPlan {
+            seed: rng.next_u64(),
+            site: ALL_SITES[i % ALL_SITES.len()],
+            intensity: 1 + rng.below(8) as u32,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_for_every_site() {
+        for site in ALL_SITES {
+            let plan = FaultPlan {
+                seed: 0xdead_beef_cafe_f00d,
+                site,
+                intensity: 5,
+            };
+            let spec = plan.to_string();
+            assert_eq!(spec.parse::<FaultPlan>().unwrap(), plan, "{spec}");
+        }
+    }
+
+    #[test]
+    fn decimal_seeds_parse_too() {
+        let p: FaultPlan = "store.block:12345:2".parse().unwrap();
+        assert_eq!(p.seed, 12345);
+        assert_eq!(p.site, FaultSite::StoreBlock);
+    }
+
+    #[test]
+    fn junk_specs_are_rejected() {
+        for bad in [
+            "",
+            "store.block",
+            "store.block:5",
+            "nowhere:1:1",
+            "store.block:xyz:1",
+            "store.block:1:1:extra",
+        ] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_and_cover_all_sites() {
+        let a = campaign(1, 240);
+        assert_eq!(a, campaign(1, 240));
+        assert_ne!(a, campaign(2, 240));
+        for site in ALL_SITES {
+            let hits = a.iter().filter(|p| p.site == site).count();
+            assert_eq!(hits, 240 / ALL_SITES.len(), "{site}");
+        }
+        assert!(a.iter().all(|p| p.intensity >= 1 && p.intensity <= 8));
+    }
+}

@@ -168,7 +168,10 @@ pub fn compress_block(words: &[u32]) -> Vec<u8> {
 /// the block's word count from the store index; the byte stream must
 /// decode to exactly that many words with no bytes left over.
 pub fn decompress_block(bytes: &[u8], n_words: usize) -> Result<Vec<u32>, CodecError> {
-    let mut words = Vec::with_capacity(n_words);
+    // Every word costs at least one token byte, so a count exceeding
+    // the byte length is certainly junk — cap the preallocation by it
+    // rather than trusting an attacker-controlled count.
+    let mut words = Vec::with_capacity(n_words.min(bytes.len()));
     let mut m = Model::new();
     let mut at = 0usize;
     for _ in 0..n_words {
@@ -190,22 +193,64 @@ pub fn decompress_block(bytes: &[u8], n_words: usize) -> Result<Vec<u32>, CodecE
     Ok(words)
 }
 
-/// CRC-32 (IEEE 802.3, reflected) over a little-endian byte view of
-/// the words — the end-to-end integrity check of the §4.3 defensive
-/// discipline, extended to storage: it runs over the *decoded* words,
-/// so it catches codec bugs and at-rest corruption alike.
-pub fn crc32_words(words: &[u32]) -> u32 {
-    let mut crc = !0u32;
-    for &w in words {
-        for b in w.to_le_bytes() {
+/// Incremental CRC-32 (IEEE 802.3, reflected). Feed byte slices with
+/// [`Crc32::update`]; discontiguous regions hash as if concatenated,
+/// which is how the container checksums its metadata around the block
+/// area.
+#[derive(Clone, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh CRC state.
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `bytes` into the running CRC.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Crc32 {
+        let mut crc = self.state;
+        for &b in bytes {
             crc ^= u32::from(b);
             for _ in 0..8 {
                 let mask = (crc & 1).wrapping_neg();
                 crc = (crc >> 1) ^ (0xedb8_8320 & mask);
             }
         }
+        self.state = crc;
+        self
     }
-    !crc
+
+    /// The CRC of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+/// CRC-32 over a byte slice (one-shot form of [`Crc32`]).
+pub fn crc32_bytes(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over a little-endian byte view of
+/// the words — the end-to-end integrity check of the §4.3 defensive
+/// discipline, extended to storage: it runs over the *decoded* words,
+/// so it catches codec bugs and at-rest corruption alike.
+pub fn crc32_words(words: &[u32]) -> u32 {
+    let mut c = Crc32::new();
+    for &w in words {
+        c.update(&w.to_le_bytes());
+    }
+    c.finish()
 }
 
 #[cfg(test)]
@@ -292,5 +337,26 @@ mod tests {
         let w = u32::from_le_bytes(*b"abcd");
         assert_eq!(crc32_words(&[w]), 0xed82_cd11);
         assert_eq!(crc32_words(&[]), 0);
+        assert_eq!(crc32_bytes(b"abcd"), 0xed82_cd11);
+    }
+
+    #[test]
+    fn incremental_crc_equals_one_shot_over_concatenation() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in [0, 1, 7, data.len()] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]).update(&data[split..]);
+            assert_eq!(c.finish(), crc32_bytes(data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn oversized_word_count_errors_without_allocating() {
+        // A count far beyond the byte length must fail cleanly (and
+        // the preallocation is capped by the input size).
+        assert!(matches!(
+            decompress_block(&[0u8; 8], usize::MAX),
+            Err(CodecError::Truncated)
+        ));
     }
 }

@@ -14,7 +14,7 @@
 //! compressed blocks, concatenated
 //! index: { u64 offset, u32 comp_len, u32 words, u32 crc32,
 //!          u8 first_asid, u8 last_asid }  × n_blocks
-//! u32 n_blocks, u64 index_pos, "W3KSIDX\0" tail magic
+//! u32 n_blocks, u64 index_pos, u32 meta_crc, "W3KSIDX\0" tail magic
 //! ```
 //!
 //! The trailer is fixed-size and at the very end, so a reader seeks
@@ -23,12 +23,17 @@
 //! block's CRC-32 over its *decoded* words (end-to-end: catches codec
 //! bugs and at-rest corruption alike) and the ASID context at the
 //! block's first and last word, maintained by scanning context-switch
-//! control words at write time.
+//! control words at write time. `meta_crc` is a CRC-32 over every
+//! byte *outside* the block area — header, tables, word count, index
+//! and the trailer's first two fields — so corruption of the decoding
+//! metadata is as detectable as corruption of the blocks themselves
+//! (a flipped table byte would otherwise decode to silently wrong
+//! events, the one outcome the §4.3 discipline forbids).
 
 use std::io;
 use std::sync::Arc;
 
-use crate::codec::{compress_block, crc32_words, decompress_block, CodecError};
+use crate::codec::{compress_block, crc32_words, decompress_block, CodecError, Crc32};
 use wrl_trace::archive::{decode_table_section, encode_table_section, MAGIC};
 use wrl_trace::format::{classify, CtlOp, TraceWord};
 use wrl_trace::{ArchiveError, BbTable, TraceArchive, TraceParser};
@@ -41,8 +46,11 @@ pub const TAIL_MAGIC: &[u8; 8] = b"W3KSIDX\0";
 /// model warm-up while keeping parallel decode granular.
 pub const DEFAULT_BLOCK_WORDS: usize = 4096;
 
-const INDEX_ENTRY_BYTES: usize = 8 + 4 + 4 + 4 + 1 + 1;
-const TRAILER_BYTES: usize = 4 + 8 + 8;
+/// Encoded size of one footer index entry.
+pub const INDEX_ENTRY_BYTES: usize = 8 + 4 + 4 + 4 + 1 + 1;
+/// Encoded size of the fixed trailer: n_blocks, index_pos, meta_crc,
+/// tail magic.
+pub const TRAILER_BYTES: usize = 4 + 8 + 4 + 8;
 
 /// Errors while reading or verifying a store.
 #[derive(Debug)]
@@ -70,6 +78,26 @@ pub enum StoreError {
         want: u32,
         /// CRC of the decoded words.
         got: u32,
+    },
+    /// The container metadata (header, tables, index, trailer) hashes
+    /// to the wrong CRC — the decoding tables or index cannot be
+    /// trusted, even though the framing parsed.
+    MetaCrcMismatch {
+        /// CRC recorded in the trailer.
+        want: u32,
+        /// CRC of the metadata bytes as read.
+        got: u32,
+    },
+    /// A farm replay worker fell out of step with the feeder: it
+    /// applied a different number of event batches (or decoded
+    /// blocks) than were produced, so its sinks cannot be trusted.
+    FarmDesync {
+        /// Index of the desynchronised worker.
+        worker: usize,
+        /// Items the worker actually applied.
+        applied: u64,
+        /// Items the worker was expected to apply.
+        expected: u64,
     },
 }
 
@@ -99,6 +127,22 @@ impl core::fmt::Display for StoreError {
                 write!(
                     f,
                     "block {block}: CRC mismatch (index {want:#010x}, decoded {got:#010x})"
+                )
+            }
+            StoreError::MetaCrcMismatch { want, got } => {
+                write!(
+                    f,
+                    "metadata CRC mismatch (trailer {want:#010x}, computed {got:#010x})"
+                )
+            }
+            StoreError::FarmDesync {
+                worker,
+                applied,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "farm worker {worker} applied {applied} of {expected} items"
                 )
             }
         }
@@ -225,7 +269,10 @@ impl TraceStore {
     /// independently; this is the farm workers' entry point and is
     /// safe to call from many threads at once.
     pub fn decode_block(&self, i: usize) -> Result<Vec<u32>, StoreError> {
-        let m = self.index[i];
+        let m = *self
+            .index
+            .get(i)
+            .ok_or(StoreError::Malformed("block index out of range"))?;
         let bytes = self
             .blocks
             .get(m.offset as usize..(m.offset + u64::from(m.comp_len)) as usize)
@@ -245,7 +292,9 @@ impl TraceStore {
 
     /// Decompresses the whole word stream (verifying every CRC).
     pub fn words(&self) -> Result<Vec<u32>, StoreError> {
-        let mut out = Vec::with_capacity(self.n_words as usize);
+        // Valid blocks carry at most one word per compressed byte, so
+        // the block area bounds the preallocation for any input.
+        let mut out = Vec::with_capacity((self.n_words as usize).min(self.blocks.len()));
         for i in 0..self.n_blocks() {
             out.extend_from_slice(&self.decode_block(i)?);
         }
@@ -278,6 +327,7 @@ impl TraceStore {
         put_u32(&mut out, self.block_words);
         encode_table_section(&mut out, &self.kernel_table, &self.user_tables);
         put_u64(&mut out, self.n_words);
+        let blocks_at = out.len();
         out.extend_from_slice(&self.blocks);
         let index_pos = out.len() as u64;
         for m in &self.index {
@@ -290,6 +340,13 @@ impl TraceStore {
         }
         put_u32(&mut out, self.index.len() as u32);
         put_u64(&mut out, index_pos);
+        // Metadata CRC: everything except the block area (whose
+        // integrity the per-block CRCs already carry), up to and
+        // including the trailer's n_blocks and index_pos fields.
+        let mut crc = Crc32::new();
+        crc.update(&out[..blocks_at])
+            .update(&out[index_pos as usize..]);
+        put_u32(&mut out, crc.finish());
         out.extend_from_slice(TAIL_MAGIC);
         out
     }
@@ -329,6 +386,21 @@ impl TraceStore {
         {
             return Err(StoreError::Malformed("index bounds disagree with trailer"));
         }
+        // Verify the metadata CRC before trusting the index or the
+        // already-decoded tables: the per-block CRCs cover only the
+        // block area, so without this a metadata flip could decode to
+        // silently wrong events.
+        let meta_crc = get_u32(buf, tail_at + 12)?;
+        let mut crc = Crc32::new();
+        crc.update(&buf[..blocks_at])
+            .update(&buf[index_pos..tail_at + 12]);
+        let got = crc.finish();
+        if got != meta_crc {
+            return Err(StoreError::MetaCrcMismatch {
+                want: meta_crc,
+                got,
+            });
+        }
         let blocks_len = (index_pos - blocks_at) as u64;
         let mut index = Vec::with_capacity(n_blocks);
         let mut at = index_pos;
@@ -342,8 +414,18 @@ impl TraceStore {
                 first_asid: buf[at + 20],
                 last_asid: buf[at + 21],
             };
-            if m.offset + u64::from(m.comp_len) > blocks_len {
-                return Err(StoreError::Malformed("block range outside block area"));
+            match m.offset.checked_add(u64::from(m.comp_len)) {
+                Some(end) if end <= blocks_len => {}
+                _ => return Err(StoreError::Malformed("block range outside block area")),
+            }
+            // Every word costs at least one compressed byte, so a
+            // word count beyond the compressed length is junk — and
+            // bounding it here bounds every decode allocation by the
+            // file size.
+            if m.words > m.comp_len {
+                return Err(StoreError::Malformed(
+                    "block word count exceeds compressed bytes",
+                ));
             }
             total_words += u64::from(m.words);
             index.push(m);
@@ -471,6 +553,47 @@ mod tests {
         assert!(matches!(
             err,
             StoreError::CrcMismatch { .. } | StoreError::BlockCodec { .. }
+        ));
+    }
+
+    #[test]
+    fn metadata_corruption_is_detected_by_the_meta_crc() {
+        let a = sample_archive(1000);
+        let store = TraceStore::from_archive(&a, 64);
+        let bytes = store.encode();
+        let tail_at = bytes.len() - TRAILER_BYTES;
+        let index_pos =
+            u64::from_le_bytes(bytes[tail_at + 4..tail_at + 12].try_into().unwrap()) as usize;
+        // A flip anywhere outside the block area — table section,
+        // word-count header, index entries — must surface as a typed
+        // error, never as silently different decode results.
+        for at in [
+            16,
+            index_pos - 1 - store.compressed_bytes() as usize,
+            index_pos + 3,
+        ] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x10;
+            let err = TraceStore::decode(&bad).expect_err("metadata flip must be caught");
+            assert!(
+                matches!(
+                    err,
+                    StoreError::MetaCrcMismatch { .. }
+                        | StoreError::Malformed(_)
+                        | StoreError::Archive(_)
+                ),
+                "offset {at}: wrong error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_block_index_is_a_typed_error() {
+        let a = sample_archive(100);
+        let store = TraceStore::from_archive(&a, 64);
+        assert!(matches!(
+            store.decode_block(store.n_blocks()),
+            Err(StoreError::Malformed(_))
         ));
     }
 

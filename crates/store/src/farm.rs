@@ -39,9 +39,47 @@ use std::sync::Arc;
 use std::thread;
 
 use wrl_isa::Width;
-use wrl_trace::{ParseStats, RefEvent, Space, TraceSink};
+use wrl_trace::{ChunkFate, ParseStats, RefEvent, Space, TraceSink};
 
 use crate::container::{StoreError, TraceStore};
+
+/// Deterministic perturbation hooks for chaos-testing the farm (see
+/// the `wrl-fault` crate). The callback is consulted by each worker
+/// once per delivered item — an event batch in shared-parse mode, a
+/// decoded block in per-worker mode. A [`ChunkFate::Stall`] may only
+/// cost throughput; a [`ChunkFate::Drop`] desynchronises the worker
+/// and must surface as [`StoreError::FarmDesync`], never as silently
+/// different sink state.
+#[derive(Clone, Default)]
+pub struct FarmHooks {
+    item: Option<Arc<dyn Fn(usize, u64) -> ChunkFate + Send + Sync>>,
+}
+
+impl FarmHooks {
+    /// Hooks that consult `f` with (worker index, item sequence
+    /// number) for every item a worker is about to apply.
+    pub fn on_item(f: impl Fn(usize, u64) -> ChunkFate + Send + Sync + 'static) -> FarmHooks {
+        FarmHooks {
+            item: Some(Arc::new(f)),
+        }
+    }
+
+    /// Resolves one item's fate, sleeping out any stall here. Returns
+    /// `false` if the item is to be dropped.
+    fn deliver(&self, worker: usize, seq: u64) -> bool {
+        match &self.item {
+            None => true,
+            Some(f) => match f(worker, seq) {
+                ChunkFate::Deliver => true,
+                ChunkFate::Stall(d) => {
+                    std::thread::sleep(d);
+                    true
+                }
+                ChunkFate::Drop => false,
+            },
+        }
+    }
+}
 
 /// Farm shape parameters.
 #[derive(Clone, Copy, Debug)]
@@ -195,6 +233,18 @@ pub fn replay<S: TraceSink + Send>(
     sinks: Vec<S>,
     cfg: FarmCfg,
 ) -> Result<(FarmReport, Vec<S>), StoreError> {
+    replay_with_hooks(store, sinks, cfg, FarmHooks::default())
+}
+
+/// Like [`replay`], with fault-injection hooks consulted by every
+/// worker per applied item. Used by the `wrl-fault` chaos campaign;
+/// production callers use `replay` (equivalent to default hooks).
+pub fn replay_with_hooks<S: TraceSink + Send>(
+    store: &TraceStore,
+    sinks: Vec<S>,
+    cfg: FarmCfg,
+    hooks: FarmHooks,
+) -> Result<(FarmReport, Vec<S>), StoreError> {
     let n_sinks = sinks.len();
     let workers = cfg.workers.clamp(1, n_sinks.max(1));
     // Deal sinks round-robin, remembering original positions so the
@@ -205,9 +255,9 @@ pub fn replay<S: TraceSink + Send>(
     }
 
     let (report, shares) = if cfg.shared_parse {
-        replay_shared(store, shares, cfg)?
+        replay_shared(store, shares, cfg, hooks)?
     } else {
-        replay_per_worker(store, shares)?
+        replay_per_worker(store, shares, hooks)?
     };
 
     let mut out: Vec<Option<S>> = (0..n_sinks).map(|_| None).collect();
@@ -234,22 +284,29 @@ fn replay_shared<S: TraceSink + Send>(
     store: &TraceStore,
     shares: Shares<S>,
     cfg: FarmCfg,
+    hooks: FarmHooks,
 ) -> Result<(FarmReport, Shares<S>), StoreError> {
     thread::scope(|scope| {
         let mut txs = Vec::with_capacity(shares.len());
         let mut handles = Vec::with_capacity(shares.len());
-        for mut share in shares {
+        for (w, mut share) in shares.into_iter().enumerate() {
             let (tx, rx) = sync_channel::<Arc<Vec<RefEvent>>>(cfg.depth.max(1));
             txs.push(tx);
+            let hooks = hooks.clone();
             handles.push(scope.spawn(move || {
-                for batch in rx {
+                let mut applied = 0u64;
+                for (seq, batch) in rx.into_iter().enumerate() {
+                    if !hooks.deliver(w, seq as u64) {
+                        continue;
+                    }
+                    applied += 1;
                     for (_, sink) in share.iter_mut() {
                         for &ev in batch.iter() {
                             ev.apply(sink);
                         }
                     }
                 }
-                share
+                (share, applied)
             }));
         }
 
@@ -274,10 +331,20 @@ fn replay_shared<S: TraceSink + Send>(
         feed.flush();
         let batches = feed.batches;
         drop(feed); // close the channels so workers drain and exit
-        let shares: Shares<S> = handles
-            .into_iter()
-            .map(|h| h.join().expect("farm worker panicked"))
-            .collect();
+        let mut shares: Shares<S> = Vec::with_capacity(handles.len());
+        for (w, h) in handles.into_iter().enumerate() {
+            let (share, applied) = h.join().expect("farm worker panicked");
+            // Every worker must have applied every broadcast batch; a
+            // shortfall means its sinks silently missed events.
+            if failed.is_none() && applied != batches {
+                failed = Some(StoreError::FarmDesync {
+                    worker: w,
+                    applied,
+                    expected: batches,
+                });
+            }
+            shares.push(share);
+        }
         match failed {
             Some(e) => Err(e),
             None => Ok((
@@ -298,20 +365,37 @@ fn replay_shared<S: TraceSink + Send>(
 fn replay_per_worker<S: TraceSink + Send>(
     store: &TraceStore,
     shares: Shares<S>,
+    hooks: FarmHooks,
 ) -> Result<(FarmReport, Shares<S>), StoreError> {
     thread::scope(|scope| {
         let handles: Vec<_> = shares
             .into_iter()
-            .map(|mut share| {
+            .enumerate()
+            .map(|(w, mut share)| {
+                let hooks = hooks.clone();
                 scope.spawn(move || {
                     let mut parser = store.parser();
+                    let mut skipped = 0u64;
                     {
                         let mut fan = FanOut(&mut share);
                         for i in 0..store.n_blocks() {
+                            if !hooks.deliver(w, i as u64) {
+                                skipped += 1;
+                                continue;
+                            }
                             let words = store.decode_block(i)?;
                             parser.push_words(&words, &mut fan);
                         }
                         parser.finish(&mut fan);
+                    }
+                    // A skipped block means this worker's sinks saw a
+                    // gapped stream — their state cannot be trusted.
+                    if skipped > 0 {
+                        return Err(StoreError::FarmDesync {
+                            worker: w,
+                            applied: store.n_blocks() as u64 - skipped,
+                            expected: store.n_blocks() as u64,
+                        });
                     }
                     Ok::<_, StoreError>((parser.stats, share))
                 })
@@ -470,12 +554,70 @@ mod tests {
     }
 
     #[test]
+    fn stalled_workers_change_nothing() {
+        use std::time::Duration;
+        let store = busy_store(256);
+        let baseline = sequential(&store, 3);
+        for shared_parse in [true, false] {
+            let hooks = FarmHooks::on_item(|worker, seq| {
+                if worker == 0 && seq % 2 == 0 {
+                    ChunkFate::Stall(Duration::from_micros(100))
+                } else {
+                    ChunkFate::Deliver
+                }
+            });
+            let cfg = FarmCfg {
+                workers: 3,
+                shared_parse,
+                batch_events: 200,
+                ..FarmCfg::default()
+            };
+            let (_, farmed) =
+                replay_with_hooks(&store, vec![CollectSink::default(); 3], cfg, hooks).unwrap();
+            assert_identical(&farmed, &baseline);
+        }
+    }
+
+    #[test]
+    fn dropped_item_is_a_typed_desync_in_both_modes() {
+        let store = busy_store(256);
+        for shared_parse in [true, false] {
+            let hooks = FarmHooks::on_item(|worker, seq| {
+                if worker == 1 && seq == 1 {
+                    ChunkFate::Drop
+                } else {
+                    ChunkFate::Deliver
+                }
+            });
+            let cfg = FarmCfg {
+                workers: 2,
+                shared_parse,
+                batch_events: 100,
+                ..FarmCfg::default()
+            };
+            let err = replay_with_hooks(&store, vec![CollectSink::default(); 2], cfg, hooks)
+                .expect_err("a dropped item must abort the replay");
+            match err {
+                StoreError::FarmDesync {
+                    worker,
+                    applied,
+                    expected,
+                } => {
+                    assert_eq!(worker, 1);
+                    assert_eq!(applied + 1, expected);
+                }
+                other => panic!("wrong error type: {other}"),
+            }
+        }
+    }
+
+    #[test]
     fn corrupt_block_aborts_both_modes() {
         let store = busy_store(128);
         let mut bytes = store.encode();
         // Flip the last byte of the block area (just before the index,
         // whose position the trailer records).
-        let tail_at = bytes.len() - 20;
+        let tail_at = bytes.len() - crate::container::TRAILER_BYTES;
         let index_pos =
             u64::from_le_bytes(bytes[tail_at + 4..tail_at + 12].try_into().unwrap()) as usize;
         bytes[index_pos - 1] ^= 0xff;

@@ -28,7 +28,10 @@ pub mod container;
 pub mod farm;
 pub mod obs;
 
-pub use codec::{compress_block, crc32_words, decompress_block, CodecError};
-pub use container::{BlockMeta, StoreError, TraceStore, DEFAULT_BLOCK_WORDS, STORE_VERSION};
-pub use farm::{replay, FarmCfg, FarmReport};
+pub use codec::{compress_block, crc32_bytes, crc32_words, decompress_block, CodecError, Crc32};
+pub use container::{
+    BlockMeta, StoreError, TraceStore, DEFAULT_BLOCK_WORDS, INDEX_ENTRY_BYTES, STORE_VERSION,
+    TRAILER_BYTES,
+};
+pub use farm::{replay, replay_with_hooks, FarmCfg, FarmHooks, FarmReport};
 pub use obs::StoreObs;

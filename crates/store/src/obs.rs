@@ -25,6 +25,7 @@ pub struct StoreObs {
     block_comp_bytes: Arc<Histogram>,
     crc_errors: Arc<Counter>,
     codec_errors: Arc<Counter>,
+    farm_desyncs: Arc<Counter>,
     farm_workers: Arc<Gauge>,
     farm_sinks: Arc<Gauge>,
     farm_batches: Arc<Gauge>,
@@ -77,6 +78,13 @@ impl StoreObs {
                 "errors",
                 "§4.3",
                 "Blocks whose compressed bytes failed to decode."
+            ),
+            farm_desyncs: counter!(
+                r,
+                "store.farm.desyncs",
+                "errors",
+                "§4.3",
+                "Farm workers that fell out of step with the feeder (dropped items)."
             ),
             farm_workers: gauge!(
                 r,
@@ -136,6 +144,7 @@ impl StoreObs {
         match e {
             StoreError::CrcMismatch { .. } => self.crc_errors.inc(),
             StoreError::BlockCodec { .. } => self.codec_errors.inc(),
+            StoreError::FarmDesync { .. } => self.farm_desyncs.inc(),
             _ => {}
         }
     }

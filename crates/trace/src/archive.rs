@@ -246,7 +246,10 @@ impl TraceArchive {
         let (kernel_table, user_tables, used) = decode_table_section(&buf[c.at..])?;
         c.at += used;
         let n_words = c.u64()? as usize;
-        let mut words = Vec::with_capacity(n_words.min(1 << 28));
+        // Each word occupies four bytes, so the remaining input bounds
+        // the preallocation regardless of the (untrusted) count.
+        let remaining_words = buf.len().saturating_sub(c.at) / 4;
+        let mut words = Vec::with_capacity(n_words.min(remaining_words));
         for _ in 0..n_words {
             words.push(c.u32()?);
         }

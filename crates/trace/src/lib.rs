@@ -33,5 +33,6 @@ pub use format::{classify, ctl, is_kernel_addr, Ctl, CtlOp, TraceWord, CTL_LIMIT
 pub use obs::{ParseStatsObs, ParserObs};
 pub use parser::{CollectSink, ParseError, ParseStats, Space, TraceParser, TraceSink};
 pub use stream::{
-    EventVec, Pipeline, PipelineCfg, PipelineReport, RefEvent, StreamSink, TraceChunk,
+    ChaosHooks, ChunkFate, EventVec, Pipeline, PipelineCfg, PipelineReport, RefEvent, StageSite,
+    StreamSink, TraceChunk,
 };

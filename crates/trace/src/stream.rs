@@ -46,6 +46,7 @@ use std::collections::BTreeMap;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::format::{classify, TraceWord};
 use crate::parser::{ParseError, ParseStats, Space, TraceParser, TraceSink};
@@ -68,6 +69,7 @@ pub struct StreamObs {
     pub(crate) parse_words: Arc<Counter>,
     pub(crate) sink_events: Arc<Counter>,
     pub(crate) sink_batches: Arc<Counter>,
+    pub(crate) lost_chunks: Arc<Counter>,
 }
 
 impl StreamObs {
@@ -137,6 +139,13 @@ impl StreamObs {
                 "batches",
                 "§3.3",
                 "Event batches delivered to the sink stage."
+            ),
+            lost_chunks: counter!(
+                r,
+                "stream.chunks.lost",
+                "chunks",
+                "§4.3",
+                "Chunks shipped but never parsed (lost buffers; 0 on a healthy pipeline)."
             ),
         }
     }
@@ -310,6 +319,68 @@ impl TraceSink for StreamSink {
     }
 }
 
+/// Which pipeline stage a [`ChaosHooks`] decision applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageSite {
+    /// A decode worker received the chunk (topologies with 3–4
+    /// workers). Stalling one of two decoders makes chunks finish out
+    /// of order, exercising the parse stage's sequence reordering.
+    Decode,
+    /// The parse stage is about to consume the chunk (every topology).
+    Parse,
+}
+
+/// What a [`ChaosHooks`] callback decides to do with one chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkFate {
+    /// Process the chunk normally.
+    Deliver,
+    /// Sleep first, then process. A stall may only cost throughput —
+    /// backpressure and the sequence reorder must absorb it without
+    /// changing any result.
+    Stall(Duration),
+    /// Discard the chunk (a lost trace buffer). The pipeline must
+    /// *detect* this: the chunk is counted in
+    /// [`PipelineReport::lost_chunks`], never silently absorbed.
+    Drop,
+}
+
+/// Deterministic perturbation hooks for chaos-testing the pipeline
+/// (see the `wrl-fault` crate). The callback is consulted once per
+/// chunk at each stage boundary it crosses; [`ChaosHooks::default`]
+/// delivers everything and adds no per-chunk cost beyond an
+/// `Option` check.
+#[derive(Clone, Default)]
+pub struct ChaosHooks {
+    chunk: Option<Arc<dyn Fn(StageSite, u64) -> ChunkFate + Send + Sync>>,
+}
+
+impl ChaosHooks {
+    /// Hooks that consult `f` with (stage, chunk sequence number) for
+    /// every chunk crossing a stage boundary.
+    pub fn on_chunk(f: impl Fn(StageSite, u64) -> ChunkFate + Send + Sync + 'static) -> ChaosHooks {
+        ChaosHooks {
+            chunk: Some(Arc::new(f)),
+        }
+    }
+
+    /// Resolves the fate of one chunk at one site, sleeping out any
+    /// stall here. Returns `false` if the chunk is to be dropped.
+    fn deliver(&self, site: StageSite, seq: u64) -> bool {
+        match &self.chunk {
+            None => true,
+            Some(f) => match f(site, seq) {
+                ChunkFate::Deliver => true,
+                ChunkFate::Stall(d) => {
+                    std::thread::sleep(d);
+                    true
+                }
+                ChunkFate::Drop => false,
+            },
+        }
+    }
+}
+
 /// Pipeline shape parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct PipelineCfg {
@@ -358,10 +429,16 @@ pub struct PipelineReport {
     pub chunks: u64,
     /// Raw words shipped.
     pub words: u64,
+    /// Chunks shipped but never consumed by the parse stage. Always 0
+    /// in normal operation; a lost trace buffer (e.g. an injected
+    /// [`ChunkFate::Drop`]) is *detected* here rather than silently
+    /// shortening the stream.
+    pub lost_chunks: u64,
 }
 
-/// Result of parsing on the consumer side: stats, detailed errors.
-type ParseOutcome = (ParseStats, Vec<ParseError>);
+/// Result of parsing on the consumer side: stats, detailed errors,
+/// and the number of chunks the parse stage actually consumed.
+type ParseOutcome = (ParseStats, Vec<ParseError>, u64);
 
 enum Tail<S> {
     /// workers = 1: parser and sink run fused on the producer's own
@@ -391,7 +468,9 @@ pub struct Pipeline<S: TraceSink + Send + 'static> {
     seq: u64,
     chunks: u64,
     words: u64,
+    consumed: u64,
     cfg: PipelineCfg,
+    hooks: ChaosHooks,
     obs: StreamObs,
 }
 
@@ -401,6 +480,18 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
     /// any pre-run wiring); `sink` is returned by value from
     /// [`Pipeline::finish`].
     pub fn new(parser: TraceParser, sink: S, cfg: PipelineCfg) -> Pipeline<S> {
+        Pipeline::with_hooks(parser, sink, cfg, ChaosHooks::default())
+    }
+
+    /// Like [`Pipeline::new`], with fault-injection hooks consulted at
+    /// each stage boundary. Used by the `wrl-fault` chaos campaign;
+    /// production callers use `new` (equivalent to default hooks).
+    pub fn with_hooks(
+        parser: TraceParser,
+        sink: S,
+        cfg: PipelineCfg,
+        hooks: ChaosHooks,
+    ) -> Pipeline<S> {
         let cfg = PipelineCfg {
             chunk_words: cfg.chunk_words.max(1),
             depth: cfg.depth.max(1),
@@ -417,7 +508,9 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
                 seq: 0,
                 chunks: 0,
                 words: 0,
+                consumed: 0,
                 cfg,
+                hooks,
                 obs,
             };
         }
@@ -426,7 +519,14 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
             2 => {
                 let (ev_tx, ev_rx) = sync_channel::<Vec<RefEvent>>(cfg.depth);
                 Tail::Split {
-                    parse: spawn_parse_raw(rx, parser, ev_tx, cfg.batch_events, obs.clone()),
+                    parse: spawn_parse_raw(
+                        rx,
+                        parser,
+                        ev_tx,
+                        cfg.batch_events,
+                        hooks.clone(),
+                        obs.clone(),
+                    ),
                     sink: spawn_sink(ev_rx, sink, obs.clone()),
                 }
             }
@@ -436,12 +536,26 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
                 let (dec_tx, dec_rx) = sync_channel::<DecodedChunk>(cfg.depth);
                 let shared = Arc::new(Mutex::new(rx));
                 let decoders = (0..n - 2)
-                    .map(|i| spawn_decoder(i, Arc::clone(&shared), dec_tx.clone(), obs.clone()))
+                    .map(|i| {
+                        spawn_decoder(
+                            i,
+                            Arc::clone(&shared),
+                            dec_tx.clone(),
+                            hooks.clone(),
+                            obs.clone(),
+                        )
+                    })
                     .collect::<Vec<_>>();
                 drop(dec_tx);
                 let (ev_tx, ev_rx) = sync_channel::<Vec<RefEvent>>(cfg.depth);
-                let parse =
-                    spawn_parse_decoded(dec_rx, parser, ev_tx, cfg.batch_events, obs.clone());
+                let parse = spawn_parse_decoded(
+                    dec_rx,
+                    parser,
+                    ev_tx,
+                    cfg.batch_events,
+                    hooks.clone(),
+                    obs.clone(),
+                );
                 let sink = spawn_sink(ev_rx, sink, obs.clone());
                 return Pipeline {
                     tx: Some(tx),
@@ -451,7 +565,9 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
                     seq: 0,
                     chunks: 0,
                     words: 0,
+                    consumed: 0,
                     cfg,
+                    hooks,
                     obs,
                 };
             }
@@ -464,7 +580,9 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
             seq: 0,
             chunks: 0,
             words: 0,
+            consumed: 0,
             cfg,
+            hooks,
             obs,
         }
     }
@@ -522,6 +640,10 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
         self.obs.chunks.inc();
         self.obs.chunk_words.record(words.len() as u64);
         if let Some(Tail::Inline(fused)) = self.tail.as_mut() {
+            if !self.hooks.deliver(StageSite::Parse, seq) {
+                return;
+            }
+            self.consumed += 1;
             self.obs.parse_words.add(words.len() as u64);
             let (parser, sink) = &mut **fused;
             for &w in &words {
@@ -558,23 +680,34 @@ impl<S: TraceSink + Send + 'static> Pipeline<S> {
         for d in self.decoders.drain(..) {
             join_or_propagate(d);
         }
-        let ((parse, errors), sink) = match self.tail.take().expect("finish called once") {
+        let ((parse, errors, consumed), sink) = match self.tail.take().expect("finish called once")
+        {
             Tail::Inline(fused) => {
                 let (mut parser, mut sink) = *fused;
                 parser.finish(&mut sink);
                 (
-                    (parser.stats.clone(), std::mem::take(&mut parser.errors)),
+                    (
+                        parser.stats.clone(),
+                        std::mem::take(&mut parser.errors),
+                        self.consumed,
+                    ),
                     sink,
                 )
             }
             Tail::Split { parse, sink } => (join_or_propagate(parse), join_or_propagate(sink)),
         };
+        // Every shipped chunk must have reached the parse stage; any
+        // shortfall is a lost buffer, counted so a drop anywhere in
+        // the pipeline is detectable in release builds.
+        let lost_chunks = self.chunks - consumed;
+        self.obs.lost_chunks.add(lost_chunks);
         (
             PipelineReport {
                 parse,
                 errors,
                 chunks: self.chunks,
                 words: self.words,
+                lost_chunks,
             },
             sink,
         )
@@ -598,14 +731,20 @@ fn spawn_parse_raw(
     mut parser: TraceParser,
     ev_tx: SyncSender<Vec<RefEvent>>,
     batch_events: usize,
+    hooks: ChaosHooks,
     obs: StreamObs,
 ) -> JoinHandle<ParseOutcome> {
     std::thread::Builder::new()
         .name("wrl-stream-parse".into())
         .spawn(move || {
             let mut out = StreamSink::new(ev_tx, batch_events).gauged(Arc::clone(&obs.q_events));
+            let mut consumed = 0u64;
             for chunk in rx {
                 obs.q_chunks.add(-1);
+                if !hooks.deliver(StageSite::Parse, chunk.seq) {
+                    continue;
+                }
+                consumed += 1;
                 obs.parse_words.add(chunk.words.len() as u64);
                 for &w in &chunk.words {
                     parser.push_word(w, &mut out);
@@ -613,7 +752,11 @@ fn spawn_parse_raw(
             }
             parser.finish(&mut out);
             out.flush();
-            (parser.stats.clone(), std::mem::take(&mut parser.errors))
+            (
+                parser.stats.clone(),
+                std::mem::take(&mut parser.errors),
+                consumed,
+            )
         })
         .expect("spawn stream worker")
 }
@@ -622,6 +765,7 @@ fn spawn_decoder(
     idx: usize,
     rx: Arc<Mutex<Receiver<TraceChunk>>>,
     tx: SyncSender<DecodedChunk>,
+    hooks: ChaosHooks,
     obs: StreamObs,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
@@ -634,6 +778,9 @@ fn spawn_decoder(
                 Err(_) => return,
             };
             obs.q_chunks.add(-1);
+            if !hooks.deliver(StageSite::Decode, chunk.seq) {
+                continue;
+            }
             let words = chunk.words.iter().map(|&w| classify(w)).collect();
             if tx
                 .send(DecodedChunk {
@@ -653,6 +800,7 @@ fn spawn_parse_decoded(
     mut parser: TraceParser,
     ev_tx: SyncSender<Vec<RefEvent>>,
     batch_events: usize,
+    hooks: ChaosHooks,
     obs: StreamObs,
 ) -> JoinHandle<ParseOutcome> {
     std::thread::Builder::new()
@@ -662,23 +810,34 @@ fn spawn_parse_decoded(
             // With two decoders, chunks can arrive out of order;
             // reorder by sequence number so the parser sees exact
             // stream order. The map holds at most (decoders × depth)
-            // chunks, so this adds no unbounded buffering.
+            // chunks, so this adds no unbounded buffering — unless a
+            // chunk was dropped upstream, in which case everything
+            // after the gap is held until the stream closes and then
+            // counted as lost (never parsed out of order).
             let mut next = 0u64;
+            let mut consumed = 0u64;
             let mut held: BTreeMap<u64, Vec<TraceWord>> = BTreeMap::new();
             for chunk in rx {
                 held.insert(chunk.seq, chunk.words);
                 while let Some(words) = held.remove(&next) {
+                    next += 1;
+                    if !hooks.deliver(StageSite::Parse, next - 1) {
+                        continue;
+                    }
+                    consumed += 1;
                     obs.parse_words.add(words.len() as u64);
                     for &w in &words {
                         parser.push_classified(w, &mut out);
                     }
-                    next += 1;
                 }
             }
-            debug_assert!(held.is_empty(), "stream ended with a sequence gap");
             parser.finish(&mut out);
             out.flush();
-            (parser.stats.clone(), std::mem::take(&mut parser.errors))
+            (
+                parser.stats.clone(),
+                std::mem::take(&mut parser.errors),
+                consumed,
+            )
         })
         .expect("spawn stream worker")
 }
@@ -876,6 +1035,103 @@ mod tests {
         assert_eq!(replayed.irefs, direct.irefs);
         assert_eq!(replayed.drefs, direct.drefs);
         assert_eq!(replayed.switches, direct.switches);
+    }
+
+    #[test]
+    fn stalls_degrade_throughput_never_results() {
+        // A stall at every stage boundary must be invisible in the
+        // results: same stats, same event stream, nothing lost.
+        let (ref_stats, ref_sink) = batch_reference();
+        let w = words();
+        for workers in 1..=4 {
+            let hooks = ChaosHooks::on_chunk(|_, seq| {
+                if seq % 3 == 0 {
+                    ChunkFate::Stall(Duration::from_micros(200))
+                } else {
+                    ChunkFate::Deliver
+                }
+            });
+            let mut pl = Pipeline::with_hooks(
+                fresh_parser(),
+                CollectSink::default(),
+                PipelineCfg {
+                    chunk_words: 16,
+                    workers,
+                    depth: 2,
+                    batch_events: 32,
+                },
+                hooks,
+            );
+            pl.feed(&w);
+            let (report, sink) = pl.finish();
+            assert_eq!(report.parse, ref_stats, "workers={workers}");
+            assert_eq!(report.lost_chunks, 0, "workers={workers}");
+            assert_eq!(sink.irefs, ref_sink.irefs, "workers={workers}");
+            assert_eq!(sink.drefs, ref_sink.drefs, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn dropped_chunk_is_counted_lost_in_every_topology() {
+        let w = words();
+        for workers in 1..=4 {
+            let hooks = ChaosHooks::on_chunk(|site, seq| {
+                if site == StageSite::Parse && seq == 1 {
+                    ChunkFate::Drop
+                } else {
+                    ChunkFate::Deliver
+                }
+            });
+            let mut pl = Pipeline::with_hooks(
+                fresh_parser(),
+                CollectSink::default(),
+                PipelineCfg {
+                    chunk_words: 16,
+                    workers,
+                    depth: 2,
+                    batch_events: 32,
+                },
+                hooks,
+            );
+            pl.feed(&w);
+            let (report, _) = pl.finish();
+            assert_eq!(report.lost_chunks, 1, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn decode_stage_drop_surfaces_as_lost_chunks() {
+        // Dropping inside the decode stage opens a sequence gap; the
+        // reordering parse stage must never leap it — the gap and
+        // everything stranded behind it count as lost.
+        let w = words();
+        for workers in [3usize, 4] {
+            let hooks = ChaosHooks::on_chunk(|site, seq| {
+                if site == StageSite::Decode && seq == 2 {
+                    ChunkFate::Drop
+                } else {
+                    ChunkFate::Deliver
+                }
+            });
+            let mut pl = Pipeline::with_hooks(
+                fresh_parser(),
+                CollectSink::default(),
+                PipelineCfg {
+                    chunk_words: 64,
+                    workers,
+                    depth: 2,
+                    batch_events: 32,
+                },
+                hooks,
+            );
+            pl.feed(&w);
+            let (report, _) = pl.finish();
+            assert!(
+                report.lost_chunks >= 1,
+                "workers={workers}: gap must be detected, lost={}",
+                report.lost_chunks
+            );
+        }
     }
 
     #[test]

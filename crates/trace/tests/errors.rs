@@ -122,6 +122,76 @@ fn missing_user_table_is_reported_once_per_asid() {
     assert!(n >= 1, "missing table must be reported");
 }
 
+/// One targeted corruption per defensive-check kind, each asserting
+/// that exactly the corresponding `trace.parse.error.*` tally (and no
+/// other) increments exactly once. A single test function: the
+/// tallies are process-global counters, and splitting the cases
+/// across parallel tests would race the before/after reads.
+#[test]
+fn each_defensive_check_tallies_its_counter_exactly_once() {
+    let obs = wrl_trace::ParserObs::register();
+    let all = [
+        "trace.parse.error.unknown_bb",
+        "trace.parse.error.wrong_space",
+        "trace.parse.error.bad_control",
+        "trace.parse.error.truncated",
+        "trace.parse.error.unbalanced_kexit",
+        "trace.parse.error.no_table_for_asid",
+    ];
+    let counters = || -> Vec<u64> {
+        let snap = wrl_obs::global().snapshot();
+        all.iter()
+            .map(|name| {
+                snap.metrics
+                    .iter()
+                    .find(|m| m.desc.name == *name)
+                    .and_then(|m| match m.value {
+                        wrl_obs::ValueSnap::Counter(v) => Some(v),
+                        _ => None,
+                    })
+                    .expect("tally registered")
+            })
+            .collect()
+    };
+    let cases: [(&str, Vec<u32>); 6] = [
+        // A user block id with no table entry.
+        (all[0], vec![ctl(CtlOp::CtxSwitch, 7), 0x0077_0000]),
+        // A kernel-range block id in a user context.
+        (all[1], vec![ctl(CtlOp::CtxSwitch, 7), KBB]),
+        // A control-range word with an unassigned opcode.
+        (all[2], vec![ctl(CtlOp::CtxSwitch, 7), 0x0000_3f3f]),
+        // A block still owed a memory word at end of stream.
+        (all[3], vec![ctl(CtlOp::CtxSwitch, 7), UBB]),
+        // A KExit with no matching KEnter.
+        (all[4], vec![ctl(CtlOp::CtxSwitch, 7), ctl(CtlOp::KExit, 0)]),
+        // A context switch to an ASID with no registered table (the
+        // check fires on the switch itself; a block id after it would
+        // additionally tally as unknown).
+        (all[5], vec![ctl(CtlOp::CtxSwitch, 9)]),
+    ];
+    for (name, words) in cases {
+        let before = counters();
+        let (kt, ut) = tables();
+        let mut p = TraceParser::new(kt);
+        p.set_user_table(7, ut);
+        p.attach_obs(obs.clone());
+        p.parse_all(&words, &mut CollectSink::default());
+        assert!(p.stats.errors >= 1, "{name}: corruption must be reported");
+        if wrl_obs::recording() {
+            let after = counters();
+            for (i, tally) in all.iter().enumerate() {
+                let want = u64::from(*tally == name);
+                assert_eq!(
+                    after[i] - before[i],
+                    want,
+                    "{name}: tally {tally} moved by {} (want {want})",
+                    after[i] - before[i]
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn damage_in_one_process_does_not_poison_another() {
     // ASID 9 has no table (damage), ASID 7 is healthy; the healthy

@@ -254,6 +254,21 @@ pub fn run_predicted_streaming(
     arith_stalls: u64,
     pcfg: wrl_trace::PipelineCfg,
 ) -> Predicted {
+    run_predicted_streaming_hooked(cfg, w, arith_stalls, pcfg, wrl_trace::ChaosHooks::default())
+}
+
+/// [`run_predicted_streaming`] with fault-injection hooks consulted
+/// at every pipeline stage boundary — the `wrl-fault` chaos
+/// campaign's end-to-end entry point. With default hooks this *is*
+/// `run_predicted_streaming`; under stall-only hooks the result must
+/// still be bit-identical (the chaos tests hold that contract).
+pub fn run_predicted_streaming_hooked(
+    cfg: &KernelConfig,
+    w: &Workload,
+    arith_stalls: u64,
+    pcfg: wrl_trace::PipelineCfg,
+    hooks: wrl_trace::ChaosHooks,
+) -> Predicted {
     assert!(cfg.traced, "run_predicted_streaming wants a traced config");
     let mut sys = build_system(cfg, &[w]);
     let parser = sys.parser();
@@ -262,7 +277,7 @@ pub fn run_predicted_streaming(
         ..SimCfg::default()
     };
     let sim = MemSim::new(simcfg.clone(), sys.pagemap.clone());
-    let mut pipe = wrl_trace::Pipeline::new(parser, sim, pcfg);
+    let mut pipe = wrl_trace::Pipeline::with_hooks(parser, sim, pcfg, hooks);
     let run = sys.run_streaming(SYSTEM_BUDGET, |words| pipe.feed_owned(words));
     let (report, sim) = pipe.finish();
     let prediction = predict(&sim.stats, &simcfg, arith_stalls, &TimeModel::default());

@@ -21,10 +21,14 @@
 //! * [`workloads`] — the twelve Table-1 workloads;
 //! * [`store`] — the compressed, seekable trace store (archive v2)
 //!   and the parallel replay farm;
+//! * [`fault`] — seeded deterministic fault injection and the chaos
+//!   campaign classifying every injected fault detected / harmless /
+//!   absorbed (never forbidden);
 //! * [`obs`] — the `wrl-obs` metrics facade (registry, exports and
 //!   [`obs::register_all`]; see `docs/METRICS.md`).
 
 pub use wrl_epoxie as epoxie;
+pub use wrl_fault as fault;
 pub use wrl_isa as isa;
 pub use wrl_kernel as kernel;
 pub use wrl_machine as machine;
@@ -38,6 +42,6 @@ pub mod obs;
 
 pub use harness::{
     pixie_arith_stalls, predict_from_run, run_measured, run_predicted, run_predicted_metered,
-    run_predicted_streaming, run_predicted_streaming_metered, validate, HarnessObs, Measured,
-    Predicted, ValidationRow,
+    run_predicted_streaming, run_predicted_streaming_hooked, run_predicted_streaming_metered,
+    validate, HarnessObs, Measured, Predicted, ValidationRow,
 };

@@ -20,6 +20,7 @@ pub fn register_all() {
     wrl_machine::CountersObs::register();
     wrl_memsim::SimObs::register();
     wrl_store::StoreObs::register();
+    wrl_fault::FaultObs::register();
 }
 
 #[cfg(test)]
@@ -37,6 +38,7 @@ mod tests {
             "machine.cycles",
             "sim.irefs.kernel",
             "store.blocks",
+            "fault.forbidden",
         ] {
             assert!(names.contains(&expect), "{expect} missing from registry");
         }

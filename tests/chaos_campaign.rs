@@ -1,0 +1,171 @@
+//! The chaos campaign: seeded fault-injection plans run against the
+//! committed golden trace, asserting the §4.3 trichotomy — every
+//! injected fault is *detected* (typed error or defensive tally),
+//! *harmless* (bit-identical results), or *absorbed* (the corruption
+//! forged a well-formed trace, processed deterministically). The
+//! forbidden fourth outcome — a panic or a silently wrong answer —
+//! must never occur, at any site, for any seed.
+//!
+//! Every plan replays from its one-line `site:seed:intensity` spec;
+//! a failure here prints the specs to rerun.
+
+use std::time::Duration;
+use systrace::fault::{campaign, run_campaign, run_plan, ChaosInput, FaultPlan, Layer, Outcome};
+use systrace::trace::{
+    ChaosHooks, ChunkFate, CollectSink, Pipeline, PipelineCfg, StageSite, TraceArchive,
+};
+
+const GOLDEN_PATH: &str = "tests/data/golden.w3kt";
+/// The campaign's fixed base seed; `(BASE_SEED, N_PLANS)` is the
+/// entire campaign spec and replays identically anywhere.
+const BASE_SEED: u64 = 0x5752_4c94_0600_c4a0;
+const N_PLANS: usize = 240;
+
+fn golden_input() -> ChaosInput {
+    ChaosInput::new(TraceArchive::load(GOLDEN_PATH).expect("golden archive must load"))
+}
+
+#[test]
+fn campaign_of_240_seeded_plans_never_reaches_a_forbidden_outcome() {
+    let input = golden_input();
+    let plans = campaign(BASE_SEED, N_PLANS);
+    assert!(plans.len() >= 200, "campaign must be at least 200 plans");
+    let report = run_campaign(&input, &plans);
+    println!("{}", report.render());
+
+    let forbidden = report.forbidden();
+    assert!(
+        forbidden.is_empty(),
+        "forbidden outcomes (rerun each spec below):\n{}",
+        forbidden
+            .iter()
+            .map(|(p, why)| format!("  {p} -> {why}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // At least one corruption per layer was demonstrably *detected* —
+    // the campaign exercises the defenses, not just the happy paths.
+    let layers = report.detected_layers();
+    for layer in [Layer::Parser, Layer::Store, Layer::Farm] {
+        assert!(
+            layers.contains(&layer),
+            "{layer:?} detected nothing across {N_PLANS} plans"
+        );
+    }
+
+    let (detected, harmless, absorbed, f) = report.totals();
+    assert_eq!(f, 0);
+    assert_eq!(
+        detected + harmless + absorbed,
+        N_PLANS as u64,
+        "every plan classifies into the trichotomy"
+    );
+    assert!(detected > 0 && harmless > 0);
+}
+
+#[test]
+fn any_plan_replays_identically_from_its_spec_line() {
+    let input = golden_input();
+    // One plan per site, via the round-robin campaign head.
+    for plan in campaign(BASE_SEED ^ 0x0f0f, 12) {
+        let spec = plan.to_string();
+        let replayed: FaultPlan = spec.parse().expect("specs round-trip");
+        assert_eq!(replayed, plan);
+        let a = run_plan(&input, plan);
+        let b = run_plan(&input, replayed);
+        assert_eq!(a, b, "{spec}: outcome must be reproducible");
+        assert!(
+            !matches!(a, Outcome::Forbidden { .. }),
+            "{spec}: forbidden outcome {a:?}"
+        );
+    }
+}
+
+/// The satellite differential: with stalls injected into every
+/// channel (and, at four workers, decode-completion reordering),
+/// streaming results stay bit-identical to the batch parse at every
+/// worker count. Perturbing *when* work happens must never perturb
+/// *what* is computed.
+#[test]
+fn streaming_matches_batch_under_stalls_and_reorders_at_1_2_4_workers() {
+    let input = golden_input();
+    let stall = ChaosHooks::on_chunk(|_, seq| {
+        if seq % 2 == 0 {
+            ChunkFate::Stall(Duration::from_micros(150))
+        } else {
+            ChunkFate::Deliver
+        }
+    });
+    let reorder = ChaosHooks::on_chunk(|site, seq| {
+        // Delay one of the two decode workers' chunks so completions
+        // arrive out of order at the parse stage.
+        if site == StageSite::Decode && seq % 2 == 0 {
+            ChunkFate::Stall(Duration::from_micros(300))
+        } else {
+            ChunkFate::Deliver
+        }
+    });
+    for (name, hooks, worker_set) in [
+        ("stalls", &stall, &[1usize, 2, 4][..]),
+        ("reorders", &reorder, &[4][..]),
+    ] {
+        for &workers in worker_set {
+            let cfg = PipelineCfg {
+                chunk_words: 256,
+                workers,
+                ..PipelineCfg::default()
+            };
+            let mut pipe = Pipeline::with_hooks(
+                input.archive.parser(),
+                CollectSink::default(),
+                cfg,
+                hooks.clone(),
+            );
+            pipe.feed(&input.archive.words);
+            let (report, sink) = pipe.finish();
+            let tag = format!("{name} workers={workers}");
+            assert_eq!(report.lost_chunks, 0, "{tag}: no chunk may be lost");
+            assert_eq!(report.parse, input.baseline_stats, "{tag}: stats diverged");
+            assert_eq!(sink.irefs, input.baseline.irefs, "{tag}: irefs diverged");
+            assert_eq!(sink.drefs, input.baseline.drefs, "{tag}: drefs diverged");
+            assert_eq!(
+                sink.switches, input.baseline.switches,
+                "{tag}: switches diverged"
+            );
+        }
+    }
+}
+
+/// End to end through the harness: a traced system run streamed
+/// through a stall-injected pipeline predicts exactly what the batch
+/// harness predicts.
+#[test]
+fn hooked_harness_run_with_stalls_predicts_identically() {
+    let w = systrace::workloads::by_name("sed").unwrap();
+    let cfg = systrace::kernel::KernelConfig::ultrix().traced();
+    let arith = systrace::pixie_arith_stalls(&w);
+    let batch = systrace::run_predicted(&cfg, &w, arith);
+    let hooks = ChaosHooks::on_chunk(|_, seq| {
+        if seq % 5 == 0 {
+            ChunkFate::Stall(Duration::from_micros(100))
+        } else {
+            ChunkFate::Deliver
+        }
+    });
+    let streamed = systrace::run_predicted_streaming_hooked(
+        &cfg,
+        &w,
+        arith,
+        PipelineCfg {
+            workers: 2,
+            ..PipelineCfg::default()
+        },
+        hooks,
+    );
+    assert_eq!(streamed.prediction, batch.prediction);
+    assert_eq!(streamed.trace_insts, batch.trace_insts);
+    assert_eq!(streamed.trace_words, batch.trace_words);
+    assert_eq!(streamed.parse_errors, batch.parse_errors);
+    assert_eq!(streamed.exit_code, batch.exit_code);
+}

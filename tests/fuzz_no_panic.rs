@@ -1,0 +1,114 @@
+//! No-panic fuzzing of every decode entry point: seeded-random bytes
+//! and mutated-golden bytes go into [`TraceArchive::decode`],
+//! [`TraceStore::decode_any`] and the block codec, and the only
+//! acceptable reactions are a typed error or a successful decode —
+//! never a panic, a hang, or an unbounded allocation. Complements the
+//! chaos campaign (`tests/chaos_campaign.rs`): the campaign classifies
+//! *outcomes*, this suite hammers *totality* with far more inputs.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use systrace::store::{compress_block, decompress_block, TraceStore};
+use systrace::trace::TraceArchive;
+
+const GOLDEN_PATH: &str = "tests/data/golden.w3kt";
+
+/// Golden bytes in both container versions: the committed v1 archive
+/// and its v2 store re-encoding, so mutations attack both decoders.
+fn golden_encodings() -> Vec<Vec<u8>> {
+    let v1 = std::fs::read(GOLDEN_PATH).expect("golden archive must load");
+    let archive = TraceArchive::decode(&v1).expect("golden archive decodes");
+    let v2 = TraceStore::from_archive(&archive, 256).encode();
+    vec![v1, v2]
+}
+
+/// Applies one seeded mutation: flip some bytes, then maybe truncate.
+fn mutate(bytes: &mut Vec<u8>, flips: &[(usize, u8)], cut: Option<usize>) {
+    for &(at, xor) in flips {
+        if !bytes.is_empty() {
+            let i = at % bytes.len();
+            bytes[i] ^= xor.max(1);
+        }
+    }
+    if let Some(cut) = cut {
+        if !bytes.is_empty() {
+            let keep = cut % bytes.len();
+            bytes.truncate(keep);
+        }
+    }
+}
+
+/// Every decoder eats the bytes; success and typed errors are both
+/// fine, panics are the only failure.
+fn decode_everything(bytes: &[u8]) {
+    let _ = TraceArchive::decode(bytes);
+    let _ = TraceStore::decode_any(bytes);
+    for n_words in [1usize, 7, 4096] {
+        let _ = decompress_block(bytes, n_words);
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic_any_decoder(bytes in vec(any::<u8>(), 0..512)) {
+        decode_everything(&bytes);
+    }
+
+    #[test]
+    fn mutated_golden_bytes_never_panic_any_decoder(
+        flips in vec((any::<usize>(), any::<u8>()), 1..6),
+        cut in prop_oneof![
+            Just(None),
+            any::<usize>().prop_map(Some),
+        ],
+    ) {
+        for golden in golden_encodings() {
+            let mut bytes = golden;
+            mutate(&mut bytes, &flips, cut);
+            decode_everything(&bytes);
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_at_every_block_size(words in vec(any::<u32>(), 0..5000)) {
+        // The codec itself must round-trip any word content at the
+        // exercised block sizes, including the degenerate 1 and the
+        // prime 7 (worst cases for context reuse).
+        for block in [1usize, 7, 4096] {
+            for chunk in words.chunks(block) {
+                let comp = compress_block(chunk);
+                let back = decompress_block(&comp, chunk.len()).expect("own encoding decodes");
+                prop_assert_eq!(&back, &chunk.to_vec(), "block={}", block);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_compressed_blocks_error_or_decode_never_panic(
+        words in vec(any::<u32>(), 1..2000),
+        at in any::<usize>(),
+        xor in 1u8..=255,
+        n_words_lie in 0usize..5000,
+    ) {
+        let mut comp = compress_block(&words);
+        let i = at % comp.len();
+        comp[i] ^= xor;
+        // With the true count and with a lying count: typed error or
+        // clean decode, never a panic (the CRC layer above the codec
+        // is what distinguishes wrong from right content).
+        let _ = decompress_block(&comp, words.len());
+        let _ = decompress_block(&comp, n_words_lie);
+    }
+}
+
+/// The alloc-bound hardening in one directed case each: an absurd
+/// word count must fail fast without attempting the allocation.
+#[test]
+fn absurd_word_counts_error_without_allocating() {
+    assert!(decompress_block(&[0u8; 16], usize::MAX).is_err());
+    // A v2 trailer claiming 2^32-ish words for a tiny block area dies
+    // on the words-vs-bytes bound during index validation.
+    let golden = golden_encodings().remove(1);
+    let store = TraceStore::decode_any(&golden).unwrap();
+    assert!(store.n_words < u64::from(u32::MAX));
+}

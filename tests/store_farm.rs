@@ -166,7 +166,7 @@ fn corrupted_block_is_detected_and_reported() {
     let mut bytes = store.encode();
     // Corrupt the middle of the block area, located via the trailer
     // (the index sits right after the blocks).
-    let tail_at = bytes.len() - 20;
+    let tail_at = bytes.len() - systrace::store::TRAILER_BYTES;
     let index_pos =
         u64::from_le_bytes(bytes[tail_at + 4..tail_at + 12].try_into().unwrap()) as usize;
     let blocks_len = store.compressed_bytes() as usize;
