@@ -1,0 +1,258 @@
+//! serve_bench: throughput, latency and predicate-pushdown
+//! effectiveness for the `wrl-serve` trace-query service (E22).
+//!
+//! Three sections, each honest about its method:
+//!
+//! 1. **Differential** — every Table-1 workload's Ultrix system trace
+//!    is served over a loopback socket and queried with a predicate
+//!    panel; each wire answer is asserted bit-identical to filtering
+//!    the locally decoded words. Correctness first, speed second.
+//! 2. **Pushdown** — for each workload, the rarest ASID actually
+//!    present is queried and the index-level block-skip ratio
+//!    reported; selective ASID predicates must skip at least half
+//!    the blocks, which is the point of shipping summaries in the
+//!    index.
+//! 3. **Latency/throughput** — per-opcode p50/p99 service latency and
+//!    aggregate request throughput at 1, 4 and 16 concurrent
+//!    clients against one server (default admission gate of 16, so
+//!    nothing is refused; the gate itself is exercised by the
+//!    loopback stress test, not timed here).
+//!
+//! Usage: `serve_bench`. Regenerates `results/serve_bench.txt` via
+//! stdout.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use systrace::kernel::{build_system, KernelConfig};
+use systrace::serve::{Catalog, Client, ServeCfg, Server};
+use systrace::store::{filter_stream, Predicate, TraceStore};
+use systrace::trace::TraceArchive;
+use wrl_trace::format::{classify, CtlOp, TraceWord};
+
+/// Words per block: small enough that every workload trace spans many
+/// blocks, so the pushdown has real targets.
+const BLOCK_WORDS: usize = 64;
+
+/// Collects one traced Ultrix run of the named workload.
+fn trace_of(name: &str) -> TraceArchive {
+    let w = systrace::workloads::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let mut sys = build_system(&KernelConfig::ultrix().traced(), &[&w]);
+    let run = sys.run(8_000_000_000);
+    sys.archive(&run)
+}
+
+/// Words per ASID context, attributing each word to the context in
+/// effect *after* applying it (the predicate's convention).
+fn asid_census(words: &[u32]) -> Vec<(u8, u64)> {
+    let mut counts = std::collections::BTreeMap::new();
+    let mut asid = 0u8;
+    for &w in words {
+        if let TraceWord::Ctl(c) = classify(w) {
+            if c.op == CtlOp::CtxSwitch {
+                asid = c.payload;
+            }
+        }
+        *counts.entry(asid).or_insert(0u64) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// The correctness panel: unfiltered, two windows, and a window+ASID
+/// combination per present ASID.
+fn panel(n_words: u64, asids: &[(u8, u64)]) -> Vec<Predicate> {
+    let mid = n_words / 2;
+    let mut p = vec![
+        Predicate::default(),
+        Predicate {
+            window: Some((0, n_words.min(256))),
+            ..Predicate::default()
+        },
+        Predicate {
+            window: Some((mid, mid + 4096)),
+            ..Predicate::default()
+        },
+    ];
+    for &(a, _) in asids {
+        p.push(Predicate {
+            asid: Some(a),
+            window: Some((0, n_words)),
+        });
+    }
+    p
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    let i = ((sorted_ns.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted_ns[i] as f64 / 1_000.0
+}
+
+fn main() {
+    systrace::obs::register_all();
+    println!("wrl-serve: loopback differential, pushdown and latency benchmark");
+    println!("block size {BLOCK_WORDS} words; all traffic over 127.0.0.1 TCP");
+    println!();
+
+    // ---- 1 + 2. Differential and pushdown over all workloads ------
+    println!("Differential + ASID pushdown, one Ultrix system trace per workload");
+    println!(
+        "{:10} | {:>8} | {:>7} | {:>5} | {:>10} | {:>7}",
+        "workload", "words", "blocks", "preds", "rare asid", "skipped"
+    );
+    println!("{:-<62}", "");
+    let mut worst_skip = f64::MAX;
+    let mut worst_name = "";
+    let mut sed_store = None;
+    for w in systrace::workloads::all() {
+        let archive = trace_of(w.name);
+        let store = Arc::new(TraceStore::from_archive(&archive, BLOCK_WORDS));
+        let n_blocks = store.n_blocks();
+        if w.name == "sed" {
+            sed_store = Some(store.clone());
+        }
+        let mut catalog = Catalog::new();
+        catalog.add(w.name, store);
+        let server =
+            Server::start("127.0.0.1:0", catalog, ServeCfg::default()).expect("server starts");
+        let mut client = Client::connect(server.addr()).expect("client connects");
+
+        let asids = asid_census(&archive.words);
+        let preds = panel(archive.words.len() as u64, &asids);
+        for (i, pred) in preds.iter().enumerate() {
+            let expected = filter_stream(&archive.words, pred);
+            let q = client
+                .query(w.name, pred)
+                .unwrap_or_else(|e| panic!("{} predicate {i}: {e}", w.name));
+            assert_eq!(
+                q.words, expected,
+                "{} predicate {i}: wire answer differs from local filter",
+                w.name
+            );
+            assert_eq!((q.blocks_decoded + q.blocks_skipped) as usize, n_blocks);
+        }
+
+        // The rarest ASID actually present is the selective predicate
+        // the index summaries exist for.
+        let &(rare, rare_words) = asids
+            .iter()
+            .min_by_key(|&&(_, n)| n)
+            .expect("every trace has at least one context");
+        let q = client
+            .query(
+                w.name,
+                &Predicate {
+                    asid: Some(rare),
+                    ..Predicate::default()
+                },
+            )
+            .expect("rare-asid query");
+        let skip =
+            f64::from(q.blocks_skipped) / (q.blocks_decoded + q.blocks_skipped).max(1) as f64;
+        println!(
+            "{:10} | {:>8} | {:>7} | {:>5} | {:>4} ({:>3.0}%) | {:>6.1}%",
+            w.name,
+            archive.words.len(),
+            n_blocks,
+            preds.len(),
+            rare,
+            100.0 * rare_words as f64 / archive.words.len() as f64,
+            100.0 * skip,
+        );
+        if skip < worst_skip {
+            worst_skip = skip;
+            worst_name = w.name;
+        }
+        server.shutdown();
+    }
+    println!("{:-<62}", "");
+    println!(
+        "worst skip ratio {:.1}% ({worst_name}); every wire answer matched the local filter",
+        100.0 * worst_skip
+    );
+    assert!(
+        worst_skip >= 0.5,
+        "selective ASID predicates must skip >= 50% of blocks (got {:.1}% on {worst_name})",
+        100.0 * worst_skip
+    );
+    println!();
+
+    // ---- 3. Latency and throughput by opcode and client count -----
+    let store = sed_store.expect("sed is among the twelve workloads");
+    let n_blocks = store.n_blocks() as u32;
+    let n_words = store.n_words;
+    let mut catalog = Catalog::new();
+    catalog.add("sed", store);
+    let server = Server::start("127.0.0.1:0", catalog, ServeCfg::default()).expect("server starts");
+    let addr = server.addr();
+
+    const REQS_PER_CLIENT: usize = 200;
+    println!("Service latency on the sed trace, {REQS_PER_CLIENT} requests per client");
+    println!(
+        "{:8} | {:>7} | {:>9} | {:>9} | {:>11}",
+        "opcode", "clients", "p50 us", "p99 us", "req/s"
+    );
+    println!("{:-<54}", "");
+    for opcode in ["catalog", "fetch", "query", "metrics"] {
+        for clients in [1usize, 4, 16] {
+            let t0 = Instant::now();
+            let lat: Vec<u64> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        s.spawn(move || {
+                            let mut client = Client::connect(addr).expect("client connects");
+                            let mut lat = Vec::with_capacity(REQS_PER_CLIENT);
+                            for i in 0..REQS_PER_CLIENT {
+                                let t = Instant::now();
+                                match opcode {
+                                    "catalog" => {
+                                        client.catalog().expect("catalog");
+                                    }
+                                    "fetch" => {
+                                        // One block, rotating through the store.
+                                        let at = ((c * REQS_PER_CLIENT + i) as u32) % n_blocks;
+                                        client.fetch("sed", at, 1).expect("fetch");
+                                    }
+                                    "query" => {
+                                        // A 4k-word window, rotating.
+                                        let lo = (c * REQS_PER_CLIENT + i) as u64 * 997 % n_words;
+                                        let pred = Predicate {
+                                            window: Some((lo, lo + 4096)),
+                                            ..Predicate::default()
+                                        };
+                                        client.query_retry("sed", &pred, 100).expect("query");
+                                    }
+                                    _ => {
+                                        client.metrics().expect("metrics");
+                                    }
+                                }
+                                lat.push(t.elapsed().as_nanos() as u64);
+                            }
+                            lat
+                        })
+                    })
+                    .collect();
+                let mut all = Vec::new();
+                for h in handles {
+                    all.extend(h.join().expect("bench client panicked"));
+                }
+                all
+            });
+            let wall = t0.elapsed();
+            let mut sorted = lat;
+            sorted.sort_unstable();
+            println!(
+                "{:8} | {:>7} | {:>9.1} | {:>9.1} | {:>11.0}",
+                opcode,
+                clients,
+                percentile(&sorted, 50.0),
+                percentile(&sorted, 99.0),
+                sorted.len() as f64 / wall.as_secs_f64(),
+            );
+        }
+    }
+    println!("{:-<54}", "");
+    println!("fetch ships one compressed block per request; query decodes a");
+    println!("4096-word window server-side and ships only the matching words.");
+    println!("All three client counts fit the default 16-slot admission gate.");
+    server.shutdown();
+}

@@ -22,12 +22,14 @@
 
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::inject::{flip_byte_bits_in, flip_word_bits, short_read, store_regions, truncate_words};
 use crate::plan::{FaultPlan, FaultSite, Layer};
 use crate::SplitMix64;
-use wrl_store::{replay_with_hooks, FarmCfg, FarmHooks, TraceStore};
+use wrl_serve::{Catalog, Client, ClientCfg, ServeCfg, ServeHooks, Server, WireFate};
+use wrl_store::{replay_with_hooks, FarmCfg, FarmHooks, Predicate, TraceStore};
 use wrl_trace::{
     ChaosHooks, ChunkFate, CollectSink, ParseStats, Pipeline, PipelineCfg, StageSite, TraceArchive,
 };
@@ -67,7 +69,7 @@ impl Outcome {
 }
 
 /// The golden input a campaign attacks, prepared once: the archive,
-/// its unfaulted baseline results, and its v2 store encoding.
+/// its unfaulted baseline results, and its block-store encoding.
 pub struct ChaosInput {
     /// The pristine trace (tables + words).
     pub archive: TraceArchive,
@@ -75,8 +77,9 @@ pub struct ChaosInput {
     pub baseline: CollectSink,
     /// Baseline statistics from the same parse.
     pub baseline_stats: ParseStats,
-    /// The archive encoded as a v2 store (block size
-    /// [`ChaosInput::BLOCK_WORDS`]), the store injectors' target.
+    /// The archive encoded as a block store (block size
+    /// [`ChaosInput::BLOCK_WORDS`]), the store injectors' target and
+    /// the wire sites' served catalog.
     pub store_bytes: Vec<u8>,
 }
 
@@ -376,7 +379,85 @@ fn run_site(input: &ChaosInput, plan: FaultPlan) -> Outcome {
                 },
             }
         }
+        FaultSite::WireCorrupt | FaultSite::WireDrop => run_wire(input, plan, &mut rng),
     }
+}
+
+/// Runs one wire-layer plan: serve the golden store on a loopback
+/// socket with a fault seam that damages exactly the first response
+/// frame, query it, and demand a typed client error — then prove the
+/// server survived by running a clean query on a fresh connection and
+/// comparing it word-for-word against the archive.
+///
+/// The frame CRC covers the whole body and the length prefix is
+/// range-checked, so *any* single-bit flip and *any* truncation point
+/// must land detected: an `Ok` answer from the damaged exchange means
+/// the wire let corruption through silently, which is forbidden.
+fn run_wire(input: &ChaosInput, plan: FaultPlan, rng: &mut SplitMix64) -> Outcome {
+    let store = TraceStore::decode_any(&input.store_bytes).expect("golden store decodes");
+    let fate = match plan.site {
+        FaultSite::WireCorrupt => WireFate::FlipBit {
+            at: rng.next_u64(),
+            bit: rng.below(8) as u8,
+        },
+        _ => WireFate::CutAfter { at: rng.next_u64() },
+    };
+    // Damage only the first response; the recovery probe below rides
+    // the same server and must come through clean.
+    let hooks = ServeHooks::on_response(move |seq| match seq {
+        0 => fate,
+        _ => WireFate::Deliver,
+    });
+    let mut catalog = Catalog::new();
+    catalog.add("golden", Arc::new(store));
+    // Short ticks keep the worst case (a flipped length prefix makes
+    // the client wait for bytes that never come) bounded well under a
+    // second per plan.
+    let cfg = ServeCfg {
+        read_timeout: Duration::from_millis(5),
+        max_stalls: 60,
+        ..ServeCfg::default()
+    };
+    let ccfg = ClientCfg {
+        read_timeout: Duration::from_millis(5),
+        max_stalls: 60,
+        ..ClientCfg::default()
+    };
+    let server = match Server::start_with_hooks("127.0.0.1:0", catalog, cfg, hooks) {
+        Ok(s) => s,
+        Err(e) => {
+            return Outcome::Forbidden {
+                why: format!("loopback server failed to start: {e}"),
+            }
+        }
+    };
+    let everything = Predicate::default();
+    let damaged = Client::connect_cfg(server.addr(), ccfg)
+        .map_err(wrl_serve::ServeError::Io)
+        .and_then(|mut c| c.query("golden", &everything));
+    let outcome = match damaged {
+        Ok(_) => Outcome::Forbidden {
+            why: "damaged response decoded cleanly (CRC failed to fire)".into(),
+        },
+        Err(e) => {
+            let clean = Client::connect_cfg(server.addr(), ccfg)
+                .map_err(wrl_serve::ServeError::Io)
+                .and_then(|mut c| c.query("golden", &everything));
+            match clean {
+                Ok(q) if q.words == input.archive.words => Outcome::Detected {
+                    what: format!("client error: {e}"),
+                },
+                Ok(_) => Outcome::Forbidden {
+                    why: "server answered the recovery probe wrongly".into(),
+                },
+                Err(e2) => Outcome::Forbidden {
+                    why: format!("server did not recover after the fault: {e2}"),
+                },
+            }
+        }
+    };
+    server.shutdown();
+    outcome
 }
 
 /// Runs one plan against the input, converting any panic on the

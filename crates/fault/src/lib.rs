@@ -8,8 +8,8 @@
 //! that discipline into an executable contract. It injects faults at
 //! every boundary of the stack — raw trace words before the parser,
 //! container bytes under the store, chunks and items inside the
-//! streaming pipeline and replay farm — and classifies what the stack
-//! did about each one:
+//! streaming pipeline and replay farm, response frames on the trace
+//! service's wire — and classifies what the stack did about each one:
 //!
 //! * [`plan`] — a [`FaultPlan`] is `(site, seed, intensity)`, round-
 //!   trippable through a one-line `site:seed:intensity` spec, so any

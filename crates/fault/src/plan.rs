@@ -19,6 +19,8 @@ pub enum Layer {
     Store,
     /// The streaming pipeline and replay farm channels.
     Farm,
+    /// The `wrl-serve` wire protocol between server and client.
+    Wire,
 }
 
 /// Where in the stack one fault is injected.
@@ -50,10 +52,18 @@ pub enum FaultSite {
     FarmStall,
     /// Drop farm items on one worker (must be detected as a desync).
     FarmDrop,
+    /// Flip one bit in an encoded `wrl-serve` response frame right
+    /// before the socket write (must surface as a typed client
+    /// error — the frame CRC detects any single-bit damage).
+    WireCorrupt,
+    /// Sever the connection partway through writing a response (must
+    /// surface as a typed truncation error, and the server must keep
+    /// answering other clients).
+    WireDrop,
 }
 
 /// Every site, in campaign round-robin order.
-pub const ALL_SITES: [FaultSite; 12] = [
+pub const ALL_SITES: [FaultSite; 14] = [
     FaultSite::ParserBitFlip,
     FaultSite::ParserTruncate,
     FaultSite::StoreBlock,
@@ -66,6 +76,8 @@ pub const ALL_SITES: [FaultSite; 12] = [
     FaultSite::StreamReorder,
     FaultSite::FarmStall,
     FaultSite::FarmDrop,
+    FaultSite::WireCorrupt,
+    FaultSite::WireDrop,
 ];
 
 impl FaultSite {
@@ -84,6 +96,8 @@ impl FaultSite {
             FaultSite::StreamReorder => "stream.reorder",
             FaultSite::FarmStall => "farm.stall",
             FaultSite::FarmDrop => "farm.drop",
+            FaultSite::WireCorrupt => "wire.corrupt",
+            FaultSite::WireDrop => "wire.drop",
         }
     }
 
@@ -106,6 +120,7 @@ impl FaultSite {
             | FaultSite::StreamReorder
             | FaultSite::FarmStall
             | FaultSite::FarmDrop => Layer::Farm,
+            FaultSite::WireCorrupt | FaultSite::WireDrop => Layer::Wire,
         }
     }
 }
@@ -233,12 +248,12 @@ mod tests {
 
     #[test]
     fn campaigns_are_deterministic_and_cover_all_sites() {
-        let a = campaign(1, 240);
-        assert_eq!(a, campaign(1, 240));
-        assert_ne!(a, campaign(2, 240));
+        let a = campaign(1, 280);
+        assert_eq!(a, campaign(1, 280));
+        assert_ne!(a, campaign(2, 280));
         for site in ALL_SITES {
             let hits = a.iter().filter(|p| p.site == site).count();
-            assert_eq!(hits, 240 / ALL_SITES.len(), "{site}");
+            assert_eq!(hits, 280 / ALL_SITES.len(), "{site}");
         }
         assert!(a.iter().all(|p| p.intensity >= 1 && p.intensity <= 8));
     }

@@ -1,0 +1,43 @@
+//! `wrl-serve`: a TCP trace-query service with predicate-pushdown
+//! block skipping.
+//!
+//! The paper's trace system ends at a 64 MB in-kernel buffer drained
+//! by a single analysis client (§3.3), and its traces reached other
+//! researchers on tape (§3.4). This crate is the modern end of that
+//! line: the compressed seekable store (`wrl-store`) already gives
+//! every block an index entry — offset, CRC, ASID bounds, and (since
+//! format v3) word-offset and data-address summaries — so serving
+//! *windowed queries* to many concurrent clients costs only the
+//! blocks a query actually touches. The pieces:
+//!
+//! * [`wire`] — the `wrl-wire/v1` framing: length-prefixed,
+//!   CRC-framed binary messages (catalog, raw block-range fetch,
+//!   windowed query, metrics snapshot). A flipped bit anywhere is a
+//!   typed error, never a different message.
+//! * [`server`] — bounded concurrency over thread-per-connection
+//!   accept: per-socket timeouts, a max-inflight admission gate that
+//!   answers `Busy` instead of queueing, graceful shutdown that
+//!   drains in-flight requests, and the `serve.*` metric family.
+//!   Queries execute on the store's parallel block farm.
+//! * [`client`] — the synchronous client library `tracedump` and the
+//!   tests use; every network failure mode is a typed [`ServeError`].
+//! * [`obs`] — the `serve.*` metrics (see `docs/METRICS.md`).
+//!
+//! The load-bearing guarantee, extended from the store: a windowed
+//! query answered over the wire is bit-identical to decoding the
+//! archive locally and filtering ([`wrl_store::filter_stream`]) —
+//! the loopback differential suite asserts it for every (block size
+//! × predicate) combination, and the chaos campaign's wire faults
+//! must all land detected or harmless.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod obs;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientCfg, ServeError};
+pub use obs::ServeObs;
+pub use server::{Catalog, ServeCfg, ServeHooks, Server, WireFate};
+pub use wire::{CatalogEntry, RawBlock, Request, Response, WireError, MAX_FRAME, WIRE_SCHEMA};

@@ -1,0 +1,210 @@
+//! Observability for the trace service: the `serve.*` metric family.
+//!
+//! Traffic counters (connections, requests by opcode, bytes in/out)
+//! and per-opcode latency histograms are recorded per request;
+//! `serve.inflight` is a gauge whose high-water mark records the
+//! deepest the admission gate ever got, and `serve.reject.busy`
+//! counts requests the gate refused — together they characterise the
+//! server under load the way §4.2 characterises the tracer's time
+//! cost. `serve.blocks.decoded`/`.skipped` measure the predicate
+//! pushdown: skipped blocks were proven irrelevant from the index
+//! alone and never decoded or shipped. Rows in `docs/METRICS.md` are
+//! kept honest by the `metrics_doc_sync` test.
+
+use std::sync::Arc;
+
+use wrl_obs::{counter, gauge, global, histogram, Counter, Gauge, Histogram};
+
+use crate::wire::op;
+
+/// Counters, gauges and histograms for the trace service.
+#[derive(Clone)]
+pub struct ServeObs {
+    /// Total connections accepted.
+    pub connections: Arc<Counter>,
+    /// Requests by opcode: catalog, fetch, query, metrics.
+    requests: [Arc<Counter>; 4],
+    /// Request-latency histograms by opcode, in nanoseconds.
+    latency: [Arc<Histogram>; 4],
+    /// Frame bytes read off sockets.
+    pub bytes_in: Arc<Counter>,
+    /// Frame bytes written to sockets.
+    pub bytes_out: Arc<Counter>,
+    /// Requests currently executing (high-water = deepest ever).
+    pub inflight: Arc<Gauge>,
+    /// Requests refused by the admission gate.
+    pub reject_busy: Arc<Counter>,
+    /// Request frames that were malformed or failed their CRC.
+    pub wire_errors: Arc<Counter>,
+    /// Blocks decoded to answer queries.
+    pub blocks_decoded: Arc<Counter>,
+    /// Blocks the pushdown proved irrelevant (never decoded).
+    pub blocks_skipped: Arc<Counter>,
+}
+
+impl ServeObs {
+    /// Registers every `serve.*` metric in the global registry.
+    pub fn register() -> ServeObs {
+        let r = global();
+        ServeObs {
+            connections: counter!(
+                r,
+                "serve.connections",
+                "connections",
+                "§3.4",
+                "Connections the trace service accepted."
+            ),
+            requests: [
+                counter!(
+                    r,
+                    "serve.requests.catalog",
+                    "requests",
+                    "§3.4",
+                    "Catalog requests served."
+                ),
+                counter!(
+                    r,
+                    "serve.requests.fetch",
+                    "requests",
+                    "§3.4",
+                    "Raw block-range fetch requests served."
+                ),
+                counter!(
+                    r,
+                    "serve.requests.query",
+                    "requests",
+                    "§3.4",
+                    "Windowed predicate-pushdown queries served."
+                ),
+                counter!(
+                    r,
+                    "serve.requests.metrics",
+                    "requests",
+                    "§3.4",
+                    "Metrics-snapshot requests served."
+                ),
+            ],
+            latency: [
+                histogram!(
+                    r,
+                    "serve.latency.catalog",
+                    "ns",
+                    "§4.2",
+                    "Catalog request service time."
+                ),
+                histogram!(
+                    r,
+                    "serve.latency.fetch",
+                    "ns",
+                    "§4.2",
+                    "Raw block-range fetch service time."
+                ),
+                histogram!(
+                    r,
+                    "serve.latency.query",
+                    "ns",
+                    "§4.2",
+                    "Windowed query service time (decode + filter)."
+                ),
+                histogram!(
+                    r,
+                    "serve.latency.metrics",
+                    "ns",
+                    "§4.2",
+                    "Metrics-snapshot service time."
+                ),
+            ],
+            bytes_in: counter!(
+                r,
+                "serve.bytes.in",
+                "bytes",
+                "§3.4",
+                "Frame bytes read from clients."
+            ),
+            bytes_out: counter!(
+                r,
+                "serve.bytes.out",
+                "bytes",
+                "§3.4",
+                "Frame bytes written to clients."
+            ),
+            inflight: gauge!(
+                r,
+                "serve.inflight",
+                "requests",
+                "§3.4",
+                "Requests executing right now; high-water is the deepest the admission gate got."
+            ),
+            reject_busy: counter!(
+                r,
+                "serve.reject.busy",
+                "requests",
+                "§3.4",
+                "Requests answered Busy by the max-inflight admission gate."
+            ),
+            wire_errors: counter!(
+                r,
+                "serve.errors.wire",
+                "errors",
+                "§4.3",
+                "Request frames rejected as malformed or CRC-damaged."
+            ),
+            blocks_decoded: counter!(
+                r,
+                "serve.blocks.decoded",
+                "blocks",
+                "§3.2",
+                "Store blocks decoded to answer queries."
+            ),
+            blocks_skipped: counter!(
+                r,
+                "serve.blocks.skipped",
+                "blocks",
+                "§3.2",
+                "Store blocks predicate pushdown proved irrelevant (never decoded)."
+            ),
+        }
+    }
+
+    fn op_slot(opcode: u8) -> Option<usize> {
+        match opcode {
+            op::CATALOG => Some(0),
+            op::FETCH => Some(1),
+            op::QUERY => Some(2),
+            op::METRICS => Some(3),
+            _ => None,
+        }
+    }
+
+    /// Counts one served request of the given opcode.
+    pub fn count_request(&self, opcode: u8) {
+        if let Some(i) = Self::op_slot(opcode) {
+            self.requests[i].inc();
+        }
+    }
+
+    /// Records one request's service time.
+    pub fn record_latency(&self, opcode: u8, nanos: u64) {
+        if let Some(i) = Self::op_slot(opcode) {
+            self.latency[i].record(nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_and_counts_by_opcode() {
+        let a = ServeObs::register();
+        let b = ServeObs::register();
+        let before = a.requests[2].get();
+        b.count_request(op::QUERY);
+        b.record_latency(op::QUERY, 1234);
+        b.count_request(0x55); // unknown opcodes are ignored
+        if wrl_obs::recording() {
+            assert_eq!(a.requests[2].get(), before + 1);
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! The trace-query server: bounded concurrency over
+//! thread-per-connection accept.
+//!
+//! Shape, in order of what a request meets:
+//!
+//! * **Accept loop** — one thread blocks in `accept`, spawning a
+//!   thread per connection. Connection threads set per-socket read
+//!   and write timeouts, so no peer can hold a thread hostage: an
+//!   idle read tick doubles as the shutdown poll, and a peer that
+//!   stalls mid-frame is cut off after a bounded number of ticks.
+//! * **Admission gate** — a max-inflight counter. A request arriving
+//!   while `max_inflight` requests are executing is answered `Busy`
+//!   immediately instead of queueing unboundedly; the client retries.
+//!   This bounds memory and keeps latency honest under overload (the
+//!   `serve.inflight` high-water mark records the deepest it got).
+//! * **Execution** — queries run on the store's parallel block farm
+//!   ([`wrl_store::query_parallel`]), so one big query saturates the
+//!   cores; fetches ship raw compressed blocks for client-side
+//!   verification; metrics snapshots reuse `wrl-obs-metrics/v1`.
+//! * **Graceful shutdown** — [`Server::shutdown`] stops the accept
+//!   loop, lets every in-flight request finish and its response
+//!   flush, then joins all threads. No request is abandoned
+//!   mid-execution; connections drain at their next idle tick.
+//!
+//! [`ServeHooks`] is the fault-injection seam (mirroring the store
+//! farm's `FarmHooks`): the chaos campaign corrupts or cuts encoded
+//! response frames right before the socket write, and the client side
+//! must classify every such fault as a typed error — never a wrong
+//! answer, §4.3 carried over the wire.
+
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wrl_store::{query_parallel, TraceStore};
+
+use crate::obs::ServeObs;
+use crate::wire::{
+    self, err, read_frame, CatalogEntry, FrameRead, RawBlock, Request, Response, MAX_FRAME,
+};
+
+/// Server shape parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeCfg {
+    /// Requests allowed to execute at once; the gate answers `Busy`
+    /// past this.
+    pub max_inflight: usize,
+    /// Per-socket read-timeout tick (also the shutdown poll period).
+    pub read_timeout: Duration,
+    /// Per-socket write timeout.
+    pub write_timeout: Duration,
+    /// Mid-frame read-timeout ticks tolerated before a peer is cut
+    /// off (total stall bound ≈ `max_stalls × read_timeout`).
+    pub max_stalls: u32,
+    /// Worker threads for one query's parallel block decode.
+    pub query_workers: usize,
+}
+
+impl Default for ServeCfg {
+    fn default() -> ServeCfg {
+        ServeCfg {
+            max_inflight: 16,
+            read_timeout: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(2),
+            max_stalls: 100,
+            query_workers: 4,
+        }
+    }
+}
+
+/// The archives a server offers, by name.
+#[derive(Clone, Default)]
+pub struct Catalog {
+    entries: Vec<(String, Arc<TraceStore>)>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Adds (or replaces) an archive under `name`, keeping the
+    /// catalog sorted by name.
+    pub fn add(&mut self, name: impl Into<String>, store: Arc<TraceStore>) {
+        let name = name.into();
+        match self
+            .entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(&name))
+        {
+            Ok(i) => self.entries[i].1 = store,
+            Err(i) => self.entries.insert(i, (name, store)),
+        }
+    }
+
+    /// Looks an archive up by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<TraceStore>> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// The catalog rows a catalog response ships.
+    pub fn rows(&self) -> Vec<CatalogEntry> {
+        self.entries
+            .iter()
+            .map(|(name, s)| CatalogEntry {
+                name: name.clone(),
+                n_words: s.n_words,
+                n_blocks: s.n_blocks() as u32,
+                block_words: s.block_words,
+                compressed_bytes: s.compressed_bytes(),
+            })
+            .collect()
+    }
+}
+
+/// What the fault seam does to one encoded response frame.
+#[derive(Clone, Copy, Debug)]
+pub enum WireFate {
+    /// Write the frame as encoded.
+    Deliver,
+    /// Flip one bit (`at` is reduced modulo the frame length) before
+    /// writing — at-rest frame corruption.
+    FlipBit {
+        /// Byte position selector.
+        at: u64,
+        /// Bit within the byte (reduced modulo 8).
+        bit: u8,
+    },
+    /// Write only the first `at % len` bytes, then sever the
+    /// connection — a mid-response drop.
+    CutAfter {
+        /// Cut position selector.
+        at: u64,
+    },
+}
+
+/// Deterministic fault-injection hooks, consulted once per response
+/// frame with a server-global response sequence number. Production
+/// servers use the default (deliver everything); the `wrl-fault`
+/// chaos campaign is the only other caller.
+#[derive(Clone, Default)]
+pub struct ServeHooks {
+    response: Option<Arc<dyn Fn(u64) -> WireFate + Send + Sync>>,
+}
+
+impl ServeHooks {
+    /// Hooks that consult `f` with the response sequence number for
+    /// every response about to be written.
+    pub fn on_response(f: impl Fn(u64) -> WireFate + Send + Sync + 'static) -> ServeHooks {
+        ServeHooks {
+            response: Some(Arc::new(f)),
+        }
+    }
+
+    fn fate(&self, seq: u64) -> WireFate {
+        match &self.response {
+            None => WireFate::Deliver,
+            Some(f) => f(seq),
+        }
+    }
+}
+
+struct Shared {
+    catalog: Catalog,
+    cfg: ServeCfg,
+    obs: ServeObs,
+    hooks: ServeHooks,
+    /// The admission gate proper — a plain atomic, not the obs gauge,
+    /// so admission works identically in no-record builds.
+    inflight: AtomicUsize,
+    resp_seq: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A running trace-query server. Dropping it (or calling
+/// [`Server::shutdown`]) drains in-flight requests and joins every
+/// thread.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `catalog`.
+    pub fn start(addr: &str, catalog: Catalog, cfg: ServeCfg) -> io::Result<Server> {
+        Server::start_with_hooks(addr, catalog, cfg, ServeHooks::default())
+    }
+
+    /// Like [`Server::start`], with fault-injection hooks. Used by the
+    /// chaos campaign; production callers use `start` (equivalent to
+    /// default hooks).
+    pub fn start_with_hooks(
+        addr: &str,
+        catalog: Catalog,
+        cfg: ServeCfg,
+        hooks: ServeHooks,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            catalog,
+            cfg,
+            obs: ServeObs::register(),
+            hooks,
+            inflight: AtomicUsize::new(0),
+            resp_seq: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let (shared, conns) = (shared.clone(), conns.clone());
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = shared.clone();
+                    let h = std::thread::spawn(move || connection(&shared, stream));
+                    conns.lock().expect("serve conns lock").push(h);
+                }
+            })
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (with the actual port when `:0` was asked).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metric handles (tests assert on these).
+    pub fn obs(&self) -> &ServeObs {
+        &self.shared.obs
+    }
+
+    /// Stops accepting, drains every in-flight request, joins all
+    /// threads. Idempotent via [`Drop`].
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection; it
+        // sees the flag before handling it.
+        let _ = TcpStream::connect(self.addr);
+        accept.join().expect("serve accept thread panicked");
+        let conns = std::mem::take(&mut *self.conns.lock().expect("serve conns lock"));
+        for h in conns {
+            h.join().expect("serve connection thread panicked");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn connection(shared: &Shared, mut stream: TcpStream) {
+    let cfg = &shared.cfg;
+    let obs = &shared.obs;
+    obs.connections.inc();
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let body = match read_frame(&mut stream, cfg.max_stalls) {
+            Ok(FrameRead::Idle) => continue,
+            Ok(FrameRead::Eof) => break,
+            Ok(FrameRead::Frame(b)) => b,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Corrupt length prefix: report, then drop the
+                // connection — framing can no longer be trusted.
+                obs.wire_errors.inc();
+                let _ = write_response(
+                    &mut stream,
+                    shared,
+                    0,
+                    &Response::Error {
+                        code: err::WIRE,
+                        msg: e.to_string(),
+                    },
+                );
+                break;
+            }
+            Err(_) => break,
+        };
+        obs.bytes_in.add(4 + body.len() as u64);
+        let (req_id, req) = match wire::decode_request(&body) {
+            Ok(x) => x,
+            Err(e) => {
+                obs.wire_errors.inc();
+                // The id bytes may themselves be damaged; echo them
+                // anyway so the client can correlate, then drop the
+                // connection.
+                let rid = u64::from_le_bytes(body[..8].try_into().unwrap());
+                let _ = write_response(
+                    &mut stream,
+                    shared,
+                    rid,
+                    &Response::Error {
+                        code: err::WIRE,
+                        msg: e.to_string(),
+                    },
+                );
+                break;
+            }
+        };
+        // The admission gate: reserve a slot or answer Busy now —
+        // never queue.
+        let admitted = shared
+            .inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < cfg.max_inflight).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            obs.reject_busy.inc();
+            if write_response(&mut stream, shared, req_id, &Response::Busy).is_err() {
+                break;
+            }
+            continue;
+        }
+        obs.inflight.add(1);
+        let t0 = Instant::now();
+        let resp = handle(shared, &req);
+        obs.record_latency(req.opcode(), t0.elapsed().as_nanos() as u64);
+        obs.count_request(req.opcode());
+        let wrote = write_response(&mut stream, shared, req_id, &resp);
+        obs.inflight.add(-1);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        match wrote {
+            Ok(true) => {}
+            Ok(false) | Err(_) => break,
+        }
+    }
+}
+
+/// Encodes and writes one response, applying the fault seam. Returns
+/// `Ok(false)` when the fate severed the connection.
+fn write_response(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    req_id: u64,
+    resp: &Response,
+) -> io::Result<bool> {
+    let mut frame = wire::encode_response(req_id, resp);
+    let seq = shared.resp_seq.fetch_add(1, Ordering::SeqCst);
+    let mut severed = false;
+    match shared.hooks.fate(seq) {
+        WireFate::Deliver => {}
+        WireFate::FlipBit { at, bit } => {
+            let i = (at % frame.len() as u64) as usize;
+            frame[i] ^= 1 << (bit % 8);
+        }
+        WireFate::CutAfter { at } => {
+            let keep = (at % frame.len() as u64) as usize;
+            frame.truncate(keep);
+            severed = true;
+        }
+    }
+    stream.write_all(&frame)?;
+    shared.obs.bytes_out.add(frame.len() as u64);
+    if severed {
+        let _ = stream.shutdown(Shutdown::Both);
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+fn handle(shared: &Shared, req: &Request) -> Response {
+    let store_of = |name: &str| {
+        shared.catalog.get(name).ok_or_else(|| Response::Error {
+            code: err::NO_SUCH_ARCHIVE,
+            msg: format!("no archive named {name:?} in the catalog"),
+        })
+    };
+    match req {
+        Request::Catalog => Response::Catalog(shared.catalog.rows()),
+        Request::Metrics => Response::Metrics(
+            wrl_obs::global()
+                .snapshot()
+                .to_json(&[("service", "wrl-serve"), ("schema_wire", wire::WIRE_SCHEMA)]),
+        ),
+        Request::Fetch {
+            archive,
+            first_block,
+            n_blocks,
+        } => {
+            let store = match store_of(archive) {
+                Ok(s) => s,
+                Err(e) => return e,
+            };
+            let first = *first_block as usize;
+            let Some(end) = first.checked_add(*n_blocks as usize) else {
+                return bad_request("block range overflows");
+            };
+            if end > store.n_blocks() {
+                return bad_request("block range out of bounds");
+            }
+            let mut total = 0usize;
+            let mut blocks = Vec::with_capacity(end - first);
+            for i in first..end {
+                let m = *store.block_meta(i);
+                let comp = match store.block_bytes(i) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        return Response::Error {
+                            code: err::STORE,
+                            msg: e.to_string(),
+                        }
+                    }
+                };
+                total += 31 + comp.len();
+                if total > MAX_FRAME - 64 {
+                    return bad_request("block range exceeds the frame cap; fetch fewer blocks");
+                }
+                blocks.push(RawBlock {
+                    words: m.words,
+                    crc: m.crc,
+                    first_asid: m.first_asid,
+                    last_asid: m.last_asid,
+                    flags: m.flags,
+                    first_word: m.first_word,
+                    min_daddr: m.min_daddr,
+                    max_daddr: m.max_daddr,
+                    comp: comp.to_vec(),
+                });
+            }
+            Response::Fetch(blocks)
+        }
+        Request::Query { archive, pred } => {
+            let store = match store_of(archive) {
+                Ok(s) => s,
+                Err(e) => return e,
+            };
+            match query_parallel(store, pred, shared.cfg.query_workers) {
+                Ok(q) => {
+                    shared.obs.blocks_decoded.add(u64::from(q.blocks_decoded));
+                    shared.obs.blocks_skipped.add(u64::from(q.blocks_skipped));
+                    if q.words.len() * 4 + 64 > MAX_FRAME {
+                        return bad_request(
+                            "query result exceeds the frame cap; narrow the window",
+                        );
+                    }
+                    Response::Query(q)
+                }
+                Err(e) => Response::Error {
+                    code: err::STORE,
+                    msg: e.to_string(),
+                },
+            }
+        }
+    }
+}
+
+fn bad_request(msg: &str) -> Response {
+    Response::Error {
+        code: err::BAD_REQUEST,
+        msg: msg.to_string(),
+    }
+}

@@ -1,0 +1,765 @@
+//! The `wrl-wire/v1` framing and message codec.
+//!
+//! Every message — request or response — travels in one
+//! length-prefixed, CRC-framed binary frame:
+//!
+//! ```text
+//! frame    := u32 len, body            len = |body|, ≤ MAX_FRAME
+//! body     := u64 req_id, u8 opcode, payload, u32 crc32(req_id ‥ payload)
+//! string   := u16 len, utf-8 bytes
+//! opt<T>   := u8 0 | u8 1, T
+//!
+//! request  := 0x01 catalog  {}
+//!           | 0x02 fetch    { archive: string, first_block: u32, n_blocks: u32 }
+//!           | 0x03 query    { archive: string, asid: opt<u8>,
+//!                             window: opt<{ lo: u64, hi: u64 }> }
+//!           | 0x04 metrics  {}
+//! response := 0x81 catalog  { u32 n, entry × n }
+//!           | 0x82 fetch    { u32 n, raw_block × n }
+//!           | 0x83 query    { blocks_decoded: u32, blocks_skipped: u32,
+//!                             u64 n_words, u32 word × n_words }
+//!           | 0x84 metrics  { json: string32 }      (wrl-obs-metrics/v1)
+//!           | 0x7e busy     {}
+//!           | 0x7f error    { code: u16, msg: string }
+//! ```
+//!
+//! All integers are little-endian, matching the store container. The
+//! CRC-32 (the store codec's polynomial) covers the request id, the
+//! opcode and the payload, so a flipped bit anywhere in a frame is a
+//! typed [`WireError::CrcMismatch`] — never a silently different
+//! message, the §4.3 rule extended over the network. The length
+//! prefix is capped at [`MAX_FRAME`] so a corrupted length can cost
+//! at most one bounded allocation before the CRC catches it.
+
+use wrl_store::{crc32_bytes, Predicate, QueryResult};
+
+/// Protocol identifier; bumped on any incompatible framing change.
+pub const WIRE_SCHEMA: &str = "wrl-wire/v1";
+
+/// Hard cap on one frame's body, bounding the allocation a length
+/// prefix can demand (64 MiB holds a ~16M-word query response).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Smallest legal body: request id, opcode, empty payload, CRC.
+pub const MIN_BODY: usize = 8 + 1 + 4;
+
+/// Request opcodes (responses are `opcode | 0x80`).
+pub mod op {
+    /// List the archives the server holds.
+    pub const CATALOG: u8 = 0x01;
+    /// Fetch a range of raw compressed blocks with their index entries.
+    pub const FETCH: u8 = 0x02;
+    /// Windowed decode with predicate pushdown.
+    pub const QUERY: u8 = 0x03;
+    /// `wrl-obs-metrics/v1` JSON snapshot of the server's registry.
+    pub const METRICS: u8 = 0x04;
+    /// Response bit: a response's opcode is the request's, ORed in.
+    pub const RESPONSE: u8 = 0x80;
+    /// The admission gate refused the request; retry later.
+    pub const BUSY: u8 = 0x7e;
+    /// The request failed; payload carries code and message.
+    pub const ERROR: u8 = 0x7f;
+}
+
+/// Error codes carried by an `error` response.
+pub mod err {
+    /// The named archive is not in the server's catalog.
+    pub const NO_SUCH_ARCHIVE: u16 = 1;
+    /// The request frame decoded but asked something unserviceable
+    /// (bad block range, oversized response).
+    pub const BAD_REQUEST: u16 = 2;
+    /// The store failed server-side (codec, CRC) — the §4.3 outcome
+    /// reported to the client instead of a wrong answer.
+    pub const STORE: u16 = 3;
+    /// The request frame itself was malformed or failed its CRC.
+    pub const WIRE: u16 = 4;
+}
+
+/// A decoded request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// List the archives the server holds.
+    Catalog,
+    /// Fetch `n_blocks` raw compressed blocks starting at
+    /// `first_block`, with their index entries.
+    Fetch {
+        /// Catalog name of the archive.
+        archive: String,
+        /// First block of the range.
+        first_block: u32,
+        /// Number of blocks.
+        n_blocks: u32,
+    },
+    /// Decode and filter server-side, shipping only matching words.
+    Query {
+        /// Catalog name of the archive.
+        archive: String,
+        /// The word filter (pushed down to the block index).
+        pred: Predicate,
+    },
+    /// Snapshot the server's metrics registry.
+    Metrics,
+}
+
+impl Request {
+    /// The request's wire opcode.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Catalog => op::CATALOG,
+            Request::Fetch { .. } => op::FETCH,
+            Request::Query { .. } => op::QUERY,
+            Request::Metrics => op::METRICS,
+        }
+    }
+}
+
+/// One archive's row in a catalog response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Catalog name (what fetch/query requests reference).
+    pub name: String,
+    /// Total trace words.
+    pub n_words: u64,
+    /// Block count.
+    pub n_blocks: u32,
+    /// Nominal words per block.
+    pub block_words: u32,
+    /// Compressed block-area size in bytes.
+    pub compressed_bytes: u64,
+}
+
+/// One raw block in a fetch response: the index entry plus the
+/// compressed bytes, so the client can decompress and verify the
+/// CRC itself — the store's end-to-end integrity check survives the
+/// network hop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawBlock {
+    /// Decoded word count.
+    pub words: u32,
+    /// CRC-32 over the decoded words.
+    pub crc: u32,
+    /// ASID context at the block's first word.
+    pub first_asid: u8,
+    /// ASID context after the block's last word.
+    pub last_asid: u8,
+    /// Summary flags (see [`wrl_store::BlockMeta`]).
+    pub flags: u8,
+    /// Global word offset of the block's first word.
+    pub first_word: u64,
+    /// Minimum data address (when the summary flag says so).
+    pub min_daddr: u32,
+    /// Maximum data address (when the summary flag says so).
+    pub max_daddr: u32,
+    /// The compressed block bytes, exactly as stored.
+    pub comp: Vec<u8>,
+}
+
+impl RawBlock {
+    /// Decompresses the block and verifies its words against the
+    /// shipped CRC — the client-side half of the end-to-end check.
+    pub fn decode(&self) -> Result<Vec<u32>, WireError> {
+        let words = wrl_store::decompress_block(&self.comp, self.words as usize)
+            .map_err(|_| WireError::Malformed("fetched block fails to decompress"))?;
+        let got = wrl_store::crc32_words(&words);
+        if got != self.crc {
+            return Err(WireError::CrcMismatch {
+                want: self.crc,
+                got,
+            });
+        }
+        Ok(words)
+    }
+}
+
+/// A decoded response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The server's archives, sorted by name.
+    Catalog(Vec<CatalogEntry>),
+    /// The requested raw blocks, in range order.
+    Fetch(Vec<RawBlock>),
+    /// The matching words plus the pushdown's skip counts.
+    Query(QueryResult),
+    /// `wrl-obs-metrics/v1` JSON.
+    Metrics(String),
+    /// Admission gate full; retry later.
+    Busy,
+    /// The request failed with a typed code.
+    Error {
+        /// One of the [`err`] codes.
+        code: u16,
+        /// Human-readable diagnosis.
+        msg: String,
+    },
+}
+
+impl Response {
+    /// The response's wire opcode.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Response::Catalog(_) => op::CATALOG | op::RESPONSE,
+            Response::Fetch(_) => op::FETCH | op::RESPONSE,
+            Response::Query(_) => op::QUERY | op::RESPONSE,
+            Response::Metrics(_) => op::METRICS | op::RESPONSE,
+            Response::Busy => op::BUSY,
+            Response::Error { .. } => op::ERROR,
+        }
+    }
+}
+
+/// Typed wire-level failures. Every way a frame can be damaged maps
+/// here — the chaos campaign's "detected" outcome for wire faults.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Framing or payload structure is broken.
+    Malformed(&'static str),
+    /// The frame parsed but its CRC does not cover its bytes.
+    CrcMismatch {
+        /// CRC carried in the frame.
+        want: u32,
+        /// CRC computed over the received bytes.
+        got: u32,
+    },
+    /// The length prefix exceeds [`MAX_FRAME`].
+    TooLarge(u32),
+    /// The opcode byte names no known message.
+    UnknownOpcode(u8),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::CrcMismatch { want, got } => {
+                write!(
+                    f,
+                    "frame CRC mismatch (framed {want:#010x}, got {got:#010x})"
+                )
+            }
+            WireError::TooLarge(n) => write!(f, "frame length {n} exceeds cap"),
+            WireError::UnknownOpcode(o) => write!(f, "unknown opcode {o:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Long string (metrics JSON outgrows u16).
+fn put_str32(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(WireError::Malformed("truncated payload"))?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str16(&mut self) -> Result<String, WireError> {
+        let n = self.u16()? as usize;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| WireError::Malformed("string is not utf-8"))
+    }
+    fn str32(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| WireError::Malformed("string is not utf-8"))
+    }
+    fn done(&self) -> Result<(), WireError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+/// Encodes one whole frame — length prefix, request id, opcode,
+/// payload, CRC — ready to write to a socket.
+fn encode_frame(req_id: u64, opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let body_len = 8 + 1 + payload.len() + 4;
+    let mut out = Vec::with_capacity(4 + body_len);
+    put_u32(&mut out, body_len as u32);
+    put_u64(&mut out, req_id);
+    out.push(opcode);
+    out.extend_from_slice(payload);
+    let crc = crc32_bytes(&out[4..]);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Splits a received body into (request id, opcode, payload) after
+/// checking the CRC. `body` excludes the length prefix.
+fn decode_frame(body: &[u8]) -> Result<(u64, u8, &[u8]), WireError> {
+    if body.len() < MIN_BODY {
+        return Err(WireError::Malformed("body shorter than minimum"));
+    }
+    let crc_at = body.len() - 4;
+    let want = u32::from_le_bytes(body[crc_at..].try_into().unwrap());
+    let got = crc32_bytes(&body[..crc_at]);
+    if want != got {
+        return Err(WireError::CrcMismatch { want, got });
+    }
+    let req_id = u64::from_le_bytes(body[..8].try_into().unwrap());
+    Ok((req_id, body[8], &body[9..crc_at]))
+}
+
+fn put_pred(out: &mut Vec<u8>, pred: &Predicate) {
+    match pred.asid {
+        None => out.push(0),
+        Some(a) => {
+            out.push(1);
+            out.push(a);
+        }
+    }
+    match pred.window {
+        None => out.push(0),
+        Some((lo, hi)) => {
+            out.push(1);
+            put_u64(out, lo);
+            put_u64(out, hi);
+        }
+    }
+}
+
+fn get_pred(c: &mut Cursor) -> Result<Predicate, WireError> {
+    let asid = match c.u8()? {
+        0 => None,
+        1 => Some(c.u8()?),
+        _ => return Err(WireError::Malformed("bad option tag")),
+    };
+    let window = match c.u8()? {
+        0 => None,
+        1 => Some((c.u64()?, c.u64()?)),
+        _ => return Err(WireError::Malformed("bad option tag")),
+    };
+    Ok(Predicate { asid, window })
+}
+
+/// Encodes a request as one frame.
+pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
+    let mut p = Vec::new();
+    match req {
+        Request::Catalog | Request::Metrics => {}
+        Request::Fetch {
+            archive,
+            first_block,
+            n_blocks,
+        } => {
+            put_str(&mut p, archive);
+            put_u32(&mut p, *first_block);
+            put_u32(&mut p, *n_blocks);
+        }
+        Request::Query { archive, pred } => {
+            put_str(&mut p, archive);
+            put_pred(&mut p, pred);
+        }
+    }
+    encode_frame(req_id, req.opcode(), &p)
+}
+
+/// Decodes a request body (without length prefix), returning the
+/// request id alongside.
+pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
+    let (req_id, opcode, payload) = decode_frame(body)?;
+    let mut c = Cursor {
+        buf: payload,
+        at: 0,
+    };
+    let req = match opcode {
+        op::CATALOG => Request::Catalog,
+        op::METRICS => Request::Metrics,
+        op::FETCH => Request::Fetch {
+            archive: c.str16()?,
+            first_block: c.u32()?,
+            n_blocks: c.u32()?,
+        },
+        op::QUERY => Request::Query {
+            archive: c.str16()?,
+            pred: get_pred(&mut c)?,
+        },
+        other => return Err(WireError::UnknownOpcode(other)),
+    };
+    c.done()?;
+    Ok((req_id, req))
+}
+
+/// Encodes a response as one frame.
+pub fn encode_response(req_id: u64, resp: &Response) -> Vec<u8> {
+    let mut p = Vec::new();
+    match resp {
+        Response::Busy => {}
+        Response::Error { code, msg } => {
+            put_u16(&mut p, *code);
+            put_str(&mut p, msg);
+        }
+        Response::Catalog(entries) => {
+            put_u32(&mut p, entries.len() as u32);
+            for e in entries {
+                put_str(&mut p, &e.name);
+                put_u64(&mut p, e.n_words);
+                put_u32(&mut p, e.n_blocks);
+                put_u32(&mut p, e.block_words);
+                put_u64(&mut p, e.compressed_bytes);
+            }
+        }
+        Response::Fetch(blocks) => {
+            put_u32(&mut p, blocks.len() as u32);
+            for b in blocks {
+                put_u32(&mut p, b.words);
+                put_u32(&mut p, b.crc);
+                p.push(b.first_asid);
+                p.push(b.last_asid);
+                p.push(b.flags);
+                put_u64(&mut p, b.first_word);
+                put_u32(&mut p, b.min_daddr);
+                put_u32(&mut p, b.max_daddr);
+                put_u32(&mut p, b.comp.len() as u32);
+                p.extend_from_slice(&b.comp);
+            }
+        }
+        Response::Query(q) => {
+            put_u32(&mut p, q.blocks_decoded);
+            put_u32(&mut p, q.blocks_skipped);
+            put_u64(&mut p, q.words.len() as u64);
+            for &w in &q.words {
+                put_u32(&mut p, w);
+            }
+        }
+        Response::Metrics(json) => put_str32(&mut p, json),
+    }
+    encode_frame(req_id, resp.opcode(), &p)
+}
+
+/// Decodes a response body (without length prefix), returning the
+/// request id it answers.
+pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
+    let (req_id, opcode, payload) = decode_frame(body)?;
+    let mut c = Cursor {
+        buf: payload,
+        at: 0,
+    };
+    let resp = match opcode {
+        op::BUSY => Response::Busy,
+        op::ERROR => Response::Error {
+            code: c.u16()?,
+            msg: c.str16()?,
+        },
+        o if o == op::CATALOG | op::RESPONSE => {
+            let n = c.u32()? as usize;
+            if n > payload.len() / 4 {
+                return Err(WireError::Malformed("catalog count exceeds payload"));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(CatalogEntry {
+                    name: c.str16()?,
+                    n_words: c.u64()?,
+                    n_blocks: c.u32()?,
+                    block_words: c.u32()?,
+                    compressed_bytes: c.u64()?,
+                });
+            }
+            Response::Catalog(entries)
+        }
+        o if o == op::FETCH | op::RESPONSE => {
+            let n = c.u32()? as usize;
+            if n > payload.len() / 4 {
+                return Err(WireError::Malformed("block count exceeds payload"));
+            }
+            let mut blocks = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (words, crc) = (c.u32()?, c.u32()?);
+                let (first_asid, last_asid, flags) = (c.u8()?, c.u8()?, c.u8()?);
+                let first_word = c.u64()?;
+                let (min_daddr, max_daddr) = (c.u32()?, c.u32()?);
+                let comp_len = c.u32()? as usize;
+                blocks.push(RawBlock {
+                    words,
+                    crc,
+                    first_asid,
+                    last_asid,
+                    flags,
+                    first_word,
+                    min_daddr,
+                    max_daddr,
+                    comp: c.take(comp_len)?.to_vec(),
+                });
+            }
+            Response::Fetch(blocks)
+        }
+        o if o == op::QUERY | op::RESPONSE => {
+            let blocks_decoded = c.u32()?;
+            let blocks_skipped = c.u32()?;
+            let n = c.u64()? as usize;
+            if n != (payload.len() - c.at) / 4 {
+                return Err(WireError::Malformed("word count disagrees with payload"));
+            }
+            let mut words = Vec::with_capacity(n);
+            for _ in 0..n {
+                words.push(c.u32()?);
+            }
+            Response::Query(QueryResult {
+                blocks_decoded,
+                blocks_skipped,
+                words,
+            })
+        }
+        o if o == op::METRICS | op::RESPONSE => Response::Metrics(c.str32()?),
+        other => return Err(WireError::UnknownOpcode(other)),
+    };
+    c.done()?;
+    Ok((req_id, resp))
+}
+
+/// What one attempt to read a frame off a socket produced.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete body (length prefix stripped, CRC not yet checked).
+    Frame(Vec<u8>),
+    /// The socket is open but idle: the read timed out before any
+    /// byte of a new frame arrived. Callers poll their shutdown flag
+    /// and try again — this is the tick that keeps a blocked server
+    /// thread responsive.
+    Idle,
+    /// Clean end of stream between frames.
+    Eof,
+}
+
+fn is_stall(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one length-prefixed frame from `r`, which must have a read
+/// timeout set: each timeout before the first byte of a frame is an
+/// [`FrameRead::Idle`] tick, while a timeout *mid-frame* counts
+/// against `max_stalls` — exceeding it is a hard `TimedOut` error, so
+/// a peer that stops sending mid-frame can stall a thread for at most
+/// `max_stalls` read-timeout ticks. Out-of-range length prefixes are
+/// `InvalidData` before any allocation beyond [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl std::io::Read, max_stalls: u32) -> std::io::Result<FrameRead> {
+    use std::io::{Error, ErrorKind};
+    let mut stalls = 0u32;
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(FrameRead::Eof)
+                } else {
+                    Err(ErrorKind::UnexpectedEof.into())
+                }
+            }
+            Ok(n) => got += n,
+            Err(e) if is_stall(&e) => {
+                if got == 0 {
+                    return Ok(FrameRead::Idle);
+                }
+                stalls += 1;
+                if stalls > max_stalls {
+                    return Err(Error::new(ErrorKind::TimedOut, "peer stalled mid-frame"));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if !(MIN_BODY..=MAX_FRAME).contains(&len) {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            WireError::Malformed("frame length out of range").to_string(),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut body[got..]) {
+            Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+            Ok(n) => got += n,
+            Err(e) if is_stall(&e) => {
+                stalls += 1;
+                if stalls > max_stalls {
+                    return Err(Error::new(ErrorKind::TimedOut, "peer stalled mid-frame"));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FrameRead::Frame(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let frame = encode_request(7, &req);
+        let (id, back) = decode_request(&frame[4..]).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        roundtrip_request(Request::Catalog);
+        roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::Fetch {
+            archive: "sed".into(),
+            first_block: 3,
+            n_blocks: 9,
+        });
+        roundtrip_request(Request::Query {
+            archive: "grr".into(),
+            pred: Predicate {
+                asid: Some(5),
+                window: Some((100, 2000)),
+            },
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Busy,
+            Response::Error {
+                code: err::NO_SUCH_ARCHIVE,
+                msg: "no archive named x".into(),
+            },
+            Response::Catalog(vec![CatalogEntry {
+                name: "sed".into(),
+                n_words: 123456,
+                n_blocks: 31,
+                block_words: 4096,
+                compressed_bytes: 9999,
+            }]),
+            Response::Fetch(vec![RawBlock {
+                words: 8,
+                crc: 0xdead_beef,
+                first_asid: 1,
+                last_asid: 2,
+                flags: 7,
+                first_word: 4096,
+                min_daddr: 0x1000,
+                max_daddr: 0x2000,
+                comp: vec![1, 2, 3, 4, 5],
+            }]),
+            Response::Query(QueryResult {
+                blocks_decoded: 2,
+                blocks_skipped: 40,
+                words: vec![0x8003_0100, 0x102, 0x8003_0104],
+            }),
+            Response::Metrics("{\"schema\": \"wrl-obs-metrics/v1\"}".into()),
+        ] {
+            let frame = encode_response(99, &resp);
+            let (id, back) = decode_response(&frame[4..]).unwrap();
+            assert_eq!(id, 99);
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn every_flipped_bit_is_detected() {
+        let frame = encode_request(
+            1,
+            &Request::Query {
+                archive: "sed".into(),
+                pred: Predicate {
+                    asid: Some(3),
+                    window: None,
+                },
+            },
+        );
+        // Flip every bit of the body in turn: each must surface as a
+        // typed error (almost always a CRC mismatch; flips inside the
+        // CRC field itself also land there).
+        for at in 4..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[at] ^= 1 << bit;
+                assert!(
+                    decode_request(&bad[4..]).is_err(),
+                    "flip at byte {at} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_and_junk_bodies_are_typed_errors() {
+        let frame = encode_request(1, &Request::Catalog);
+        for cut in 0..frame.len() - 5 {
+            assert!(decode_request(&frame[4..4 + cut]).is_err(), "cut={cut}");
+        }
+        assert!(matches!(
+            decode_request(&[0u8; 64]),
+            Err(WireError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fetched_block_verifies_end_to_end() {
+        let words: Vec<u32> = (0..100).map(|i| 0x8003_0000 + i * 4).collect();
+        let comp = wrl_store::compress_block(&words);
+        let mut b = RawBlock {
+            words: 100,
+            crc: wrl_store::crc32_words(&words),
+            first_asid: 0,
+            last_asid: 0,
+            flags: 0,
+            first_word: 0,
+            min_daddr: 0,
+            max_daddr: 0,
+            comp,
+        };
+        assert_eq!(b.decode().unwrap(), words);
+        b.comp[0] ^= 0xff;
+        assert!(b.decode().is_err());
+    }
+}

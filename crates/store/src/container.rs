@@ -1,5 +1,5 @@
 //! The block-structured, seekable trace container (archive format
-//! version 2).
+//! version 3; versions 1 and 2 still load).
 //!
 //! A version-1 `W3KTRACE` archive stores raw words; this container
 //! keeps the identical table section but chunks the word stream into
@@ -8,12 +8,14 @@
 //! without touching the others:
 //!
 //! ```text
-//! "W3KTRACE" magic, u32 version = 2, u32 block_words
+//! "W3KTRACE" magic, u32 version = 3, u32 block_words
 //! table section (byte-identical to v1's)
 //! u64 n_words
 //! compressed blocks, concatenated
 //! index: { u64 offset, u32 comp_len, u32 words, u32 crc32,
-//!          u8 first_asid, u8 last_asid }  × n_blocks
+//!          u8 first_asid, u8 last_asid,
+//!          u8 flags, u64 first_word, u32 min_daddr, u32 max_daddr
+//!        }  × n_blocks
 //! u32 n_blocks, u64 index_pos, u32 meta_crc, "W3KSIDX\0" tail magic
 //! ```
 //!
@@ -29,6 +31,19 @@
 //! metadata is as detectable as corruption of the blocks themselves
 //! (a flipped table byte would otherwise decode to silently wrong
 //! events, the one outcome the §4.3 discipline forbids).
+//!
+//! Version 3 widens each index entry with query summaries, computed
+//! at write time by running the real parser over the stream: the
+//! block's global word offset (`first_word`), whether the block
+//! contains any context-switch control word, and the min/max data
+//! address among the words the parser consumed as memory records.
+//! These let a [`Predicate`] prove most blocks irrelevant *from the
+//! index alone* — the predicate-pushdown behind [`TraceStore::query`]
+//! and the `wrl-serve` trace service. Version-2 entries (22 bytes,
+//! no summaries) are read by synthesising `first_word` cumulatively
+//! and leaving the summary flags clear, which lawfully disables
+//! summary-based skipping: a predicate over a v2 store decodes more
+//! blocks but selects the identical words.
 
 use std::io;
 use std::sync::Arc;
@@ -39,15 +54,17 @@ use wrl_trace::format::{classify, CtlOp, TraceWord};
 use wrl_trace::{ArchiveError, BbTable, TraceArchive, TraceParser};
 
 /// Store format version (within the `W3KTRACE` magic).
-pub const STORE_VERSION: u32 = 2;
+pub const STORE_VERSION: u32 = 3;
 /// Trailing magic closing the footer index.
 pub const TAIL_MAGIC: &[u8; 8] = b"W3KSIDX\0";
 /// Default words per block. 4096 words (16 KB raw) amortises per-block
 /// model warm-up while keeping parallel decode granular.
 pub const DEFAULT_BLOCK_WORDS: usize = 4096;
 
-/// Encoded size of one footer index entry.
-pub const INDEX_ENTRY_BYTES: usize = 8 + 4 + 4 + 4 + 1 + 1;
+/// Encoded size of one v3 footer index entry.
+pub const INDEX_ENTRY_BYTES: usize = 8 + 4 + 4 + 4 + 1 + 1 + 1 + 8 + 4 + 4;
+/// Encoded size of one legacy v2 footer index entry (no summaries).
+pub const INDEX_ENTRY_BYTES_V2: usize = 8 + 4 + 4 + 4 + 1 + 1;
 /// Encoded size of the fixed trailer: n_blocks, index_pos, meta_crc,
 /// tail magic.
 pub const TRAILER_BYTES: usize = 4 + 8 + 4 + 8;
@@ -61,7 +78,7 @@ pub enum StoreError {
     Archive(ArchiveError),
     /// Structural damage to the container framing.
     Malformed(&'static str),
-    /// The file is a `W3KTRACE` but neither v1 nor v2.
+    /// The file is a `W3KTRACE` but none of v1, v2 or v3.
     UnsupportedVersion(u32),
     /// One block's compressed bytes failed to decode.
     BlockCodec {
@@ -166,6 +183,55 @@ pub struct BlockMeta {
     pub first_asid: u8,
     /// ASID context in effect after the block's last word.
     pub last_asid: u8,
+    /// Summary flags ([`BlockMeta::FLAG_SUMMARY`] and friends). All
+    /// clear for blocks loaded from a v2 store, which lawfully
+    /// disables summary-based skipping.
+    pub flags: u8,
+    /// Global word offset of the block's first word — the block
+    /// covers trace-word offsets `first_word .. first_word + words`.
+    pub first_word: u64,
+    /// Minimum data address among the block's memory-record words
+    /// (meaningful only when [`BlockMeta::FLAG_DADDR`] is set).
+    pub min_daddr: u32,
+    /// Maximum data address among the block's memory-record words
+    /// (meaningful only when [`BlockMeta::FLAG_DADDR`] is set).
+    pub max_daddr: u32,
+}
+
+impl BlockMeta {
+    /// Summaries were computed at write time; without this flag a
+    /// reader must assume nothing about the block's contents.
+    pub const FLAG_SUMMARY: u8 = 1;
+    /// The block contains at least one context-switch control word,
+    /// so its words may belong to more than one ASID.
+    pub const FLAG_CTX_SWITCH: u8 = 1 << 1;
+    /// The block contains at least one memory-record word, and
+    /// `min_daddr`/`max_daddr` bound them.
+    pub const FLAG_DADDR: u8 = 1 << 2;
+
+    /// Whether write-time summaries are present (v3 stores).
+    pub fn has_summary(&self) -> bool {
+        self.flags & Self::FLAG_SUMMARY != 0
+    }
+
+    /// The half-open range of global trace-word offsets this block
+    /// covers.
+    pub fn word_range(&self) -> core::ops::Range<u64> {
+        self.first_word..self.first_word + u64::from(self.words)
+    }
+
+    /// The inclusive data-address bounds of the block's memory
+    /// records, if summaries recorded any.
+    pub fn daddr_range(&self) -> Option<(u32, u32)> {
+        (self.flags & Self::FLAG_DADDR != 0).then_some((self.min_daddr, self.max_daddr))
+    }
+
+    /// `true` when the index *proves* every word in this block sits in
+    /// the single ASID context `first_asid`. Requires write-time
+    /// summaries; v2 blocks conservatively answer `false`.
+    pub fn single_asid(&self) -> Option<u8> {
+        (self.has_summary() && self.flags & Self::FLAG_CTX_SWITCH == 0).then_some(self.first_asid)
+    }
 }
 
 /// A loaded trace store: decoding tables plus independently decodable
@@ -207,20 +273,66 @@ fn get_u64(buf: &[u8], at: usize) -> Result<u64, StoreError> {
         .ok_or(StoreError::Malformed("truncated"))
 }
 
+/// A [`wrl_trace::TraceSink`] that discards every event — the summary
+/// scan in [`TraceStore::from_archive`] only wants the parser's
+/// *positional* judgement (which words are memory records), not the
+/// references themselves.
+struct NullSink;
+
+impl wrl_trace::TraceSink for NullSink {
+    fn iref(&mut self, _vaddr: u32, _space: wrl_trace::Space, _idle: bool) {}
+    fn dref(
+        &mut self,
+        _vaddr: u32,
+        _store: bool,
+        _width: wrl_isa::Width,
+        _space: wrl_trace::Space,
+    ) {
+    }
+}
+
 impl TraceStore {
     /// Compresses an archive's word stream into a store, chunking at
     /// `block_words` (clamped to ≥ 1) words per block.
+    ///
+    /// Besides compressing, this computes each block's index
+    /// summaries by running the real parser over the stream with a
+    /// discarding sink: whether a word is a basic-block id or a data
+    /// address is *positional* (§3.3 — data words follow their bb-id
+    /// according to the static tables), so the only sound way to
+    /// bound a block's data addresses is to let the parser consume
+    /// the words. A word is a memory record exactly when the parse
+    /// advances `mem_records`, and its raw value *is* the data
+    /// address the parser hands to the sink.
     pub fn from_archive(a: &TraceArchive, block_words: usize) -> TraceStore {
         let block_words = block_words.max(1);
         let mut index = Vec::new();
         let mut blocks = Vec::new();
         let mut asid = 0u8;
+        let mut first_word = 0u64;
+        let mut parser = a.parser();
+        let mut mem_seen = parser.stats.mem_records;
         for chunk in a.words.chunks(block_words) {
             let first_asid = asid;
+            let mut flags = BlockMeta::FLAG_SUMMARY;
+            let mut min_daddr = 0u32;
+            let mut max_daddr = 0u32;
             for &w in chunk {
                 if let TraceWord::Ctl(c) = classify(w) {
                     if c.op == CtlOp::CtxSwitch {
                         asid = c.payload;
+                        flags |= BlockMeta::FLAG_CTX_SWITCH;
+                    }
+                }
+                parser.push_word(w, &mut NullSink);
+                if parser.stats.mem_records != mem_seen {
+                    mem_seen = parser.stats.mem_records;
+                    if flags & BlockMeta::FLAG_DADDR == 0 {
+                        (min_daddr, max_daddr) = (w, w);
+                        flags |= BlockMeta::FLAG_DADDR;
+                    } else {
+                        min_daddr = min_daddr.min(w);
+                        max_daddr = max_daddr.max(w);
                     }
                 }
             }
@@ -232,8 +344,13 @@ impl TraceStore {
                 crc: crc32_words(chunk),
                 first_asid,
                 last_asid: asid,
+                flags,
+                first_word,
+                min_daddr,
+                max_daddr,
             });
             blocks.extend_from_slice(&comp);
+            first_word += chunk.len() as u64;
         }
         TraceStore {
             kernel_table: a.kernel_table.clone(),
@@ -265,6 +382,20 @@ impl TraceStore {
         self.n_words * 4
     }
 
+    /// The compressed bytes of one block, exactly as stored — the raw
+    /// payload the `wrl-serve` block-range fetch ships over the wire
+    /// (the client decompresses and checks the index CRC itself, so
+    /// the end-to-end integrity guarantee survives the network hop).
+    pub fn block_bytes(&self, i: usize) -> Result<&[u8], StoreError> {
+        let m = self
+            .index
+            .get(i)
+            .ok_or(StoreError::Malformed("block index out of range"))?;
+        self.blocks
+            .get(m.offset as usize..(m.offset + u64::from(m.comp_len)) as usize)
+            .ok_or(StoreError::Malformed("block range outside block area"))
+    }
+
     /// Decodes one block, verifying its CRC. Blocks decode
     /// independently; this is the farm workers' entry point and is
     /// safe to call from many threads at once.
@@ -273,10 +404,7 @@ impl TraceStore {
             .index
             .get(i)
             .ok_or(StoreError::Malformed("block index out of range"))?;
-        let bytes = self
-            .blocks
-            .get(m.offset as usize..(m.offset + u64::from(m.comp_len)) as usize)
-            .ok_or(StoreError::Malformed("block range outside block area"))?;
+        let bytes = self.block_bytes(i)?;
         let words = decompress_block(bytes, m.words as usize)
             .map_err(|err| StoreError::BlockCodec { block: i, err })?;
         let got = crc32_words(&words);
@@ -319,7 +447,7 @@ impl TraceStore {
         p
     }
 
-    /// Encodes the store to bytes (a version-2 `W3KTRACE` file).
+    /// Encodes the store to bytes (a version-3 `W3KTRACE` file).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.blocks.len() + 4096);
         out.extend_from_slice(MAGIC);
@@ -337,6 +465,10 @@ impl TraceStore {
             put_u32(&mut out, m.crc);
             out.push(m.first_asid);
             out.push(m.last_asid);
+            out.push(m.flags);
+            put_u64(&mut out, m.first_word);
+            put_u32(&mut out, m.min_daddr);
+            put_u32(&mut out, m.max_daddr);
         }
         put_u32(&mut out, self.index.len() as u32);
         put_u64(&mut out, index_pos);
@@ -351,16 +483,23 @@ impl TraceStore {
         out
     }
 
-    /// Decodes a version-2 store from bytes. For transparent loading
-    /// of either version use [`TraceStore::decode_any`].
+    /// Decodes a version-3 or version-2 store from bytes (a v2 index
+    /// has no summaries; `first_word` is synthesised cumulatively and
+    /// the summary flags stay clear). For transparent loading of any
+    /// version, v1 included, use [`TraceStore::decode_any`].
     pub fn decode(buf: &[u8]) -> Result<TraceStore, StoreError> {
         if buf.len() < 16 || &buf[..8] != MAGIC {
             return Err(StoreError::Malformed("bad magic"));
         }
         let version = get_u32(buf, 8)?;
-        if version != STORE_VERSION {
+        if version != STORE_VERSION && version != 2 {
             return Err(StoreError::UnsupportedVersion(version));
         }
+        let entry_bytes = if version == 2 {
+            INDEX_ENTRY_BYTES_V2
+        } else {
+            INDEX_ENTRY_BYTES
+        };
         let block_words = get_u32(buf, 12)?;
         if block_words == 0 {
             return Err(StoreError::Malformed("zero block size"));
@@ -382,7 +521,7 @@ impl TraceStore {
         let index_pos = get_u64(buf, tail_at + 4)? as usize;
         if index_pos < blocks_at
             || index_pos > tail_at
-            || tail_at - index_pos != n_blocks * INDEX_ENTRY_BYTES
+            || tail_at - index_pos != n_blocks * entry_bytes
         {
             return Err(StoreError::Malformed("index bounds disagree with trailer"));
         }
@@ -406,14 +545,34 @@ impl TraceStore {
         let mut at = index_pos;
         let mut total_words = 0u64;
         for _ in 0..n_blocks {
-            let m = BlockMeta {
+            let mut m = BlockMeta {
                 offset: get_u64(buf, at)?,
                 comp_len: get_u32(buf, at + 8)?,
                 words: get_u32(buf, at + 12)?,
                 crc: get_u32(buf, at + 16)?,
                 first_asid: buf[at + 20],
                 last_asid: buf[at + 21],
+                flags: 0,
+                first_word: total_words,
+                min_daddr: 0,
+                max_daddr: 0,
             };
+            if version >= 3 {
+                m.flags = buf[at + 22];
+                m.first_word = get_u64(buf, at + 23)?;
+                m.min_daddr = get_u32(buf, at + 31)?;
+                m.max_daddr = get_u32(buf, at + 35)?;
+                // The word offsets must tile the stream exactly, or
+                // window pushdown would skip the wrong blocks.
+                if m.first_word != total_words {
+                    return Err(StoreError::Malformed(
+                        "index word offsets do not tile the stream",
+                    ));
+                }
+                if m.daddr_range().is_some_and(|(lo, hi)| lo > hi) {
+                    return Err(StoreError::Malformed("inverted data-address summary"));
+                }
+            }
             match m.offset.checked_add(u64::from(m.comp_len)) {
                 Some(end) if end <= blocks_len => {}
                 _ => return Err(StoreError::Malformed("block range outside block area")),
@@ -429,7 +588,7 @@ impl TraceStore {
             }
             total_words += u64::from(m.words);
             index.push(m);
-            at += INDEX_ENTRY_BYTES;
+            at += entry_bytes;
         }
         if total_words != n_words {
             return Err(StoreError::Malformed(
@@ -446,10 +605,10 @@ impl TraceStore {
         })
     }
 
-    /// Decodes either archive version: v2 natively, v1 by decoding the
-    /// raw words and compressing them in memory (so every caller gets
-    /// a block-structured store regardless of the on-disk format, and
-    /// `tests/data/golden.w3kt` keeps loading forever).
+    /// Decodes any archive version: v3 and v2 natively, v1 by decoding
+    /// the raw words and compressing them in memory (so every caller
+    /// gets a block-structured store regardless of the on-disk format,
+    /// and `tests/data/golden.w3kt` keeps loading forever).
     pub fn decode_any(buf: &[u8]) -> Result<TraceStore, StoreError> {
         match TraceStore::decode(buf) {
             Ok(s) => Ok(s),
@@ -466,10 +625,131 @@ impl TraceStore {
         std::fs::write(path, self.encode())
     }
 
-    /// Loads a trace from a file, accepting v1 and v2 archives.
+    /// Loads a trace from a file, accepting v1, v2 and v3 archives.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<TraceStore, StoreError> {
         TraceStore::decode_any(&std::fs::read(path)?)
     }
+
+    /// The blocks a predicate cannot prove irrelevant, in stream
+    /// order — the pushdown step. A block is skipped only when the
+    /// index alone proves no word in it matches: its word range
+    /// misses the window, or a write-time summary shows every word
+    /// sits in a single non-matching ASID. Never decodes anything.
+    pub fn matching_blocks(&self, pred: &Predicate) -> Vec<usize> {
+        (0..self.index.len())
+            .filter(|&i| {
+                let m = &self.index[i];
+                if let Some((lo, hi)) = pred.window {
+                    let r = m.word_range();
+                    if r.start >= hi || r.end <= lo {
+                        return false;
+                    }
+                }
+                if let Some(a) = pred.asid {
+                    if m.single_asid().is_some_and(|only| only != a) {
+                        return false;
+                    }
+                }
+                true
+            })
+            .collect()
+    }
+
+    /// Decodes and filters the words one block selects under `pred`.
+    /// ASID context entering the block comes from the index
+    /// (`first_asid`), so blocks filter independently — the unit of
+    /// work for the parallel query in [`crate::farm`].
+    pub fn filter_block(&self, i: usize, pred: &Predicate) -> Result<Vec<u32>, StoreError> {
+        let m = *self.block_meta(i);
+        let words = self.decode_block(i)?;
+        let mut out = Vec::new();
+        let mut asid = m.first_asid;
+        for (j, &w) in words.iter().enumerate() {
+            if let TraceWord::Ctl(c) = classify(w) {
+                if c.op == CtlOp::CtxSwitch {
+                    asid = c.payload;
+                }
+            }
+            if pred.admits(m.first_word + j as u64, asid) {
+                out.push(w);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs a windowed, filtered query: decodes only the blocks the
+    /// index cannot rule out and returns the matching words, exactly
+    /// the sequence [`filter_stream`] selects from the full decoded
+    /// stream. The block-skip counts are the pushdown's measure of
+    /// merit (reported by `serve_bench` and the `serve.*` metrics).
+    pub fn query(&self, pred: &Predicate) -> Result<QueryResult, StoreError> {
+        let picked = self.matching_blocks(pred);
+        let mut words = Vec::new();
+        for &i in &picked {
+            words.extend_from_slice(&self.filter_block(i, pred)?);
+        }
+        Ok(QueryResult {
+            blocks_decoded: picked.len() as u32,
+            blocks_skipped: (self.n_blocks() - picked.len()) as u32,
+            words,
+        })
+    }
+}
+
+/// Which trace words a query selects. Both filters are optional and
+/// conjunctive; the empty predicate selects every word.
+///
+/// A word's ASID context is the base context *after* applying the
+/// word — a context-switch control word belongs to the ASID it
+/// switches to, matching how [`TraceStore::from_archive`] attributes
+/// `first_asid` at block boundaries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Predicate {
+    /// Keep only words whose base ASID context equals this.
+    pub asid: Option<u8>,
+    /// Keep only words whose global offset lies in `lo..hi`.
+    pub window: Option<(u64, u64)>,
+}
+
+impl Predicate {
+    /// Whether a word at global offset `pos` in ASID context `asid`
+    /// matches.
+    pub fn admits(&self, pos: u64, asid: u8) -> bool {
+        self.window.is_none_or(|(lo, hi)| pos >= lo && pos < hi)
+            && self.asid.is_none_or(|a| a == asid)
+    }
+}
+
+/// What one [`TraceStore::query`] returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Blocks the index could not rule out (decoded and filtered).
+    pub blocks_decoded: u32,
+    /// Blocks the index proved irrelevant (never decoded).
+    pub blocks_skipped: u32,
+    /// Every matching word, in stream order.
+    pub words: Vec<u32>,
+}
+
+/// The reference semantics of a [`Predicate`] over a fully decoded
+/// word stream: walk the words tracking the base ASID context and
+/// keep each word the predicate admits. [`TraceStore::query`] must
+/// return exactly this sequence — the differential the loopback
+/// service tests and `serve_bench` assert.
+pub fn filter_stream(words: &[u32], pred: &Predicate) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut asid = 0u8;
+    for (pos, &w) in words.iter().enumerate() {
+        if let TraceWord::Ctl(c) = classify(w) {
+            if c.op == CtlOp::CtxSwitch {
+                asid = c.payload;
+            }
+        }
+        if pred.admits(pos as u64, asid) {
+            out.push(w);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -605,6 +885,187 @@ mod tests {
         for cut in [1, 10, bytes.len() / 2, bytes.len() - 1] {
             assert!(TraceStore::decode(&bytes[..cut]).is_err(), "cut={cut}");
         }
+    }
+
+    /// Re-encodes a store as a legacy v2 file: version 2 header,
+    /// 22-byte index entries without summaries, fresh meta CRC.
+    fn encode_as_v2(store: &TraceStore) -> Vec<u8> {
+        let v3 = store.encode();
+        let tail_at = v3.len() - TRAILER_BYTES;
+        let index_pos =
+            u64::from_le_bytes(v3[tail_at + 4..tail_at + 12].try_into().unwrap()) as usize;
+        let mut out = v3[..index_pos].to_vec();
+        out[8..12].copy_from_slice(&2u32.to_le_bytes());
+        for i in 0..store.n_blocks() {
+            let at = index_pos + i * INDEX_ENTRY_BYTES;
+            out.extend_from_slice(&v3[at..at + INDEX_ENTRY_BYTES_V2]);
+        }
+        put_u32(&mut out, store.n_blocks() as u32);
+        put_u64(&mut out, index_pos as u64);
+        let blocks_at = index_pos - store.compressed_bytes() as usize;
+        let mut crc = Crc32::new();
+        crc.update(&out[..blocks_at]).update(&out[index_pos..]);
+        put_u32(&mut out, crc.finish());
+        out.extend_from_slice(TAIL_MAGIC);
+        out
+    }
+
+    #[test]
+    fn v2_stores_still_load_and_query_identically() {
+        let a = sample_archive(1000);
+        let store = TraceStore::from_archive(&a, 64);
+        let v2 = encode_as_v2(&store);
+        let back = TraceStore::decode(&v2).expect("legacy v2 must decode");
+        assert_eq!(back.words().unwrap(), a.words);
+        // v2 entries carry no summaries: `first_word` is synthesised,
+        // flags stay clear, and ASID pushdown lawfully degrades to
+        // decoding every block — while selecting the same words.
+        for i in 0..back.n_blocks() {
+            let m = back.block_meta(i);
+            assert!(!m.has_summary());
+            assert_eq!(m.single_asid(), None);
+            assert_eq!(m.first_word, store.block_meta(i).first_word);
+        }
+        for pred in [
+            Predicate::default(),
+            Predicate {
+                asid: Some(3),
+                ..Predicate::default()
+            },
+            Predicate {
+                window: Some((10, 200)),
+                asid: Some(0),
+            },
+        ] {
+            let q = back.query(&pred).unwrap();
+            assert_eq!(q.words, filter_stream(&a.words, &pred), "{pred:?}");
+            assert_eq!(q.words, store.query(&pred).unwrap().words, "{pred:?}");
+        }
+    }
+
+    #[test]
+    fn index_summaries_are_exact() {
+        use wrl_isa::Width;
+        use wrl_trace::bbinfo::MemOp;
+        let mut kt = BbTable::new();
+        kt.insert(
+            0x8003_0100,
+            BbInfo {
+                orig_vaddr: 0x8003_0000,
+                n_insts: 2,
+                ops: vec![MemOp {
+                    index: 0,
+                    store: false,
+                    width: Width::Word,
+                }],
+                flags: BbTraceFlags::default(),
+            },
+        );
+        // bb-id, data word pairs: the data words are 0x9000_0000+i —
+        // positionally data, even though they look like addresses.
+        let mut words = vec![ctl(CtlOp::KEnter, 0)];
+        for i in 0..20u32 {
+            words.push(0x8003_0100);
+            words.push(0x9000_0000 + i * 0x100);
+        }
+        words.push(ctl(CtlOp::KExit, 0));
+        let a = TraceArchive {
+            kernel_table: kt,
+            user_tables: vec![],
+            words,
+        };
+        let store = TraceStore::from_archive(&a, 8);
+        let mut first_word = 0u64;
+        for i in 0..store.n_blocks() {
+            let m = store.block_meta(i);
+            assert!(m.has_summary());
+            assert_eq!(m.first_word, first_word);
+            first_word += u64::from(m.words);
+            // Recompute the block's data-address bounds from the raw
+            // words: in this trace a word is a data word exactly when
+            // it is ≥ 0x9000_0000.
+            let block = &a.words[m.word_range().start as usize..m.word_range().end as usize];
+            let daddrs: Vec<u32> = block
+                .iter()
+                .copied()
+                .filter(|&w| w >= 0x9000_0000)
+                .collect();
+            assert_eq!(
+                m.daddr_range(),
+                daddrs
+                    .iter()
+                    .min()
+                    .map(|&lo| (lo, *daddrs.iter().max().unwrap())),
+                "block {i}"
+            );
+        }
+        // The summaries round-trip through encode/decode.
+        let back = TraceStore::decode(&store.encode()).unwrap();
+        for i in 0..store.n_blocks() {
+            assert_eq!(back.block_meta(i), store.block_meta(i));
+        }
+    }
+
+    #[test]
+    fn query_matches_filter_stream_and_skips_blocks() {
+        let a = sample_archive(1003);
+        for block_words in [1, 7, 64] {
+            let store = TraceStore::from_archive(&a, block_words);
+            for pred in [
+                Predicate::default(),
+                Predicate {
+                    asid: Some(3),
+                    ..Predicate::default()
+                },
+                Predicate {
+                    asid: Some(9), // matches no context in this trace
+                    ..Predicate::default()
+                },
+                Predicate {
+                    window: Some((5, 40)),
+                    asid: None,
+                },
+                Predicate {
+                    window: Some((0, 2)),
+                    asid: Some(0),
+                },
+            ] {
+                let q = store.query(&pred).unwrap();
+                assert_eq!(
+                    q.words,
+                    filter_stream(&a.words, &pred),
+                    "{block_words}/{pred:?}"
+                );
+                assert_eq!(q.blocks_decoded + q.blocks_skipped, store.n_blocks() as u32);
+            }
+            // A tight window proves most blocks irrelevant.
+            if block_words == 1 {
+                let q = store
+                    .query(&Predicate {
+                        window: Some((5, 40)),
+                        asid: None,
+                    })
+                    .unwrap();
+                assert_eq!(q.blocks_decoded, 35);
+            }
+        }
+    }
+
+    #[test]
+    fn asid_pushdown_skips_single_context_blocks() {
+        // sample_archive switches to ASID 3 at word 0; with one word
+        // per block, every block after the switch is provably ASID 3.
+        let a = sample_archive(100);
+        let store = TraceStore::from_archive(&a, 1);
+        let pred = Predicate {
+            asid: Some(7),
+            ..Predicate::default()
+        };
+        let q = store.query(&pred).unwrap();
+        assert!(q.words.is_empty());
+        // Only the switch-carrying first block survives pushdown.
+        assert_eq!(q.blocks_decoded, 1);
+        assert_eq!(q.blocks_skipped, store.n_blocks() as u32 - 1);
     }
 
     #[test]

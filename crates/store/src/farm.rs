@@ -41,7 +41,7 @@ use std::thread;
 use wrl_isa::Width;
 use wrl_trace::{ChunkFate, ParseStats, RefEvent, Space, TraceSink};
 
-use crate::container::{StoreError, TraceStore};
+use crate::container::{Predicate, QueryResult, StoreError, TraceStore};
 
 /// Deterministic perturbation hooks for chaos-testing the farm (see
 /// the `wrl-fault` crate). The callback is consulted by each worker
@@ -430,6 +430,64 @@ fn replay_per_worker<S: TraceSink + Send>(
     })
 }
 
+/// Runs [`TraceStore::query`] with the block work spread over
+/// `workers` threads. Blocks filter independently (each block's
+/// entering ASID context comes from the index), so workers pull
+/// block indices from a shared counter, filter their blocks locally,
+/// and the results are stitched back in stream order — bit-identical
+/// to the sequential query by construction. This is the entry the
+/// `wrl-serve` service uses so one big query saturates all cores.
+pub fn query_parallel(
+    store: &TraceStore,
+    pred: &Predicate,
+    workers: usize,
+) -> Result<QueryResult, StoreError> {
+    let picked = store.matching_blocks(pred);
+    let skipped = (store.n_blocks() - picked.len()) as u32;
+    let workers = workers.clamp(1, picked.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let parts = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (picked, next) = (&picked, &next);
+                scope.spawn(move || {
+                    let mut mine: Vec<(usize, Vec<u32>)> = Vec::new();
+                    loop {
+                        let at = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&block) = picked.get(at) else {
+                            return Ok(mine);
+                        };
+                        mine.push((at, store.filter_block(block, pred)?));
+                    }
+                })
+            })
+            .collect();
+        let mut parts: Vec<(usize, Vec<u32>)> = Vec::with_capacity(picked.len());
+        let mut failed: Option<StoreError> = None;
+        for h in handles {
+            match h.join().expect("query worker panicked") {
+                Ok(mine) => parts.extend(mine),
+                Err(e) => failed = Some(e),
+            }
+        }
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(parts),
+        }
+    });
+    let mut parts = parts?;
+    parts.sort_unstable_by_key(|(at, _)| *at);
+    let mut words = Vec::with_capacity(parts.iter().map(|(_, w)| w.len()).sum());
+    for (_, part) in parts {
+        words.extend_from_slice(&part);
+    }
+    Ok(QueryResult {
+        blocks_decoded: picked.len() as u32,
+        blocks_skipped: skipped,
+        words,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -609,6 +667,46 @@ mod tests {
                 other => panic!("wrong error type: {other}"),
             }
         }
+    }
+
+    #[test]
+    fn parallel_query_is_bit_identical_to_sequential() {
+        let store = busy_store(64);
+        let full = store.words().unwrap();
+        for pred in [
+            Predicate::default(),
+            Predicate {
+                asid: Some(5),
+                ..Predicate::default()
+            },
+            Predicate {
+                window: Some((100, 2000)),
+                asid: Some(5),
+            },
+        ] {
+            let seq = store.query(&pred).unwrap();
+            assert_eq!(seq.words, crate::filter_stream(&full, &pred), "{pred:?}");
+            for workers in [1, 2, 4, 8] {
+                let par = query_parallel(&store, &pred, workers).unwrap();
+                assert_eq!(par, seq, "workers={workers} {pred:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_query_surfaces_block_corruption() {
+        let store = busy_store(64);
+        let mut bytes = store.encode();
+        let tail_at = bytes.len() - crate::container::TRAILER_BYTES;
+        let index_pos =
+            u64::from_le_bytes(bytes[tail_at + 4..tail_at + 12].try_into().unwrap()) as usize;
+        bytes[index_pos - 1] ^= 0xff;
+        let bad = TraceStore::decode(&bytes).unwrap();
+        let err = query_parallel(&bad, &Predicate::default(), 4).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::CrcMismatch { .. } | StoreError::BlockCodec { .. }
+        ));
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod obs;
 
 pub use codec::{compress_block, crc32_bytes, crc32_words, decompress_block, CodecError, Crc32};
 pub use container::{
-    BlockMeta, StoreError, TraceStore, DEFAULT_BLOCK_WORDS, INDEX_ENTRY_BYTES, STORE_VERSION,
-    TRAILER_BYTES,
+    filter_stream, BlockMeta, Predicate, QueryResult, StoreError, TraceStore, DEFAULT_BLOCK_WORDS,
+    INDEX_ENTRY_BYTES, INDEX_ENTRY_BYTES_V2, STORE_VERSION, TRAILER_BYTES,
 };
-pub use farm::{replay, replay_with_hooks, FarmCfg, FarmHooks, FarmReport};
+pub use farm::{query_parallel, replay, replay_with_hooks, FarmCfg, FarmHooks, FarmReport};
 pub use obs::StoreObs;

@@ -66,6 +66,66 @@ proptest! {
     }
 
     #[test]
+    fn index_summaries_round_trip_and_stay_sound_at_every_block_size(
+        words in vec(word_strategy(), 0..2000),
+    ) {
+        let a = TraceArchive { words, ..TraceArchive::default() };
+        for bs in BLOCK_SIZES {
+            let store = TraceStore::from_archive(&a, bs);
+            let decoded = TraceStore::decode(&store.encode()).expect("own encoding decodes");
+            let mut first_word = 0u64;
+            for i in 0..store.n_blocks() {
+                let (m, d) = (store.block_meta(i), decoded.block_meta(i));
+                // Summaries survive the encode/decode round trip
+                // bit-for-bit.
+                prop_assert_eq!(m, d, "block {} at bs {}", i, bs);
+                prop_assert!(m.has_summary());
+                prop_assert_eq!(m.first_word, first_word);
+                first_word += u64::from(m.words);
+                // Soundness against the raw words: a block the index
+                // declares switch-free must contain no CtxSwitch, and
+                // the daddr bounds must be ordered.
+                let r = m.word_range();
+                let block = &a.words[r.start as usize..r.end as usize];
+                let has_switch = block.iter().any(|&w| {
+                    matches!(wrl_trace::classify(w),
+                        wrl_trace::TraceWord::Ctl(c) if c.op == CtlOp::CtxSwitch)
+                });
+                if m.single_asid().is_some() {
+                    prop_assert!(!has_switch, "block {} at bs {}", i, bs);
+                }
+                if let Some((lo, hi)) = m.daddr_range() {
+                    prop_assert!(lo <= hi);
+                }
+            }
+            prop_assert_eq!(first_word, a.words.len() as u64);
+        }
+    }
+
+    #[test]
+    fn query_equals_filtered_stream_at_every_block_size(
+        words in vec(word_strategy(), 0..1500),
+        asid_on in any::<bool>(),
+        asid_val in any::<u8>(),
+        lo in 0u64..1600,
+        span in 0u64..1600,
+    ) {
+        let a = TraceArchive { words, ..TraceArchive::default() };
+        let pred = wrl_store::Predicate {
+            asid: asid_on.then_some(asid_val),
+            window: Some((lo, lo + span)),
+        };
+        let want = wrl_store::filter_stream(&a.words, &pred);
+        for bs in BLOCK_SIZES {
+            let store = TraceStore::from_archive(&a, bs);
+            let got = store.query(&pred).expect("own encoding queries");
+            prop_assert_eq!(&got.words, &want, "bs {}", bs);
+            prop_assert_eq!(got.blocks_decoded + got.blocks_skipped,
+                store.n_blocks() as u32);
+        }
+    }
+
+    #[test]
     fn decompress_arbitrary_bytes_never_panics(
         bytes in vec(any::<u8>(), 0..400),
         n_words in 0usize..600,

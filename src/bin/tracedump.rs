@@ -2,20 +2,29 @@
 //!
 //! ```text
 //! tracedump record <workload> <ultrix|mach> <out.w3kt>   collect a system trace
-//! tracedump info   <file.w3kt>                           summarise an archive (v1 or v2)
+//! tracedump info   <file.w3kt>                           summarise an archive (v1 or v2/v3)
 //! tracedump refs   <file.w3kt> [n]                       print the first n references
 //! tracedump sim    <file.w3kt>                           run the memory-system simulation
 //! tracedump metrics <file.w3kt> [out.json]               re-analyse and dump wrl-obs metrics
-//! tracedump compress <in.w3kt> <out.w3kt> [block_words]  write a compressed v2 store
+//! tracedump compress <in.w3kt> <out.w3kt> [block_words]  write a compressed block store
+//! tracedump serve  <addr> <file.w3kt>...                 serve archives over wrl-wire/v1
+//! tracedump catalog <addr>                               list a server's archives
+//! tracedump fetch  <addr> <archive> [--asid A] [--window LO..HI]
+//!                                                        run a windowed query server-side
 //! ```
 //!
-//! Every reading subcommand accepts both archive versions: raw v1
-//! archives and compressed, block-indexed v2 stores (`wrl-store`).
+//! Every reading subcommand accepts all archive versions: raw v1
+//! archives and compressed, block-indexed v2/v3 stores (`wrl-store`).
+//! The `serve` / `catalog` / `fetch` trio is the `wrl-serve` client
+//! and server surface: `serve` publishes archives (named by file
+//! stem) on a TCP address, and `fetch` ships only the trace words the
+//! predicate admits — blocks the index rules out are never decoded.
 
 use std::sync::Arc;
 use systrace::kernel::{build_system, KernelConfig};
 use systrace::memsim::{MemSim, PageMap, Policy, SimCfg, UtlbSynth};
-use systrace::store::{StoreObs, TraceStore, DEFAULT_BLOCK_WORDS, STORE_VERSION};
+use systrace::serve::{Catalog, Client, ServeCfg, Server};
+use systrace::store::{Predicate, StoreObs, TraceStore, DEFAULT_BLOCK_WORDS};
 use systrace::trace::{Space, TraceArchive, TraceSink};
 
 fn usage() -> ! {
@@ -25,6 +34,9 @@ fn usage() -> ! {
     eprintln!("       tracedump sim <file.w3kt>");
     eprintln!("       tracedump metrics <file.w3kt> [out.json]");
     eprintln!("       tracedump compress <in.w3kt> <out.w3kt> [block_words]");
+    eprintln!("       tracedump serve <addr> <file.w3kt>...");
+    eprintln!("       tracedump catalog <addr>");
+    eprintln!("       tracedump fetch <addr> <archive> [--asid A] [--window LO..HI]");
     std::process::exit(2);
 }
 
@@ -48,6 +60,9 @@ fn main() {
                 .map(|s| s.parse().unwrap_or_else(|_| usage()))
                 .unwrap_or(DEFAULT_BLOCK_WORDS),
         ),
+        Some("serve") if args.len() >= 3 => serve(&args[1], &args[2..]),
+        Some("catalog") if args.len() == 2 => catalog(&args[1]),
+        Some("fetch") if args.len() >= 3 => fetch(&args[1], &args[2], &args[3..]),
         _ => usage(),
     }
 }
@@ -108,7 +123,9 @@ fn info(path: &str) {
     });
     println!("{path}:");
     match disk_version(path) {
-        Some(v) if v >= STORE_VERSION => println!(
+        // Every on-disk version from 2 up is a compressed block store
+        // (v3 adds index summaries; v2 lacks them but reads the same).
+        Some(v) if v >= 2 => println!(
             "  format      : v{v} store, {} blocks of {} words, {} -> {} bytes ({:.2}x)",
             store.n_blocks(),
             store.block_words,
@@ -231,6 +248,99 @@ fn metrics(path: &str, out: Option<&str>) {
         }
         None => println!("{json}"),
     }
+}
+
+/// Serves `paths` (named by file stem) on `addr` until killed. Used
+/// interactively and by the CI serve-smoke job.
+fn serve(addr: &str, paths: &[String]) {
+    systrace::obs::register_all();
+    let mut cat = Catalog::new();
+    for p in paths {
+        let name = std::path::Path::new(p)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(p)
+            .to_string();
+        let store = load_store(p);
+        println!(
+            "  {name}: {} words in {} blocks of {}",
+            store.n_words,
+            store.n_blocks(),
+            store.block_words
+        );
+        cat.add(name, Arc::new(store));
+    }
+    let server = Server::start(addr, cat, ServeCfg::default()).unwrap_or_else(|e| {
+        eprintln!("{addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("serving {} archive(s) on {}", paths.len(), server.addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("{addr}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn catalog(addr: &str) {
+    let mut client = connect(addr);
+    let rows = client.catalog().unwrap_or_else(|e| {
+        eprintln!("catalog: {e}");
+        std::process::exit(1);
+    });
+    println!("{addr}: {} archive(s)", rows.len());
+    for r in rows {
+        println!(
+            "  {:<16} {:>10} words, {:>6} blocks of {:>5}, {:>9} bytes compressed",
+            r.name, r.n_words, r.n_blocks, r.block_words, r.compressed_bytes
+        );
+    }
+}
+
+fn fetch(addr: &str, archive: &str, opts: &[String]) {
+    let mut pred = Predicate::default();
+    let mut it = opts.iter();
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--asid" => {
+                let a = it.next().and_then(|s| s.parse().ok());
+                pred.asid = Some(a.unwrap_or_else(|| usage()));
+            }
+            "--window" => {
+                let w = it.next().and_then(|s| {
+                    let (lo, hi) = s.split_once("..")?;
+                    Some((lo.parse().ok()?, hi.parse().ok()?))
+                });
+                pred.window = Some(w.unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    let mut client = connect(addr);
+    let q = client.query(archive, &pred).unwrap_or_else(|e| {
+        eprintln!("fetch: {e}");
+        std::process::exit(1);
+    });
+    let touched = q.blocks_decoded + q.blocks_skipped;
+    println!("{archive} @ {addr}:");
+    println!(
+        "  predicate   : asid={} window={}",
+        pred.asid.map_or("any".into(), |a| a.to_string()),
+        pred.window
+            .map_or("all".into(), |(lo, hi)| format!("{lo}..{hi}")),
+    );
+    println!("  trace words : {}", q.words.len());
+    println!(
+        "  blocks      : {} decoded, {} skipped ({:.1}% pushed down)",
+        q.blocks_decoded,
+        q.blocks_skipped,
+        100.0 * f64::from(q.blocks_skipped) / f64::from(touched.max(1)),
+    );
 }
 
 fn compress(inp: &str, out: &str, block_words: usize) {

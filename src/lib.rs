@@ -33,6 +33,7 @@ pub use wrl_isa as isa;
 pub use wrl_kernel as kernel;
 pub use wrl_machine as machine;
 pub use wrl_memsim as memsim;
+pub use wrl_serve as serve;
 pub use wrl_store as store;
 pub use wrl_trace as trace;
 pub use wrl_workloads as workloads;

@@ -20,6 +20,7 @@ pub fn register_all() {
     wrl_machine::CountersObs::register();
     wrl_memsim::SimObs::register();
     wrl_store::StoreObs::register();
+    wrl_serve::ServeObs::register();
     wrl_fault::FaultObs::register();
 }
 
@@ -38,6 +39,7 @@ mod tests {
             "machine.cycles",
             "sim.irefs.kernel",
             "store.blocks",
+            "serve.requests.query",
             "fault.forbidden",
         ] {
             assert!(names.contains(&expect), "{expect} missing from registry");

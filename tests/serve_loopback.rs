@@ -1,0 +1,252 @@
+//! Loopback integration for the trace service (`wrl-serve`): every
+//! answer that crosses the wire must be bit-identical to computing
+//! the same thing locally.
+//!
+//! * The differential matrix: for the golden trace stored at block
+//!   sizes 1, 7 and 4096, every predicate in a fixed panel queried
+//!   over TCP returns exactly [`filter_stream`] of the locally
+//!   decoded words — and the pushdown really skips blocks when the
+//!   predicate is selective.
+//! * Raw block fetches decompress and CRC-verify client-side back to
+//!   the archive's words.
+//! * Sixteen concurrent clients against a 4-inflight admission gate:
+//!   every response intact, `serve.reject.busy` fires, and the
+//!   inflight high-water mark never exceeds the cap.
+//! * Graceful shutdown drains in-flight requests instead of dropping
+//!   them.
+//!
+//! The `serve.*` metric family is process-global, so tests that
+//! assert on it serialize behind one mutex.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use systrace::serve::{Catalog, Client, ClientCfg, ServeCfg, Server};
+use systrace::store::{filter_stream, Predicate, TraceStore};
+use systrace::trace::TraceArchive;
+
+const GOLDEN_PATH: &str = "tests/data/golden.w3kt";
+
+/// Serializes tests that assert on the shared `serve.*` metrics.
+fn metrics_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn golden() -> TraceArchive {
+    TraceArchive::load(GOLDEN_PATH).expect("golden archive loads")
+}
+
+/// The predicate panel: unfiltered, windowed, per-ASID, and both
+/// combined — plus an ASID absent from the trace (empty result) and
+/// an empty window.
+fn predicate_panel(n_words: u64) -> Vec<Predicate> {
+    let mid = n_words / 2;
+    let mut panel = vec![
+        Predicate::default(),
+        Predicate {
+            window: Some((0, n_words.min(100))),
+            ..Predicate::default()
+        },
+        Predicate {
+            window: Some((mid, mid + 500)),
+            ..Predicate::default()
+        },
+        Predicate {
+            window: Some((mid, mid)),
+            ..Predicate::default()
+        },
+        Predicate {
+            asid: Some(0xee),
+            ..Predicate::default()
+        },
+    ];
+    for asid in 0..4u8 {
+        panel.push(Predicate {
+            asid: Some(asid),
+            ..Predicate::default()
+        });
+        panel.push(Predicate {
+            asid: Some(asid),
+            window: Some((mid / 2, mid + mid / 2)),
+        });
+    }
+    panel
+}
+
+#[test]
+fn windowed_queries_are_bit_identical_to_local_decode_at_every_block_size() {
+    let _guard = metrics_lock();
+    let a = golden();
+    let mut catalog = Catalog::new();
+    for bs in [1usize, 7, 4096] {
+        catalog.add(
+            format!("golden-bs{bs}"),
+            Arc::new(TraceStore::from_archive(&a, bs)),
+        );
+    }
+    let server =
+        Server::start("127.0.0.1:0", catalog.clone(), ServeCfg::default()).expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+
+    let rows = client.catalog().expect("catalog answers");
+    assert_eq!(rows.len(), 3);
+    assert!(rows.windows(2).all(|w| w[0].name <= w[1].name));
+    for row in &rows {
+        assert_eq!(row.n_words, a.words.len() as u64);
+    }
+
+    for bs in [1usize, 7, 4096] {
+        let name = format!("golden-bs{bs}");
+        let store = catalog.get(&name).unwrap();
+        for (i, pred) in predicate_panel(a.words.len() as u64).iter().enumerate() {
+            let expected = filter_stream(&a.words, pred);
+            let q = client
+                .query(&name, pred)
+                .unwrap_or_else(|e| panic!("{name} predicate {i}: {e}"));
+            assert_eq!(
+                q.words, expected,
+                "{name} predicate {i}: wire answer differs from local filter"
+            );
+            assert_eq!(
+                (q.blocks_decoded + q.blocks_skipped) as usize,
+                store.n_blocks(),
+                "{name} predicate {i}: block accounting must cover the store"
+            );
+            // A pure window predicate at block size 1 must skip every
+            // block outside the window — the pushdown at its sharpest
+            // (an ASID filter would lawfully skip even more).
+            if bs == 1 && pred.asid.is_none() {
+                if let Some((lo, hi)) = pred.window {
+                    let in_window = hi.min(a.words.len() as u64).saturating_sub(lo);
+                    assert_eq!(
+                        u64::from(q.blocks_decoded),
+                        in_window,
+                        "{name} predicate {i}: bs=1 must decode exactly the window"
+                    );
+                }
+            }
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn fetched_blocks_verify_client_side_and_rebuild_the_words() {
+    let _guard = metrics_lock();
+    let a = golden();
+    let store = Arc::new(TraceStore::from_archive(&a, 512));
+    let n_blocks = store.n_blocks() as u32;
+    let mut catalog = Catalog::new();
+    catalog.add("golden", store);
+    let server = Server::start("127.0.0.1:0", catalog, ServeCfg::default()).expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+
+    let blocks = client.fetch("golden", 0, n_blocks).expect("fetch answers");
+    assert_eq!(blocks.len() as u32, n_blocks);
+    let mut words = Vec::new();
+    let mut at = 0u64;
+    for b in &blocks {
+        assert_eq!(b.first_word, at, "index offsets tile the stream");
+        at += u64::from(b.words);
+        words.extend(b.decode().expect("block decompresses and CRC-verifies"));
+    }
+    assert_eq!(words, a.words, "fetched blocks rebuild the archive");
+
+    // Out-of-range and unknown-archive requests are typed errors.
+    assert!(client.fetch("golden", n_blocks, 1).is_err());
+    assert!(client.fetch("nope", 0, 1).is_err());
+    server.shutdown();
+}
+
+#[test]
+fn sixteen_clients_against_a_four_slot_gate_all_get_intact_answers() {
+    let _guard = metrics_lock();
+    let a = golden();
+    // Block size 1 maximises per-query work so requests overlap.
+    let store = Arc::new(TraceStore::from_archive(&a, 1));
+    let mut catalog = Catalog::new();
+    catalog.add("golden", store);
+    let cfg = ServeCfg {
+        max_inflight: 4,
+        query_workers: 1,
+        ..ServeCfg::default()
+    };
+    let server = Server::start("127.0.0.1:0", catalog, cfg).expect("server starts");
+    let obs = server.obs().clone();
+    obs.inflight.reset();
+    let busy_before = obs.reject_busy.get();
+
+    let addr = server.addr();
+    let expected = Arc::new(a.words.clone());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..16)
+            .map(|t| {
+                let expected = expected.clone();
+                s.spawn(move || {
+                    let mut client =
+                        Client::connect_cfg(addr, ClientCfg::default()).expect("client connects");
+                    for round in 0..8 {
+                        let q = client
+                            .query_retry("golden", &Predicate::default(), 1000)
+                            .unwrap_or_else(|e| panic!("client {t} round {round}: {e}"));
+                        assert_eq!(
+                            q.words, *expected,
+                            "client {t} round {round}: response damaged under load"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("stress client panicked");
+        }
+    });
+
+    assert!(
+        obs.reject_busy.get() > busy_before,
+        "16 clients against 4 slots must trip the admission gate"
+    );
+    assert!(
+        obs.inflight.high() <= 4,
+        "inflight high-water {} exceeded the 4-slot cap",
+        obs.inflight.high()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_the_inflight_request() {
+    let _guard = metrics_lock();
+    let a = golden();
+    let store = Arc::new(TraceStore::from_archive(&a, 1));
+    let mut catalog = Catalog::new();
+    catalog.add("golden", store);
+    let server = Server::start("127.0.0.1:0", catalog, ServeCfg::default()).expect("server starts");
+    let addr = server.addr();
+    let expected = filter_stream(&a.words, &Predicate::default());
+
+    // Start a query, then shut the server down while it may still be
+    // executing; the in-flight request must complete, not vanish.
+    let worker = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("client connects");
+        client.query("golden", &Predicate::default())
+    });
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    server.shutdown();
+    let q = worker
+        .join()
+        .expect("client thread panicked")
+        .expect("in-flight query must be drained, not dropped");
+    assert_eq!(q.words, expected);
+
+    // After shutdown the port answers no more queries.
+    let late = Client::connect(addr).and_then(|mut c| {
+        c.query("golden", &Predicate::default())
+            .map_err(|_| std::io::ErrorKind::Other.into())
+            .map(|_| ())
+    });
+    assert!(late.is_err(), "a drained server must not keep serving");
+}

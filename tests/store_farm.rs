@@ -6,8 +6,8 @@
 //! * a farm cache sweep at 1, 2 and 4 workers (both schedules) is
 //!   exactly — field-for-field — equal to fifteen sequential passes;
 //! * a corrupted block is detected and reported as a typed CRC/codec
-//!   error, and old tooling rejects a v2 file as an unsupported
-//!   version rather than corruption.
+//!   error, and old tooling rejects a block-store file as an
+//!   unsupported version rather than corruption.
 
 use systrace::memsim::{AssocCache, PageMap, Policy, SpaceKey};
 use systrace::store::{replay, FarmCfg, StoreError, TraceStore, DEFAULT_BLOCK_WORDS};
@@ -185,14 +185,19 @@ fn corrupted_block_is_detected_and_reported() {
 }
 
 #[test]
-fn v1_tooling_rejects_v2_as_unsupported_version() {
+fn v1_tooling_rejects_store_encodings_as_unsupported_version() {
     let store = golden_store();
-    let v2 = store.encode();
-    match TraceArchive::decode(&v2) {
-        Err(ArchiveError::UnsupportedVersion(v)) => assert_eq!(v, 2),
-        other => panic!("expected UnsupportedVersion(2), got {other:?}"),
+    let encoded = store.encode();
+    match TraceArchive::decode(&encoded) {
+        Err(ArchiveError::UnsupportedVersion(v)) => {
+            assert_eq!(v, systrace::store::STORE_VERSION)
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
     }
-    // The store layer reads both.
-    assert_eq!(TraceStore::decode_any(&v2).unwrap().n_words, store.n_words);
+    // The store layer reads every version.
+    assert_eq!(
+        TraceStore::decode_any(&encoded).unwrap().n_words,
+        store.n_words
+    );
     assert_eq!(store.block_words as usize, DEFAULT_BLOCK_WORDS);
 }
