@@ -17,6 +17,11 @@
 //!    clients against one server (default admission gate of 16, so
 //!    nothing is refused; the gate itself is exercised by the
 //!    loopback stress test, not timed here).
+//! 4. **Pool vs reactor** — the measured 16-client p99 per opcode
+//!    against the pinned thread-per-connection pool baseline (the
+//!    committed `results/serve_bench.txt` before the readiness
+//!    reactor landed). The reactor must hold a ≥5x improvement on
+//!    the query p99, the figure the rewrite was aimed at.
 //!
 //! Usage: `serve_bench`. Regenerates `results/serve_bench.txt` via
 //! stdout.
@@ -86,6 +91,23 @@ fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
     let i = ((sorted_ns.len() - 1) as f64 * p / 100.0).round() as usize;
     sorted_ns[i] as f64 / 1_000.0
 }
+
+/// The thread-per-connection pool baseline: 16-client p99 per opcode
+/// in microseconds, from the `results/serve_bench.txt` committed with
+/// the bounded-pool server (one blocking thread per connection, one
+/// `query_parallel` thread spawn per query). The reactor is measured
+/// against these pins.
+const POOL_P99_US_16C: [(&str, f64); 4] = [
+    ("catalog", 750.4),
+    ("fetch", 802.1),
+    ("query", 29481.2),
+    ("metrics", 7116.7),
+];
+
+/// The acceptance floor on the headline figure: the reactor's
+/// 16-client query p99 must be at least this many times better than
+/// the pool's.
+const QUERY_P99_MIN_SPEEDUP: f64 = 5.0;
 
 fn main() {
     systrace::obs::register_all();
@@ -192,6 +214,7 @@ fn main() {
         "opcode", "clients", "p50 us", "p99 us", "req/s"
     );
     println!("{:-<54}", "");
+    let mut p99_16c: Vec<(&str, f64)> = Vec::new();
     for opcode in ["catalog", "fetch", "query", "metrics"] {
         for clients in [1usize, 4, 16] {
             let t0 = Instant::now();
@@ -240,12 +263,16 @@ fn main() {
             let wall = t0.elapsed();
             let mut sorted = lat;
             sorted.sort_unstable();
+            let p99 = percentile(&sorted, 99.0);
+            if clients == 16 {
+                p99_16c.push((opcode, p99));
+            }
             println!(
                 "{:8} | {:>7} | {:>9.1} | {:>9.1} | {:>11.0}",
                 opcode,
                 clients,
                 percentile(&sorted, 50.0),
-                percentile(&sorted, 99.0),
+                p99,
                 sorted.len() as f64 / wall.as_secs_f64(),
             );
         }
@@ -255,4 +282,39 @@ fn main() {
     println!("4096-word window server-side and ships only the matching words.");
     println!("All three client counts fit the default 16-slot admission gate.");
     server.shutdown();
+    println!();
+
+    // ---- 4. Pool baseline vs reactor ------------------------------
+    println!("Pool (thread-per-connection, pinned) vs reactor, 16-client p99");
+    println!(
+        "{:8} | {:>12} | {:>12} | {:>8}",
+        "opcode", "pool p99 us", "react p99 us", "speedup"
+    );
+    println!("{:-<48}", "");
+    let mut query_speedup = 0.0;
+    for (opcode, pool) in POOL_P99_US_16C {
+        let &(_, reactor) = p99_16c
+            .iter()
+            .find(|(o, _)| *o == opcode)
+            .expect("every opcode was timed at 16 clients");
+        let speedup = pool / reactor;
+        if opcode == "query" {
+            query_speedup = speedup;
+        }
+        println!("{opcode:8} | {pool:>12.1} | {reactor:>12.1} | {speedup:>7.1}x");
+    }
+    println!("{:-<48}", "");
+    println!(
+        "query p99 speedup {query_speedup:.1}x (floor {QUERY_P99_MIN_SPEEDUP:.0}x): the pool \
+         spawned one thread per"
+    );
+    println!("connection and one more per query; the reactor multiplexes every");
+    println!("connection onto a fixed set of event loops with no per-request");
+    println!("spawns, and the slice-by-8 CRC with bulk word codec cut the");
+    println!("per-query CPU itself by ~3.5x.");
+    assert!(
+        query_speedup >= QUERY_P99_MIN_SPEEDUP,
+        "reactor query p99 at 16 clients must be >= {QUERY_P99_MIN_SPEEDUP}x better than the \
+         pool baseline (got {query_speedup:.1}x)"
+    );
 }

@@ -379,20 +379,28 @@ fn run_site(input: &ChaosInput, plan: FaultPlan) -> Outcome {
                 },
             }
         }
-        FaultSite::WireCorrupt | FaultSite::WireDrop => run_wire(input, plan, &mut rng),
+        FaultSite::WireCorrupt
+        | FaultSite::WireDrop
+        | FaultSite::WirePartial
+        | FaultSite::WireStall => run_wire(input, plan, &mut rng),
     }
 }
 
 /// Runs one wire-layer plan: serve the golden store on a loopback
-/// socket with a fault seam that damages exactly the first response
-/// frame, query it, and demand a typed client error — then prove the
-/// server survived by running a clean query on a fresh connection and
-/// comparing it word-for-word against the archive.
+/// socket with a fault seam that shapes exactly the first response
+/// frame, query it, then prove the server survived by running a clean
+/// query on a fresh connection and comparing it word-for-word against
+/// the archive.
 ///
-/// The frame CRC covers the whole body and the length prefix is
-/// range-checked, so *any* single-bit flip and *any* truncation point
-/// must land detected: an `Ok` answer from the damaged exchange means
-/// the wire let corruption through silently, which is forbidden.
+/// Corrupting fates (`wire.corrupt`, `wire.drop`) must surface as a
+/// typed client error: the frame CRC covers the whole body and the
+/// length prefix is range-checked, so *any* single-bit flip and *any*
+/// truncation point must land detected — an `Ok` answer from the
+/// damaged exchange means the wire let corruption through silently,
+/// which is forbidden. Merely-slow fates (`wire.partial` short-write
+/// storms, `wire.stall` mid-frame pauses) are harmless by contract:
+/// the shaped exchange must *succeed bit-identically* — an error (or
+/// a wrong answer) from a fault that only delays bytes is forbidden.
 fn run_wire(input: &ChaosInput, plan: FaultPlan, rng: &mut SplitMix64) -> Outcome {
     let store = TraceStore::decode_any(&input.store_bytes).expect("golden store decodes");
     let fate = match plan.site {
@@ -400,8 +408,21 @@ fn run_wire(input: &ChaosInput, plan: FaultPlan, rng: &mut SplitMix64) -> Outcom
             at: rng.next_u64(),
             bit: rng.below(8) as u8,
         },
+        FaultSite::WirePartial => WireFate::Trickle {
+            // 64..256 bytes per writability event: a genuine storm on
+            // a 32 KB query response, still bounded well under a
+            // second of event-loop passes.
+            chunk: 64 + rng.below(192) as usize,
+        },
+        FaultSite::WireStall => WireFate::StallMid {
+            at: rng.next_u64(),
+            // 1..=8 reactor ticks ≈ ≤ 40 ms at the 5 ms tick below —
+            // far inside the client's 60-tick (300 ms) stall budget.
+            ticks: 1 + rng.below(8) as u32,
+        },
         _ => WireFate::CutAfter { at: rng.next_u64() },
     };
+    let benign = matches!(plan.site, FaultSite::WirePartial | FaultSite::WireStall);
     // Damage only the first response; the recovery probe below rides
     // the same server and must come through clean.
     let hooks = ServeHooks::on_response(move |seq| match seq {
@@ -435,26 +456,36 @@ fn run_wire(input: &ChaosInput, plan: FaultPlan, rng: &mut SplitMix64) -> Outcom
     let damaged = Client::connect_cfg(server.addr(), ccfg)
         .map_err(wrl_serve::ServeError::Io)
         .and_then(|mut c| c.query("golden", &everything));
-    let outcome = match damaged {
-        Ok(_) => Outcome::Forbidden {
+    // Whatever the shaped exchange did, the server must still answer
+    // a fresh connection perfectly.
+    let probe = |on_ok: Outcome| {
+        let clean = Client::connect_cfg(server.addr(), ccfg)
+            .map_err(wrl_serve::ServeError::Io)
+            .and_then(|mut c| c.query("golden", &everything));
+        match clean {
+            Ok(q) if q.words == input.archive.words => on_ok,
+            Ok(_) => Outcome::Forbidden {
+                why: "server answered the recovery probe wrongly".into(),
+            },
+            Err(e2) => Outcome::Forbidden {
+                why: format!("server did not recover after the fault: {e2}"),
+            },
+        }
+    };
+    let outcome = match (benign, damaged) {
+        (false, Ok(_)) => Outcome::Forbidden {
             why: "damaged response decoded cleanly (CRC failed to fire)".into(),
         },
-        Err(e) => {
-            let clean = Client::connect_cfg(server.addr(), ccfg)
-                .map_err(wrl_serve::ServeError::Io)
-                .and_then(|mut c| c.query("golden", &everything));
-            match clean {
-                Ok(q) if q.words == input.archive.words => Outcome::Detected {
-                    what: format!("client error: {e}"),
-                },
-                Ok(_) => Outcome::Forbidden {
-                    why: "server answered the recovery probe wrongly".into(),
-                },
-                Err(e2) => Outcome::Forbidden {
-                    why: format!("server did not recover after the fault: {e2}"),
-                },
-            }
-        }
+        (false, Err(e)) => probe(Outcome::Detected {
+            what: format!("client error: {e}"),
+        }),
+        (true, Ok(q)) if q.words == input.archive.words => probe(Outcome::Harmless),
+        (true, Ok(_)) => Outcome::Forbidden {
+            why: "shaped response arrived with wrong words".into(),
+        },
+        (true, Err(e)) => Outcome::Forbidden {
+            why: format!("a merely-slow wire fault surfaced as an error: {e}"),
+        },
     };
     server.shutdown();
     outcome

@@ -60,10 +60,19 @@ pub enum FaultSite {
     /// surface as a typed truncation error, and the server must keep
     /// answering other clients).
     WireDrop,
+    /// Deliver a response as a short-write storm — a bounded number
+    /// of bytes per writability event (harmless by contract: the
+    /// frame must still arrive bit-identical, only slower).
+    WirePartial,
+    /// Pause mid-way through writing a response frame for a bounded
+    /// number of reactor ticks (harmless by contract: the stall must
+    /// stay under both sides' stall budgets and the frame must still
+    /// arrive bit-identical).
+    WireStall,
 }
 
 /// Every site, in campaign round-robin order.
-pub const ALL_SITES: [FaultSite; 14] = [
+pub const ALL_SITES: [FaultSite; 16] = [
     FaultSite::ParserBitFlip,
     FaultSite::ParserTruncate,
     FaultSite::StoreBlock,
@@ -78,6 +87,8 @@ pub const ALL_SITES: [FaultSite; 14] = [
     FaultSite::FarmDrop,
     FaultSite::WireCorrupt,
     FaultSite::WireDrop,
+    FaultSite::WirePartial,
+    FaultSite::WireStall,
 ];
 
 impl FaultSite {
@@ -98,6 +109,8 @@ impl FaultSite {
             FaultSite::FarmDrop => "farm.drop",
             FaultSite::WireCorrupt => "wire.corrupt",
             FaultSite::WireDrop => "wire.drop",
+            FaultSite::WirePartial => "wire.partial",
+            FaultSite::WireStall => "wire.stall",
         }
     }
 
@@ -120,7 +133,10 @@ impl FaultSite {
             | FaultSite::StreamReorder
             | FaultSite::FarmStall
             | FaultSite::FarmDrop => Layer::Farm,
-            FaultSite::WireCorrupt | FaultSite::WireDrop => Layer::Wire,
+            FaultSite::WireCorrupt
+            | FaultSite::WireDrop
+            | FaultSite::WirePartial
+            | FaultSite::WireStall => Layer::Wire,
         }
     }
 }
@@ -248,12 +264,12 @@ mod tests {
 
     #[test]
     fn campaigns_are_deterministic_and_cover_all_sites() {
-        let a = campaign(1, 280);
-        assert_eq!(a, campaign(1, 280));
-        assert_ne!(a, campaign(2, 280));
+        let a = campaign(1, 320);
+        assert_eq!(a, campaign(1, 320));
+        assert_ne!(a, campaign(2, 320));
         for site in ALL_SITES {
             let hits = a.iter().filter(|p| p.site == site).count();
-            assert_eq!(hits, 280 / ALL_SITES.len(), "{site}");
+            assert_eq!(hits, 320 / ALL_SITES.len(), "{site}");
         }
         assert!(a.iter().all(|p| p.intensity >= 1 && p.intensity <= 8));
     }

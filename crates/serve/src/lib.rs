@@ -14,11 +14,22 @@
 //!   CRC-framed binary messages (catalog, raw block-range fetch,
 //!   windowed query, metrics snapshot). A flipped bit anywhere is a
 //!   typed error, never a different message.
-//! * [`server`] — bounded concurrency over thread-per-connection
-//!   accept: per-socket timeouts, a max-inflight admission gate that
-//!   answers `Busy` instead of queueing, graceful shutdown that
-//!   drains in-flight requests, and the `serve.*` metric family.
-//!   Queries execute on the store's parallel block farm.
+//! * [`conn`] — the per-connection state machine (Reading →
+//!   Dispatching → Writing → Draining) over a deterministic
+//!   [`Transport`] seam, honest about partial reads and writes at
+//!   every byte boundary. Tests drive it byte-by-byte with scripted
+//!   transports; the reactor drives it with nonblocking sockets —
+//!   the same code either way.
+//! * [`reactor`] — the readiness layer: `poll(2)` over nonblocking
+//!   sockets on unix (declared `extern "C"`, no `libc` crate), a
+//!   condvar-paced scan fallback elsewhere, and a cross-thread
+//!   [`Waker`].
+//! * [`server`] — the event loops on top: a few event threads
+//!   multiplex every connection, a max-inflight admission gate
+//!   answers `Busy` instead of queueing, a small executor pool runs
+//!   admitted requests, stall budgets sever wedged peers, graceful
+//!   shutdown drains in-flight requests, and the `serve.*` metric
+//!   family (now with `serve.reactor.*`) stays accurate throughout.
 //! * [`client`] — the synchronous client library `tracedump` and the
 //!   tests use; every network failure mode is a typed [`ServeError`].
 //! * [`obs`] — the `serve.*` metrics (see `docs/METRICS.md`).
@@ -33,11 +44,17 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod conn;
 pub mod obs;
+pub mod reactor;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientCfg, ServeError};
+pub use conn::{
+    Conn, ConnState, FrameDecoder, IoTally, ReadEvent, TickVerdict, Transport, WriteShape,
+};
 pub use obs::ServeObs;
+pub use reactor::{Interest, Poller, Ready, Waker};
 pub use server::{Catalog, ServeCfg, ServeHooks, Server, WireFate};
 pub use wire::{CatalogEntry, RawBlock, Request, Response, WireError, MAX_FRAME, WIRE_SCHEMA};

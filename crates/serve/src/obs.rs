@@ -40,6 +40,16 @@ pub struct ServeObs {
     pub blocks_decoded: Arc<Counter>,
     /// Blocks the pushdown proved irrelevant (never decoded).
     pub blocks_skipped: Arc<Counter>,
+    /// Cross-thread waker firings that interrupted a poll wait.
+    pub reactor_wakeups: Arc<Counter>,
+    /// Readiness events the pollers delivered to the event loops.
+    pub reactor_readiness: Arc<Counter>,
+    /// Readability passes that ended with a frame still incomplete.
+    pub reactor_partial_read: Arc<Counter>,
+    /// Writability passes that flushed only part of a pending frame.
+    pub reactor_partial_write: Arc<Counter>,
+    /// Connections severed for exhausting a read or write stall budget.
+    pub reactor_stalls_cut: Arc<Counter>,
 }
 
 impl ServeObs {
@@ -162,6 +172,41 @@ impl ServeObs {
                 "blocks",
                 "§3.2",
                 "Store blocks predicate pushdown proved irrelevant (never decoded)."
+            ),
+            reactor_wakeups: counter!(
+                r,
+                "serve.reactor.wakeups",
+                "wakeups",
+                "§3.4",
+                "Cross-thread waker firings that interrupted an event-loop poll wait."
+            ),
+            reactor_readiness: counter!(
+                r,
+                "serve.reactor.readiness",
+                "events",
+                "§3.4",
+                "Readiness events the pollers delivered to the event loops."
+            ),
+            reactor_partial_read: counter!(
+                r,
+                "serve.reactor.partial.read",
+                "reads",
+                "§3.4",
+                "Readability passes that ended with a request frame still incomplete."
+            ),
+            reactor_partial_write: counter!(
+                r,
+                "serve.reactor.partial.write",
+                "writes",
+                "§3.4",
+                "Writability passes that flushed only part of a pending response frame."
+            ),
+            reactor_stalls_cut: counter!(
+                r,
+                "serve.reactor.stalls.cut",
+                "connections",
+                "§3.4",
+                "Connections severed for exhausting a mid-frame read or write stall budget."
             ),
         }
     }

@@ -1,46 +1,66 @@
-//! The trace-query server: bounded concurrency over
-//! thread-per-connection accept.
+//! The trace-query server: a nonblocking readiness reactor.
 //!
 //! Shape, in order of what a request meets:
 //!
-//! * **Accept loop** — one thread blocks in `accept`, spawning a
-//!   thread per connection. Connection threads set per-socket read
-//!   and write timeouts, so no peer can hold a thread hostage: an
-//!   idle read tick doubles as the shutdown poll, and a peer that
-//!   stalls mid-frame is cut off after a bounded number of ticks.
-//! * **Admission gate** — a max-inflight counter. A request arriving
-//!   while `max_inflight` requests are executing is answered `Busy`
-//!   immediately instead of queueing unboundedly; the client retries.
-//!   This bounds memory and keeps latency honest under overload (the
-//!   `serve.inflight` high-water mark records the deepest it got).
-//! * **Execution** — queries run on the store's parallel block farm
-//!   ([`wrl_store::query_parallel`]), so one big query saturates the
-//!   cores; fetches ship raw compressed blocks for client-side
-//!   verification; metrics snapshots reuse `wrl-obs-metrics/v1`.
-//! * **Graceful shutdown** — [`Server::shutdown`] stops the accept
-//!   loop, lets every in-flight request finish and its response
-//!   flush, then joins all threads. No request is abandoned
-//!   mid-execution; connections drain at their next idle tick.
+//! * **Event loops** — `event_threads` threads, each running a
+//!   [`crate::reactor::Poller`] over its share of the nonblocking
+//!   connections (thread 0 also polls the listener and deals new
+//!   connections round-robin). A readiness event drives that
+//!   connection's state machine ([`crate::conn::Conn`]): Reading a
+//!   frame → Dispatching → Writing the response → back to Reading, or
+//!   Draining on shutdown and wire errors. Partial reads and writes
+//!   at arbitrary byte boundaries are the normal case, not an error;
+//!   the `serve.reactor.*` counters record how often they happen.
+//! * **Admission gate** — a max-inflight counter, checked on the
+//!   event thread the moment a request frame completes. A request
+//!   arriving while `max_inflight` requests are executing is answered
+//!   `Busy` immediately instead of queueing unboundedly; the client
+//!   retries. This bounds memory and keeps latency honest under
+//!   overload (the `serve.inflight` high-water mark records the
+//!   deepest it got).
+//! * **Execution** — admitted requests hop to a small executor pool
+//!   (`exec_workers` threads; `0` executes inline on the event
+//!   thread), so a long query never wedges an event loop. Queries run
+//!   on the store's parallel block farm ([`wrl_store::query_parallel`])
+//!   when `query_workers > 1` and sequentially in-place otherwise;
+//!   fetches ship raw compressed blocks for client-side verification;
+//!   metrics snapshots reuse `wrl-obs-metrics/v1`. The finished
+//!   response frame is handed back to the owning event thread through
+//!   its completion inbox and a waker.
+//! * **Stall budgets** — instead of per-socket kernel timeouts, the
+//!   event loop ticks every `read_timeout` and charges a stall to any
+//!   connection that is mid-frame without read progress, or has an
+//!   undrained response without write progress. Over budget
+//!   (`max_stalls` reads; `write_timeout / read_timeout` writes) the
+//!   peer is severed — no peer pins reactor state forever. Idle
+//!   connections *between* frames are never charged.
+//! * **Graceful shutdown** — [`Server::shutdown`] wakes every event
+//!   loop; reading connections drain and close, dispatching ones get
+//!   their response executed, enqueued and flushed, and the threads
+//!   join once every connection is reaped. No admitted request is
+//!   abandoned mid-execution.
 //!
 //! [`ServeHooks`] is the fault-injection seam (mirroring the store
-//! farm's `FarmHooks`): the chaos campaign corrupts or cuts encoded
-//! response frames right before the socket write, and the client side
-//! must classify every such fault as a typed error — never a wrong
-//! answer, §4.3 carried over the wire.
+//! farm's `FarmHooks`): the chaos campaign corrupts, truncates,
+//! trickles or mid-frame-stalls encoded response frames right before
+//! the socket write, and the client side must classify every
+//! corrupting fault as a typed error — never a wrong answer, §4.3
+//! carried over the wire — while the merely-slow shapes must still
+//! deliver bit-identical answers.
 
-use std::io::{self, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use wrl_store::{query_parallel, TraceStore};
 
+use crate::conn::{Conn, ConnState, IoTally, ReadEvent, TickVerdict, WriteShape};
 use crate::obs::ServeObs;
-use crate::wire::{
-    self, err, read_frame, CatalogEntry, FrameRead, RawBlock, Request, Response, MAX_FRAME,
-};
+use crate::reactor::{AsRawFd, Interest, Poller, Ready, Waker, MAX_POLLED};
+use crate::wire::{self, err, CatalogEntry, RawBlock, Request, Response, MAX_FRAME};
 
 /// Server shape parameters.
 #[derive(Clone, Copy, Debug)]
@@ -48,25 +68,44 @@ pub struct ServeCfg {
     /// Requests allowed to execute at once; the gate answers `Busy`
     /// past this.
     pub max_inflight: usize,
-    /// Per-socket read-timeout tick (also the shutdown poll period).
+    /// Reactor tick period: the poll-wait bound, the stall-charging
+    /// interval, and the shutdown-notice latency.
     pub read_timeout: Duration,
-    /// Per-socket write timeout.
+    /// Total time a peer may sit on an undrained response before
+    /// being severed (charged in ticks of `read_timeout`).
     pub write_timeout: Duration,
-    /// Mid-frame read-timeout ticks tolerated before a peer is cut
-    /// off (total stall bound ≈ `max_stalls × read_timeout`).
+    /// Mid-frame read-stall ticks tolerated before a peer is cut off
+    /// (total stall bound ≈ `max_stalls × read_timeout`).
     pub max_stalls: u32,
-    /// Worker threads for one query's parallel block decode.
+    /// Worker threads for one query's parallel block decode; `1` runs
+    /// the query sequentially in place, with no per-request spawns.
     pub query_workers: usize,
+    /// Event-loop threads multiplexing the connections.
+    pub event_threads: usize,
+    /// Executor threads running admitted requests; `0` executes
+    /// inline on the event thread that dispatched the request.
+    pub exec_workers: usize,
 }
 
 impl Default for ServeCfg {
     fn default() -> ServeCfg {
+        // Topology follows the core count: on a one-core box extra
+        // threads only add context switches to every request's
+        // critical path, so everything runs inline on one event
+        // loop; with real parallelism, two event loops share the
+        // socket work and a small executor pool absorbs long
+        // queries.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         ServeCfg {
             max_inflight: 16,
             read_timeout: Duration::from_millis(50),
             write_timeout: Duration::from_secs(2),
             max_stalls: 100,
-            query_workers: 4,
+            query_workers: cores.min(4),
+            event_threads: cores.min(2),
+            exec_workers: if cores <= 1 { 0 } else { cores.min(4) },
         }
     }
 }
@@ -138,6 +177,22 @@ pub enum WireFate {
         /// Cut position selector.
         at: u64,
     },
+    /// Deliver the whole frame, but at most `chunk` bytes per
+    /// writability event — a short-write storm (`wire.partial`). The
+    /// client must still get a bit-identical answer.
+    Trickle {
+        /// Byte cap per writability event (floored to 1).
+        chunk: usize,
+    },
+    /// Deliver the whole frame, but pause `ticks` reactor ticks after
+    /// `at % len` bytes are out — a mid-frame stall (`wire.stall`).
+    /// The client must still get a bit-identical answer.
+    StallMid {
+        /// Pause position selector (reduced modulo the frame length).
+        at: u64,
+        /// Reactor ticks to pause (one-shot).
+        ticks: u32,
+    },
 }
 
 /// Deterministic fault-injection hooks, consulted once per response
@@ -178,14 +233,49 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
+/// One finished request on its way back to the owning event thread.
+struct Completion {
+    slot: usize,
+    gen: u64,
+    frame: Vec<u8>,
+    shape: WriteShape,
+    sever_after: bool,
+}
+
+/// An admitted request on its way to the executor pool.
+struct Job {
+    thread: usize,
+    slot: usize,
+    gen: u64,
+    req_id: u64,
+    req: Request,
+}
+
+/// Per-event-thread mailbox: connections dealt by the acceptor and
+/// completions returned by the executors.
+#[derive(Default)]
+struct Inbox {
+    conns: Mutex<Vec<TcpStream>>,
+    done: Mutex<Vec<Completion>>,
+}
+
+/// Cross-thread reactor state: one inbox + waker per event thread.
+struct Reactor {
+    inboxes: Vec<Inbox>,
+    wakers: Vec<Waker>,
+    next: AtomicUsize,
+}
+
 /// A running trace-query server. Dropping it (or calling
 /// [`Server::shutdown`]) drains in-flight requests and joins every
 /// thread.
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    rt: Arc<Reactor>,
+    events: Vec<JoinHandle<()>>,
+    execs: Vec<JoinHandle<()>>,
+    exec_tx: Option<mpsc::Sender<Job>>,
 }
 
 impl Server {
@@ -205,6 +295,7 @@ impl Server {
         hooks: ServeHooks,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             catalog,
@@ -215,26 +306,46 @@ impl Server {
             resp_seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
-            let (shared, conns) = (shared.clone(), conns.clone());
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let shared = shared.clone();
-                    let h = std::thread::spawn(move || connection(&shared, stream));
-                    conns.lock().expect("serve conns lock").push(h);
-                }
+        let n_ev = cfg.event_threads.max(1);
+        let mut pollers = Vec::with_capacity(n_ev);
+        let mut wakers = Vec::with_capacity(n_ev);
+        let mut inboxes = Vec::with_capacity(n_ev);
+        for _ in 0..n_ev {
+            let (p, w) = Poller::new()?;
+            pollers.push(p);
+            wakers.push(w);
+            inboxes.push(Inbox::default());
+        }
+        let rt = Arc::new(Reactor {
+            inboxes,
+            wakers,
+            next: AtomicUsize::new(0),
+        });
+        let (exec_tx, exec_rx) = mpsc::channel::<Job>();
+        let exec_rx = Arc::new(Mutex::new(exec_rx));
+        let execs = (0..cfg.exec_workers)
+            .map(|_| {
+                let (shared, rt, rx) = (shared.clone(), rt.clone(), exec_rx.clone());
+                std::thread::spawn(move || exec_loop(&shared, &rt, &rx))
             })
-        };
+            .collect();
+        let mut listener = Some(listener);
+        let events = pollers
+            .into_iter()
+            .enumerate()
+            .map(|(i, poller)| {
+                let l = if i == 0 { listener.take() } else { None };
+                let (shared, rt, tx) = (shared.clone(), rt.clone(), exec_tx.clone());
+                std::thread::spawn(move || event_loop(&shared, &rt, poller, i, l, &tx))
+            })
+            .collect();
         Ok(Server {
             addr,
             shared,
-            accept: Some(accept),
-            conns,
+            rt,
+            events,
+            execs,
+            exec_tx: Some(exec_tx),
         })
     }
 
@@ -255,17 +366,22 @@ impl Server {
     }
 
     fn stop(&mut self) {
-        let Some(accept) = self.accept.take() else {
+        if self.events.is_empty() {
             return;
-        };
+        }
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection; it
-        // sees the flag before handling it.
-        let _ = TcpStream::connect(self.addr);
-        accept.join().expect("serve accept thread panicked");
-        let conns = std::mem::take(&mut *self.conns.lock().expect("serve conns lock"));
-        for h in conns {
-            h.join().expect("serve connection thread panicked");
+        for w in &self.rt.wakers {
+            w.wake();
+        }
+        for h in self.events.drain(..) {
+            h.join().expect("serve event thread panicked");
+        }
+        // Event threads exit only with every connection reaped, so no
+        // job is still owed a completion; closing the channel lets
+        // the executors drain out.
+        drop(self.exec_tx.take());
+        for h in self.execs.drain(..) {
+            h.join().expect("serve exec thread panicked");
         }
     }
 }
@@ -276,119 +392,415 @@ impl Drop for Server {
     }
 }
 
-fn connection(shared: &Shared, mut stream: TcpStream) {
-    let cfg = &shared.cfg;
-    let obs = &shared.obs;
-    obs.connections.inc();
-    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
-    let _ = stream.set_nodelay(true);
+/// One registered connection on an event thread. The generation
+/// guards completions against slot reuse: a job finishing after its
+/// connection died (and the slot was re-issued) is dropped.
+struct SlotEntry {
+    conn: Conn<TcpStream>,
+    gen: u64,
+}
+
+/// Everything `dispatch`/`advance` need besides the connection.
+struct Ctx<'a> {
+    shared: &'a Shared,
+    exec_tx: &'a mpsc::Sender<Job>,
+    thread: usize,
+    /// `exec_workers == 0`: run admitted requests on this thread.
+    inline: bool,
+}
+
+fn exec_loop(shared: &Shared, rt: &Reactor, rx: &Mutex<mpsc::Receiver<Job>>) {
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let body = match read_frame(&mut stream, cfg.max_stalls) {
-            Ok(FrameRead::Idle) => continue,
-            Ok(FrameRead::Eof) => break,
-            Ok(FrameRead::Frame(b)) => b,
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Corrupt length prefix: report, then drop the
-                // connection — framing can no longer be trusted.
-                obs.wire_errors.inc();
-                let _ = write_response(
-                    &mut stream,
-                    shared,
-                    0,
-                    &Response::Error {
-                        code: err::WIRE,
-                        msg: e.to_string(),
-                    },
-                );
-                break;
-            }
-            Err(_) => break,
+        // Holding the lock across `recv` parks the other workers on
+        // the mutex instead of the channel — same wakeup order, no
+        // lost jobs, and the channel closing still drains us out.
+        let job = {
+            let rx = rx.lock().expect("serve exec rx lock");
+            rx.recv()
         };
-        obs.bytes_in.add(4 + body.len() as u64);
-        let (req_id, req) = match wire::decode_request(&body) {
-            Ok(x) => x,
-            Err(e) => {
-                obs.wire_errors.inc();
-                // The id bytes may themselves be damaged; echo them
-                // anyway so the client can correlate, then drop the
-                // connection.
-                let rid = u64::from_le_bytes(body[..8].try_into().unwrap());
-                let _ = write_response(
-                    &mut stream,
-                    shared,
-                    rid,
-                    &Response::Error {
-                        code: err::WIRE,
-                        msg: e.to_string(),
-                    },
-                );
-                break;
-            }
-        };
-        // The admission gate: reserve a slot or answer Busy now —
-        // never queue.
-        let admitted = shared
-            .inflight
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
-                (n < cfg.max_inflight).then_some(n + 1)
-            })
-            .is_ok();
-        if !admitted {
-            obs.reject_busy.inc();
-            if write_response(&mut stream, shared, req_id, &Response::Busy).is_err() {
-                break;
-            }
-            continue;
-        }
-        obs.inflight.add(1);
-        let t0 = Instant::now();
-        let resp = handle(shared, &req);
-        obs.record_latency(req.opcode(), t0.elapsed().as_nanos() as u64);
-        obs.count_request(req.opcode());
-        let wrote = write_response(&mut stream, shared, req_id, &resp);
-        obs.inflight.add(-1);
-        shared.inflight.fetch_sub(1, Ordering::SeqCst);
-        match wrote {
-            Ok(true) => {}
-            Ok(false) | Err(_) => break,
-        }
+        let Ok(job) = job else { break };
+        let thread = job.thread;
+        let done = run_job(shared, job);
+        rt.inboxes[thread]
+            .done
+            .lock()
+            .expect("serve done lock")
+            .push(done);
+        rt.wakers[thread].wake();
     }
 }
 
-/// Encodes and writes one response, applying the fault seam. Returns
-/// `Ok(false)` when the fate severed the connection.
-fn write_response(
-    stream: &mut TcpStream,
-    shared: &Shared,
-    req_id: u64,
-    resp: &Response,
-) -> io::Result<bool> {
+/// Executes one admitted request and shapes its response frame.
+fn run_job(shared: &Shared, job: Job) -> Completion {
+    let t0 = Instant::now();
+    let resp = handle(shared, &job.req);
+    let opcode = job.req.opcode();
+    shared
+        .obs
+        .record_latency(opcode, t0.elapsed().as_nanos() as u64);
+    shared.obs.count_request(opcode);
+    shared.obs.inflight.add(-1);
+    shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    let (frame, shape, sever_after) = fated(shared, job.req_id, &resp);
+    Completion {
+        slot: job.slot,
+        gen: job.gen,
+        frame,
+        shape,
+        sever_after,
+    }
+}
+
+/// Encodes one response and applies the fault seam, yielding the
+/// bytes, the write shape and whether to sever after flushing.
+fn fated(shared: &Shared, req_id: u64, resp: &Response) -> (Vec<u8>, WriteShape, bool) {
     let mut frame = wire::encode_response(req_id, resp);
     let seq = shared.resp_seq.fetch_add(1, Ordering::SeqCst);
-    let mut severed = false;
     match shared.hooks.fate(seq) {
-        WireFate::Deliver => {}
+        WireFate::Deliver => (frame, WriteShape::default(), false),
         WireFate::FlipBit { at, bit } => {
             let i = (at % frame.len() as u64) as usize;
             frame[i] ^= 1 << (bit % 8);
+            (frame, WriteShape::default(), false)
         }
         WireFate::CutAfter { at } => {
             let keep = (at % frame.len() as u64) as usize;
             frame.truncate(keep);
-            severed = true;
+            (frame, WriteShape::default(), true)
+        }
+        WireFate::Trickle { chunk } => {
+            let shape = WriteShape {
+                max_chunk: Some(chunk.max(1)),
+                stall: None,
+            };
+            (frame, shape, false)
+        }
+        WireFate::StallMid { at, ticks } => {
+            let at = (at % frame.len().max(1) as u64) as usize;
+            let shape = WriteShape {
+                max_chunk: None,
+                stall: Some((at, ticks)),
+            };
+            (frame, shape, false)
         }
     }
-    stream.write_all(&frame)?;
-    shared.obs.bytes_out.add(frame.len() as u64);
-    if severed {
-        let _ = stream.shutdown(Shutdown::Both);
-        return Ok(false);
+}
+
+/// Drives one connection as far as it can go right now: flush
+/// whatever is writable, dispatch any completed request frame, and
+/// repeat until it blocks or goes quiescent.
+fn advance(s: &mut SlotEntry, slot: usize, cx: &Ctx<'_>, tally: &mut IoTally) {
+    loop {
+        if s.conn.wants_write() {
+            let n = s.conn.on_writable(tally);
+            if n > 0 {
+                cx.shared.obs.bytes_out.add(n);
+            }
+        }
+        if s.conn.has_frame() {
+            dispatch(s, slot, cx);
+            continue;
+        }
+        break;
     }
-    Ok(true)
+}
+
+/// Takes one completed request frame off the connection, runs it
+/// through decode + admission, and either hands it to the executors
+/// or enqueues the immediate (Busy / wire-error) answer.
+fn dispatch(s: &mut SlotEntry, slot: usize, cx: &Ctx<'_>) {
+    let Some(body) = s.conn.take_frame() else {
+        return;
+    };
+    let shared = cx.shared;
+    shared.obs.bytes_in.add(4 + body.len() as u64);
+    let (req_id, req) = match wire::decode_request(&body) {
+        Ok(x) => x,
+        Err(e) => {
+            shared.obs.wire_errors.inc();
+            // The id bytes may themselves be damaged; echo them
+            // anyway so the client can correlate, then drain and
+            // close — framing can no longer be trusted.
+            let rid = u64::from_le_bytes(body[..8].try_into().unwrap());
+            let (frame, shape, sever) = fated(
+                shared,
+                rid,
+                &Response::Error {
+                    code: err::WIRE,
+                    msg: e.to_string(),
+                },
+            );
+            s.conn.enqueue(frame, shape, sever);
+            s.conn.begin_drain();
+            return;
+        }
+    };
+    // The admission gate: reserve a slot or answer Busy now — never
+    // queue unboundedly.
+    let admitted = shared
+        .inflight
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < shared.cfg.max_inflight).then_some(n + 1)
+        })
+        .is_ok();
+    if !admitted {
+        shared.obs.reject_busy.inc();
+        let (frame, shape, sever) = fated(shared, req_id, &Response::Busy);
+        s.conn.enqueue(frame, shape, sever);
+        return;
+    }
+    shared.obs.inflight.add(1);
+    let job = Job {
+        thread: cx.thread,
+        slot,
+        gen: s.gen,
+        req_id,
+        req,
+    };
+    if cx.inline {
+        let done = run_job(shared, job);
+        s.conn.enqueue(done.frame, done.shape, done.sever_after);
+    } else {
+        // Send can only fail after shutdown closed the channel, and
+        // shutdown waits for this thread — unreachable in practice.
+        let _ = cx.exec_tx.send(job);
+    }
+}
+
+fn event_loop(
+    shared: &Shared,
+    rt: &Reactor,
+    mut poller: Poller,
+    thread: usize,
+    listener: Option<TcpListener>,
+    exec_tx: &mpsc::Sender<Job>,
+) {
+    let obs = &shared.obs;
+    let tick = shared.cfg.read_timeout.max(Duration::from_millis(1));
+    let write_budget = (shared.cfg.write_timeout.as_millis() / tick.as_millis()).max(1) as u32;
+    let cx = Ctx {
+        shared,
+        exec_tx,
+        thread,
+        inline: shared.cfg.exec_workers == 0,
+    };
+    let mut slots: Vec<Option<SlotEntry>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut gen = 0u64;
+    let mut ready: Vec<Ready> = Vec::new();
+    let mut tally = IoTally::default();
+    let mut last_tick = Instant::now();
+    loop {
+        let shutting = shared.shutdown.load(Ordering::SeqCst);
+
+        // Poll everything that wants attention (plus the listener on
+        // thread 0 while accepting).
+        let mut map: Vec<usize> = Vec::new();
+        let woke = {
+            let mut interests: Vec<(&dyn AsRawFd, Interest)> = Vec::new();
+            if let Some(l) = &listener {
+                if !shutting {
+                    interests.push((
+                        l,
+                        Interest {
+                            read: true,
+                            write: false,
+                        },
+                    ));
+                    map.push(usize::MAX);
+                }
+            }
+            for (i, s) in slots.iter().enumerate() {
+                let Some(s) = s else { continue };
+                let want = Interest {
+                    read: s.conn.wants_read(),
+                    write: s.conn.wants_write(),
+                };
+                if want.read || want.write {
+                    interests.push((s.conn.transport(), want));
+                    map.push(i);
+                }
+            }
+            let budget = tick
+                .saturating_sub(last_tick.elapsed())
+                .max(Duration::from_millis(1));
+            poller.wait(&interests, budget, &mut ready)
+        };
+        if woke {
+            obs.reactor_wakeups.inc();
+        }
+
+        // Connections the acceptor dealt us.
+        let newcomers = std::mem::take(&mut *rt.inboxes[thread].conns.lock().expect("conns lock"));
+        for stream in newcomers {
+            if shutting {
+                continue; // dropped: too late to serve
+            }
+            register(
+                &mut slots,
+                &mut free,
+                &mut gen,
+                stream,
+                shared,
+                write_budget,
+            );
+        }
+
+        // Responses the executors finished.
+        let done = std::mem::take(&mut *rt.inboxes[thread].done.lock().expect("done lock"));
+        for c in done {
+            let Some(s) = slots.get_mut(c.slot).and_then(|o| o.as_mut()) else {
+                continue;
+            };
+            if s.gen != c.gen {
+                continue;
+            }
+            s.conn.enqueue(c.frame, c.shape, c.sever_after);
+            advance(s, c.slot, &cx, &mut tally);
+        }
+
+        // Readiness events.
+        for r in &ready {
+            obs.reactor_readiness.inc();
+            let target = map[r.idx];
+            if target == usize::MAX {
+                accept_ready(
+                    listener.as_ref(),
+                    rt,
+                    thread,
+                    &mut slots,
+                    &mut free,
+                    &mut gen,
+                    shared,
+                    write_budget,
+                );
+                continue;
+            }
+            let Some(s) = slots.get_mut(target).and_then(|o| o.as_mut()) else {
+                continue;
+            };
+            if r.read {
+                match s.conn.on_readable(&mut tally) {
+                    ReadEvent::Open | ReadEvent::Eof | ReadEvent::MidFrameEof => {}
+                    ReadEvent::BadFrame(e) => {
+                        obs.wire_errors.inc();
+                        let (frame, shape, sever) = fated(
+                            shared,
+                            0,
+                            &Response::Error {
+                                code: err::WIRE,
+                                msg: e.to_string(),
+                            },
+                        );
+                        s.conn.enqueue(frame, shape, sever);
+                    }
+                }
+            }
+            advance(s, target, &cx, &mut tally);
+        }
+
+        // The tick: charge stall budgets at most once per period.
+        if last_tick.elapsed() >= tick {
+            last_tick = Instant::now();
+            for s in slots.iter_mut().flatten() {
+                if s.conn.on_tick() == TickVerdict::CutOff {
+                    obs.reactor_stalls_cut.inc();
+                }
+            }
+        }
+
+        // Shutdown: no new reads; everything reading drains away,
+        // everything dispatching finishes through the normal path.
+        if shutting {
+            for s in slots.iter_mut().flatten() {
+                if s.conn.state() == ConnState::Reading {
+                    s.conn.begin_drain();
+                }
+            }
+        }
+
+        // Reap and account.
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot
+                .as_ref()
+                .is_some_and(|s| s.conn.state() == ConnState::Closed)
+            {
+                *slot = None;
+                free.push(i);
+            }
+        }
+        if tally.partial_reads > 0 {
+            obs.reactor_partial_read.add(tally.partial_reads);
+        }
+        if tally.partial_writes > 0 {
+            obs.reactor_partial_write.add(tally.partial_writes);
+        }
+        tally = IoTally::default();
+
+        if shutting && slots.iter().all(Option::is_none) {
+            break;
+        }
+    }
+}
+
+/// Accepts until the listener would block, dealing connections
+/// round-robin across the event threads.
+#[allow(clippy::too_many_arguments)]
+fn accept_ready(
+    listener: Option<&TcpListener>,
+    rt: &Reactor,
+    thread: usize,
+    slots: &mut Vec<Option<SlotEntry>>,
+    free: &mut Vec<usize>,
+    gen: &mut u64,
+    shared: &Shared,
+    write_budget: u32,
+) {
+    let Some(l) = listener else { return };
+    loop {
+        match l.accept() {
+            Ok((stream, _)) => {
+                let t = rt.next.fetch_add(1, Ordering::Relaxed) % rt.inboxes.len();
+                if t == thread {
+                    register(slots, free, gen, stream, shared, write_budget);
+                } else {
+                    rt.inboxes[t].conns.lock().expect("conns lock").push(stream);
+                    rt.wakers[t].wake();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Registers one accepted connection on this event thread.
+fn register(
+    slots: &mut Vec<Option<SlotEntry>>,
+    free: &mut Vec<usize>,
+    gen: &mut u64,
+    stream: TcpStream,
+    shared: &Shared,
+    write_budget: u32,
+) {
+    if slots.len() - free.len() >= MAX_POLLED {
+        return; // dropped: the pollfd array stays bounded
+    }
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    shared.obs.connections.inc();
+    *gen += 1;
+    let entry = SlotEntry {
+        conn: Conn::new(stream, shared.cfg.max_stalls, write_budget),
+        gen: *gen,
+    };
+    match free.pop() {
+        Some(i) => slots[i] = Some(entry),
+        None => slots.push(Some(entry)),
+    }
 }
 
 fn handle(shared: &Shared, req: &Request) -> Response {
@@ -457,7 +869,15 @@ fn handle(shared: &Shared, req: &Request) -> Response {
                 Ok(s) => s,
                 Err(e) => return e,
             };
-            match query_parallel(store, pred, shared.cfg.query_workers) {
+            let workers = shared.cfg.query_workers;
+            let result = if workers <= 1 {
+                // Sequential in place: on small hosts the per-request
+                // scoped-thread spawn dwarfs the query itself.
+                store.query(pred)
+            } else {
+                query_parallel(store, pred, workers)
+            };
+            match result {
                 Ok(q) => {
                     shared.obs.blocks_decoded.add(u64::from(q.blocks_decoded));
                     shared.obs.blocks_skipped.add(u64::from(q.blocks_skipped));

@@ -463,8 +463,15 @@ pub fn encode_response(req_id: u64, resp: &Response) -> Vec<u8> {
             put_u32(&mut p, q.blocks_decoded);
             put_u32(&mut p, q.blocks_skipped);
             put_u64(&mut p, q.words.len() as u64);
-            for &w in &q.words {
-                put_u32(&mut p, w);
+            // Bulk word conversion: the word array dominates a query
+            // response (a 4096-word window is 16 KiB), and a
+            // per-word `put_u32` loop costs more than the query
+            // itself. Writing into a pre-sized tail vectorizes to a
+            // copy on little-endian targets.
+            let at = p.len();
+            p.resize(at + q.words.len() * 4, 0);
+            for (dst, &w) in p[at..].chunks_exact_mut(4).zip(&q.words) {
+                dst.copy_from_slice(&w.to_le_bytes());
             }
         }
         Response::Metrics(json) => put_str32(&mut p, json),
@@ -536,10 +543,13 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
             if n != (payload.len() - c.at) / 4 {
                 return Err(WireError::Malformed("word count disagrees with payload"));
             }
-            let mut words = Vec::with_capacity(n);
-            for _ in 0..n {
-                words.push(c.u32()?);
-            }
+            // Bulk inverse of the encoder's word copy: one bounds
+            // check for the whole array instead of one per word.
+            let words = c
+                .take(n * 4)?
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                .collect();
             Response::Query(QueryResult {
                 blocks_decoded,
                 blocks_skipped,

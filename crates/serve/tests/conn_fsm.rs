@@ -1,0 +1,496 @@
+//! Deterministic connection-state tests: every transition of the
+//! reactor's per-connection FSM, driven byte-by-byte through a
+//! scripted [`Transport`] — no sockets, no threads, no sleeps, no
+//! timing. This is the harness that keeps the nonblocking rewrite
+//! honest at byte boundaries the loopback suite can't reliably hit:
+//! one-byte reads, a length prefix split across reads, EOF mid-frame,
+//! a peer that accepts three bytes at a time, injected short-write
+//! and mid-frame-stall shapes, and the stall budgets that cut wedged
+//! peers off.
+
+use std::collections::VecDeque;
+use std::io;
+
+use wrl_serve::wire::{self, Request, Response};
+use wrl_serve::{Conn, ConnState, IoTally, ReadEvent, TickVerdict, Transport, WriteShape};
+
+/// One scripted read result.
+enum ReadStep {
+    /// Deliver these bytes (possibly fewer if the caller's buffer is
+    /// smaller — not exercised; scripts stay under 4096).
+    Give(Vec<u8>),
+    /// `WouldBlock`: no data right now.
+    Block,
+    /// Clean EOF from here on.
+    Eof,
+}
+
+/// One scripted write-acceptance result.
+enum WriteStep {
+    /// Accept at most this many bytes.
+    Accept(usize),
+    /// `WouldBlock`: no room right now.
+    Block,
+    /// Peer closed: `Ok(0)`.
+    Closed,
+}
+
+/// A transport whose every read and write is scripted in advance.
+/// Reads past the script end block; writes past the script end accept
+/// everything. Everything written is captured for byte-exact asserts.
+#[derive(Default)]
+struct Scripted {
+    reads: VecDeque<ReadStep>,
+    writes: VecDeque<WriteStep>,
+    written: Vec<u8>,
+    severed: bool,
+}
+
+impl Scripted {
+    fn new() -> Scripted {
+        Scripted::default()
+    }
+
+    /// Queues `bytes` split into `step`-sized read fragments, with a
+    /// `WouldBlock` after each so every fragment is its own
+    /// readability event.
+    fn read_fragmented(mut self, bytes: &[u8], step: usize) -> Scripted {
+        for chunk in bytes.chunks(step) {
+            self.reads.push_back(ReadStep::Give(chunk.to_vec()));
+            self.reads.push_back(ReadStep::Block);
+        }
+        self
+    }
+
+    fn read_chunk(mut self, bytes: &[u8]) -> Scripted {
+        self.reads.push_back(ReadStep::Give(bytes.to_vec()));
+        self
+    }
+
+    fn read_block(mut self) -> Scripted {
+        self.reads.push_back(ReadStep::Block);
+        self
+    }
+
+    fn read_eof(mut self) -> Scripted {
+        self.reads.push_back(ReadStep::Eof);
+        self
+    }
+
+    fn write_step(mut self, s: WriteStep) -> Scripted {
+        self.writes.push_back(s);
+        self
+    }
+}
+
+impl Transport for Scripted {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.reads.pop_front() {
+            None | Some(ReadStep::Block) => Err(io::ErrorKind::WouldBlock.into()),
+            Some(ReadStep::Eof) => {
+                // EOF is sticky.
+                self.reads.push_front(ReadStep::Eof);
+                Ok(0)
+            }
+            Some(ReadStep::Give(bytes)) => {
+                assert!(bytes.len() <= buf.len(), "script fragment exceeds read buf");
+                buf[..bytes.len()].copy_from_slice(&bytes);
+                Ok(bytes.len())
+            }
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.writes.pop_front() {
+            None => {
+                self.written.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            Some(WriteStep::Accept(n)) => {
+                let n = n.min(buf.len());
+                self.written.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            Some(WriteStep::Block) => Err(io::ErrorKind::WouldBlock.into()),
+            Some(WriteStep::Closed) => Ok(0),
+        }
+    }
+
+    fn sever(&mut self) {
+        self.severed = true;
+    }
+}
+
+fn request_frame() -> Vec<u8> {
+    wire::encode_request(7, &Request::Catalog)
+}
+
+fn response_frame() -> Vec<u8> {
+    wire::encode_response(7, &Response::Busy)
+}
+
+/// Drives readability events until the transport script is exhausted
+/// or the connection leaves `Reading`, returning every event seen.
+fn read_until_settled(conn: &mut Conn<Scripted>, tally: &mut IoTally) -> Vec<ReadEvent> {
+    let mut events = Vec::new();
+    for _ in 0..64 {
+        if !conn.wants_read() {
+            break;
+        }
+        let ev = conn.on_readable(tally);
+        let done = ev != ReadEvent::Open;
+        events.push(ev);
+        if done {
+            break;
+        }
+    }
+    events
+}
+
+#[test]
+fn one_byte_reads_assemble_a_request_and_serve_it() {
+    let frame = request_frame();
+    let t = Scripted::new().read_fragmented(&frame, 1);
+    let mut conn = Conn::new(t, 100, 100);
+    let mut tally = IoTally::default();
+    assert_eq!(conn.state(), ConnState::Reading);
+    assert!(conn.wants_read());
+    assert!(!conn.wants_write());
+
+    read_until_settled(&mut conn, &mut tally);
+    assert!(conn.has_frame(), "all fragments in → one buffered frame");
+    assert!(
+        !conn.wants_read(),
+        "a buffered frame parks the read side (one request at a time)"
+    );
+    // Every fragment but the last left the frame incomplete at a
+    // WouldBlock boundary.
+    assert_eq!(tally.partial_reads as usize, frame.len() - 1);
+
+    let body = conn.take_frame().expect("frame buffered");
+    assert_eq!(conn.state(), ConnState::Dispatching);
+    assert_eq!(body, frame[4..].to_vec(), "length prefix stripped");
+    let (req_id, req) = wire::decode_request(&body).expect("body decodes");
+    assert_eq!(req_id, 7);
+    assert!(matches!(req, Request::Catalog));
+
+    let resp = response_frame();
+    conn.enqueue(resp.clone(), WriteShape::default(), false);
+    assert_eq!(conn.state(), ConnState::Writing);
+    assert!(conn.wants_write());
+    let wrote = conn.on_writable(&mut tally);
+    assert_eq!(wrote, resp.len() as u64);
+    assert_eq!(conn.state(), ConnState::Reading, "flushed → next request");
+    assert_eq!(conn.transport().written, resp);
+    assert!(!conn.transport().severed);
+}
+
+#[test]
+fn length_prefix_split_across_reads_still_frames_exactly() {
+    let frame = request_frame();
+    // 2 bytes of the prefix, block, the other 2, block, then the body.
+    let t = Scripted::new()
+        .read_chunk(&frame[..2])
+        .read_block()
+        .read_chunk(&frame[2..4])
+        .read_block()
+        .read_chunk(&frame[4..]);
+    let mut conn = Conn::new(t, 100, 100);
+    let mut tally = IoTally::default();
+
+    conn.on_readable(&mut tally);
+    assert_eq!(conn.state(), ConnState::Reading);
+    assert!(!conn.has_frame());
+    assert_eq!(tally.partial_reads, 1, "mid-prefix counts as mid-frame");
+
+    conn.on_readable(&mut tally);
+    assert!(!conn.has_frame(), "prefix complete, body outstanding");
+    assert_eq!(tally.partial_reads, 2);
+
+    conn.on_readable(&mut tally);
+    assert!(conn.has_frame());
+    assert_eq!(conn.take_frame().unwrap(), frame[4..].to_vec());
+}
+
+#[test]
+fn eof_mid_frame_severs_and_eof_at_boundary_is_clean() {
+    // Mid-frame: three bytes of prefix, then EOF.
+    let frame = request_frame();
+    let t = Scripted::new().read_chunk(&frame[..3]).read_eof();
+    let mut conn = Conn::new(t, 100, 100);
+    let mut tally = IoTally::default();
+    let events = read_until_settled(&mut conn, &mut tally);
+    assert_eq!(events.last(), Some(&ReadEvent::MidFrameEof));
+    assert_eq!(conn.state(), ConnState::Closed);
+    assert!(conn.transport().severed);
+
+    // At a boundary: EOF before any byte is a clean goodbye.
+    let t = Scripted::new().read_eof();
+    let mut conn = Conn::new(t, 100, 100);
+    let events = read_until_settled(&mut conn, &mut tally);
+    assert_eq!(events.last(), Some(&ReadEvent::Eof));
+    assert_eq!(conn.state(), ConnState::Closed);
+}
+
+#[test]
+fn frames_buffered_before_eof_are_still_served() {
+    let frame = request_frame();
+    let t = Scripted::new().read_chunk(&frame).read_eof();
+    let mut conn = Conn::new(t, 100, 100);
+    let mut tally = IoTally::default();
+    conn.on_readable(&mut tally);
+    assert!(conn.has_frame(), "the frame arrived with the EOF behind it");
+    assert!(conn.take_frame().is_some());
+    // Serve it, flush it, then the next read pass reports the EOF.
+    conn.enqueue(response_frame(), WriteShape::default(), false);
+    conn.on_writable(&mut tally);
+    assert_eq!(conn.state(), ConnState::Reading);
+    assert_eq!(conn.on_readable(&mut tally), ReadEvent::Eof);
+    assert_eq!(conn.state(), ConnState::Closed);
+}
+
+#[test]
+fn write_backpressure_flushes_across_many_events() {
+    let resp = response_frame();
+    // Peer accepts 3 bytes, blocks, accepts 3, blocks, ... forever.
+    let mut t = Scripted::new();
+    for _ in 0..resp.len() {
+        t = t
+            .write_step(WriteStep::Accept(3))
+            .write_step(WriteStep::Block);
+    }
+    let mut conn = Conn::new(t, 100, 100);
+    let mut tally = IoTally::default();
+    conn.enqueue(resp.clone(), WriteShape::default(), false);
+
+    let mut events = 0;
+    let mut total = 0u64;
+    while conn.wants_write() {
+        total += conn.on_writable(&mut tally);
+        events += 1;
+        assert!(events <= resp.len(), "flush must terminate");
+    }
+    assert_eq!(total, resp.len() as u64);
+    assert_eq!(events, resp.len().div_ceil(3));
+    assert_eq!(conn.state(), ConnState::Reading);
+    assert_eq!(conn.transport().written, resp);
+    assert!(tally.partial_writes > 0, "every blocked pass was partial");
+}
+
+#[test]
+fn trickle_shape_caps_bytes_per_event_even_on_a_willing_peer() {
+    let resp = response_frame();
+    let t = Scripted::new(); // accepts everything offered
+    let mut conn = Conn::new(t, 100, 100);
+    let mut tally = IoTally::default();
+    let shape = WriteShape {
+        max_chunk: Some(7),
+        stall: None,
+    };
+    conn.enqueue(resp.clone(), shape, false);
+
+    let mut events = 0;
+    while conn.wants_write() {
+        let n = conn.on_writable(&mut tally);
+        assert!(n <= 7, "never more than the cap per event");
+        events += 1;
+        assert!(events <= resp.len(), "flush must terminate");
+    }
+    assert_eq!(events, resp.len().div_ceil(7));
+    assert_eq!(
+        conn.transport().written,
+        resp,
+        "bit-identical despite trickle"
+    );
+    assert_eq!(conn.state(), ConnState::Reading);
+}
+
+#[test]
+fn stall_shape_pauses_mid_frame_for_exactly_its_ticks() {
+    let resp = response_frame();
+    let t = Scripted::new();
+    let mut conn = Conn::new(t, 100, 100);
+    let mut tally = IoTally::default();
+    let shape = WriteShape {
+        max_chunk: None,
+        stall: Some((5, 3)),
+    };
+    conn.enqueue(resp.clone(), shape, false);
+
+    // First event writes exactly up to the stall point, then pauses.
+    conn.on_writable(&mut tally);
+    assert_eq!(conn.transport().written.len(), 5);
+    assert!(
+        !conn.wants_write(),
+        "paused: no write interest while stalled"
+    );
+    // The pause is charged in ticks and never against the budget.
+    for _ in 0..3 {
+        assert_eq!(conn.on_tick(), TickVerdict::Ok);
+    }
+    assert!(conn.wants_write(), "pause over, interest returns");
+    conn.on_writable(&mut tally);
+    assert_eq!(
+        conn.transport().written,
+        resp,
+        "bit-identical despite stall"
+    );
+    assert_eq!(conn.state(), ConnState::Reading);
+}
+
+#[test]
+fn read_stall_budget_cuts_a_wedged_mid_frame_peer() {
+    let frame = request_frame();
+    let t = Scripted::new().read_chunk(&frame[..3]); // then silence
+    let mut conn = Conn::new(t, 2, 100);
+    let mut tally = IoTally::default();
+    conn.on_readable(&mut tally);
+    // The first tick after progress resets the flag without charging.
+    assert_eq!(conn.on_tick(), TickVerdict::Ok);
+    // Then: charge 1, charge 2 (== budget), charge 3 (over) → cut.
+    assert_eq!(conn.on_tick(), TickVerdict::Ok);
+    assert_eq!(conn.on_tick(), TickVerdict::Ok);
+    assert_eq!(conn.on_tick(), TickVerdict::CutOff);
+    assert_eq!(conn.state(), ConnState::Closed);
+    assert!(conn.transport().severed);
+}
+
+#[test]
+fn idle_connections_between_frames_are_never_charged() {
+    let t = Scripted::new();
+    let mut conn = Conn::new(t, 1, 1);
+    for _ in 0..100 {
+        assert_eq!(conn.on_tick(), TickVerdict::Ok, "idle is free");
+    }
+    assert_eq!(conn.state(), ConnState::Reading);
+}
+
+#[test]
+fn write_stall_budget_cuts_a_peer_that_never_drains() {
+    let resp = response_frame();
+    let mut t = Scripted::new();
+    for _ in 0..64 {
+        t = t.write_step(WriteStep::Block);
+    }
+    let mut conn = Conn::new(t, 100, 2);
+    let mut tally = IoTally::default();
+    conn.enqueue(resp, WriteShape::default(), false);
+    conn.on_writable(&mut tally); // WouldBlock: zero progress
+    assert_eq!(conn.on_tick(), TickVerdict::Ok); // charge 1
+    assert_eq!(conn.on_tick(), TickVerdict::Ok); // charge 2 == budget
+    assert_eq!(conn.on_tick(), TickVerdict::CutOff); // over budget
+    assert_eq!(conn.state(), ConnState::Closed);
+    assert!(conn.transport().severed);
+}
+
+#[test]
+fn sever_after_cuts_right_after_the_truncated_bytes() {
+    let resp = response_frame();
+    let cut = resp[..resp.len() / 2].to_vec();
+    let t = Scripted::new();
+    let mut conn = Conn::new(t, 100, 100);
+    let mut tally = IoTally::default();
+    conn.enqueue(cut.clone(), WriteShape::default(), true);
+    conn.on_writable(&mut tally);
+    assert_eq!(conn.state(), ConnState::Closed);
+    assert!(conn.transport().severed);
+    assert_eq!(conn.transport().written, cut, "only the truncated bytes");
+}
+
+#[test]
+fn a_closed_peer_mid_write_closes_the_connection() {
+    let resp = response_frame();
+    let t = Scripted::new()
+        .write_step(WriteStep::Accept(4))
+        .write_step(WriteStep::Closed);
+    let mut conn = Conn::new(t, 100, 100);
+    let mut tally = IoTally::default();
+    conn.enqueue(resp, WriteShape::default(), false);
+    conn.on_writable(&mut tally);
+    conn.on_writable(&mut tally);
+    assert_eq!(conn.state(), ConnState::Closed);
+}
+
+#[test]
+fn pipelined_frames_in_one_read_are_served_in_order() {
+    let a = wire::encode_request(1, &Request::Catalog);
+    let b = wire::encode_request(2, &Request::Metrics);
+    let both: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+    let t = Scripted::new().read_chunk(&both);
+    let mut conn = Conn::new(t, 100, 100);
+    let mut tally = IoTally::default();
+    conn.on_readable(&mut tally);
+
+    let first = conn.take_frame().expect("first frame");
+    assert_eq!(wire::decode_request(&first).unwrap().0, 1);
+    conn.enqueue(
+        wire::encode_response(1, &Response::Busy),
+        WriteShape::default(),
+        false,
+    );
+    conn.on_writable(&mut tally);
+    assert!(
+        conn.has_frame(),
+        "second request already buffered, no read needed"
+    );
+    let second = conn.take_frame().expect("second frame");
+    assert_eq!(wire::decode_request(&second).unwrap().0, 2);
+}
+
+#[test]
+fn bad_length_prefix_is_a_typed_error_then_drain() {
+    // A 4-byte prefix claiming a body below the minimum.
+    let t = Scripted::new().read_chunk(&3u32.to_le_bytes());
+    let mut conn = Conn::new(t, 100, 100);
+    let mut tally = IoTally::default();
+    let ev = conn.on_readable(&mut tally);
+    assert!(matches!(ev, ReadEvent::BadFrame(_)), "typed, not a panic");
+    assert_eq!(conn.state(), ConnState::Draining, "no further reads");
+    assert!(!conn.wants_read());
+    // The server still gets to enqueue the wire-error response; it
+    // flushes, then the connection closes.
+    let err_frame = wire::encode_response(
+        0,
+        &Response::Error {
+            code: wire::err::WIRE,
+            msg: "malformed frame: frame length out of range".into(),
+        },
+    );
+    conn.enqueue(err_frame.clone(), WriteShape::default(), false);
+    assert_eq!(conn.state(), ConnState::Draining, "drain sticks");
+    conn.on_writable(&mut tally);
+    assert_eq!(conn.state(), ConnState::Closed);
+    assert_eq!(conn.transport().written, err_frame);
+}
+
+#[test]
+fn drain_protocol_by_state() {
+    // Reading, nothing pending: close immediately.
+    let mut conn = Conn::new(Scripted::new(), 100, 100);
+    conn.begin_drain();
+    assert_eq!(conn.state(), ConnState::Closed);
+
+    // Dispatching: left alone — a response is still owed.
+    let frame = request_frame();
+    let mut conn = Conn::new(Scripted::new().read_chunk(&frame), 100, 100);
+    let mut tally = IoTally::default();
+    conn.on_readable(&mut tally);
+    conn.take_frame().unwrap();
+    conn.begin_drain();
+    assert_eq!(conn.state(), ConnState::Dispatching);
+    // Its response then drains through the normal write path.
+    conn.enqueue(response_frame(), WriteShape::default(), false);
+    conn.begin_drain();
+    assert_eq!(conn.state(), ConnState::Draining);
+    conn.on_writable(&mut tally);
+    assert_eq!(conn.state(), ConnState::Closed);
+
+    // Writing with a pending frame: drain, flush, close.
+    let mut conn = Conn::new(Scripted::new().write_step(WriteStep::Block), 100, 100);
+    conn.enqueue(response_frame(), WriteShape::default(), false);
+    conn.on_writable(&mut tally); // blocked: bytes still pending
+    conn.begin_drain();
+    assert_eq!(conn.state(), ConnState::Draining);
+    conn.on_writable(&mut tally); // script exhausted: accepts the rest
+    assert_eq!(conn.state(), ConnState::Closed);
+}

@@ -1,14 +1,16 @@
 //! No-panic fuzzing of every decode entry point: seeded-random bytes
 //! and mutated-golden bytes go into [`TraceArchive::decode`],
-//! [`TraceStore::decode_any`] and the block codec, and the only
-//! acceptable reactions are a typed error or a successful decode —
-//! never a panic, a hang, or an unbounded allocation. Complements the
-//! chaos campaign (`tests/chaos_campaign.rs`): the campaign classifies
-//! *outcomes*, this suite hammers *totality* with far more inputs.
+//! [`TraceStore::decode_any`], the block codec, and the reactor's
+//! nonblocking frame reassembler, and the only acceptable reactions
+//! are a typed error or a successful decode — never a panic, a hang,
+//! or an unbounded allocation. Complements the chaos campaign
+//! (`tests/chaos_campaign.rs`): the campaign classifies *outcomes*,
+//! this suite hammers *totality* with far more inputs.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use systrace::store::{compress_block, decompress_block, TraceStore};
+use systrace::serve::{wire, FrameDecoder, Request};
+use systrace::store::{compress_block, decompress_block, Predicate, TraceStore};
 use systrace::trace::TraceArchive;
 
 const GOLDEN_PATH: &str = "tests/data/golden.w3kt";
@@ -98,6 +100,156 @@ proptest! {
         // is what distinguishes wrong from right content).
         let _ = decompress_block(&comp, words.len());
         let _ = decompress_block(&comp, n_words_lie);
+    }
+}
+
+/// How a framed byte stream ended, in terms both the blocking reader
+/// and the nonblocking reassembler can express.
+#[derive(Debug, PartialEq, Eq)]
+enum StreamEnd {
+    /// EOF exactly at a frame boundary.
+    Clean,
+    /// EOF mid-frame (inside a length prefix or a body).
+    Truncated,
+    /// A length prefix outside `MIN_BODY..=MAX_FRAME`.
+    BadLength,
+}
+
+/// Drains `bytes` through the blocking one-shot reader
+/// ([`wire::read_frame`] over a cursor), collecting every complete
+/// body and classifying the stream's end.
+fn one_shot_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, StreamEnd) {
+    let mut r = std::io::Cursor::new(bytes);
+    let mut frames = Vec::new();
+    loop {
+        match wire::read_frame(&mut r, 0) {
+            Ok(wire::FrameRead::Frame(b)) => frames.push(b),
+            Ok(wire::FrameRead::Eof) => return (frames, StreamEnd::Clean),
+            Ok(wire::FrameRead::Idle) => unreachable!("cursors never stall"),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return (frames, StreamEnd::Truncated)
+            }
+            Err(_) => return (frames, StreamEnd::BadLength),
+        }
+    }
+}
+
+/// Drains `bytes` through the reactor's incremental [`FrameDecoder`]
+/// in chunks whose sizes cycle through `sizes` — the nonblocking
+/// reassembly path, fragmented at arbitrary byte boundaries.
+fn reassembled_frames(bytes: &[u8], sizes: &[usize]) -> (Vec<Vec<u8>>, StreamEnd) {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut at = 0;
+    for i in 0.. {
+        if at >= bytes.len() {
+            break;
+        }
+        let n = sizes[i % sizes.len()].max(1).min(bytes.len() - at);
+        if dec.feed(&bytes[at..at + n], &mut frames).is_err() {
+            return (frames, StreamEnd::BadLength);
+        }
+        at += n;
+    }
+    let end = if dec.mid_frame() {
+        StreamEnd::Truncated
+    } else {
+        StreamEnd::Clean
+    };
+    (frames, end)
+}
+
+fn arb_archive() -> impl Strategy<Value = String> {
+    (0usize..4).prop_map(|i| ["", "sed", "grr", "quite-a-long-archive-name"][i].to_string())
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Catalog),
+        Just(Request::Metrics),
+        (arb_archive(), any::<u32>(), any::<u32>()).prop_map(|(archive, first_block, n_blocks)| {
+            Request::Fetch {
+                archive,
+                first_block,
+                n_blocks,
+            }
+        }),
+        (
+            arb_archive(),
+            any::<bool>(),
+            any::<u8>(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(archive, has_asid, asid, has_win, lo, hi)| {
+                Request::Query {
+                    archive,
+                    pred: Predicate {
+                        asid: has_asid.then_some(asid),
+                        window: has_win.then_some((lo, hi)),
+                    },
+                }
+            }),
+    ]
+}
+
+fn encode_stream(reqs: &[Request]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for (i, r) in reqs.iter().enumerate() {
+        stream.extend_from_slice(&wire::encode_request(i as u64, r));
+    }
+    stream
+}
+
+proptest! {
+    /// The reactor's frame reassembly, fed any chunking of a valid
+    /// request stream — one byte at a time, prefixes split across
+    /// reads, several frames in one read — produces exactly the
+    /// frames the blocking reader produces, and every body decodes
+    /// back to the request that encoded it.
+    #[test]
+    fn any_chunking_of_valid_frames_reassembles_identically(
+        reqs in vec(arb_request(), 1..5),
+        sizes in vec(1usize..64, 1..16),
+    ) {
+        let stream = encode_stream(&reqs);
+        let (oneshot, end) = one_shot_frames(&stream);
+        prop_assert_eq!(end, StreamEnd::Clean);
+        let (chunked, cend) = reassembled_frames(&stream, &sizes);
+        prop_assert_eq!(cend, StreamEnd::Clean);
+        prop_assert_eq!(&chunked, &oneshot);
+        for (i, body) in chunked.iter().enumerate() {
+            let (rid, back) = wire::decode_request(body).expect("valid frames decode");
+            prop_assert_eq!(rid, i as u64);
+            prop_assert_eq!(&back, &reqs[i]);
+        }
+    }
+
+    /// Mutated streams (bit flips, truncation) through any chunking:
+    /// the reassembler never panics, and it agrees with the blocking
+    /// reader on both the recovered frames and how the stream ended —
+    /// damage surfaces as the *same* typed condition on both paths.
+    #[test]
+    fn mutated_frame_streams_agree_with_the_blocking_reader(
+        reqs in vec(arb_request(), 1..4),
+        sizes in vec(1usize..32, 1..16),
+        flips in vec((any::<usize>(), any::<u8>()), 0..4),
+        cut in prop_oneof![Just(None), any::<usize>().prop_map(Some)],
+    ) {
+        let mut stream = encode_stream(&reqs);
+        mutate(&mut stream, &flips, cut);
+        let (oneshot, oend) = one_shot_frames(&stream);
+        let (chunked, cend) = reassembled_frames(&stream, &sizes);
+        prop_assert_eq!(cend, oend);
+        prop_assert_eq!(&chunked, &oneshot);
+        // Whatever bodies survived framing, decode is total: a typed
+        // result either way, never a panic (the CRC distinguishes
+        // right from wrong content above this layer).
+        for body in &chunked {
+            let _ = wire::decode_request(body);
+            let _ = wire::decode_response(body);
+        }
     }
 }
 

@@ -12,6 +12,11 @@
 //! * Sixteen concurrent clients against a 4-inflight admission gate:
 //!   every response intact, `serve.reject.busy` fires, and the
 //!   inflight high-water mark never exceeds the cap.
+//! * Reactor stress: 64 and then 256 concurrent clients multiplexed
+//!   over two event threads — every answer still bit-identical to
+//!   [`filter_stream`], Busy only ever refused (never wedged or
+//!   corrupted), and a generous p99 sanity bound to catch a reactor
+//!   that technically answers but has stopped multiplexing.
 //! * Graceful shutdown drains in-flight requests instead of dropping
 //!   them.
 //!
@@ -172,6 +177,10 @@ fn sixteen_clients_against_a_four_slot_gate_all_get_intact_answers() {
     let cfg = ServeCfg {
         max_inflight: 4,
         query_workers: 1,
+        // Pinned: on a 1-core host the adaptive default would run
+        // dispatch inline on the event threads, never overlapping
+        // enough requests to exercise the 4-slot gate.
+        exec_workers: 4,
         ..ServeCfg::default()
     };
     let server = Server::start("127.0.0.1:0", catalog, cfg).expect("server starts");
@@ -212,6 +221,164 @@ fn sixteen_clients_against_a_four_slot_gate_all_get_intact_answers() {
     assert!(
         obs.inflight.high() <= 4,
         "inflight high-water {} exceeded the 4-slot cap",
+        obs.inflight.high()
+    );
+    server.shutdown();
+}
+
+/// Connects with retries: a herd of clients can transiently overflow
+/// the listen backlog while the event thread is mid-pass.
+fn connect_patiently(addr: std::net::SocketAddr) -> Client {
+    for _ in 0..500 {
+        if let Ok(c) = Client::connect_cfg(addr, ClientCfg::default()) {
+            return c;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    panic!("could not connect to the loopback server");
+}
+
+/// Runs `n_clients × rounds` queries against a 2-event-thread
+/// reactor, asserting every answer bit-identical to the local filter
+/// and returning the observed per-request latencies in microseconds.
+fn reactor_stress(n_clients: usize, rounds: usize, cfg: ServeCfg) -> Vec<u64> {
+    let a = golden();
+    let store = Arc::new(TraceStore::from_archive(&a, 64));
+    let mut catalog = Catalog::new();
+    catalog.add("golden", store);
+    let server = Server::start("127.0.0.1:0", catalog, cfg).expect("server starts");
+    let obs = server.obs().clone();
+    obs.inflight.reset();
+    let busy_before = obs.reject_busy.get();
+    let addr = server.addr();
+
+    let n_words = a.words.len() as u64;
+    let panel = predicate_panel(n_words);
+    let expected: Vec<Vec<u32>> = panel.iter().map(|p| filter_stream(&a.words, p)).collect();
+    let latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|t| {
+                let (panel, expected, latencies) = (&panel, &expected, latencies.clone());
+                s.spawn(move || {
+                    let mut client = connect_patiently(addr);
+                    let mut mine = Vec::with_capacity(rounds);
+                    for round in 0..rounds {
+                        let which = (t + round) % panel.len();
+                        let t0 = std::time::Instant::now();
+                        let q = client
+                            .query_retry("golden", &panel[which], 10_000)
+                            .unwrap_or_else(|e| panic!("client {t} round {round}: {e}"));
+                        mine.push(t0.elapsed().as_micros() as u64);
+                        assert_eq!(
+                            q.words, expected[which],
+                            "client {t} round {round}: wire answer differs from local filter"
+                        );
+                    }
+                    latencies.lock().unwrap().extend(mine);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("stress client panicked");
+        }
+    });
+
+    assert!(
+        obs.inflight.high() <= cfg.max_inflight as i64,
+        "inflight high-water {} exceeded the {}-slot cap",
+        obs.inflight.high(),
+        cfg.max_inflight
+    );
+    assert!(
+        obs.reject_busy.get() >= busy_before,
+        "busy counter must never run backwards"
+    );
+    server.shutdown();
+    let mut lat = Arc::try_unwrap(latencies).unwrap().into_inner().unwrap();
+    assert_eq!(lat.len(), n_clients * rounds);
+    lat.sort_unstable();
+    lat
+}
+
+#[test]
+fn sixty_four_clients_on_two_event_threads_stay_bit_identical() {
+    let _guard = metrics_lock();
+    let cfg = ServeCfg {
+        max_inflight: 8,
+        query_workers: 1,
+        event_threads: 2,
+        // Pinned so the executor pool size (and with it the gate
+        // behaviour) does not depend on the host's core count.
+        exec_workers: 4,
+        ..ServeCfg::default()
+    };
+    let lat = reactor_stress(64, 6, cfg);
+    // Sanity, not performance (serve_bench owns that): a reactor that
+    // has degenerated to serving one client at a time would blow far
+    // past this bound at 64 clients.
+    let p99 = lat[(lat.len() * 99) / 100 - 1];
+    assert!(
+        p99 < 5_000_000,
+        "p99 {}us: the reactor has stopped multiplexing",
+        p99
+    );
+}
+
+#[test]
+fn two_hundred_fifty_six_clients_swamp_the_gate_but_never_get_wrong_answers() {
+    let _guard = metrics_lock();
+    let a = golden();
+    let store = Arc::new(TraceStore::from_archive(&a, 64));
+    let mut catalog = Catalog::new();
+    catalog.add("golden", store);
+    let cfg = ServeCfg {
+        max_inflight: 8,
+        query_workers: 1,
+        event_threads: 2,
+        // Pinned: 12 executor workers comfortably exceed the 8-slot
+        // gate, so the swamp must trip Busy on every host.
+        exec_workers: 12,
+        ..ServeCfg::default()
+    };
+    let server = Server::start("127.0.0.1:0", catalog, cfg).expect("server starts");
+    let obs = server.obs().clone();
+    obs.inflight.reset();
+    let busy_before = obs.reject_busy.get();
+    let addr = server.addr();
+    let expected = Arc::new(filter_stream(&a.words, &Predicate::default()));
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..256)
+            .map(|t| {
+                let expected = expected.clone();
+                s.spawn(move || {
+                    let mut client = connect_patiently(addr);
+                    for round in 0..2 {
+                        let q = client
+                            .query_retry("golden", &Predicate::default(), 10_000)
+                            .unwrap_or_else(|e| panic!("client {t} round {round}: {e}"));
+                        assert_eq!(
+                            q.words, *expected,
+                            "client {t} round {round}: response damaged under swamp load"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("swamp client panicked");
+        }
+    });
+
+    assert!(
+        obs.reject_busy.get() > busy_before,
+        "256 clients against 8 slots must trip the admission gate"
+    );
+    assert!(
+        obs.inflight.high() <= 8,
+        "inflight high-water {} exceeded the 8-slot cap under swamp load",
         obs.inflight.high()
     );
     server.shutdown();
