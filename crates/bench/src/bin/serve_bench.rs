@@ -22,6 +22,12 @@
 //!    committed `results/serve_bench.txt` before the readiness
 //!    reactor landed). The reactor must hold a ≥5x improvement on
 //!    the query p99, the figure the rewrite was aimed at.
+//! 5. **v3 vs v4 windowed query** — the 16-client windowed-query
+//!    latency for the same trace served from a v3 row store and a v4
+//!    columnar store, against the pinned v3 p50 (the committed
+//!    `results/serve_bench.txt` before the columnar format landed).
+//!    The v4 path must hold a ≥5x improvement on that pin, the
+//!    figure the columnar layout was aimed at.
 //!
 //! Usage: `serve_bench`. Regenerates `results/serve_bench.txt` via
 //! stdout.
@@ -31,7 +37,7 @@ use std::time::Instant;
 
 use systrace::kernel::{build_system, KernelConfig};
 use systrace::serve::{Catalog, Client, ServeCfg, Server};
-use systrace::store::{filter_stream, Predicate, TraceStore};
+use systrace::store::{filter_stream, BlockFormat, Predicate, TraceStore};
 use systrace::trace::TraceArchive;
 use wrl_trace::format::{classify, CtlOp, TraceWord};
 
@@ -109,6 +115,17 @@ const POOL_P99_US_16C: [(&str, f64); 4] = [
 /// the pool's.
 const QUERY_P99_MIN_SPEEDUP: f64 = 5.0;
 
+/// The 16-client windowed-query p50 in microseconds, pinned from the
+/// `results/serve_bench.txt` committed with the v3 row store (reactor
+/// server, linear index scan, row-at-a-time block decode). The v4
+/// columnar path is measured against this pin.
+const V3_QUERY_P50_US_16C: f64 = 1849.8;
+
+/// The acceptance floor on the columnar headline figure: the v4 path's
+/// 16-client windowed-query p50 must beat the pinned v3 p50 by at
+/// least this factor.
+const V4_QUERY_P50_MIN_SPEEDUP: f64 = 5.0;
+
 fn main() {
     systrace::obs::register_all();
     println!("wrl-serve: loopback differential, pushdown and latency benchmark");
@@ -125,12 +142,18 @@ fn main() {
     let mut worst_skip = f64::MAX;
     let mut worst_name = "";
     let mut sed_store = None;
+    let mut sed_store_v4 = None;
     for w in systrace::workloads::all() {
         let archive = trace_of(w.name);
         let store = Arc::new(TraceStore::from_archive(&archive, BLOCK_WORDS));
         let n_blocks = store.n_blocks();
         if w.name == "sed" {
             sed_store = Some(store.clone());
+            sed_store_v4 = Some(Arc::new(TraceStore::from_archive_with(
+                &archive,
+                BLOCK_WORDS,
+                BlockFormat::Columnar,
+            )));
         }
         let mut catalog = Catalog::new();
         catalog.add(w.name, store);
@@ -199,7 +222,9 @@ fn main() {
     println!();
 
     // ---- 3. Latency and throughput by opcode and client count -----
-    let store = sed_store.expect("sed is among the twelve workloads");
+    let store = sed_store
+        .clone()
+        .expect("sed is among the twelve workloads");
     let n_blocks = store.n_blocks() as u32;
     let n_words = store.n_words;
     let mut catalog = Catalog::new();
@@ -310,11 +335,86 @@ fn main() {
     );
     println!("connection and one more per query; the reactor multiplexes every");
     println!("connection onto a fixed set of event loops with no per-request");
-    println!("spawns, and the slice-by-8 CRC with bulk word codec cut the");
-    println!("per-query CPU itself by ~3.5x.");
+    println!("spawns, and the carryless-multiply CRC (table fallback elsewhere)");
+    println!("with the bulk word codec cut frame hashing to under a microsecond");
+    println!("per 16 KiB side.");
     assert!(
         query_speedup >= QUERY_P99_MIN_SPEEDUP,
         "reactor query p99 at 16 clients must be >= {QUERY_P99_MIN_SPEEDUP}x better than the \
          pool baseline (got {query_speedup:.1}x)"
+    );
+    println!();
+
+    // ---- 5. v3 vs v4 windowed query at 16 clients -----------------
+    println!("Windowed 4096-word query on the sed trace, 16 clients, best of 3");
+    println!(
+        "{:12} | {:>9} | {:>9} | {:>13}",
+        "store format", "p50 us", "p99 us", "vs pinned v3"
+    );
+    println!("{:-<52}", "");
+    let v3 = sed_store.expect("sed is among the twelve workloads");
+    let v4 = sed_store_v4.expect("sed is among the twelve workloads");
+    let mut v4_speedup = 0.0;
+    for (tag, s) in [("v3 row", v3), ("v4 columnar", v4)] {
+        let n_words = s.n_words;
+        let mut catalog = Catalog::new();
+        catalog.add("sed", s);
+        let server =
+            Server::start("127.0.0.1:0", catalog, ServeCfg::default()).expect("server starts");
+        let addr = server.addr();
+        let (mut best_p50, mut best_p99) = (f64::MAX, f64::MAX);
+        for _ in 0..3 {
+            let lat: Vec<u64> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..16)
+                    .map(|c: usize| {
+                        scope.spawn(move || {
+                            let mut client = Client::connect(addr).expect("client connects");
+                            let mut lat = Vec::with_capacity(REQS_PER_CLIENT);
+                            for i in 0..REQS_PER_CLIENT {
+                                let lo = (c * REQS_PER_CLIENT + i) as u64 * 997 % n_words;
+                                let pred = Predicate {
+                                    window: Some((lo, lo + 4096)),
+                                    ..Predicate::default()
+                                };
+                                let t = Instant::now();
+                                client.query_retry("sed", &pred, 100).expect("query");
+                                lat.push(t.elapsed().as_nanos() as u64);
+                            }
+                            lat
+                        })
+                    })
+                    .collect();
+                let mut all = Vec::new();
+                for h in handles {
+                    all.extend(h.join().expect("bench client panicked"));
+                }
+                all
+            });
+            let mut sorted = lat;
+            sorted.sort_unstable();
+            best_p50 = best_p50.min(percentile(&sorted, 50.0));
+            best_p99 = best_p99.min(percentile(&sorted, 99.0));
+        }
+        server.shutdown();
+        let vs_pin = V3_QUERY_P50_US_16C / best_p50;
+        if tag == "v4 columnar" {
+            v4_speedup = vs_pin;
+        }
+        println!("{tag:12} | {best_p50:>9.1} | {best_p99:>9.1} | {vs_pin:>12.1}x");
+    }
+    println!("{:-<52}", "");
+    println!(
+        "v4 p50 speedup {v4_speedup:.1}x over the pinned v3 p50 of {V3_QUERY_P50_US_16C:.1} us \
+         (floor {V4_QUERY_P50_MIN_SPEEDUP:.0}x):"
+    );
+    println!("the binary-searched index prunes the 4096-word window to its ~65");
+    println!("blocks without scanning all entries, and the per-archive");
+    println!("decoded-block cache turns the repeat decodes a served archive sees");
+    println!("into row-range copies once warm (ASID filters still resolve from");
+    println!("the tag and control columns alone before touching the cache).");
+    assert!(
+        v4_speedup >= V4_QUERY_P50_MIN_SPEEDUP,
+        "v4 windowed-query p50 at 16 clients must be >= {V4_QUERY_P50_MIN_SPEEDUP}x better than \
+         the pinned v3 p50 (got {v4_speedup:.1}x)"
     );
 }

@@ -4,11 +4,14 @@
 //! Three sections, each honest about its method:
 //!
 //! 1. **Compression** — every workload's Ultrix system trace is
-//!    compressed at the default block size; losslessness is asserted
-//!    (decode == original words) and the ratio distribution is
-//!    summarised.
+//!    compressed at the default block size in both the v3 row format
+//!    and the v4 columnar format; losslessness is asserted (decode ==
+//!    original words) for both and the ratio distributions are
+//!    summarised. The v4 median is asserted to at least double the
+//!    pinned v2 median ratio.
 //! 2. **Decode throughput** — block-at-a-time decode (CRC included)
-//!    of the largest trace, best of several passes.
+//!    of the largest trace, best of several passes, for the v3 row
+//!    path and the v4 columnar path via the whole-file block reader.
 //! 3. **Farm scaling** — the fifteen-geometry cache sweep replayed
 //!    from the store: sequentially (each geometry decodes and parses
 //!    the store itself — the non-farm workflow) and on the shared-
@@ -22,7 +25,7 @@
 use std::time::{Duration, Instant};
 
 use systrace::kernel::{build_system, KernelConfig};
-use systrace::store::{replay, FarmCfg, StoreObs, TraceStore, DEFAULT_BLOCK_WORDS};
+use systrace::store::{replay, BlockFormat, FarmCfg, StoreObs, TraceStore, DEFAULT_BLOCK_WORDS};
 use systrace::trace::TraceArchive;
 use wrl_bench::{sweep_geometries, CacheStudy};
 
@@ -84,6 +87,15 @@ fn assert_identical(a: &[CacheStudy], b: &[CacheStudy]) {
     }
 }
 
+/// The v2 store's median compression ratio across the twelve
+/// workloads, pinned from the `results/store_bench.txt` committed
+/// with the row codec. The v4 columnar codec is measured against it.
+const V2_MEDIAN_RATIO: f64 = 2.32;
+
+/// The acceptance floor: the v4 median ratio must be at least this
+/// many times the pinned v2 median.
+const V4_MIN_GAIN_OVER_V2: f64 = 2.0;
+
 fn main() {
     let sweep_name = std::env::args()
         .nth(1)
@@ -97,56 +109,76 @@ fn main() {
     println!();
 
     // ---- 1. Compression across all twelve workloads -------------
-    println!("Compression of one Ultrix system trace per workload");
+    println!("Compression of one Ultrix system trace per workload, v3 row vs v4 columnar");
     println!(
-        "{:10} | {:>9} | {:>9} | {:>9} | {:>6}",
-        "workload", "words", "raw KB", "comp KB", "ratio"
+        "{:10} | {:>9} | {:>9} | {:>9} | {:>6} | {:>9} | {:>6}",
+        "workload", "words", "raw KB", "v3 KB", "v3", "v4 KB", "v4"
     );
-    println!("{:-<54}", "");
+    println!("{:-<72}", "");
     let mut ratios: Vec<(f64, &'static str)> = Vec::new();
+    let mut ratios_v4: Vec<(f64, &'static str)> = Vec::new();
     let mut sweep_inputs = None;
     for w in systrace::workloads::all() {
         let (archive, pagemap) = trace_of(w.name);
         let store = TraceStore::from_archive(&archive, DEFAULT_BLOCK_WORDS);
-        assert_eq!(
-            store.words().expect("all CRCs hold"),
-            archive.words,
-            "{}: compression must be lossless",
-            w.name
-        );
+        let v4 =
+            TraceStore::from_archive_with(&archive, DEFAULT_BLOCK_WORDS, BlockFormat::Columnar);
+        for (tag, s) in [("v3", &store), ("v4", &v4)] {
+            assert_eq!(
+                s.words().expect("all CRCs hold"),
+                archive.words,
+                "{} {tag}: compression must be lossless",
+                w.name
+            );
+        }
         let ratio = store.raw_bytes() as f64 / store.compressed_bytes().max(1) as f64;
+        let ratio4 = v4.raw_bytes() as f64 / v4.compressed_bytes().max(1) as f64;
         println!(
-            "{:10} | {:>9} | {:>9} | {:>9} | {:>5.2}x",
+            "{:10} | {:>9} | {:>9} | {:>9} | {:>5.2}x | {:>9} | {:>5.2}x",
             w.name,
             store.n_words,
             store.raw_bytes() / 1024,
             store.compressed_bytes() / 1024,
             ratio,
+            v4.compressed_bytes() / 1024,
+            ratio4,
         );
         ratios.push((ratio, w.name));
+        ratios_v4.push((ratio4, w.name));
         if w.name == sweep_name {
             obs.export_store(&store);
-            sweep_inputs = Some((store, pagemap));
+            sweep_inputs = Some((store, v4, pagemap));
         }
     }
-    println!("{:-<54}", "");
+    println!("{:-<72}", "");
     ratios.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let (min, med, max) = (
-        ratios[0],
-        ratios[ratios.len() / 2],
-        ratios[ratios.len() - 1],
-    );
+    ratios_v4.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for (tag, r) in [("v3", &ratios), ("v4", &ratios_v4)] {
+        let (min, med, max) = (r[0], r[r.len() / 2], r[r.len() - 1]);
+        println!(
+            "{tag} ratio min {:.2}x ({}) / median {:.2}x ({}) / max {:.2}x ({})",
+            min.0, min.1, med.0, med.1, max.0, max.1
+        );
+    }
+    let med_v4 = ratios_v4[ratios_v4.len() / 2].0;
     println!(
-        "ratio min {:.2}x ({}) / median {:.2}x ({}) / max {:.2}x ({})",
-        min.0, min.1, med.0, med.1, max.0, max.1
+        "v4 median is {:.2}x the pinned v2 median of {V2_MEDIAN_RATIO:.2}x (floor {:.1}x)",
+        med_v4 / V2_MEDIAN_RATIO,
+        V4_MIN_GAIN_OVER_V2,
+    );
+    assert!(
+        med_v4 >= V4_MIN_GAIN_OVER_V2 * V2_MEDIAN_RATIO,
+        "v4 median ratio {med_v4:.2}x must be at least {V4_MIN_GAIN_OVER_V2}x the pinned v2 \
+         median of {V2_MEDIAN_RATIO}x"
     );
     println!();
 
-    let (store, pagemap) =
+    let (store, store_v4, pagemap) =
         sweep_inputs.unwrap_or_else(|| panic!("sweep workload {sweep_name} not among the twelve"));
 
     // ---- 2. Block decode throughput ------------------------------
     let mut t_decode = Duration::MAX;
+    let mut t_decode4 = Duration::MAX;
     for _ in 0..5 {
         let (t, _) = timed(|| {
             for i in 0..store.n_blocks() {
@@ -154,15 +186,24 @@ fn main() {
             }
         });
         t_decode = t_decode.min(t);
+        let (t, _) = timed(|| {
+            let mut reader = store_v4.block_reader();
+            while let Some(block) = reader.next_block() {
+                std::hint::black_box(block.expect("block decodes"));
+            }
+        });
+        t_decode4 = t_decode4.min(t);
     }
-    println!(
-        "Block decode ({}): {} blocks, {:.1} MB raw in {:.3}s = {:.0} MB/s (CRC checked)",
-        sweep_name,
-        store.n_blocks(),
-        store.raw_bytes() as f64 / (1 << 20) as f64,
-        t_decode.as_secs_f64(),
-        store.raw_bytes() as f64 / (1 << 20) as f64 / t_decode.as_secs_f64(),
-    );
+    let raw_mb = store.raw_bytes() as f64 / (1 << 20) as f64;
+    for (tag, t) in [("v3 row", t_decode), ("v4 columnar", t_decode4)] {
+        println!(
+            "Block decode ({sweep_name}, {tag}): {} blocks, {raw_mb:.1} MB raw in {:.3}s = \
+             {:.0} MB/s (CRC checked)",
+            store.n_blocks(),
+            t.as_secs_f64(),
+            raw_mb / t.as_secs_f64(),
+        );
+    }
     println!();
 
     // ---- 3. Farm replay scaling ----------------------------------

@@ -25,11 +25,16 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::inject::{flip_byte_bits_in, flip_word_bits, short_read, store_regions, truncate_words};
+use crate::inject::{
+    flip_byte_bits_in, flip_word_bits, flip_zonemap_bits, short_read, store_regions,
+    truncate_words, v4_column_target,
+};
 use crate::plan::{FaultPlan, FaultSite, Layer};
 use crate::SplitMix64;
 use wrl_serve::{Catalog, Client, ClientCfg, ServeCfg, ServeHooks, Server, WireFate};
-use wrl_store::{replay_with_hooks, FarmCfg, FarmHooks, Predicate, TraceStore};
+use wrl_store::{
+    filter_stream, replay_with_hooks, BlockFormat, FarmCfg, FarmHooks, Predicate, TraceStore,
+};
 use wrl_trace::{
     ChaosHooks, ChunkFate, CollectSink, ParseStats, Pipeline, PipelineCfg, StageSite, TraceArchive,
 };
@@ -81,6 +86,10 @@ pub struct ChaosInput {
     /// [`ChaosInput::BLOCK_WORDS`]), the store injectors' target and
     /// the wire sites' served catalog.
     pub store_bytes: Vec<u8>,
+    /// The same archive encoded as a columnar v4 store — the target
+    /// of the v4-specific injector sites (`store.column`,
+    /// `store.zonemap`).
+    pub store_bytes_v4: Vec<u8>,
 }
 
 impl ChaosInput {
@@ -98,11 +107,15 @@ impl ChaosInput {
         parser.parse_all(&archive.words, &mut baseline);
         let baseline_stats = parser.stats.clone();
         let store_bytes = TraceStore::from_archive(&archive, Self::BLOCK_WORDS).encode();
+        let store_bytes_v4 =
+            TraceStore::from_archive_with(&archive, Self::BLOCK_WORDS, BlockFormat::Columnar)
+                .encode();
         ChaosInput {
             archive,
             baseline,
             baseline_stats,
             store_bytes,
+            store_bytes_v4,
         }
     }
 
@@ -200,6 +213,54 @@ fn classify_store(input: &ChaosInput, bytes: &[u8]) -> Outcome {
     }
 }
 
+/// [`classify_store`] plus the projected read path: when the full
+/// word extraction comes through clean, a panel of ASID and window
+/// queries (the path that decodes only some columns of a v4 block)
+/// must each either raise a typed error or answer exactly what the
+/// reference filter selects from the pristine words — never a third
+/// thing.
+fn classify_store_v4(input: &ChaosInput, bytes: &[u8]) -> Outcome {
+    let base = classify_store(input, bytes);
+    if base != Outcome::Harmless {
+        return base;
+    }
+    let store = TraceStore::decode_any(bytes).expect("classified harmless above");
+    let panel = [
+        Predicate {
+            asid: Some(0),
+            window: None,
+        },
+        Predicate {
+            asid: Some(1),
+            window: None,
+        },
+        Predicate {
+            asid: None,
+            window: Some((64, 700)),
+        },
+        Predicate {
+            asid: Some(0),
+            window: Some((10, 2000)),
+        },
+    ];
+    for pred in panel {
+        match store.query(&pred) {
+            Err(e) => {
+                return Outcome::Detected {
+                    what: e.to_string(),
+                }
+            }
+            Ok(q) if q.words == filter_stream(&input.archive.words, &pred) => {}
+            Ok(_) => {
+                return Outcome::Forbidden {
+                    why: format!("projected query answered wrongly without an error ({pred:?})"),
+                }
+            }
+        }
+    }
+    Outcome::Harmless
+}
+
 /// Distinct random values in `0..n` ( `count` clamped to `n`).
 fn pick_distinct(rng: &mut SplitMix64, n: u64, count: u64) -> HashSet<u64> {
     let mut set = HashSet::new();
@@ -242,6 +303,21 @@ fn run_site(input: &ChaosInput, plan: FaultPlan) -> Outcome {
             let mut bytes = input.store_bytes.clone();
             short_read(&mut bytes, &mut rng);
             classify_store(input, &bytes)
+        }
+        FaultSite::StoreColumn => {
+            let mut bytes = input.store_bytes_v4.clone();
+            let target =
+                v4_column_target(&bytes, &mut rng).expect("golden v4 store has column targets");
+            flip_byte_bits_in(&mut bytes, target, &mut rng, intensity);
+            classify_store_v4(input, &bytes)
+        }
+        FaultSite::StoreZonemap => {
+            let mut bytes = input.store_bytes_v4.clone();
+            assert!(
+                flip_zonemap_bits(&mut bytes, &mut rng, intensity),
+                "golden v4 store has zonemaps"
+            );
+            classify_store_v4(input, &bytes)
         }
         FaultSite::StreamStall => {
             // Stall every k-th chunk at the parse boundary; by

@@ -9,7 +9,7 @@
 //! detection guarantees.
 
 use crate::SplitMix64;
-use wrl_store::TRAILER_BYTES;
+use wrl_store::{INDEX_ENTRY_BYTES_V4, TRAILER_BYTES};
 use wrl_trace::archive::decode_table_section;
 
 /// Flips `n` random single bits across `words` (no-op on an empty
@@ -102,10 +102,67 @@ pub fn store_regions(bytes: &[u8]) -> Option<StoreRegions> {
     })
 }
 
+/// The byte range of one randomly chosen block's *column sections*
+/// inside an encoded v4 store — past the block's leading encoded-CRC
+/// word, so a flip lands in real column data and only the CRC checks
+/// (not the framing parse) stand between it and a wrong answer.
+/// `None` when the buffer is not a well-formed v4 container.
+pub fn v4_column_target(bytes: &[u8], rng: &mut SplitMix64) -> Option<core::ops::Range<usize>> {
+    if u32::from_le_bytes(bytes.get(8..12)?.try_into().ok()?) != wrl_store::STORE_VERSION_V4 {
+        return None;
+    }
+    let r = store_regions(bytes)?;
+    let n = r.index.len() / INDEX_ENTRY_BYTES_V4;
+    if n == 0 {
+        return None;
+    }
+    let i = rng.below(n as u64) as usize;
+    let at = r.index.start + i * INDEX_ENTRY_BYTES_V4;
+    let offset = u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?) as usize;
+    let comp_len = u32::from_le_bytes(bytes.get(at + 8..at + 12)?.try_into().ok()?) as usize;
+    let start = r.blocks.start.checked_add(offset)?;
+    let end = start.checked_add(comp_len)?;
+    // Skip the 4-byte encoded-CRC prefix; a ≤4-byte block has no
+    // section bytes to attack.
+    (comp_len > 4 && end <= r.blocks.end).then(|| start + 4..end)
+}
+
+/// Flips `n` random bits across the ASID zonemap fields of a v4
+/// store's index. The mask is *pruning* metadata: a cleared live bit
+/// would make ASID queries silently skip blocks that contain matching
+/// words — the one §4.3-forbidden outcome — so the zonemap must sit
+/// under the metadata CRC and any flip must surface as a typed
+/// [`wrl_store::StoreError::MetaCrcMismatch`] before the index is
+/// trusted. (An adversary who can also re-seal that CRC can equally
+/// re-seal every block CRC; forged-and-resealed metadata is outside
+/// the integrity model, exactly as for the v3 summaries.) Returns
+/// `false` when the buffer is not a well-formed v4 container.
+pub fn flip_zonemap_bits(bytes: &mut [u8], rng: &mut SplitMix64, n: u32) -> bool {
+    if bytes.len() < 12
+        || u32::from_le_bytes(bytes[8..12].try_into().unwrap()) != wrl_store::STORE_VERSION_V4
+    {
+        return false;
+    }
+    let Some(r) = store_regions(bytes) else {
+        return false;
+    };
+    let n_blocks = r.index.len() / INDEX_ENTRY_BYTES_V4;
+    if n_blocks == 0 {
+        return false;
+    }
+    for _ in 0..n {
+        let i = rng.below(n_blocks as u64) as usize;
+        let mask_at = r.index.start + i * INDEX_ENTRY_BYTES_V4 + 39;
+        let bit = rng.below(64) as usize;
+        bytes[mask_at + bit / 8] ^= 1 << (bit % 8);
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wrl_store::{TraceStore, INDEX_ENTRY_BYTES};
+    use wrl_store::{BlockFormat, TraceStore, INDEX_ENTRY_BYTES};
     use wrl_trace::TraceArchive;
 
     fn encoded_store() -> Vec<u8> {
@@ -146,6 +203,35 @@ mod tests {
         assert_eq!(x, y);
         assert!(x[..10].iter().all(|&v| v == 0), "flips stay in range");
         assert!(x[20..].iter().all(|&v| v == 0), "flips stay in range");
+    }
+
+    #[test]
+    fn v4_targets_resolve_and_reject_row_stores() {
+        let a = TraceArchive {
+            words: (0..500).map(|i| 0x8000_0000 + i * 4).collect(),
+            ..TraceArchive::default()
+        };
+        let v4 = TraceStore::from_archive_with(&a, 64, BlockFormat::Columnar).encode();
+        let r = store_regions(&v4).unwrap();
+        let target = v4_column_target(&v4, &mut SplitMix64::new(7)).unwrap();
+        assert!(target.start >= r.blocks.start + 4);
+        assert!(target.end <= r.blocks.end);
+        let v3 = encoded_store();
+        assert_eq!(v4_column_target(&v3, &mut SplitMix64::new(7)), None);
+        assert!(!flip_zonemap_bits(
+            &mut v3.clone(),
+            &mut SplitMix64::new(7),
+            3
+        ));
+        // A zonemap flip lands under the metadata CRC: the store must
+        // refuse to decode rather than trust a forged mask.
+        let mut forged = v4.clone();
+        assert!(flip_zonemap_bits(&mut forged, &mut SplitMix64::new(7), 3));
+        assert_ne!(forged, v4);
+        assert!(matches!(
+            TraceStore::decode(&forged),
+            Err(wrl_store::StoreError::MetaCrcMismatch { .. })
+        ));
     }
 
     #[test]

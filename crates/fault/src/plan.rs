@@ -40,6 +40,15 @@ pub enum FaultSite {
     StoreTrailer,
     /// Truncate the encoded store (a short read).
     StoreShortRead,
+    /// Flip random bits inside one v4 block's column sections (must be
+    /// detected by the column-level encoded CRC or the decoded-words
+    /// CRC — on every read path, the projected one included).
+    StoreColumn,
+    /// Flip random bits in the v4 index's ASID zonemaps. The mask is
+    /// pruning metadata — a cleared live bit would silently skip
+    /// blocks with matching words — so it sits under the metadata CRC
+    /// and every flip must be detected before the index is trusted.
+    StoreZonemap,
     /// Stall pipeline chunks at stage boundaries (harmless by
     /// contract: stalls may only cost throughput).
     StreamStall,
@@ -72,7 +81,7 @@ pub enum FaultSite {
 }
 
 /// Every site, in campaign round-robin order.
-pub const ALL_SITES: [FaultSite; 16] = [
+pub const ALL_SITES: [FaultSite; 18] = [
     FaultSite::ParserBitFlip,
     FaultSite::ParserTruncate,
     FaultSite::StoreBlock,
@@ -80,6 +89,8 @@ pub const ALL_SITES: [FaultSite; 16] = [
     FaultSite::StoreHeader,
     FaultSite::StoreTrailer,
     FaultSite::StoreShortRead,
+    FaultSite::StoreColumn,
+    FaultSite::StoreZonemap,
     FaultSite::StreamStall,
     FaultSite::StreamDrop,
     FaultSite::StreamReorder,
@@ -102,6 +113,8 @@ impl FaultSite {
             FaultSite::StoreHeader => "store.header",
             FaultSite::StoreTrailer => "store.trailer",
             FaultSite::StoreShortRead => "store.shortread",
+            FaultSite::StoreColumn => "store.column",
+            FaultSite::StoreZonemap => "store.zonemap",
             FaultSite::StreamStall => "stream.stall",
             FaultSite::StreamDrop => "stream.drop",
             FaultSite::StreamReorder => "stream.reorder",
@@ -127,7 +140,9 @@ impl FaultSite {
             | FaultSite::StoreIndex
             | FaultSite::StoreHeader
             | FaultSite::StoreTrailer
-            | FaultSite::StoreShortRead => Layer::Store,
+            | FaultSite::StoreShortRead
+            | FaultSite::StoreColumn
+            | FaultSite::StoreZonemap => Layer::Store,
             FaultSite::StreamStall
             | FaultSite::StreamDrop
             | FaultSite::StreamReorder
@@ -264,12 +279,12 @@ mod tests {
 
     #[test]
     fn campaigns_are_deterministic_and_cover_all_sites() {
-        let a = campaign(1, 320);
-        assert_eq!(a, campaign(1, 320));
-        assert_ne!(a, campaign(2, 320));
+        let a = campaign(1, 360);
+        assert_eq!(a, campaign(1, 360));
+        assert_ne!(a, campaign(2, 360));
         for site in ALL_SITES {
             let hits = a.iter().filter(|p| p.site == site).count();
-            assert_eq!(hits, 320 / ALL_SITES.len(), "{site}");
+            assert_eq!(hits, 360 / ALL_SITES.len(), "{site}");
         }
         assert!(a.iter().all(|p| p.intensity >= 1 && p.intensity <= 8));
     }

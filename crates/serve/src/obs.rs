@@ -40,6 +40,10 @@ pub struct ServeObs {
     pub blocks_decoded: Arc<Counter>,
     /// Blocks the pushdown proved irrelevant (never decoded).
     pub blocks_skipped: Arc<Counter>,
+    /// Windowed-query blocks served from the decoded-block cache.
+    pub cache_hits: Arc<Counter>,
+    /// Windowed-query blocks decoded on a cache miss.
+    pub cache_misses: Arc<Counter>,
     /// Cross-thread waker firings that interrupted a poll wait.
     pub reactor_wakeups: Arc<Counter>,
     /// Readiness events the pollers delivered to the event loops.
@@ -172,6 +176,20 @@ impl ServeObs {
                 "blocks",
                 "§3.2",
                 "Store blocks predicate pushdown proved irrelevant (never decoded)."
+            ),
+            cache_hits: counter!(
+                r,
+                "serve.query.cache.hits",
+                "blocks",
+                "§3.2",
+                "Windowed-query blocks served from the per-archive decoded-block cache."
+            ),
+            cache_misses: counter!(
+                r,
+                "serve.query.cache.misses",
+                "blocks",
+                "§3.2",
+                "Windowed-query blocks decoded on a cache miss (and cached)."
             ),
             reactor_wakeups: counter!(
                 r,

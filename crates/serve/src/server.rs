@@ -55,7 +55,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use wrl_store::{query_parallel, TraceStore};
+use wrl_store::{query_parallel, BlockCache, TraceStore};
 
 use crate::conn::{Conn, ConnState, IoTally, ReadEvent, TickVerdict, WriteShape};
 use crate::obs::ServeObs;
@@ -85,6 +85,11 @@ pub struct ServeCfg {
     /// Executor threads running admitted requests; `0` executes
     /// inline on the event thread that dispatched the request.
     pub exec_workers: usize,
+    /// Decoded-word bytes cached per archive for windowed queries
+    /// (the slot count follows each archive's block size, capped at
+    /// its block count); `0` disables the cache and windowed queries
+    /// decode like any other.
+    pub query_cache_bytes: usize,
 }
 
 impl Default for ServeCfg {
@@ -106,6 +111,7 @@ impl Default for ServeCfg {
             query_workers: cores.min(4),
             event_threads: cores.min(2),
             exec_workers: if cores <= 1 { 0 } else { cores.min(4) },
+            query_cache_bytes: 32 << 20,
         }
     }
 }
@@ -137,10 +143,16 @@ impl Catalog {
 
     /// Looks an archive up by name.
     pub fn get(&self, name: &str) -> Option<&Arc<TraceStore>> {
+        self.get_indexed(name).map(|(_, s)| s)
+    }
+
+    /// Looks an archive up by name, also returning its catalog slot
+    /// (the server's per-archive block-cache index).
+    fn get_indexed(&self, name: &str) -> Option<(usize, &Arc<TraceStore>)> {
         self.entries
             .binary_search_by(|(n, _)| n.as_str().cmp(name))
             .ok()
-            .map(|i| &self.entries[i].1)
+            .map(|i| (i, &self.entries[i].1))
     }
 
     /// The catalog rows a catalog response ships.
@@ -226,6 +238,11 @@ struct Shared {
     cfg: ServeCfg,
     obs: ServeObs,
     hooks: ServeHooks,
+    /// One decoded-block cache per catalog entry (same order), sized
+    /// by `cfg.query_cache_blocks`; empty when the cache is disabled.
+    /// The lock serialises windowed queries per archive — cheap once
+    /// warm, and full-scan queries keep the parallel farm instead.
+    caches: Vec<Mutex<BlockCache>>,
     /// The admission gate proper — a plain atomic, not the obs gauge,
     /// so admission works identically in no-record builds.
     inflight: AtomicUsize,
@@ -297,11 +314,25 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let caches = if cfg.query_cache_bytes > 0 {
+            catalog
+                .entries
+                .iter()
+                .map(|(_, s)| {
+                    let block_bytes = (s.block_words as usize).max(1) * 4;
+                    let slots = (cfg.query_cache_bytes / block_bytes).clamp(1, s.n_blocks().max(1));
+                    Mutex::new(BlockCache::new(slots))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let shared = Arc::new(Shared {
             catalog,
             cfg,
             obs: ServeObs::register(),
             hooks,
+            caches,
             inflight: AtomicUsize::new(0),
             resp_seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
@@ -865,12 +896,28 @@ fn handle(shared: &Shared, req: &Request) -> Response {
             Response::Fetch(blocks)
         }
         Request::Query { archive, pred } => {
-            let store = match store_of(archive) {
-                Ok(s) => s,
-                Err(e) => return e,
+            let (idx, store) = match shared.catalog.get_indexed(archive) {
+                Some(pair) => pair,
+                None => {
+                    return Response::Error {
+                        code: err::NO_SUCH_ARCHIVE,
+                        msg: format!("no archive named {archive:?} in the catalog"),
+                    }
+                }
             };
             let workers = shared.cfg.query_workers;
-            let result = if workers <= 1 {
+            let result = if pred.window.is_some() && !shared.caches.is_empty() {
+                // A windowed query touches a handful of blocks and
+                // served archives see the same windows repeatedly:
+                // answer from the per-archive decoded-block cache
+                // instead of spinning the farm up.
+                let mut cache = shared.caches[idx].lock().expect("cache lock poisoned");
+                let (h, m) = (cache.hits(), cache.misses());
+                let r = store.query_cached(pred, &mut cache);
+                shared.obs.cache_hits.add(cache.hits() - h);
+                shared.obs.cache_misses.add(cache.misses() - m);
+                r
+            } else if workers <= 1 {
                 // Sequential in place: on small hosts the per-request
                 // scoped-thread spawn dwarfs the query itself.
                 store.query(pred)

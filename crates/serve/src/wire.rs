@@ -157,9 +157,17 @@ pub struct RawBlock {
 impl RawBlock {
     /// Decompresses the block and verifies its words against the
     /// shipped CRC — the client-side half of the end-to-end check.
+    /// The shipped flags byte carries the block coding
+    /// ([`wrl_store::BlockMeta::FLAG_COLUMNAR`]), so v4 blocks
+    /// fetch over the unchanged `wrl-wire/v1` frame layout.
     pub fn decode(&self) -> Result<Vec<u32>, WireError> {
-        let words = wrl_store::decompress_block(&self.comp, self.words as usize)
-            .map_err(|_| WireError::Malformed("fetched block fails to decompress"))?;
+        let columnar = self.flags & wrl_store::BlockMeta::FLAG_COLUMNAR != 0;
+        let words = if columnar {
+            wrl_store::column::decode_block(&self.comp, self.words as usize)
+        } else {
+            wrl_store::decompress_block(&self.comp, self.words as usize)
+        }
+        .map_err(|_| WireError::Malformed("fetched block fails to decompress"))?;
         let got = wrl_store::crc32_words(&words);
         if got != self.crc {
             return Err(WireError::CrcMismatch {

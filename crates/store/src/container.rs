@@ -1,20 +1,23 @@
-//! The block-structured, seekable trace container (archive format
-//! version 3; versions 1 and 2 still load).
+//! The block-structured, seekable trace container (archive formats
+//! version 3 and the columnar version 4; versions 1 and 2 still
+//! load).
 //!
 //! A version-1 `W3KTRACE` archive stores raw words; this container
 //! keeps the identical table section but chunks the word stream into
-//! fixed-size blocks, compresses each with the [`crate::codec`], and
+//! fixed-size blocks, compresses each ([`crate::codec`] for the v3
+//! row layout, [`crate::column`] for the v4 columnar layout), and
 //! appends a footer index so any block can be located and decoded
 //! without touching the others:
 //!
 //! ```text
-//! "W3KTRACE" magic, u32 version = 3, u32 block_words
+//! "W3KTRACE" magic, u32 version = 3 | 4, u32 block_words
 //! table section (byte-identical to v1's)
 //! u64 n_words
 //! compressed blocks, concatenated
 //! index: { u64 offset, u32 comp_len, u32 words, u32 crc32,
 //!          u8 first_asid, u8 last_asid,
 //!          u8 flags, u64 first_word, u32 min_daddr, u32 max_daddr
+//!          [, u64 asid_mask — v4 only]
 //!        }  × n_blocks
 //! u32 n_blocks, u64 index_pos, u32 meta_crc, "W3KSIDX\0" tail magic
 //! ```
@@ -44,17 +47,33 @@
 //! and leaving the summary flags clear, which lawfully disables
 //! summary-based skipping: a predicate over a v2 store decodes more
 //! blocks but selects the identical words.
+//!
+//! Version 4 keeps the container framing and widens each entry once
+//! more with a 64-bit **ASID zonemap** (`asid_mask`): bit `a & 63` is
+//! set for every ASID context `a` occurring in the block. The map is
+//! exact for ASIDs below 64 and sound above (a clear bit *proves*
+//! absence; a set bit merely fails to prove it), so
+//! [`TraceStore::matching_blocks`] prunes on the mask even for blocks
+//! that do contain context switches — the case v3's single-ASID proof
+//! cannot touch. Blocks are columnar ([`crate::column`]): an ASID
+//! predicate that survives the zonemap decodes only the tag and
+//! control columns to locate matching row runs, and materialises
+//! address words only for blocks with actual hits.
 
 use std::io;
 use std::sync::Arc;
 
-use crate::codec::{compress_block, crc32_words, decompress_block, CodecError, Crc32};
+use crate::codec::{compress_block, crc32_words, decompress_block_into, CodecError, Crc32};
+use crate::column;
 use wrl_trace::archive::{decode_table_section, encode_table_section, MAGIC};
 use wrl_trace::format::{classify, CtlOp, TraceWord};
 use wrl_trace::{ArchiveError, BbTable, TraceArchive, TraceParser};
 
-/// Store format version (within the `W3KTRACE` magic).
+/// Store format version of the row-coded layout (within the
+/// `W3KTRACE` magic).
 pub const STORE_VERSION: u32 = 3;
+/// Store format version of the columnar layout.
+pub const STORE_VERSION_V4: u32 = 4;
 /// Trailing magic closing the footer index.
 pub const TAIL_MAGIC: &[u8; 8] = b"W3KSIDX\0";
 /// Default words per block. 4096 words (16 KB raw) amortises per-block
@@ -65,6 +84,9 @@ pub const DEFAULT_BLOCK_WORDS: usize = 4096;
 pub const INDEX_ENTRY_BYTES: usize = 8 + 4 + 4 + 4 + 1 + 1 + 1 + 8 + 4 + 4;
 /// Encoded size of one legacy v2 footer index entry (no summaries).
 pub const INDEX_ENTRY_BYTES_V2: usize = 8 + 4 + 4 + 4 + 1 + 1;
+/// Encoded size of one v4 footer index entry (v3's plus the ASID
+/// zonemap).
+pub const INDEX_ENTRY_BYTES_V4: usize = INDEX_ENTRY_BYTES + 8;
 /// Encoded size of the fixed trailer: n_blocks, index_pos, meta_crc,
 /// tail magic.
 pub const TRAILER_BYTES: usize = 4 + 8 + 4 + 8;
@@ -78,7 +100,7 @@ pub enum StoreError {
     Archive(ArchiveError),
     /// Structural damage to the container framing.
     Malformed(&'static str),
-    /// The file is a `W3KTRACE` but none of v1, v2 or v3.
+    /// The file is a `W3KTRACE` but none of v1 through v4.
     UnsupportedVersion(u32),
     /// One block's compressed bytes failed to decode.
     BlockCodec {
@@ -196,6 +218,11 @@ pub struct BlockMeta {
     /// Maximum data address among the block's memory-record words
     /// (meaningful only when [`BlockMeta::FLAG_DADDR`] is set).
     pub max_daddr: u32,
+    /// Per-ASID zonemap (v4 entries only; zero otherwise): bit
+    /// `a & 63` is set for every ASID context `a` of some word in the
+    /// block. Meaningful only when [`BlockMeta::FLAG_COLUMNAR`] is
+    /// set — a clear bit proves the ASID absent.
+    pub asid_mask: u64,
 }
 
 impl BlockMeta {
@@ -208,6 +235,12 @@ impl BlockMeta {
     /// The block contains at least one memory-record word, and
     /// `min_daddr`/`max_daddr` bound them.
     pub const FLAG_DADDR: u8 = 1 << 2;
+    /// The block's bytes are the columnar [`crate::column`] layout
+    /// (v4), and `asid_mask` is a valid zonemap. v4 writers set this
+    /// on every entry; a v3/v2 reader never sees it (the decoder
+    /// rejects the bit in pre-v4 indexes rather than let a forged
+    /// zonemap of zero prune every block).
+    pub const FLAG_COLUMNAR: u8 = 1 << 3;
 
     /// Whether write-time summaries are present (v3 stores).
     pub fn has_summary(&self) -> bool {
@@ -234,6 +267,27 @@ impl BlockMeta {
     }
 }
 
+/// How a store's blocks are coded on disk and in memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockFormat {
+    /// Row layout: one interleaved token stream per block
+    /// ([`crate::codec`], archive version 3).
+    Row,
+    /// Columnar layout: per-class column sections per block
+    /// ([`crate::column`], archive version 4).
+    Columnar,
+}
+
+impl BlockFormat {
+    /// The `W3KTRACE` version number this block format encodes as.
+    pub fn version(self) -> u32 {
+        match self {
+            BlockFormat::Row => STORE_VERSION,
+            BlockFormat::Columnar => STORE_VERSION_V4,
+        }
+    }
+}
+
 /// A loaded trace store: decoding tables plus independently decodable
 /// compressed blocks. Cheap to share across threads behind an [`Arc`]
 /// — workers decode blocks concurrently with no coordination.
@@ -251,6 +305,8 @@ pub struct TraceStore {
     index: Vec<BlockMeta>,
     /// The concatenated compressed block area.
     blocks: Arc<Vec<u8>>,
+    /// The block coding in force for every block of this store.
+    format: BlockFormat,
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -305,6 +361,17 @@ impl TraceStore {
     /// advances `mem_records`, and its raw value *is* the data
     /// address the parser hands to the sink.
     pub fn from_archive(a: &TraceArchive, block_words: usize) -> TraceStore {
+        TraceStore::from_archive_with(a, block_words, BlockFormat::Row)
+    }
+
+    /// [`TraceStore::from_archive`] with an explicit block coding —
+    /// [`BlockFormat::Columnar`] builds a v4 store with per-class
+    /// columns and per-ASID zonemaps in the index.
+    pub fn from_archive_with(
+        a: &TraceArchive,
+        block_words: usize,
+        format: BlockFormat,
+    ) -> TraceStore {
         let block_words = block_words.max(1);
         let mut index = Vec::new();
         let mut blocks = Vec::new();
@@ -317,6 +384,7 @@ impl TraceStore {
             let mut flags = BlockMeta::FLAG_SUMMARY;
             let mut min_daddr = 0u32;
             let mut max_daddr = 0u32;
+            let mut asid_mask = 0u64;
             for &w in chunk {
                 if let TraceWord::Ctl(c) = classify(w) {
                     if c.op == CtlOp::CtxSwitch {
@@ -324,6 +392,10 @@ impl TraceStore {
                         flags |= BlockMeta::FLAG_CTX_SWITCH;
                     }
                 }
+                // A word's context is the context after applying it
+                // (the switch word belongs to its target ASID), so the
+                // zonemap ORs the post-word context per word.
+                asid_mask |= 1 << (asid & 63);
                 parser.push_word(w, &mut NullSink);
                 if parser.stats.mem_records != mem_seen {
                     mem_seen = parser.stats.mem_records;
@@ -336,7 +408,13 @@ impl TraceStore {
                     }
                 }
             }
-            let comp = compress_block(chunk);
+            let comp = match format {
+                BlockFormat::Row => compress_block(chunk),
+                BlockFormat::Columnar => {
+                    flags |= BlockMeta::FLAG_COLUMNAR;
+                    column::encode_block(chunk)
+                }
+            };
             index.push(BlockMeta {
                 offset: blocks.len() as u64,
                 comp_len: comp.len() as u32,
@@ -348,6 +426,11 @@ impl TraceStore {
                 first_word,
                 min_daddr,
                 max_daddr,
+                asid_mask: if format == BlockFormat::Columnar {
+                    asid_mask
+                } else {
+                    0
+                },
             });
             blocks.extend_from_slice(&comp);
             first_word += chunk.len() as u64;
@@ -359,7 +442,13 @@ impl TraceStore {
             block_words: block_words as u32,
             index,
             blocks: Arc::new(blocks),
+            format,
         }
+    }
+
+    /// The block coding of this store.
+    pub fn format(&self) -> BlockFormat {
+        self.format
     }
 
     /// Number of blocks.
@@ -400,33 +489,92 @@ impl TraceStore {
     /// independently; this is the farm workers' entry point and is
     /// safe to call from many threads at once.
     pub fn decode_block(&self, i: usize) -> Result<Vec<u32>, StoreError> {
-        let m = *self
-            .index
-            .get(i)
-            .ok_or(StoreError::Malformed("block index out of range"))?;
-        let bytes = self.block_bytes(i)?;
-        let words = decompress_block(bytes, m.words as usize)
+        let mut out = Vec::new();
+        self.decode_blocks_into(i..i + 1, &mut out)?;
+        Ok(out)
+    }
+
+    /// Batch-decodes a run of consecutive blocks, appending their
+    /// words onto `out` and verifying every CRC — the whole-file
+    /// reading primitive: one output buffer, no per-block allocation,
+    /// and (for v4) the codec's model tables reused across the run.
+    pub fn decode_blocks_into(
+        &self,
+        range: core::ops::Range<usize>,
+        out: &mut Vec<u32>,
+    ) -> Result<(), StoreError> {
+        for i in range {
+            let m = *self
+                .index
+                .get(i)
+                .ok_or(StoreError::Malformed("block index out of range"))?;
+            let bytes = self.block_bytes(i)?;
+            let start = out.len();
+            match self.format {
+                BlockFormat::Row => decompress_block_into(bytes, m.words as usize, out),
+                BlockFormat::Columnar => column::decode_block_into(bytes, m.words as usize, out),
+            }
             .map_err(|err| StoreError::BlockCodec { block: i, err })?;
-        let got = crc32_words(&words);
-        if got != m.crc {
-            return Err(StoreError::CrcMismatch {
-                block: i,
-                want: m.crc,
-                got,
-            });
+            let got = crc32_words(&out[start..]);
+            if got != m.crc {
+                return Err(StoreError::CrcMismatch {
+                    block: i,
+                    want: m.crc,
+                    got,
+                });
+            }
         }
-        Ok(words)
+        Ok(())
+    }
+
+    /// A whole-file batch reader: yields each block's words in stream
+    /// order from one reused buffer (see [`BlockReader`]).
+    pub fn block_reader(&self) -> BlockReader<'_> {
+        BlockReader {
+            store: self,
+            next: 0,
+            buf: Vec::new(),
+        }
     }
 
     /// Decompresses the whole word stream (verifying every CRC).
     pub fn words(&self) -> Result<Vec<u32>, StoreError> {
-        // Valid blocks carry at most one word per compressed byte, so
-        // the block area bounds the preallocation for any input.
-        let mut out = Vec::with_capacity((self.n_words as usize).min(self.blocks.len()));
-        for i in 0..self.n_blocks() {
-            out.extend_from_slice(&self.decode_block(i)?);
-        }
+        // Valid blocks carry at most one word per compressed byte (v3)
+        // or eight (v4, one tag bit per word), so the block area
+        // bounds the preallocation for any input.
+        let cap = match self.format {
+            BlockFormat::Row => self.blocks.len(),
+            BlockFormat::Columnar => self.blocks.len().saturating_mul(8),
+        };
+        let mut out = Vec::with_capacity((self.n_words as usize).min(cap));
+        self.decode_blocks_into(0..self.n_blocks(), &mut out)?;
         Ok(out)
+    }
+
+    /// Per-column encoded-byte totals across every block — `None` for
+    /// row-coded stores, which have no columns to account. The
+    /// remainder of the block area (per-block CRCs and section length
+    /// prefixes) is reported as `overhead`.
+    pub fn column_stats(&self) -> Result<Option<ColumnStats>, StoreError> {
+        if self.format != BlockFormat::Columnar {
+            return Ok(None);
+        }
+        let mut stats = ColumnStats {
+            section_bytes: [0; column::N_COLUMNS],
+            overhead_bytes: 0,
+        };
+        for i in 0..self.n_blocks() {
+            let bytes = self.block_bytes(i)?;
+            let lens = column::section_lens(bytes)
+                .map_err(|err| StoreError::BlockCodec { block: i, err })?;
+            let mut body = 0u64;
+            for (total, l) in stats.section_bytes.iter_mut().zip(lens) {
+                *total += l as u64;
+                body += l as u64;
+            }
+            stats.overhead_bytes += bytes.len() as u64 - body;
+        }
+        Ok(Some(stats))
     }
 
     /// Materialises a v1-style in-memory archive (tables + raw words).
@@ -447,11 +595,12 @@ impl TraceStore {
         p
     }
 
-    /// Encodes the store to bytes (a version-3 `W3KTRACE` file).
+    /// Encodes the store to bytes (a version-3 or version-4
+    /// `W3KTRACE` file, per [`TraceStore::format`]).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.blocks.len() + 4096);
         out.extend_from_slice(MAGIC);
-        put_u32(&mut out, STORE_VERSION);
+        put_u32(&mut out, self.format.version());
         put_u32(&mut out, self.block_words);
         encode_table_section(&mut out, &self.kernel_table, &self.user_tables);
         put_u64(&mut out, self.n_words);
@@ -469,6 +618,9 @@ impl TraceStore {
             put_u64(&mut out, m.first_word);
             put_u32(&mut out, m.min_daddr);
             put_u32(&mut out, m.max_daddr);
+            if self.format == BlockFormat::Columnar {
+                put_u64(&mut out, m.asid_mask);
+            }
         }
         put_u32(&mut out, self.index.len() as u32);
         put_u64(&mut out, index_pos);
@@ -483,22 +635,26 @@ impl TraceStore {
         out
     }
 
-    /// Decodes a version-3 or version-2 store from bytes (a v2 index
-    /// has no summaries; `first_word` is synthesised cumulatively and
-    /// the summary flags stay clear). For transparent loading of any
-    /// version, v1 included, use [`TraceStore::decode_any`].
+    /// Decodes a version-4, version-3 or version-2 store from bytes
+    /// (a v2 index has no summaries; `first_word` is synthesised
+    /// cumulatively and the summary flags stay clear). For transparent
+    /// loading of any version, v1 included, use
+    /// [`TraceStore::decode_any`].
     pub fn decode(buf: &[u8]) -> Result<TraceStore, StoreError> {
         if buf.len() < 16 || &buf[..8] != MAGIC {
             return Err(StoreError::Malformed("bad magic"));
         }
         let version = get_u32(buf, 8)?;
-        if version != STORE_VERSION && version != 2 {
-            return Err(StoreError::UnsupportedVersion(version));
-        }
-        let entry_bytes = if version == 2 {
-            INDEX_ENTRY_BYTES_V2
+        let entry_bytes = match version {
+            2 => INDEX_ENTRY_BYTES_V2,
+            STORE_VERSION => INDEX_ENTRY_BYTES,
+            STORE_VERSION_V4 => INDEX_ENTRY_BYTES_V4,
+            _ => return Err(StoreError::UnsupportedVersion(version)),
+        };
+        let format = if version == STORE_VERSION_V4 {
+            BlockFormat::Columnar
         } else {
-            INDEX_ENTRY_BYTES
+            BlockFormat::Row
         };
         let block_words = get_u32(buf, 12)?;
         if block_words == 0 {
@@ -556,6 +712,7 @@ impl TraceStore {
                 first_word: total_words,
                 min_daddr: 0,
                 max_daddr: 0,
+                asid_mask: 0,
             };
             if version >= 3 {
                 m.flags = buf[at + 22];
@@ -573,15 +730,35 @@ impl TraceStore {
                     return Err(StoreError::Malformed("inverted data-address summary"));
                 }
             }
+            // Version-specific flag discipline: a v3 entry carrying
+            // FLAG_COLUMNAR (with its implicit all-zero zonemap) would
+            // silently prune every block from ASID queries, so pre-v4
+            // readers *reject* the bit; a v4 entry must carry it, so
+            // the block decoder and the zonemap agree on the layout.
+            if version == STORE_VERSION_V4 {
+                m.asid_mask = get_u64(buf, at + 39)?;
+                if m.flags & BlockMeta::FLAG_COLUMNAR == 0 {
+                    return Err(StoreError::Malformed("v4 entry without columnar flag"));
+                }
+                if m.flags & !0x0f != 0 {
+                    return Err(StoreError::Malformed("unknown flag bits in v4 entry"));
+                }
+            } else if m.flags & !0x07 != 0 {
+                return Err(StoreError::Malformed("unknown flag bits in pre-v4 entry"));
+            }
             match m.offset.checked_add(u64::from(m.comp_len)) {
                 Some(end) if end <= blocks_len => {}
                 _ => return Err(StoreError::Malformed("block range outside block area")),
             }
-            // Every word costs at least one compressed byte, so a
-            // word count beyond the compressed length is junk — and
-            // bounding it here bounds every decode allocation by the
-            // file size.
-            if m.words > m.comp_len {
+            // Bound the word count by the compressed length so every
+            // decode allocation is bounded by the file size: a row
+            // block costs at least one byte per word, a columnar block
+            // at least one tag *bit* per word.
+            let word_bound = match format {
+                BlockFormat::Row => u64::from(m.comp_len),
+                BlockFormat::Columnar => u64::from(m.comp_len) * 8,
+            };
+            if u64::from(m.words) > word_bound {
                 return Err(StoreError::Malformed(
                     "block word count exceeds compressed bytes",
                 ));
@@ -602,10 +779,11 @@ impl TraceStore {
             block_words,
             index,
             blocks: Arc::new(buf[blocks_at..index_pos].to_vec()),
+            format,
         })
     }
 
-    /// Decodes any archive version: v3 and v2 natively, v1 by decoding
+    /// Decodes any archive version: v4, v3 and v2 natively, v1 by decoding
     /// the raw words and compressing them in memory (so every caller
     /// gets a block-structured store regardless of the on-disk format,
     /// and `tests/data/golden.w3kt` keeps loading forever).
@@ -625,7 +803,7 @@ impl TraceStore {
         std::fs::write(path, self.encode())
     }
 
-    /// Loads a trace from a file, accepting v1, v2 and v3 archives.
+    /// Loads a trace from a file, accepting v1 through v4 archives.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<TraceStore, StoreError> {
         TraceStore::decode_any(&std::fs::read(path)?)
     }
@@ -633,20 +811,41 @@ impl TraceStore {
     /// The blocks a predicate cannot prove irrelevant, in stream
     /// order — the pushdown step. A block is skipped only when the
     /// index alone proves no word in it matches: its word range
-    /// misses the window, or a write-time summary shows every word
-    /// sits in a single non-matching ASID. Never decodes anything.
+    /// misses the window, a write-time summary shows every word sits
+    /// in a single non-matching ASID, or (v4) the ASID zonemap proves
+    /// the ASID never occurs. Never decodes anything.
+    ///
+    /// The window filter binary-searches the index rather than
+    /// scanning it: the decoder enforces that `first_word` offsets
+    /// tile the stream, so blocks intersecting `lo..hi` form one
+    /// contiguous run.
     pub fn matching_blocks(&self, pred: &Predicate) -> Vec<usize> {
-        (0..self.index.len())
+        let range = match pred.window {
+            None => 0..self.index.len(),
+            Some((lo, hi)) => {
+                if lo >= hi {
+                    return Vec::new();
+                }
+                // First block whose range reaches past `lo`, then
+                // first block starting at or past `hi`.
+                let start = self.index.partition_point(|m| m.word_range().end <= lo);
+                let end = self.index.partition_point(|m| m.first_word < hi);
+                start..end
+            }
+        };
+        range
             .filter(|&i| {
                 let m = &self.index[i];
-                if let Some((lo, hi)) = pred.window {
-                    let r = m.word_range();
-                    if r.start >= hi || r.end <= lo {
-                        return false;
-                    }
-                }
                 if let Some(a) = pred.asid {
                     if m.single_asid().is_some_and(|only| only != a) {
+                        return false;
+                    }
+                    // The zonemap's clear bit proves absence (exact
+                    // below ASID 64, sound above — distinct ASIDs can
+                    // share a bit, never lose one).
+                    if m.flags & BlockMeta::FLAG_COLUMNAR != 0
+                        && m.asid_mask & (1u64 << (a & 63)) == 0
+                    {
                         return false;
                     }
                 }
@@ -660,9 +859,195 @@ impl TraceStore {
     /// (`first_asid`), so blocks filter independently — the unit of
     /// work for the parallel query in [`crate::farm`].
     pub fn filter_block(&self, i: usize, pred: &Predicate) -> Result<Vec<u32>, StoreError> {
-        let m = *self.block_meta(i);
-        let words = self.decode_block(i)?;
         let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.filter_block_into(i, pred, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// [`TraceStore::filter_block`] into caller-owned buffers:
+    /// matching words append onto `out`, and `scratch` holds decoded
+    /// words between calls so a query over many blocks allocates
+    /// nothing per block.
+    ///
+    /// Columnar blocks take a projected path: the window filter is
+    /// resolved to block-local row ranges from the index alone, and an
+    /// ASID filter decodes *only* the tag and control columns
+    /// ([`column::asid_runs`]) to locate matching row runs — the
+    /// address columns are materialised only for blocks with actual
+    /// hits, and matching runs are then copied out wholesale instead
+    /// of re-classifying every word.
+    pub fn filter_block_into(
+        &self,
+        i: usize,
+        pred: &Predicate,
+        out: &mut Vec<u32>,
+        scratch: &mut Vec<u32>,
+    ) -> Result<(), StoreError> {
+        let m = *self.block_meta(i);
+        // The block-local row window the predicate admits.
+        let (row_lo, row_hi) = match pred.window {
+            None => (0u32, m.words),
+            Some((lo, hi)) => {
+                let r = m.word_range();
+                let lo = lo.max(r.start) - r.start;
+                let hi = hi.min(r.end).saturating_sub(r.start);
+                if lo >= hi {
+                    return Ok(());
+                }
+                (lo as u32, hi as u32)
+            }
+        };
+        if self.format == BlockFormat::Columnar {
+            if let Some(a) = pred.asid {
+                // Projected path: locate matching runs from the tag
+                // and control columns alone.
+                let bytes = self.block_bytes(i)?;
+                let runs = column::asid_runs(bytes, m.words as usize, m.first_asid)
+                    .map_err(|err| StoreError::BlockCodec { block: i, err })?;
+                let mut materialised = false;
+                for r in &runs {
+                    if r.asid != a {
+                        continue;
+                    }
+                    let lo = r.start.max(row_lo);
+                    let hi = (r.start + r.len).min(row_hi);
+                    if lo >= hi {
+                        continue;
+                    }
+                    if !materialised {
+                        // First hit: materialise the full block once
+                        // (also checking the decoded-words CRC).
+                        scratch.clear();
+                        self.decode_blocks_into(i..i + 1, scratch)?;
+                        materialised = true;
+                    }
+                    out.extend_from_slice(&scratch[lo as usize..hi as usize]);
+                }
+                return Ok(());
+            }
+            // Window-only predicate: the admitted rows are one run.
+            scratch.clear();
+            self.decode_blocks_into(i..i + 1, scratch)?;
+            out.extend_from_slice(&scratch[row_lo as usize..row_hi as usize]);
+            return Ok(());
+        }
+        scratch.clear();
+        self.decode_blocks_into(i..i + 1, scratch)?;
+        let mut asid = m.first_asid;
+        for (j, &w) in scratch.iter().enumerate() {
+            if let TraceWord::Ctl(c) = classify(w) {
+                if c.op == CtlOp::CtxSwitch {
+                    asid = c.payload;
+                }
+            }
+            if pred.admits(m.first_word + j as u64, asid) {
+                out.push(w);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a windowed, filtered query: decodes only the blocks the
+    /// index cannot rule out and returns the matching words, exactly
+    /// the sequence [`filter_stream`] selects from the full decoded
+    /// stream. The block-skip counts are the pushdown's measure of
+    /// merit (reported by `serve_bench` and the `serve.*` metrics).
+    pub fn query(&self, pred: &Predicate) -> Result<QueryResult, StoreError> {
+        let picked = self.matching_blocks(pred);
+        let mut words = Vec::new();
+        let mut scratch = Vec::new();
+        for &i in &picked {
+            self.filter_block_into(i, pred, &mut words, &mut scratch)?;
+        }
+        Ok(QueryResult {
+            blocks_decoded: picked.len() as u32,
+            blocks_skipped: (self.n_blocks() - picked.len()) as u32,
+            words,
+        })
+    }
+
+    /// [`TraceStore::query`] with block materialisation served by a
+    /// [`BlockCache`]: the result is identical, but a block whose
+    /// decoded words are already cached costs a row-range copy
+    /// instead of a CRC-checked decode. This is the windowed-query
+    /// hot path of the trace service — a served archive sees the
+    /// same few thousand-word windows over and over, and re-decoding
+    /// a 4096-word block to ship a slice of it dominates the request
+    /// otherwise. `blocks_decoded` keeps its pushdown meaning (blocks
+    /// the index could not rule out), cached or not.
+    pub fn query_cached(
+        &self,
+        pred: &Predicate,
+        cache: &mut BlockCache,
+    ) -> Result<QueryResult, StoreError> {
+        let picked = self.matching_blocks(pred);
+        let mut words = Vec::new();
+        for &i in &picked {
+            self.filter_block_cached(i, pred, &mut words, cache)?;
+        }
+        Ok(QueryResult {
+            blocks_decoded: picked.len() as u32,
+            blocks_skipped: (self.n_blocks() - picked.len()) as u32,
+            words,
+        })
+    }
+
+    /// [`TraceStore::filter_block_into`] with the materialisation
+    /// step routed through `cache`. The pushdown structure is the
+    /// same: columnar blocks under an ASID filter still locate runs
+    /// from the tag and control columns alone, and only blocks with
+    /// actual hits touch the cache at all.
+    fn filter_block_cached(
+        &self,
+        i: usize,
+        pred: &Predicate,
+        out: &mut Vec<u32>,
+        cache: &mut BlockCache,
+    ) -> Result<(), StoreError> {
+        let m = *self.block_meta(i);
+        let (row_lo, row_hi) = match pred.window {
+            None => (0u32, m.words),
+            Some((lo, hi)) => {
+                let r = m.word_range();
+                let lo = lo.max(r.start) - r.start;
+                let hi = hi.min(r.end).saturating_sub(r.start);
+                if lo >= hi {
+                    return Ok(());
+                }
+                (lo as u32, hi as u32)
+            }
+        };
+        if self.format == BlockFormat::Columnar {
+            if let Some(a) = pred.asid {
+                let bytes = self.block_bytes(i)?;
+                let runs = column::asid_runs(bytes, m.words as usize, m.first_asid)
+                    .map_err(|err| StoreError::BlockCodec { block: i, err })?;
+                for r in &runs {
+                    if r.asid != a {
+                        continue;
+                    }
+                    let lo = r.start.max(row_lo);
+                    let hi = (r.start + r.len).min(row_hi);
+                    if lo < hi {
+                        let words = cache.words(self, i)?;
+                        out.extend_from_slice(&words[lo as usize..hi as usize]);
+                    }
+                }
+                return Ok(());
+            }
+            let words = cache.words(self, i)?;
+            out.extend_from_slice(&words[row_lo as usize..row_hi as usize]);
+            return Ok(());
+        }
+        if pred.asid.is_none() {
+            // Window-only over a row block: the admitted rows are one
+            // contiguous run, same as the columnar case.
+            let words = cache.words(self, i)?;
+            out.extend_from_slice(&words[row_lo as usize..row_hi as usize]);
+            return Ok(());
+        }
+        let words = cache.words(self, i)?;
         let mut asid = m.first_asid;
         for (j, &w) in words.iter().enumerate() {
             if let TraceWord::Ctl(c) = classify(w) {
@@ -674,25 +1059,121 @@ impl TraceStore {
                 out.push(w);
             }
         }
-        Ok(out)
+        Ok(())
+    }
+}
+
+/// Per-column encoded-size totals for a columnar store, reported by
+/// `tracedump info` — which columns carry the bytes tells you what a
+/// projected query saves by not decoding the rest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Total encoded bytes of each column section across all blocks,
+    /// in [`column::COLUMN_NAMES`] order.
+    pub section_bytes: [u64; column::N_COLUMNS],
+    /// Bytes outside the sections: per-block encoded-CRC words and
+    /// section length prefixes.
+    pub overhead_bytes: u64,
+}
+
+/// Streams a store's blocks in order through one reused buffer —
+/// the whole-file batch reader behind replay and `store_bench`'s
+/// decode-throughput measurement. Each [`BlockReader::next_block`]
+/// call yields the next block's verified words; the allocation is
+/// made once and recycled.
+#[derive(Debug)]
+pub struct BlockReader<'a> {
+    store: &'a TraceStore,
+    next: usize,
+    buf: Vec<u32>,
+}
+
+impl BlockReader<'_> {
+    /// Decodes and verifies the next block, returning its words (or
+    /// `None` past the last block). The slice borrows the reader's
+    /// buffer and is valid until the next call.
+    pub fn next_block(&mut self) -> Option<Result<&[u32], StoreError>> {
+        if self.next >= self.store.n_blocks() {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        self.buf.clear();
+        match self.store.decode_blocks_into(i..i + 1, &mut self.buf) {
+            Ok(()) => Some(Ok(&self.buf)),
+            Err(e) => Some(Err(e)),
+        }
     }
 
-    /// Runs a windowed, filtered query: decodes only the blocks the
-    /// index cannot rule out and returns the matching words, exactly
-    /// the sequence [`filter_stream`] selects from the full decoded
-    /// stream. The block-skip counts are the pushdown's measure of
-    /// merit (reported by `serve_bench` and the `serve.*` metrics).
-    pub fn query(&self, pred: &Predicate) -> Result<QueryResult, StoreError> {
-        let picked = self.matching_blocks(pred);
-        let mut words = Vec::new();
-        for &i in &picked {
-            words.extend_from_slice(&self.filter_block(i, pred)?);
+    /// Index of the block the next [`BlockReader::next_block`] call
+    /// will decode.
+    pub fn position(&self) -> usize {
+        self.next
+    }
+}
+
+/// A bounded, direct-mapped cache of decoded blocks — the
+/// [`BlockReader`]'s random-access sibling, built for
+/// [`TraceStore::query_cached`]. Capacity is fixed at construction
+/// (memory bound ≈ `slots × block_words × 4` bytes) and block `i`
+/// maps to slot `i % slots`, so a scan-shaped workload degrades to
+/// plain per-block decode, never to unbounded memory.
+///
+/// A slot is keyed by `(block index, stored CRC)`, so a cache
+/// mistakenly shared between stores misses (and re-decodes) rather
+/// than returning another archive's words.
+#[derive(Debug)]
+pub struct BlockCache {
+    /// `(block index, index CRC, decoded words)`; `usize::MAX` marks
+    /// an empty slot.
+    slots: Vec<(usize, u32, Vec<u32>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BlockCache {
+    /// A cache holding up to `slots` decoded blocks.
+    ///
+    /// # Panics
+    ///
+    /// `slots` must be nonzero.
+    pub fn new(slots: usize) -> BlockCache {
+        assert!(slots > 0, "a zero-slot cache cannot hold a block");
+        BlockCache {
+            slots: vec![(usize::MAX, 0, Vec::new()); slots],
+            hits: 0,
+            misses: 0,
         }
-        Ok(QueryResult {
-            blocks_decoded: picked.len() as u32,
-            blocks_skipped: (self.n_blocks() - picked.len()) as u32,
-            words,
-        })
+    }
+
+    /// Blocks served from a slot without decoding, since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Blocks decoded on a slot miss, since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The verified words of block `i` of `store`, decoding on miss.
+    fn words(&mut self, store: &TraceStore, i: usize) -> Result<&[u32], StoreError> {
+        let n = self.slots.len();
+        let crc = store.block_meta(i).crc;
+        let slot = &mut self.slots[i % n];
+        if slot.0 == i && slot.1 == crc {
+            self.hits += 1;
+        } else {
+            // Invalidate before decoding: a failed decode must not
+            // leave the evicted block's words filed under `i`.
+            slot.0 = usize::MAX;
+            slot.2.clear();
+            store.decode_blocks_into(i..i + 1, &mut slot.2)?;
+            slot.0 = i;
+            slot.1 = crc;
+            self.misses += 1;
+        }
+        Ok(&self.slots[i % n].2)
     }
 }
 
@@ -1080,5 +1561,258 @@ mod tests {
             .parse_all(&store.words().unwrap(), &mut via_store);
         assert_eq!(via_store.irefs, direct.irefs);
         assert_eq!(via_store.drefs, direct.drefs);
+    }
+
+    /// A multi-ASID archive: rotates context switches through several
+    /// ASIDs with user- and kernel-looking address runs in between.
+    fn multi_asid_archive(n: usize) -> TraceArchive {
+        let mut words = Vec::new();
+        for i in 0..n as u32 {
+            if i % 37 == 0 {
+                words.push(ctl(CtlOp::CtxSwitch, (i / 37 % 5) as u8));
+            }
+            words.push(if i % 3 == 0 {
+                0x8003_0100 + i * 8
+            } else {
+                0x0040_0000 + i * 4
+            });
+        }
+        TraceArchive {
+            kernel_table: BbTable::new(),
+            user_tables: vec![],
+            words,
+        }
+    }
+
+    #[test]
+    fn v4_round_trips_and_queries_identically_to_v3() {
+        let a = multi_asid_archive(3000);
+        for block_words in [1, 7, 64, 4096] {
+            let v3 = TraceStore::from_archive(&a, block_words);
+            let v4 = TraceStore::from_archive_with(&a, block_words, BlockFormat::Columnar);
+            assert_eq!(v4.format(), BlockFormat::Columnar);
+            let bytes = v4.encode();
+            assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 4);
+            let back = TraceStore::decode(&bytes).unwrap();
+            assert_eq!(back.format(), BlockFormat::Columnar);
+            assert_eq!(back.words().unwrap(), a.words);
+            for pred in [
+                Predicate::default(),
+                Predicate {
+                    asid: Some(2),
+                    ..Predicate::default()
+                },
+                Predicate {
+                    asid: Some(63), // never occurs: zonemap prunes all
+                    ..Predicate::default()
+                },
+                Predicate {
+                    window: Some((11, 900)),
+                    asid: None,
+                },
+                Predicate {
+                    window: Some((100, 1500)),
+                    asid: Some(1),
+                },
+            ] {
+                let want = filter_stream(&a.words, &pred);
+                let q3 = v3.query(&pred).unwrap();
+                let q4 = back.query(&pred).unwrap();
+                assert_eq!(q3.words, want, "v3 {block_words}/{pred:?}");
+                assert_eq!(q4.words, want, "v4 {block_words}/{pred:?}");
+                // v4's zonemap can only skip *more* blocks than v3's
+                // single-ASID proof, never fewer.
+                assert!(
+                    q4.blocks_skipped >= q3.blocks_skipped,
+                    "{block_words}/{pred:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_query_is_identical_to_query_across_formats() {
+        let a = multi_asid_archive(3000);
+        let preds = [
+            Predicate::default(),
+            Predicate {
+                asid: Some(2),
+                ..Predicate::default()
+            },
+            Predicate {
+                window: Some((11, 900)),
+                asid: None,
+            },
+            Predicate {
+                window: Some((100, 1500)),
+                asid: Some(1),
+            },
+        ];
+        for format in [BlockFormat::Row, BlockFormat::Columnar] {
+            let store = TraceStore::from_archive_with(&a, 64, format);
+            // Two slots against ~47 blocks forces eviction and
+            // reuse; the large cache exercises the all-hits path.
+            for slots in [2, 1024] {
+                let mut cache = BlockCache::new(slots);
+                for pred in preds {
+                    let plain = store.query(&pred).unwrap();
+                    // Twice per predicate: cold slots, then warm.
+                    for pass in 0..2 {
+                        let cached = store.query_cached(&pred, &mut cache).unwrap();
+                        assert_eq!(cached, plain, "{format:?}/{slots}/{pass}/{pred:?}");
+                    }
+                }
+                assert!(cache.misses() > 0);
+                // Sequential sweeps thrash a two-slot cache (every
+                // access evicts); only the large cache must hit.
+                if slots > 2 {
+                    assert!(cache.hits() > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_cache_shared_between_stores_re_decodes_instead_of_lying() {
+        // The slot key includes the block's index CRC, so two stores
+        // with different blockings of the same trace can (wrongly)
+        // share one cache and still each get their own words back.
+        let a = multi_asid_archive(1200);
+        let s1 = TraceStore::from_archive(&a, 64);
+        let s2 = TraceStore::from_archive_with(&a, 32, BlockFormat::Columnar);
+        let pred = Predicate {
+            window: Some((64, 256)),
+            asid: None,
+        };
+        let want = filter_stream(&a.words, &pred);
+        let mut cache = BlockCache::new(8);
+        for _ in 0..2 {
+            assert_eq!(s1.query_cached(&pred, &mut cache).unwrap().words, want);
+            assert_eq!(s2.query_cached(&pred, &mut cache).unwrap().words, want);
+        }
+    }
+
+    #[test]
+    fn v4_zonemap_prunes_blocks_the_v3_summary_cannot() {
+        // Every block of this trace contains a context switch, so v3's
+        // single-ASID proof never fires — but ASID 9 never occurs, so
+        // the v4 zonemap proves every block irrelevant.
+        let a = multi_asid_archive(2000);
+        let v3 = TraceStore::from_archive(&a, 37);
+        let v4 = TraceStore::from_archive_with(&a, 37, BlockFormat::Columnar);
+        let pred = Predicate {
+            asid: Some(9),
+            ..Predicate::default()
+        };
+        // Switch spacing drifts against the block size, so v3's proof
+        // fires on at most a couple of stragglers.
+        assert!(v3.query(&pred).unwrap().blocks_decoded >= v3.n_blocks() as u32 - 2);
+        let q4 = v4.query(&pred).unwrap();
+        assert_eq!(q4.blocks_decoded, 0);
+        assert!(q4.words.is_empty());
+    }
+
+    #[test]
+    fn v4_window_pushdown_binary_search_agrees_with_scan() {
+        let a = multi_asid_archive(1024);
+        let store = TraceStore::from_archive_with(&a, 16, BlockFormat::Columnar);
+        for (lo, hi) in [(0, 10), (5, 5), (100, 101), (1000, 5000), (17, 900)] {
+            let pred = Predicate {
+                window: Some((lo, hi)),
+                asid: None,
+            };
+            let picked = store.matching_blocks(&pred);
+            let scanned: Vec<usize> = (0..store.n_blocks())
+                .filter(|&i| {
+                    let r = store.block_meta(i).word_range();
+                    lo < hi && r.start < hi && r.end > lo
+                })
+                .collect();
+            assert_eq!(picked, scanned, "{lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn corrupted_v4_column_is_a_typed_error() {
+        let a = multi_asid_archive(900);
+        let store = TraceStore::from_archive_with(&a, 128, BlockFormat::Columnar);
+        let mut bytes = store.encode();
+        let tail_at = bytes.len() - TRAILER_BYTES;
+        let index_pos =
+            u64::from_le_bytes(bytes[tail_at + 4..tail_at + 12].try_into().unwrap()) as usize;
+        // Flip a byte in the middle of the block area — inside some
+        // column section — and require a typed error from every read
+        // path, including the projected one.
+        let blocks_at = index_pos - store.compressed_bytes() as usize;
+        bytes[blocks_at + (index_pos - blocks_at) / 2] ^= 0x40;
+        let back = TraceStore::decode(&bytes).expect("framing is intact");
+        let err = (0..back.n_blocks())
+            .find_map(|i| back.decode_block(i).err())
+            .expect("some block must fail");
+        assert!(matches!(
+            err,
+            StoreError::BlockCodec { .. } | StoreError::CrcMismatch { .. }
+        ));
+        let pred = Predicate {
+            asid: Some(1),
+            ..Predicate::default()
+        };
+        let projected = back.query(&pred);
+        assert!(matches!(
+            projected,
+            Err(StoreError::BlockCodec { .. } | StoreError::CrcMismatch { .. }) | Ok(_)
+        ));
+    }
+
+    #[test]
+    fn forged_columnar_flag_in_a_v3_index_is_rejected() {
+        // A v3 entry carrying FLAG_COLUMNAR would pair an all-zero
+        // zonemap with zonemap-trusting readers and prune everything;
+        // the decoder must refuse the file, not the blocks.
+        let a = sample_archive(200);
+        let store = TraceStore::from_archive(&a, 64);
+        let mut bytes = store.encode();
+        let tail_at = bytes.len() - TRAILER_BYTES;
+        let index_pos =
+            u64::from_le_bytes(bytes[tail_at + 4..tail_at + 12].try_into().unwrap()) as usize;
+        bytes[index_pos + 22] |= BlockMeta::FLAG_COLUMNAR;
+        // Re-seal the metadata CRC so only the flag discipline can
+        // object.
+        let blocks_at = index_pos - store.compressed_bytes() as usize;
+        let mut crc = Crc32::new();
+        crc.update(&bytes[..blocks_at])
+            .update(&bytes[index_pos..tail_at + 12]);
+        let fresh = crc.finish();
+        bytes[tail_at + 12..tail_at + 16].copy_from_slice(&fresh.to_le_bytes());
+        assert!(matches!(
+            TraceStore::decode(&bytes),
+            Err(StoreError::Malformed("unknown flag bits in pre-v4 entry"))
+        ));
+    }
+
+    #[test]
+    fn block_reader_streams_the_whole_file() {
+        let a = multi_asid_archive(777);
+        for format in [BlockFormat::Row, BlockFormat::Columnar] {
+            let store = TraceStore::from_archive_with(&a, 50, format);
+            let mut reader = store.block_reader();
+            let mut all = Vec::new();
+            while let Some(block) = reader.next_block() {
+                all.extend_from_slice(block.unwrap());
+            }
+            assert_eq!(all, a.words, "{format:?}");
+            assert_eq!(reader.position(), store.n_blocks());
+        }
+    }
+
+    #[test]
+    fn column_stats_account_for_the_block_area() {
+        let a = multi_asid_archive(2000);
+        let v3 = TraceStore::from_archive(&a, 256);
+        assert_eq!(v3.column_stats().unwrap(), None);
+        let v4 = TraceStore::from_archive_with(&a, 256, BlockFormat::Columnar);
+        let stats = v4.column_stats().unwrap().expect("columnar store");
+        let total: u64 = stats.section_bytes.iter().sum::<u64>() + stats.overhead_bytes;
+        assert_eq!(total, v4.compressed_bytes());
     }
 }

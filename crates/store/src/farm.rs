@@ -315,10 +315,12 @@ fn replay_shared<S: TraceSink + Send>(
         let mut failed = None;
         // One continuous parse across all blocks: `push_words` per
         // block (a basic block's words may straddle two store blocks),
-        // one `finish` at the end.
-        for i in 0..store.n_blocks() {
-            match store.decode_block(i) {
-                Ok(words) => parser.push_words(&words, &mut feed),
+        // one `finish` at the end. The batch reader recycles one
+        // decode buffer across the whole file.
+        let mut reader = store.block_reader();
+        while let Some(block) = reader.next_block() {
+            match block {
+                Ok(words) => parser.push_words(words, &mut feed),
                 Err(e) => {
                     failed = Some(e);
                     break;
@@ -378,13 +380,15 @@ fn replay_per_worker<S: TraceSink + Send>(
                     let mut skipped = 0u64;
                     {
                         let mut fan = FanOut(&mut share);
+                        let mut buf = Vec::new();
                         for i in 0..store.n_blocks() {
                             if !hooks.deliver(w, i as u64) {
                                 skipped += 1;
                                 continue;
                             }
-                            let words = store.decode_block(i)?;
-                            parser.push_words(&words, &mut fan);
+                            buf.clear();
+                            store.decode_blocks_into(i..i + 1, &mut buf)?;
+                            parser.push_words(&buf, &mut fan);
                         }
                         parser.finish(&mut fan);
                     }
@@ -445,6 +449,21 @@ pub fn query_parallel(
     let picked = store.matching_blocks(pred);
     let skipped = (store.n_blocks() - picked.len()) as u32;
     let workers = workers.clamp(1, picked.len().max(1));
+    if workers == 1 || picked.len() < 8 {
+        // Too little work to pay a scoped-thread spawn per request —
+        // filter in place with reused buffers (identical results:
+        // both paths visit `picked` in stream order).
+        let mut words = Vec::new();
+        let mut scratch = Vec::new();
+        for &i in &picked {
+            store.filter_block_into(i, pred, &mut words, &mut scratch)?;
+        }
+        return Ok(QueryResult {
+            blocks_decoded: picked.len() as u32,
+            blocks_skipped: skipped,
+            words,
+        });
+    }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let parts = thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -452,12 +471,18 @@ pub fn query_parallel(
                 let (picked, next) = (&picked, &next);
                 scope.spawn(move || {
                     let mut mine: Vec<(usize, Vec<u32>)> = Vec::new();
+                    // One decode scratch per worker, reused across its
+                    // blocks (filter_block_into never allocates in the
+                    // steady state).
+                    let mut scratch = Vec::new();
                     loop {
                         let at = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let Some(&block) = picked.get(at) else {
                             return Ok(mine);
                         };
-                        mine.push((at, store.filter_block(block, pred)?));
+                        let mut out = Vec::new();
+                        store.filter_block_into(block, pred, &mut out, &mut scratch)?;
+                        mine.push((at, out));
                     }
                 })
             })
@@ -690,6 +715,30 @@ mod tests {
                 let par = query_parallel(&store, &pred, workers).unwrap();
                 assert_eq!(par, seq, "workers={workers} {pred:?}");
             }
+        }
+    }
+
+    #[test]
+    fn v4_replay_and_query_match_the_row_store() {
+        let v3 = busy_store(64);
+        let a = v3.to_archive().unwrap();
+        let v4 = TraceStore::from_archive_with(&a, 64, crate::BlockFormat::Columnar);
+        let baseline = sequential(&v3, 3);
+        let (_, farmed) = replay(&v4, vec![CollectSink::default(); 3], FarmCfg::default()).unwrap();
+        assert_identical(&farmed, &baseline);
+        for pred in [
+            Predicate {
+                asid: Some(5),
+                ..Predicate::default()
+            },
+            Predicate {
+                window: Some((100, 2000)),
+                asid: Some(5),
+            },
+        ] {
+            let seq = v3.query(&pred).unwrap();
+            let par = query_parallel(&v4, &pred, 4).unwrap();
+            assert_eq!(par.words, seq.words, "{pred:?}");
         }
     }
 

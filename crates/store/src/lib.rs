@@ -11,10 +11,17 @@
 //! * [`codec`] — a dependency-free delta + finite-context compressor
 //!   exploiting the trace word regularities of §3.3; loop-dominated
 //!   traces approach one byte per four-byte word.
-//! * [`container`] — archive format v2: fixed-size blocks compressed
+//! * [`column`](mod@column) — the v4 columnar block coding: per-class columns
+//!   (control / user / kernel words) with 1-bit predictor-hit flags,
+//!   decodable one column at a time so predicates touch only the
+//!   bytes they need.
+//! * [`container`] — archive formats v3 (row blocks) and v4 (columnar
+//!   blocks + per-ASID zonemaps): fixed-size blocks compressed
 //!   independently, with a footer index (offset, word count, CRC-32,
-//!   ASID bounds per block) so any block is seekable and decodable on
-//!   its own. Version-1 archives still load transparently.
+//!   ASID bounds and query summaries per block) so any block is
+//!   seekable and decodable on its own, and most blocks are provably
+//!   skippable from the index alone. Version-1 and -2 archives still
+//!   load transparently.
 //! * [`farm`] — replays one store into N analysis sinks across worker
 //!   threads, bit-identical to a sequential parse: the schedule moves
 //!   work between threads but never reorders a sink's event stream.
@@ -24,14 +31,16 @@
 #![deny(missing_docs)]
 
 pub mod codec;
+pub mod column;
 pub mod container;
 pub mod farm;
 pub mod obs;
 
 pub use codec::{compress_block, crc32_bytes, crc32_words, decompress_block, CodecError, Crc32};
 pub use container::{
-    filter_stream, BlockMeta, Predicate, QueryResult, StoreError, TraceStore, DEFAULT_BLOCK_WORDS,
-    INDEX_ENTRY_BYTES, INDEX_ENTRY_BYTES_V2, STORE_VERSION, TRAILER_BYTES,
+    filter_stream, BlockCache, BlockFormat, BlockMeta, BlockReader, ColumnStats, Predicate,
+    QueryResult, StoreError, TraceStore, DEFAULT_BLOCK_WORDS, INDEX_ENTRY_BYTES,
+    INDEX_ENTRY_BYTES_V2, INDEX_ENTRY_BYTES_V4, STORE_VERSION, STORE_VERSION_V4, TRAILER_BYTES,
 };
 pub use farm::{query_parallel, replay, replay_with_hooks, FarmCfg, FarmHooks, FarmReport};
 pub use obs::StoreObs;

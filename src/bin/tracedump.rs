@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! tracedump record <workload> <ultrix|mach> <out.w3kt>   collect a system trace
-//! tracedump info   <file.w3kt>                           summarise an archive (v1 or v2/v3)
+//! tracedump info   <file.w3kt>                           summarise an archive (any version)
 //! tracedump refs   <file.w3kt> [n]                       print the first n references
 //! tracedump sim    <file.w3kt>                           run the memory-system simulation
 //! tracedump metrics <file.w3kt> [out.json]               re-analyse and dump wrl-obs metrics
-//! tracedump compress <in.w3kt> <out.w3kt> [block_words]  write a compressed block store
+//! tracedump compress <in.w3kt> <out.w3kt> [block_words] [--format v3|v4]
+//!                                                        write a compressed block store
 //! tracedump serve  <addr> <file.w3kt>...                 serve archives over wrl-wire/v1
 //! tracedump catalog <addr>                               list a server's archives
 //! tracedump fetch  <addr> <archive> [--asid A] [--window LO..HI]
@@ -14,7 +15,10 @@
 //! ```
 //!
 //! Every reading subcommand accepts all archive versions: raw v1
-//! archives and compressed, block-indexed v2/v3 stores (`wrl-store`).
+//! archives and compressed, block-indexed v2/v3/v4 stores
+//! (`wrl-store`). `compress --format v4` writes the columnar layout
+//! (per-class columns, per-ASID zonemaps) and `info` reports its
+//! per-column byte split.
 //! The `serve` / `catalog` / `fetch` trio is the `wrl-serve` client
 //! and server surface: `serve` publishes archives (named by file
 //! stem) on a TCP address, and `fetch` ships only the trace words the
@@ -24,7 +28,7 @@ use std::sync::Arc;
 use systrace::kernel::{build_system, KernelConfig};
 use systrace::memsim::{MemSim, PageMap, Policy, SimCfg, UtlbSynth};
 use systrace::serve::{Catalog, Client, ServeCfg, Server};
-use systrace::store::{Predicate, StoreObs, TraceStore, DEFAULT_BLOCK_WORDS};
+use systrace::store::{BlockFormat, Predicate, StoreObs, TraceStore, DEFAULT_BLOCK_WORDS};
 use systrace::trace::{Space, TraceArchive, TraceSink};
 
 fn usage() -> ! {
@@ -33,7 +37,7 @@ fn usage() -> ! {
     eprintln!("       tracedump refs <file.w3kt> [n]");
     eprintln!("       tracedump sim <file.w3kt>");
     eprintln!("       tracedump metrics <file.w3kt> [out.json]");
-    eprintln!("       tracedump compress <in.w3kt> <out.w3kt> [block_words]");
+    eprintln!("       tracedump compress <in.w3kt> <out.w3kt> [block_words] [--format v3|v4]");
     eprintln!("       tracedump serve <addr> <file.w3kt>...");
     eprintln!("       tracedump catalog <addr>");
     eprintln!("       tracedump fetch <addr> <archive> [--asid A] [--window LO..HI]");
@@ -53,13 +57,24 @@ fn main() {
         Some("metrics") if args.len() == 2 || args.len() == 3 => {
             metrics(&args[1], args.get(2).map(String::as_str))
         }
-        Some("compress") if args.len() == 3 || args.len() == 4 => compress(
-            &args[1],
-            &args[2],
-            args.get(3)
-                .map(|s| s.parse().unwrap_or_else(|_| usage()))
-                .unwrap_or(DEFAULT_BLOCK_WORDS),
-        ),
+        Some("compress") if args.len() >= 3 => {
+            let mut block_words = DEFAULT_BLOCK_WORDS;
+            let mut format = BlockFormat::Row;
+            let mut it = args[3..].iter();
+            while let Some(opt) = it.next() {
+                match opt.as_str() {
+                    "--format" => {
+                        format = match it.next().map(String::as_str) {
+                            Some("v3") => BlockFormat::Row,
+                            Some("v4") => BlockFormat::Columnar,
+                            _ => usage(),
+                        }
+                    }
+                    s => block_words = s.parse().unwrap_or_else(|_| usage()),
+                }
+            }
+            compress(&args[1], &args[2], block_words, format)
+        }
         Some("serve") if args.len() >= 3 => serve(&args[1], &args[2..]),
         Some("catalog") if args.len() == 2 => catalog(&args[1]),
         Some("fetch") if args.len() >= 3 => fetch(&args[1], &args[2], &args[3..]),
@@ -135,6 +150,26 @@ fn info(path: &str) {
         ),
         Some(v) => println!("  format      : v{v} archive (raw words)"),
         None => {}
+    }
+    // Columnar stores also report the per-column byte split — which
+    // columns carry the bytes is what a projected query saves.
+    if let Ok(Some(stats)) = store.column_stats() {
+        let total = store.compressed_bytes().max(1);
+        for (name, bytes) in systrace::store::column::COLUMN_NAMES
+            .iter()
+            .zip(stats.section_bytes)
+        {
+            println!(
+                "  column      : {name:<12} {bytes:>10} bytes ({:.1}%)",
+                100.0 * bytes as f64 / total as f64
+            );
+        }
+        println!(
+            "  column      : {:<12} {:>10} bytes ({:.1}%)",
+            "(framing)",
+            stats.overhead_bytes,
+            100.0 * stats.overhead_bytes as f64 / total as f64
+        );
     }
     println!("  trace words : {}", a.words.len());
     println!("  kernel table: {} blocks", a.kernel_table.len());
@@ -343,21 +378,22 @@ fn fetch(addr: &str, archive: &str, opts: &[String]) {
     );
 }
 
-fn compress(inp: &str, out: &str, block_words: usize) {
+fn compress(inp: &str, out: &str, block_words: usize, format: BlockFormat) {
     let obs = StoreObs::register();
-    // Rebuild from the raw words so the requested block size applies
-    // regardless of the input's format or original block size.
+    // Rebuild from the raw words so the requested block size and
+    // format apply regardless of the input's format or block size.
     let a = load(inp);
-    let store = TraceStore::from_archive(&a, block_words);
+    let store = TraceStore::from_archive_with(&a, block_words, format);
     store.save(out).unwrap_or_else(|e| {
         eprintln!("{out}: {e}");
         std::process::exit(1);
     });
     obs.export_store(&store);
     println!(
-        "compressed {} words into {} blocks: {} -> {} bytes ({:.2}x)",
+        "compressed {} words into {} v{} blocks: {} -> {} bytes ({:.2}x)",
         store.n_words,
         store.n_blocks(),
+        format.version(),
         store.raw_bytes(),
         store.compressed_bytes(),
         store.raw_bytes() as f64 / store.compressed_bytes().max(1) as f64,
