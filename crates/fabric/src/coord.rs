@@ -1,0 +1,629 @@
+//! The fabric coordinator: one `wrl-wire/v1` endpoint fronting many
+//! shard nodes.
+//!
+//! Upstream it is indistinguishable from a single `wrl-serve` node
+//! holding the whole archive: the same five opcodes, the same typed
+//! errors, and bit-identical query answers. Downstream it is just
+//! another [`wrl_serve::Client`] of each shard.
+//!
+//! A query is answered by scattering
+//! [`ScatterUnit`](crate::manifest::ScatterUnit)s
+//! ([`Manifest::scatter`](crate::manifest::Manifest::scatter)) to the
+//! owning shards in global order and
+//! concatenating the answers; blocks the manifest proofs rule out are
+//! never sent anywhere. Failover is whole-unit: a sub-request either
+//! returns a complete, CRC-framed response or a typed failure, so on
+//! a transport failure the coordinator retries the *entire* unit on
+//! the shard's next endpoint — no partial answer exists that could
+//! duplicate or drop rows. Typed shard errors are different: the
+//! shard is alive and has answered, so the error is forwarded
+//! upstream with its code intact and the shard named in the message,
+//! and no failover happens.
+//!
+//! Threading is deliberately simple — the coordinator is a fan-out
+//! point for a handful of upstream analysis clients, not a
+//! 256-connection edge (that is `wrl-serve`'s reactor job): one
+//! blocking accept loop, one thread per upstream connection, each
+//! owning its private downstream connection cache.
+
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use wrl_serve::wire::{
+    self, err, read_frame, CatalogEntry, FrameRead, Request, Response, ShardStatus, MAX_FRAME,
+};
+use wrl_serve::{Client, ClientCfg, ServeError};
+use wrl_store::QueryResult;
+
+use crate::manifest::Manifest;
+use crate::obs::FabricObs;
+
+/// Coordinator tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricCfg {
+    /// Upstream read-timeout tick (shutdown responsiveness).
+    pub read_timeout: Duration,
+    /// Upstream socket write timeout.
+    pub write_timeout: Duration,
+    /// Consecutive upstream idle ticks tolerated before the
+    /// connection is severed as wedged.
+    pub max_stalls: u32,
+    /// Socket parameters for the downstream shard connections; the
+    /// client stall budget bounds how long a dead shard can hold a
+    /// sub-request before failover moves on.
+    pub client: ClientCfg,
+    /// `Busy` retries per sub-request before the overload is
+    /// forwarded upstream.
+    pub busy_retries: u32,
+}
+
+impl Default for FabricCfg {
+    fn default() -> FabricCfg {
+        FabricCfg {
+            read_timeout: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(2),
+            max_stalls: 200,
+            client: ClientCfg::default(),
+            busy_retries: 8,
+        }
+    }
+}
+
+/// Most endpoints (primary + replicas) one shard may list — the
+/// `shards` response reports endpoint liveness as a `u16` bitmap.
+pub const MAX_ENDPOINTS: usize = 16;
+
+struct Inner {
+    manifest: Manifest,
+    endpoints: Vec<Vec<SocketAddr>>,
+    cfg: FabricCfg,
+    obs: FabricObs,
+    /// Per shard: bit `e` set = endpoint `e`'s last contact failed.
+    /// Purely advisory (the `shards` report); failover always walks
+    /// endpoints in listed order so a recovered primary is retaken.
+    down: Vec<AtomicU64>,
+    shutdown: AtomicBool,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running fabric coordinator.
+pub struct Coordinator {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Binds `addr` and serves the fabric described by `manifest`.
+    /// `endpoints[s]` lists shard `s`'s nodes in failover order
+    /// (primary first); every shard owning blocks needs at least one.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        manifest: Manifest,
+        endpoints: Vec<Vec<SocketAddr>>,
+        cfg: FabricCfg,
+    ) -> io::Result<Coordinator> {
+        if endpoints.len() != manifest.n_shards() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "one endpoint list per manifest shard required",
+            ));
+        }
+        for (s, eps) in endpoints.iter().enumerate() {
+            if eps.is_empty() && manifest.shards[s].n_blocks > 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "a shard owning blocks has no endpoints",
+                ));
+            }
+            if eps.len() > MAX_ENDPOINTS {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "too many endpoints for one shard",
+                ));
+            }
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(Inner {
+            down: (0..manifest.n_shards())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            manifest,
+            endpoints,
+            cfg,
+            obs: FabricObs::register(),
+            shutdown: AtomicBool::new(false),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("fabric-accept".into())
+            .spawn(move || accept_loop(listener, accept_inner))?;
+        Ok(Coordinator {
+            addr: local,
+            inner,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound upstream address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the upstream handler threads and
+    /// returns once everything has joined.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handlers = {
+            let mut g = self.inner.handlers.lock().expect("handler list poisoned");
+            std::mem::take(&mut *g)
+        };
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_inner = Arc::clone(&inner);
+                let spawned = std::thread::Builder::new()
+                    .name("fabric-conn".into())
+                    .spawn(move || serve_conn(stream, conn_inner));
+                if let Ok(h) = spawned {
+                    inner
+                        .handlers
+                        .lock()
+                        .expect("handler list poisoned")
+                        .push(h);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// One upstream connection: read frames, dispatch, write responses.
+fn serve_conn(mut stream: TcpStream, inner: Arc<Inner>) {
+    if stream
+        .set_read_timeout(Some(inner.cfg.read_timeout))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(inner.cfg.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut conns = Conns::new(&inner);
+    let mut idles = 0u32;
+    loop {
+        let body = match read_frame(&mut stream, inner.cfg.max_stalls) {
+            Ok(FrameRead::Frame(b)) => b,
+            Ok(FrameRead::Idle) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                idles += 1;
+                if idles > inner.cfg.max_stalls {
+                    return;
+                }
+                continue;
+            }
+            Ok(FrameRead::Eof) | Err(_) => return,
+        };
+        idles = 0;
+        let (rid, resp) = match wire::decode_request(&body) {
+            Ok((rid, req)) => (rid, dispatch(&inner, &mut conns, &req)),
+            // Length framing keeps the stream in sync, so a damaged
+            // body earns a typed wire error rather than a severed
+            // connection; the request id is unrecoverable.
+            Err(e) => (
+                0,
+                Response::Error {
+                    code: err::WIRE,
+                    msg: e.to_string(),
+                },
+            ),
+        };
+        if stream
+            .write_all(&wire::encode_response(rid, &resp))
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Each upstream connection's private downstream connection cache,
+/// lazily populated, dropped on transport failure so failover always
+/// reconnects from scratch.
+struct Conns {
+    by_shard: Vec<Vec<Option<Client>>>,
+}
+
+impl Conns {
+    fn new(inner: &Inner) -> Conns {
+        Conns {
+            by_shard: inner
+                .endpoints
+                .iter()
+                .map(|eps| eps.iter().map(|_| None).collect())
+                .collect(),
+        }
+    }
+}
+
+/// Runs `f` against shard `shard`, walking its endpoints in listed
+/// order until one produces an answer. Transport failures (connect
+/// refusal, severed or timed-out sockets, damaged response frames)
+/// advance to the next endpoint; typed answers — including typed
+/// errors — end the walk.
+fn with_shard<T>(
+    inner: &Inner,
+    conns: &mut Conns,
+    shard: usize,
+    mut f: impl FnMut(&mut Client) -> Result<T, ServeError>,
+) -> Result<T, Response> {
+    let name = &inner.manifest.shards[shard].name;
+    let mut last: Option<ServeError> = None;
+    for e in 0..inner.endpoints[shard].len() {
+        if last.is_some() {
+            inner.obs.failover.inc();
+        }
+        let slot = &mut conns.by_shard[shard][e];
+        if slot.is_none() {
+            match Client::connect_cfg(inner.endpoints[shard][e], inner.cfg.client) {
+                Ok(c) => *slot = Some(c),
+                Err(ioe) => {
+                    inner.down[shard].fetch_or(1 << e, Ordering::Relaxed);
+                    last = Some(ServeError::Io(ioe));
+                    continue;
+                }
+            }
+        }
+        let client = slot.as_mut().expect("slot populated above");
+        match f(client) {
+            Ok(v) => {
+                inner.down[shard].fetch_and(!(1 << e), Ordering::Relaxed);
+                return Ok(v);
+            }
+            Err(ServeError::Remote { code, msg }) => {
+                // The shard is alive and answered with a typed error:
+                // forward it, code intact, shard named. Failing over
+                // would just re-derive the same store-level failure.
+                inner.obs.remote_errors.inc();
+                return Err(Response::Error {
+                    code,
+                    msg: format!("shard {name}: {msg}"),
+                });
+            }
+            Err(ServeError::Busy) => return Err(Response::Busy),
+            Err(transport) => {
+                // Io, TimedOut, Wire, BadReply: the connection can no
+                // longer be trusted mid-protocol. Drop it and retry
+                // the whole sub-request on the next endpoint.
+                *slot = None;
+                inner.down[shard].fetch_or(1 << e, Ordering::Relaxed);
+                last = Some(transport);
+            }
+        }
+    }
+    inner.obs.unavailable.inc();
+    let detail = match last {
+        Some(e) => format!(" (last: {e})"),
+        None => String::new(),
+    };
+    Err(Response::Error {
+        code: err::UNAVAILABLE,
+        msg: format!("shard {name}: no endpoint answered{detail}"),
+    })
+}
+
+fn bad_request(msg: &str) -> Response {
+    Response::Error {
+        code: err::BAD_REQUEST,
+        msg: msg.to_string(),
+    }
+}
+
+fn dispatch(inner: &Inner, conns: &mut Conns, req: &Request) -> Response {
+    let m = &inner.manifest;
+    match req {
+        Request::Catalog => Response::Catalog(vec![CatalogEntry {
+            name: m.archive.clone(),
+            n_words: m.n_words,
+            n_blocks: m.n_blocks() as u32,
+            block_words: m.block_words,
+            compressed_bytes: m.compressed_bytes(),
+        }]),
+        Request::Metrics => Response::Metrics(wrl_obs::global().snapshot().to_json(&[
+            ("service", "wrl-fabric"),
+            ("schema_wire", wire::WIRE_SCHEMA),
+        ])),
+        Request::Shards => Response::Shards(
+            m.shards
+                .iter()
+                .enumerate()
+                .map(|(s, e)| {
+                    let n = inner.endpoints[s].len() as u16;
+                    let down = inner.down[s].load(Ordering::Relaxed) as u16;
+                    ShardStatus {
+                        name: e.name.clone(),
+                        endpoints: n,
+                        alive: !down & (((1u32 << n) - 1) as u16),
+                        n_blocks: e.n_blocks,
+                        n_words: e.n_words,
+                        asid_mask: e.asid_mask,
+                    }
+                })
+                .collect(),
+        ),
+        Request::Query { archive, pred } => {
+            if *archive != m.archive {
+                return Response::Error {
+                    code: err::NO_SUCH_ARCHIVE,
+                    msg: format!("no archive named {archive:?} in the catalog"),
+                };
+            }
+            inner.obs.queries.inc();
+            let units = m.scatter(pred);
+            let surviving: u64 = units.iter().map(|u| u64::from(u.blocks)).sum();
+            inner.obs.blocks_pruned.add(m.n_blocks() as u64 - surviving);
+            let mut words = Vec::new();
+            let mut decoded = 0u32;
+            for u in &units {
+                let name = m.shards[u.shard].name.clone();
+                let q = with_shard(inner, conns, u.shard, |c| {
+                    inner.obs.subqueries.inc();
+                    c.query_retry(&name, &u.pred, inner.cfg.busy_retries)
+                });
+                match q {
+                    Ok(q) => {
+                        decoded += q.blocks_decoded;
+                        words.extend_from_slice(&q.words);
+                    }
+                    Err(resp) => return resp,
+                }
+            }
+            if words.len() * 4 + 64 > MAX_FRAME {
+                return bad_request("query result exceeds the frame cap; narrow the window");
+            }
+            Response::Query(QueryResult {
+                blocks_decoded: decoded,
+                blocks_skipped: m.n_blocks() as u32 - decoded,
+                words,
+            })
+        }
+        Request::Fetch {
+            archive,
+            first_block,
+            n_blocks,
+        } => {
+            if *archive != m.archive {
+                return Response::Error {
+                    code: err::NO_SUCH_ARCHIVE,
+                    msg: format!("no archive named {archive:?} in the catalog"),
+                };
+            }
+            let first = *first_block as usize;
+            let Some(end) = first.checked_add(*n_blocks as usize) else {
+                return bad_request("block range overflows");
+            };
+            if end > m.n_blocks() {
+                return bad_request("block range out of bounds");
+            }
+            let mut total = 0usize;
+            for b in &m.blocks[first..end] {
+                total += 31 + b.comp_len as usize;
+                if total > MAX_FRAME - 64 {
+                    return bad_request("block range exceeds the frame cap; fetch fewer blocks");
+                }
+            }
+            let mut out = Vec::with_capacity(end - first);
+            let mut at = first;
+            while at < end {
+                let shard = m.blocks[at].shard;
+                let mut run = at + 1;
+                while run < end && m.blocks[run].shard == shard {
+                    run += 1;
+                }
+                // Consecutive global blocks on one shard are
+                // consecutive shard-locally (subsets preserve order),
+                // so the run is one downstream fetch.
+                let shard = shard as usize;
+                let name = m.shards[shard].name.clone();
+                let local_first = m.local_of(at).1;
+                let count = (run - at) as u32;
+                let blocks =
+                    with_shard(inner, conns, shard, |c| c.fetch(&name, local_first, count));
+                match blocks {
+                    Ok(blocks) => {
+                        if blocks.len() != run - at {
+                            return Response::Error {
+                                code: err::UNAVAILABLE,
+                                msg: format!("shard {name}: short fetch answer"),
+                            };
+                        }
+                        for (k, mut rb) in blocks.into_iter().enumerate() {
+                            // Re-tile to global coordinates: upstream
+                            // must see exactly what a single node
+                            // holding the whole archive would serve.
+                            rb.first_word = m.blocks[at + k].first_word;
+                            out.push(rb);
+                        }
+                    }
+                    Err(resp) => return resp,
+                }
+                at = run;
+            }
+            Response::Fetch(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{split_store, PlanKind};
+    use std::sync::Arc;
+    use wrl_serve::{Catalog, ServeCfg, Server};
+    use wrl_store::{BlockFormat, Predicate, TraceStore};
+    use wrl_trace::bbinfo::{BbInfo, BbTraceFlags};
+    use wrl_trace::{ctl, BbTable, CtlOp, TraceArchive};
+
+    fn sample_archive(n_words: usize) -> TraceArchive {
+        let mut kt = BbTable::new();
+        kt.insert(
+            0x8003_0100,
+            BbInfo {
+                orig_vaddr: 0x8003_0000,
+                n_insts: 4,
+                ops: vec![],
+                flags: BbTraceFlags::default(),
+            },
+        );
+        let mut words = Vec::with_capacity(n_words + n_words / 50 + 2);
+        let mut asid = 0u8;
+        while words.len() < n_words {
+            words.push(ctl(CtlOp::CtxSwitch, asid));
+            let run = 50.min(n_words - words.len());
+            words.extend(std::iter::repeat_n(0x8003_0100, run));
+            asid = (asid + 1) % 4;
+        }
+        TraceArchive {
+            kernel_table: kt,
+            user_tables: (0..4).map(|a| (a, BbTable::new())).collect(),
+            words,
+        }
+    }
+
+    fn fast_cfg() -> FabricCfg {
+        FabricCfg {
+            client: ClientCfg {
+                read_timeout: Duration::from_millis(5),
+                write_timeout: Duration::from_secs(2),
+                max_stalls: 100,
+            },
+            ..FabricCfg::default()
+        }
+    }
+
+    #[test]
+    fn coordinator_answers_like_a_single_node() {
+        let a = sample_archive(1500);
+        let store = TraceStore::from_archive_with(&a, 64, BlockFormat::Columnar);
+        let (manifest, shard_stores) =
+            split_store(&store, "golden", 2, PlanKind::BlockRange).unwrap();
+
+        let mut servers = Vec::new();
+        let mut endpoints = Vec::new();
+        for (s, shard) in shard_stores.into_iter().enumerate() {
+            let mut catalog = Catalog::new();
+            catalog.add(manifest.shards[s].name.clone(), Arc::new(shard));
+            let server =
+                Server::start("127.0.0.1:0", catalog, ServeCfg::default()).expect("shard starts");
+            endpoints.push(vec![server.addr()]);
+            servers.push(server);
+        }
+        let coord = Coordinator::start("127.0.0.1:0", manifest, endpoints, fast_cfg())
+            .expect("coordinator starts");
+        let mut client = Client::connect(coord.addr()).expect("client connects");
+
+        let rows = client.catalog().expect("catalog answers");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "golden");
+        assert_eq!(rows[0].n_words, store.n_words);
+        assert_eq!(rows[0].compressed_bytes, store.compressed_bytes());
+
+        let shard_rows = client.shards().expect("shards answers");
+        assert_eq!(shard_rows.len(), 2);
+        assert!(shard_rows.iter().all(|r| r.alive == 1 && r.endpoints == 1));
+
+        let mid = store.n_words / 2;
+        for pred in [
+            Predicate::default(),
+            Predicate {
+                asid: Some(2),
+                window: Some((mid / 2, mid)),
+            },
+        ] {
+            let single = store.query(&pred).unwrap();
+            let q = client.query("golden", &pred).expect("query answers");
+            assert_eq!(q.words, single.words, "merged answer differs");
+            assert_eq!(q.blocks_decoded, single.blocks_decoded);
+            assert_eq!(q.blocks_skipped, single.blocks_skipped);
+        }
+
+        // Fetch crosses the shard boundary; answers carry global
+        // word offsets and verify client-side.
+        let n = store.n_blocks() as u32;
+        let blocks = client.fetch("golden", 0, n).expect("fetch answers");
+        assert_eq!(blocks.len(), n as usize);
+        let mut words = Vec::new();
+        for (i, rb) in blocks.iter().enumerate() {
+            assert_eq!(rb.first_word, store.block_meta(i).first_word);
+            words.extend(rb.decode().expect("block verifies"));
+        }
+        assert_eq!(words, a.words);
+
+        assert!(matches!(
+            client.query("missing", &Predicate::default()),
+            Err(ServeError::Remote { code, .. }) if code == err::NO_SUCH_ARCHIVE
+        ));
+
+        coord.shutdown();
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn dead_only_endpoint_is_a_typed_unavailable() {
+        let a = sample_archive(400);
+        let store = TraceStore::from_archive(&a, 64);
+        let (manifest, _) = split_store(&store, "golden", 2, PlanKind::BlockRange).unwrap();
+        // Bind-then-drop yields addresses nothing listens on.
+        let dead = |_: usize| {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let endpoints = vec![vec![dead(0)], vec![dead(1)]];
+        let coord = Coordinator::start("127.0.0.1:0", manifest, endpoints, fast_cfg())
+            .expect("coordinator starts");
+        let mut client = Client::connect(coord.addr()).expect("client connects");
+        match client.query("golden", &Predicate::default()) {
+            Err(ServeError::Remote { code, msg }) => {
+                assert_eq!(code, err::UNAVAILABLE);
+                assert!(msg.contains("shard"), "shard named in: {msg}");
+            }
+            other => panic!("expected typed unavailable, got {other:?}"),
+        }
+        coord.shutdown();
+    }
+}

@@ -21,6 +21,9 @@ pub enum Layer {
     Farm,
     /// The `wrl-serve` wire protocol between server and client.
     Wire,
+    /// The `wrl-fabric` coordinator: shard manifests and the
+    /// scatter-gather/failover path.
+    Fabric,
 }
 
 /// Where in the stack one fault is injected.
@@ -78,10 +81,21 @@ pub enum FaultSite {
     /// stay under both sides' stall budgets and the frame must still
     /// arrive bit-identical).
     WireStall,
+    /// Kill a shard node mid-query behind a fabric coordinator. With
+    /// a replica listed the failover must absorb the loss — the
+    /// merged answer stays bit-identical with no duplicated or
+    /// dropped rows; without one the client must see the typed
+    /// `unavailable` error, never a partial answer.
+    FabricNodeLoss,
+    /// Flip random bits in an encoded shard manifest before the
+    /// coordinator trusts it (must be detected by the manifest CRC —
+    /// scatter plans built from damaged pruning proofs would silently
+    /// drop rows).
+    FabricScatter,
 }
 
 /// Every site, in campaign round-robin order.
-pub const ALL_SITES: [FaultSite; 18] = [
+pub const ALL_SITES: [FaultSite; 20] = [
     FaultSite::ParserBitFlip,
     FaultSite::ParserTruncate,
     FaultSite::StoreBlock,
@@ -100,6 +114,8 @@ pub const ALL_SITES: [FaultSite; 18] = [
     FaultSite::WireDrop,
     FaultSite::WirePartial,
     FaultSite::WireStall,
+    FaultSite::FabricNodeLoss,
+    FaultSite::FabricScatter,
 ];
 
 impl FaultSite {
@@ -124,6 +140,8 @@ impl FaultSite {
             FaultSite::WireDrop => "wire.drop",
             FaultSite::WirePartial => "wire.partial",
             FaultSite::WireStall => "wire.stall",
+            FaultSite::FabricNodeLoss => "fabric.node_loss",
+            FaultSite::FabricScatter => "fabric.scatter",
         }
     }
 
@@ -152,6 +170,7 @@ impl FaultSite {
             | FaultSite::WireDrop
             | FaultSite::WirePartial
             | FaultSite::WireStall => Layer::Wire,
+            FaultSite::FabricNodeLoss | FaultSite::FabricScatter => Layer::Fabric,
         }
     }
 }
@@ -279,12 +298,12 @@ mod tests {
 
     #[test]
     fn campaigns_are_deterministic_and_cover_all_sites() {
-        let a = campaign(1, 360);
-        assert_eq!(a, campaign(1, 360));
-        assert_ne!(a, campaign(2, 360));
+        let a = campaign(1, 400);
+        assert_eq!(a, campaign(1, 400));
+        assert_ne!(a, campaign(2, 400));
         for site in ALL_SITES {
             let hits = a.iter().filter(|p| p.site == site).count();
-            assert_eq!(hits, 360 / ALL_SITES.len(), "{site}");
+            assert_eq!(hits, 400 / ALL_SITES.len(), "{site}");
         }
         assert!(a.iter().all(|p| p.intensity >= 1 && p.intensity <= 8));
     }

@@ -225,4 +225,13 @@ impl Client {
             _ => Err(ServeError::BadReply("metrics answered with wrong kind")),
         }
     }
+
+    /// Lists the shards behind a fabric coordinator. A single-node
+    /// server answers this with a typed `bad_request` error.
+    pub fn shards(&mut self) -> Result<Vec<wire::ShardStatus>, ServeError> {
+        match self.call(&Request::Shards)? {
+            Response::Shards(rows) => Ok(rows),
+            _ => Err(ServeError::BadReply("shards answered with wrong kind")),
+        }
+    }
 }

@@ -57,4 +57,6 @@ pub use conn::{
 pub use obs::ServeObs;
 pub use reactor::{Interest, Poller, Ready, Waker};
 pub use server::{Catalog, ServeCfg, ServeHooks, Server, WireFate};
-pub use wire::{CatalogEntry, RawBlock, Request, Response, WireError, MAX_FRAME, WIRE_SCHEMA};
+pub use wire::{
+    CatalogEntry, RawBlock, Request, Response, ShardStatus, WireError, MAX_FRAME, WIRE_SCHEMA,
+};

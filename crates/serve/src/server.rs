@@ -848,6 +848,10 @@ fn handle(shared: &Shared, req: &Request) -> Response {
                 .snapshot()
                 .to_json(&[("service", "wrl-serve"), ("schema_wire", wire::WIRE_SCHEMA)]),
         ),
+        // A single-node server fronts no shards; the typed refusal
+        // keeps the opcode unambiguous (a fabric coordinator answers
+        // it with its shard table).
+        Request::Shards => bad_request("not a fabric coordinator"),
         Request::Fetch {
             archive,
             first_block,

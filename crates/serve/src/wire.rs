@@ -14,11 +14,13 @@
 //!           | 0x03 query    { archive: string, asid: opt<u8>,
 //!                             window: opt<{ lo: u64, hi: u64 }> }
 //!           | 0x04 metrics  {}
+//!           | 0x05 shards   {}
 //! response := 0x81 catalog  { u32 n, entry × n }
 //!           | 0x82 fetch    { u32 n, raw_block × n }
 //!           | 0x83 query    { blocks_decoded: u32, blocks_skipped: u32,
 //!                             u64 n_words, u32 word × n_words }
 //!           | 0x84 metrics  { json: string32 }      (wrl-obs-metrics/v1)
+//!           | 0x85 shards   { u32 n, shard_status × n }
 //!           | 0x7e busy     {}
 //!           | 0x7f error    { code: u16, msg: string }
 //! ```
@@ -53,6 +55,10 @@ pub mod op {
     pub const QUERY: u8 = 0x03;
     /// `wrl-obs-metrics/v1` JSON snapshot of the server's registry.
     pub const METRICS: u8 = 0x04;
+    /// The shard table behind a fabric coordinator (per-shard block
+    /// counts, zonemaps and endpoint health). Non-coordinator servers
+    /// answer `error(bad_request)`.
+    pub const SHARDS: u8 = 0x05;
     /// Response bit: a response's opcode is the request's, ORed in.
     pub const RESPONSE: u8 = 0x80;
     /// The admission gate refused the request; retry later.
@@ -73,6 +79,10 @@ pub mod err {
     pub const STORE: u16 = 3;
     /// The request frame itself was malformed or failed its CRC.
     pub const WIRE: u16 = 4;
+    /// A fabric shard and every replica of it are unreachable — the
+    /// coordinator's typed answer when failover runs out of
+    /// endpoints, distinct from a severed upstream connection.
+    pub const UNAVAILABLE: u16 = 5;
 }
 
 /// A decoded request.
@@ -99,6 +109,8 @@ pub enum Request {
     },
     /// Snapshot the server's metrics registry.
     Metrics,
+    /// List the shards behind a fabric coordinator.
+    Shards,
 }
 
 impl Request {
@@ -109,8 +121,27 @@ impl Request {
             Request::Fetch { .. } => op::FETCH,
             Request::Query { .. } => op::QUERY,
             Request::Metrics => op::METRICS,
+            Request::Shards => op::SHARDS,
         }
     }
+}
+
+/// One shard's row in a coordinator's shards response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Downstream catalog name of the shard archive.
+    pub name: String,
+    /// Endpoints configured for the shard (primary + replicas).
+    pub endpoints: u16,
+    /// Bitmap of endpoints currently believed reachable (bit i =
+    /// endpoint i; updated by failover outcomes).
+    pub alive: u16,
+    /// Blocks the shard owns.
+    pub n_blocks: u32,
+    /// Words across the shard's blocks.
+    pub n_words: u64,
+    /// OR of the shard's per-block ASID zonemaps (0 = unknown).
+    pub asid_mask: u64,
 }
 
 /// One archive's row in a catalog response.
@@ -190,6 +221,8 @@ pub enum Response {
     Query(QueryResult),
     /// `wrl-obs-metrics/v1` JSON.
     Metrics(String),
+    /// The coordinator's shard table, in manifest order.
+    Shards(Vec<ShardStatus>),
     /// Admission gate full; retry later.
     Busy,
     /// The request failed with a typed code.
@@ -209,6 +242,7 @@ impl Response {
             Response::Fetch(_) => op::FETCH | op::RESPONSE,
             Response::Query(_) => op::QUERY | op::RESPONSE,
             Response::Metrics(_) => op::METRICS | op::RESPONSE,
+            Response::Shards(_) => op::SHARDS | op::RESPONSE,
             Response::Busy => op::BUSY,
             Response::Error { .. } => op::ERROR,
         }
@@ -389,7 +423,7 @@ fn get_pred(c: &mut Cursor) -> Result<Predicate, WireError> {
 pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
     let mut p = Vec::new();
     match req {
-        Request::Catalog | Request::Metrics => {}
+        Request::Catalog | Request::Metrics | Request::Shards => {}
         Request::Fetch {
             archive,
             first_block,
@@ -418,6 +452,7 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
     let req = match opcode {
         op::CATALOG => Request::Catalog,
         op::METRICS => Request::Metrics,
+        op::SHARDS => Request::Shards,
         op::FETCH => Request::Fetch {
             archive: c.str16()?,
             first_block: c.u32()?,
@@ -483,6 +518,17 @@ pub fn encode_response(req_id: u64, resp: &Response) -> Vec<u8> {
             }
         }
         Response::Metrics(json) => put_str32(&mut p, json),
+        Response::Shards(rows) => {
+            put_u32(&mut p, rows.len() as u32);
+            for s in rows {
+                put_str(&mut p, &s.name);
+                put_u16(&mut p, s.endpoints);
+                put_u16(&mut p, s.alive);
+                put_u32(&mut p, s.n_blocks);
+                put_u64(&mut p, s.n_words);
+                put_u64(&mut p, s.asid_mask);
+            }
+        }
     }
     encode_frame(req_id, resp.opcode(), &p)
 }
@@ -565,6 +611,24 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
             })
         }
         o if o == op::METRICS | op::RESPONSE => Response::Metrics(c.str32()?),
+        o if o == op::SHARDS | op::RESPONSE => {
+            let n = c.u32()? as usize;
+            if n > payload.len() / 4 {
+                return Err(WireError::Malformed("shard count exceeds payload"));
+            }
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(ShardStatus {
+                    name: c.str16()?,
+                    endpoints: c.u16()?,
+                    alive: c.u16()?,
+                    n_blocks: c.u32()?,
+                    n_words: c.u64()?,
+                    asid_mask: c.u64()?,
+                });
+            }
+            Response::Shards(rows)
+        }
         other => return Err(WireError::UnknownOpcode(other)),
     };
     c.done()?;
@@ -668,6 +732,7 @@ mod tests {
     fn requests_round_trip() {
         roundtrip_request(Request::Catalog);
         roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::Shards);
         roundtrip_request(Request::Fetch {
             archive: "sed".into(),
             first_block: 3,
@@ -714,6 +779,24 @@ mod tests {
                 words: vec![0x8003_0100, 0x102, 0x8003_0104],
             }),
             Response::Metrics("{\"schema\": \"wrl-obs-metrics/v1\"}".into()),
+            Response::Shards(vec![
+                ShardStatus {
+                    name: "golden.s0".into(),
+                    endpoints: 2,
+                    alive: 0b01,
+                    n_blocks: 17,
+                    n_words: 4352,
+                    asid_mask: 0b1011,
+                },
+                ShardStatus {
+                    name: "golden.s1".into(),
+                    endpoints: 1,
+                    alive: 0b1,
+                    n_blocks: 16,
+                    n_words: 4096,
+                    asid_mask: 0,
+                },
+            ]),
         ] {
             let frame = encode_response(99, &resp);
             let (id, back) = decode_response(&frame[4..]).unwrap();

@@ -808,6 +808,51 @@ impl TraceStore {
         TraceStore::decode_any(&std::fs::read(path)?)
     }
 
+    /// A new store holding only the named blocks (strictly ascending
+    /// global ids) — the shard-extraction primitive of `wrl-fabric`.
+    ///
+    /// Compressed bytes, CRCs, ASID summaries and zonemaps are copied
+    /// verbatim, so every per-block proof the index carries stays
+    /// valid; the `first_word` offsets are re-tiled to shard-local
+    /// coordinates (the decoder insists offsets tile the stream) and
+    /// a fabric coordinator translates query windows between global
+    /// and shard-local positions from its manifest. Critically,
+    /// `first_asid` keeps the *global* entry context, so a shard
+    /// filters ASIDs exactly as the whole store would.
+    pub fn subset(&self, ids: &[usize]) -> Result<TraceStore, StoreError> {
+        let mut index = Vec::with_capacity(ids.len());
+        let mut blocks = Vec::new();
+        let mut n_words = 0u64;
+        let mut prev: Option<usize> = None;
+        for &i in ids {
+            if prev.is_some_and(|p| p >= i) {
+                return Err(StoreError::Malformed("subset ids must strictly ascend"));
+            }
+            prev = Some(i);
+            let m = *self
+                .index
+                .get(i)
+                .ok_or(StoreError::Malformed("subset id out of range"))?;
+            let comp = self.block_bytes(i)?;
+            index.push(BlockMeta {
+                offset: blocks.len() as u64,
+                first_word: n_words,
+                ..m
+            });
+            blocks.extend_from_slice(comp);
+            n_words += u64::from(m.words);
+        }
+        Ok(TraceStore {
+            kernel_table: self.kernel_table.clone(),
+            user_tables: self.user_tables.clone(),
+            n_words,
+            block_words: self.block_words,
+            index,
+            blocks: Arc::new(blocks),
+            format: self.format,
+        })
+    }
+
     /// The blocks a predicate cannot prove irrelevant, in stream
     /// order — the pushdown step. A block is skipped only when the
     /// index alone proves no word in it matches: its word range
@@ -1285,6 +1330,40 @@ mod tests {
         assert_eq!(store.block_meta(0).first_asid, 0);
         assert_eq!(store.block_meta(0).last_asid, 3);
         assert_eq!(store.block_meta(1).first_asid, 3);
+    }
+
+    #[test]
+    fn subset_keeps_proofs_and_retiles_offsets() {
+        let a = sample_archive(1000);
+        for format in [BlockFormat::Row, BlockFormat::Columnar] {
+            let store = TraceStore::from_archive_with(&a, 64, format);
+            let ids = [1usize, 2, 5, store.n_blocks() - 1];
+            let sub = store.subset(&ids).unwrap();
+            // The subset round-trips through the on-disk format.
+            let back = TraceStore::decode(&sub.encode()).unwrap();
+            assert_eq!(back.n_blocks(), ids.len());
+            let mut local = 0u64;
+            for (j, &i) in ids.iter().enumerate() {
+                let (m, s) = (back.block_meta(j), store.block_meta(i));
+                // Global context and proofs survive verbatim...
+                assert_eq!(
+                    (m.first_asid, m.last_asid, m.flags, m.crc, m.asid_mask),
+                    (s.first_asid, s.last_asid, s.flags, s.crc, s.asid_mask)
+                );
+                // ...while word offsets re-tile to local coordinates.
+                assert_eq!(m.first_word, local);
+                local += u64::from(m.words);
+                assert_eq!(
+                    back.decode_block(j).unwrap(),
+                    store.decode_block(i).unwrap()
+                );
+            }
+            assert_eq!(back.n_words, local);
+            // Bad id lists are typed errors.
+            assert!(store.subset(&[0, 0]).is_err());
+            assert!(store.subset(&[2, 1]).is_err());
+            assert!(store.subset(&[store.n_blocks()]).is_err());
+        }
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! tracedump catalog <addr>                               list a server's archives
 //! tracedump fetch  <addr> <archive> [--asid A] [--window LO..HI]
 //!                                                        run a windowed query server-side
+//! tracedump shard  <in.w3kt> <out_dir> <n> [--plan block_range|asid_hash]
+//!                                                        split a store into shard archives + manifest
+//! tracedump fabric <addr> <manifest> <ep[,ep...]>...     coordinate shards behind one endpoint
+//! tracedump shards <addr>                                list a coordinator's shard table
 //! ```
 //!
 //! Every reading subcommand accepts all archive versions: raw v1
@@ -23,8 +27,18 @@
 //! and server surface: `serve` publishes archives (named by file
 //! stem) on a TCP address, and `fetch` ships only the trace words the
 //! predicate admits — blocks the index rules out are never decoded.
+//! The `shard` / `fabric` / `shards` trio scales that surface out
+//! (`wrl-fabric`): `shard` splits a store into per-shard archives
+//! (each a stock `W3KTRACE` file any `serve` node can publish) plus a
+//! CRC-sealed `W3KSHARD` manifest, and `fabric` fronts those nodes
+//! with a coordinator speaking the same wire protocol — `catalog` and
+//! `fetch` against it look exactly like a single node holding the
+//! whole archive. Each `fabric` endpoint argument lists one shard's
+//! nodes, comma-separated, primary first; the extras are failover
+//! replicas. `info` on a `.manifest` file prints the shard table.
 
 use std::sync::Arc;
+use systrace::fabric::{split_store, Coordinator, FabricCfg, Manifest, PlanKind, MANIFEST_MAGIC};
 use systrace::kernel::{build_system, KernelConfig};
 use systrace::memsim::{MemSim, PageMap, Policy, SimCfg, UtlbSynth};
 use systrace::serve::{Catalog, Client, ServeCfg, Server};
@@ -41,6 +55,9 @@ fn usage() -> ! {
     eprintln!("       tracedump serve <addr> <file.w3kt>...");
     eprintln!("       tracedump catalog <addr>");
     eprintln!("       tracedump fetch <addr> <archive> [--asid A] [--window LO..HI]");
+    eprintln!("       tracedump shard <in.w3kt> <out_dir> <n> [--plan block_range|asid_hash]");
+    eprintln!("       tracedump fabric <addr> <manifest> <ep[,ep...]>...");
+    eprintln!("       tracedump shards <addr>");
     std::process::exit(2);
 }
 
@@ -78,6 +95,21 @@ fn main() {
         Some("serve") if args.len() >= 3 => serve(&args[1], &args[2..]),
         Some("catalog") if args.len() == 2 => catalog(&args[1]),
         Some("fetch") if args.len() >= 3 => fetch(&args[1], &args[2], &args[3..]),
+        Some("shard") if args.len() >= 4 => {
+            let n: usize = args[3].parse().unwrap_or_else(|_| usage());
+            let plan = match args.get(4).map(String::as_str) {
+                None => PlanKind::BlockRange,
+                Some("--plan") => match args.get(5).map(String::as_str) {
+                    Some("block_range") => PlanKind::BlockRange,
+                    Some("asid_hash") => PlanKind::AsidHash,
+                    _ => usage(),
+                },
+                Some(_) => usage(),
+            };
+            shard(&args[1], &args[2], n, plan)
+        }
+        Some("fabric") if args.len() >= 4 => fabric(&args[1], &args[2], &args[3..]),
+        Some("shards") if args.len() == 2 => shards(&args[1]),
         _ => usage(),
     }
 }
@@ -131,6 +163,22 @@ fn disk_version(path: &str) -> Option<u32> {
 }
 
 fn info(path: &str) {
+    // A `W3KSHARD` manifest is not an archive; print its shard table.
+    if let Ok(bytes) = std::fs::read(path) {
+        if bytes.len() >= 8 && &bytes[..8] == MANIFEST_MAGIC {
+            match Manifest::decode(&bytes) {
+                Ok(m) => {
+                    println!("{path}:");
+                    print!("{}", m.summary());
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
+    }
     let store = load_store(path);
     let a = store.to_archive().unwrap_or_else(|e| {
         eprintln!("{path}: {e}");
@@ -376,6 +424,123 @@ fn fetch(addr: &str, archive: &str, opts: &[String]) {
         q.blocks_skipped,
         100.0 * f64::from(q.blocks_skipped) / f64::from(touched.max(1)),
     );
+}
+
+/// Splits a store into `n` shard archives plus the manifest binding
+/// them, written into `out_dir`. Shard files are named so that
+/// serving them with `tracedump serve` publishes exactly the catalog
+/// names the manifest records.
+fn shard(inp: &str, out_dir: &str, n: usize, plan: PlanKind) {
+    let stem = std::path::Path::new(inp)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(inp)
+        .to_string();
+    let store = load_store(inp);
+    let (manifest, shards) = split_store(&store, &stem, n, plan).unwrap_or_else(|e| {
+        eprintln!("{inp}: {e}");
+        std::process::exit(1);
+    });
+    let dir = std::path::Path::new(out_dir);
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+        eprintln!("{out_dir}: {e}");
+        std::process::exit(1);
+    });
+    for (entry, shard) in manifest.shards.iter().zip(&shards) {
+        let path = dir.join(format!("{}.w3kt", entry.name));
+        shard.save(&path).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!(
+            "  {}: {} blocks, {} words",
+            path.display(),
+            entry.n_blocks,
+            entry.n_words
+        );
+    }
+    let mpath = dir.join(format!("{stem}.manifest"));
+    std::fs::write(&mpath, manifest.encode()).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", mpath.display());
+        std::process::exit(1);
+    });
+    println!(
+        "sharded {} blocks across {} shards ({}) -> {}",
+        manifest.n_blocks(),
+        manifest.n_shards(),
+        manifest.plan.name(),
+        mpath.display()
+    );
+}
+
+/// Starts a coordinator for `manifest` on `addr`. Each element of
+/// `eps` lists one shard's endpoints, comma-separated, primary first.
+fn fabric(addr: &str, manifest_path: &str, eps: &[String]) {
+    systrace::obs::register_all();
+    let bytes = std::fs::read(manifest_path).unwrap_or_else(|e| {
+        eprintln!("{manifest_path}: {e}");
+        std::process::exit(1);
+    });
+    let manifest = Manifest::decode(&bytes).unwrap_or_else(|e| {
+        eprintln!("{manifest_path}: {e}");
+        std::process::exit(1);
+    });
+    let endpoints: Vec<Vec<std::net::SocketAddr>> = eps
+        .iter()
+        .map(|spec| {
+            spec.split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse().unwrap_or_else(|_| {
+                        eprintln!("bad endpoint {s:?} (want host:port)");
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    println!(
+        "fabric \"{}\": {} shards, {} blocks / {} words",
+        manifest.archive,
+        manifest.n_shards(),
+        manifest.n_blocks(),
+        manifest.n_words
+    );
+    let coord =
+        Coordinator::start(addr, manifest, endpoints, FabricCfg::default()).unwrap_or_else(|e| {
+            eprintln!("{addr}: {e}");
+            std::process::exit(1);
+        });
+    println!("coordinating on {}", coord.addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Prints a coordinator's shard table (`shards` opcode).
+fn shards(addr: &str) {
+    let mut client = connect(addr);
+    let rows = client.shards().unwrap_or_else(|e| {
+        eprintln!("shards: {e}");
+        std::process::exit(1);
+    });
+    println!("{addr}: {} shard(s)", rows.len());
+    for r in rows {
+        let alive = (0..r.endpoints)
+            .map(|e| if r.alive & (1 << e) != 0 { '+' } else { '-' })
+            .collect::<String>();
+        println!(
+            "  {:<20} {:>10} words, {:>6} blocks, endpoints [{alive}], zonemap {}",
+            r.name,
+            r.n_words,
+            r.n_blocks,
+            if r.asid_mask == 0 {
+                "none".to_string()
+            } else {
+                format!("{:#x}", r.asid_mask)
+            }
+        );
+    }
 }
 
 fn compress(inp: &str, out: &str, block_words: usize, format: BlockFormat) {

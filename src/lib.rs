@@ -28,6 +28,7 @@
 //!   [`obs::register_all`]; see `docs/METRICS.md`).
 
 pub use wrl_epoxie as epoxie;
+pub use wrl_fabric as fabric;
 pub use wrl_fault as fault;
 pub use wrl_isa as isa;
 pub use wrl_kernel as kernel;

@@ -21,6 +21,7 @@ pub fn register_all() {
     wrl_memsim::SimObs::register();
     wrl_store::StoreObs::register();
     wrl_serve::ServeObs::register();
+    wrl_fabric::FabricObs::register();
     wrl_fault::FaultObs::register();
 }
 
@@ -40,6 +41,7 @@ mod tests {
             "sim.irefs.kernel",
             "store.blocks",
             "serve.requests.query",
+            "fabric.failover",
             "fault.forbidden",
         ] {
             assert!(names.contains(&expect), "{expect} missing from registry");
