@@ -484,6 +484,12 @@ fn dispatch(inner: &Inner, conns: &mut Conns, req: &Request) -> Response {
             }
             Response::Fetch(out)
         }
+        // The coordinator fronts finished, sharded archives; live
+        // tails are a single-node service (subscribe to the node
+        // running the machine instead).
+        Request::Subscribe { .. } | Request::Unsubscribe => {
+            bad_request("a fabric coordinator serves no live feeds")
+        }
     }
 }
 

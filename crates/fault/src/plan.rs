@@ -81,6 +81,13 @@ pub enum FaultSite {
     /// stay under both sides' stall budgets and the frame must still
     /// arrive bit-identical).
     WireStall,
+    /// Attack a live-tail subscriber mid-push: stall a pushed `EVENT`
+    /// frame within budget (harmless: the tail still arrives
+    /// bit-identical), sever it mid-frame (detected: a typed client
+    /// error), or walk the subscriber away without reading (harmless:
+    /// the server evicts or reaps it and keeps serving others) —
+    /// never a wrong or reordered tail.
+    WireSubStall,
     /// Kill a shard node mid-query behind a fabric coordinator. With
     /// a replica listed the failover must absorb the loss — the
     /// merged answer stays bit-identical with no duplicated or
@@ -95,7 +102,7 @@ pub enum FaultSite {
 }
 
 /// Every site, in campaign round-robin order.
-pub const ALL_SITES: [FaultSite; 20] = [
+pub const ALL_SITES: [FaultSite; 21] = [
     FaultSite::ParserBitFlip,
     FaultSite::ParserTruncate,
     FaultSite::StoreBlock,
@@ -114,6 +121,7 @@ pub const ALL_SITES: [FaultSite; 20] = [
     FaultSite::WireDrop,
     FaultSite::WirePartial,
     FaultSite::WireStall,
+    FaultSite::WireSubStall,
     FaultSite::FabricNodeLoss,
     FaultSite::FabricScatter,
 ];
@@ -140,6 +148,7 @@ impl FaultSite {
             FaultSite::WireDrop => "wire.drop",
             FaultSite::WirePartial => "wire.partial",
             FaultSite::WireStall => "wire.stall",
+            FaultSite::WireSubStall => "wire.sub_stall",
             FaultSite::FabricNodeLoss => "fabric.node_loss",
             FaultSite::FabricScatter => "fabric.scatter",
         }
@@ -169,7 +178,8 @@ impl FaultSite {
             FaultSite::WireCorrupt
             | FaultSite::WireDrop
             | FaultSite::WirePartial
-            | FaultSite::WireStall => Layer::Wire,
+            | FaultSite::WireStall
+            | FaultSite::WireSubStall => Layer::Wire,
             FaultSite::FabricNodeLoss | FaultSite::FabricScatter => Layer::Fabric,
         }
     }
@@ -298,12 +308,12 @@ mod tests {
 
     #[test]
     fn campaigns_are_deterministic_and_cover_all_sites() {
-        let a = campaign(1, 400);
-        assert_eq!(a, campaign(1, 400));
-        assert_ne!(a, campaign(2, 400));
+        let a = campaign(1, 420);
+        assert_eq!(a, campaign(1, 420));
+        assert_ne!(a, campaign(2, 420));
         for site in ALL_SITES {
             let hits = a.iter().filter(|p| p.site == site).count();
-            assert_eq!(hits, 400 / ALL_SITES.len(), "{site}");
+            assert_eq!(hits, 420 / ALL_SITES.len(), "{site}");
         }
         assert!(a.iter().all(|p| p.intensity >= 1 && p.intensity <= 8));
     }

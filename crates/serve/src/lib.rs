@@ -29,7 +29,11 @@
 //!   answers `Busy` instead of queueing, a small executor pool runs
 //!   admitted requests, stall budgets sever wedged peers, graceful
 //!   shutdown drains in-flight requests, and the `serve.*` metric
-//!   family (now with `serve.reactor.*`) stays accurate throughout.
+//!   family (now with `serve.reactor.*` and `serve.sub.*`) stays
+//!   accurate throughout. A [`LiveFeed`] is the on-the-fly half: a
+//!   producer publishes a trace as it is generated and subscribed
+//!   clients receive the predicate-filtered tail as pushed `EVENT`
+//!   frames, with slow consumers evicted at a bounded queue depth.
 //! * [`client`] — the synchronous client library `tracedump` and the
 //!   tests use; every network failure mode is a typed [`ServeError`].
 //! * [`obs`] — the `serve.*` metrics (see `docs/METRICS.md`).
@@ -50,13 +54,13 @@ pub mod reactor;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientCfg, ServeError};
+pub use client::{Client, ClientCfg, ServeError, TailItem};
 pub use conn::{
     Conn, ConnState, FrameDecoder, IoTally, ReadEvent, TickVerdict, Transport, WriteShape,
 };
 pub use obs::ServeObs;
 pub use reactor::{Interest, Poller, Ready, Waker};
-pub use server::{Catalog, ServeCfg, ServeHooks, Server, WireFate};
+pub use server::{Catalog, LiveFeed, ServeCfg, ServeHooks, Server, WireFate};
 pub use wire::{
     CatalogEntry, RawBlock, Request, Response, ShardStatus, WireError, MAX_FRAME, WIRE_SCHEMA,
 };

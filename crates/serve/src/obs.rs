@@ -8,8 +8,11 @@
 //! server under load the way §4.2 characterises the tracer's time
 //! cost. `serve.blocks.decoded`/`.skipped` measure the predicate
 //! pushdown: skipped blocks were proven irrelevant from the index
-//! alone and never decoded or shipped. Rows in `docs/METRICS.md` are
-//! kept honest by the `metrics_doc_sync` test.
+//! alone and never decoded or shipped. The `serve.sub.*` family
+//! watches the live tail: subscriptions, pushed events and words, and
+//! `serve.sub.evicted` — slow consumers cut at the bounded-queue
+//! limit, the push path's analogue of `serve.reject.busy`. Rows in
+//! `docs/METRICS.md` are kept honest by the `metrics_doc_sync` test.
 
 use std::sync::Arc;
 
@@ -54,6 +57,19 @@ pub struct ServeObs {
     pub reactor_partial_write: Arc<Counter>,
     /// Connections severed for exhausting a read or write stall budget.
     pub reactor_stalls_cut: Arc<Counter>,
+    /// Live-tail subscriptions accepted.
+    pub sub_subscribes: Arc<Counter>,
+    /// Clean unsubscribes (connection returned to request service).
+    pub sub_unsubscribes: Arc<Counter>,
+    /// Subscribers attached right now.
+    pub sub_active: Arc<Gauge>,
+    /// `EVENT` frames pushed to subscribers (end-of-feed markers
+    /// included).
+    pub sub_events: Arc<Counter>,
+    /// Filtered trace words pushed to subscribers.
+    pub sub_words: Arc<Counter>,
+    /// Subscribers evicted for falling `sub_queue` frames behind.
+    pub sub_evicted: Arc<Counter>,
 }
 
 impl ServeObs {
@@ -225,6 +241,48 @@ impl ServeObs {
                 "connections",
                 "§3.4",
                 "Connections severed for exhausting a mid-frame read or write stall budget."
+            ),
+            sub_subscribes: counter!(
+                r,
+                "serve.sub.subscribes",
+                "requests",
+                "§3.3",
+                "Live-tail subscriptions accepted."
+            ),
+            sub_unsubscribes: counter!(
+                r,
+                "serve.sub.unsubscribes",
+                "requests",
+                "§3.3",
+                "Clean unsubscribes returning the connection to request service."
+            ),
+            sub_active: gauge!(
+                r,
+                "serve.sub.active",
+                "subscribers",
+                "§3.3",
+                "Subscribers attached to live feeds right now."
+            ),
+            sub_events: counter!(
+                r,
+                "serve.sub.events",
+                "events",
+                "§3.3",
+                "EVENT frames pushed to live-tail subscribers (end-of-feed markers included)."
+            ),
+            sub_words: counter!(
+                r,
+                "serve.sub.words",
+                "words",
+                "§3.3",
+                "Predicate-filtered trace words pushed to live-tail subscribers."
+            ),
+            sub_evicted: counter!(
+                r,
+                "serve.sub.evicted",
+                "subscribers",
+                "§3.3",
+                "Slow consumers evicted for falling a full sub_queue of frames behind."
             ),
         }
     }

@@ -34,6 +34,22 @@
 //!   (`max_stalls` reads; `write_timeout / read_timeout` writes) the
 //!   peer is severed — no peer pins reactor state forever. Idle
 //!   connections *between* frames are never charged.
+//! * **Live tail** — a [`LiveFeed`] is a named, in-progress trace a
+//!   producer (the harness's `run_predicted_live`) appends to while
+//!   clients `SUBSCRIBE` with an ASID+window predicate. Filtering
+//!   happens server-side before fan-out: one pass over the newly
+//!   published words feeds every subscriber's queue, each `EVENT`
+//!   frame carrying the filtered-stream offset of its first word so
+//!   the concatenation any subscriber receives is bit-identical to
+//!   [`wrl_store::filter_stream`] over the same trace and predicate.
+//!   Subscribe/unsubscribe are handled inline on the event thread
+//!   (they bypass the admission gate — no store work to bound);
+//!   pushes ride the ordinary `Writing` machinery via
+//!   [`crate::conn::ConnState::Subscribed`]. A subscriber whose
+//!   outgoing queue reaches `sub_queue` frames is *evicted*: a typed
+//!   `SLOW_CONSUMER` error, a drain, and a `serve.sub.evicted` count
+//!   — the same never-queue-unboundedly rule the admission gate
+//!   enforces for requests.
 //! * **Graceful shutdown** — [`Server::shutdown`] wakes every event
 //!   loop; reading connections drain and close, dispatching ones get
 //!   their response executed, enqueued and flushed, and the threads
@@ -55,7 +71,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use wrl_store::{query_parallel, BlockCache, TraceStore};
+use wrl_store::{query_parallel, BlockCache, Predicate, TraceStore};
+use wrl_trace::format::{classify, CtlOp, TraceWord};
 
 use crate::conn::{Conn, ConnState, IoTally, ReadEvent, TickVerdict, WriteShape};
 use crate::obs::ServeObs;
@@ -90,6 +107,10 @@ pub struct ServeCfg {
     /// its block count); `0` disables the cache and windowed queries
     /// decode like any other.
     pub query_cache_bytes: usize,
+    /// Outgoing frames a live-tail subscriber may have queued before
+    /// it is evicted as a slow consumer (floored to 1). The eviction
+    /// fires the moment a push finds the queue already this deep.
+    pub sub_queue: usize,
 }
 
 impl Default for ServeCfg {
@@ -112,6 +133,7 @@ impl Default for ServeCfg {
             event_threads: cores.min(2),
             exec_workers: if cores <= 1 { 0 } else { cores.min(4) },
             query_cache_bytes: 32 << 20,
+            sub_queue: 32,
         }
     }
 }
@@ -248,15 +270,118 @@ struct Shared {
     inflight: AtomicUsize,
     resp_seq: AtomicU64,
     shutdown: AtomicBool,
+    /// Live feeds and their subscribers. Locked by publishers
+    /// appending words and by event threads handling subscribe /
+    /// unsubscribe / close — never while holding a completion inbox.
+    subs: Mutex<SubState>,
 }
 
-/// One finished request on its way back to the owning event thread.
+/// Words per pushed `EVENT` frame at most — bounds one frame's size
+/// (and the catch-up burst granularity) well under `MAX_FRAME`.
+/// Pinned in docs/FORMATS.md as `wire.sub_chunk_words`.
+pub const SUB_CHUNK: usize = 8192;
+
+/// Every live feed and every subscription, under one lock.
+#[derive(Default)]
+struct SubState {
+    feeds: Vec<Feed>,
+    entries: Vec<SubEntry>,
+}
+
+/// One named in-progress trace: the words published so far, each
+/// word's base ASID context (attributed exactly as
+/// [`wrl_store::filter_stream`] does — a `CtxSwitch` word belongs to
+/// the ASID it switches to), and whether the producer finished.
+struct Feed {
+    name: String,
+    words: Vec<u32>,
+    asids: Vec<u8>,
+    /// Current ASID context (carried across `publish` calls).
+    asid: u8,
+    finished: bool,
+}
+
+/// One subscriber's cursor into a feed.
+struct SubEntry {
+    /// Event thread owning the connection.
+    thread: usize,
+    /// Slot + generation identifying the connection (generation
+    /// guards against slot reuse, as for [`Completion`]s).
+    slot: usize,
+    gen: u64,
+    /// Index into [`SubState::feeds`].
+    feed: usize,
+    pred: Predicate,
+    /// Raw feed words consumed (filtered or not).
+    pos: usize,
+    /// Filtered-stream offset of the next admitted word — the `seq`
+    /// the next `EVENT` frame carries.
+    seq: u64,
+    /// The subscribe request id every pushed frame echoes.
+    req_id: u64,
+    /// End-of-feed marker already delivered.
+    ended: bool,
+}
+
+/// Admits feed words `e.pos..` under the entry's predicate, advancing
+/// the cursor and yielding chunked `EVENT` responses — plus the
+/// zero-word end-of-feed marker once the feed is finished. Shared by
+/// the subscribe-time catch-up and the publish-time pump, so both
+/// paths produce the same filtered stream.
+fn pump_entry(feed: &Feed, e: &mut SubEntry) -> Vec<Response> {
+    let mut out = Vec::new();
+    while e.pos < feed.words.len() {
+        let seq = e.seq;
+        let mut words = Vec::new();
+        while e.pos < feed.words.len() && words.len() < SUB_CHUNK {
+            let p = e.pos;
+            if e.pred.admits(p as u64, feed.asids[p]) {
+                words.push(feed.words[p]);
+            }
+            e.pos += 1;
+        }
+        if !words.is_empty() {
+            e.seq += words.len() as u64;
+            out.push(Response::Event { seq, words });
+        }
+    }
+    if feed.finished && !e.ended {
+        e.ended = true;
+        out.push(Response::Event {
+            seq: e.seq,
+            words: Vec::new(),
+        });
+    }
+    out
+}
+
+/// Unregisters the subscription for `(thread, slot, gen)`, if any,
+/// maintaining the `serve.sub.active` gauge. Callers: unsubscribe,
+/// eviction, and the reap loop (a subscriber that vanished without
+/// unsubscribing).
+fn remove_entry(shared: &Shared, thread: usize, slot: usize, gen: u64) -> Option<SubEntry> {
+    let mut subs = shared.subs.lock().expect("subs lock");
+    let i = subs
+        .entries
+        .iter()
+        .position(|e| e.thread == thread && e.slot == slot && e.gen == gen)?;
+    shared.obs.sub_active.add(-1);
+    Some(subs.entries.remove(i))
+}
+
+/// One finished request — or one live-feed push — on its way back to
+/// the owning event thread.
 struct Completion {
     slot: usize,
     gen: u64,
     frame: Vec<u8>,
     shape: WriteShape,
     sever_after: bool,
+    /// A live-feed `EVENT` push rather than a request's response:
+    /// delivered through [`Conn::try_push`] against the `sub_queue`
+    /// bound (eviction on overflow), and dropped silently if the
+    /// connection left `Subscribed` since the publish.
+    push: bool,
 }
 
 /// An admitted request on its way to the executor pool.
@@ -336,6 +461,7 @@ impl Server {
             inflight: AtomicUsize::new(0),
             resp_seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            subs: Mutex::new(SubState::default()),
         });
         let n_ev = cfg.event_threads.max(1);
         let mut pollers = Vec::with_capacity(n_ev);
@@ -390,6 +516,33 @@ impl Server {
         &self.shared.obs
     }
 
+    /// Registers (or reopens the handle to) the live feed named
+    /// `name` and returns its publisher handle. Clients reach the
+    /// feed with `SUBSCRIBE name`; a name colliding with a catalog
+    /// archive is legal (the namespaces are separate — queries hit
+    /// the catalog, subscriptions hit the feeds).
+    pub fn live_feed(&self, name: &str) -> LiveFeed {
+        let mut subs = self.shared.subs.lock().expect("subs lock");
+        let feed = match subs.feeds.iter().position(|f| f.name == name) {
+            Some(i) => i,
+            None => {
+                subs.feeds.push(Feed {
+                    name: name.to_string(),
+                    words: Vec::new(),
+                    asids: Vec::new(),
+                    asid: 0,
+                    finished: false,
+                });
+                subs.feeds.len() - 1
+            }
+        };
+        LiveFeed {
+            shared: self.shared.clone(),
+            rt: self.rt.clone(),
+            feed,
+        }
+    }
+
     /// Stops accepting, drains every in-flight request, joins all
     /// threads. Idempotent via [`Drop`].
     pub fn shutdown(mut self) {
@@ -420,6 +573,91 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// The producing end of a live tail: a handle onto one named feed of
+/// a running [`Server`]. The producer appends words with
+/// [`LiveFeed::publish`] as the simulated machine drains them and
+/// calls [`LiveFeed::finish`] once — subscribers then receive a
+/// zero-word end-of-feed `EVENT` and `tracedump tail` exits.
+///
+/// Each publish filters the new words once per subscriber under that
+/// subscriber's predicate and hands the resulting `EVENT` frames to
+/// the owning event threads as push completions; the publisher never
+/// touches a socket. Publishing after `finish` is ignored.
+pub struct LiveFeed {
+    shared: Arc<Shared>,
+    rt: Arc<Reactor>,
+    feed: usize,
+}
+
+impl LiveFeed {
+    /// Appends `words` to the feed and pumps every subscriber.
+    pub fn publish(&self, words: &[u32]) {
+        let mut subs = self.shared.subs.lock().expect("subs lock");
+        let state = &mut *subs;
+        let f = &mut state.feeds[self.feed];
+        if f.finished {
+            return;
+        }
+        f.words.reserve(words.len());
+        f.asids.reserve(words.len());
+        for &w in words {
+            if let TraceWord::Ctl(c) = classify(w) {
+                if c.op == CtlOp::CtxSwitch {
+                    f.asid = c.payload;
+                }
+            }
+            f.words.push(w);
+            f.asids.push(f.asid);
+        }
+        self.pump(state);
+    }
+
+    /// Marks the feed complete and delivers each subscriber its
+    /// remaining words plus the zero-word end-of-feed marker.
+    /// Idempotent.
+    pub fn finish(&self) {
+        let mut subs = self.shared.subs.lock().expect("subs lock");
+        let state = &mut *subs;
+        state.feeds[self.feed].finished = true;
+        self.pump(state);
+    }
+
+    /// Drains every subscriber's cursor up to the feed head, shipping
+    /// the filtered words as push completions to the event threads.
+    fn pump(&self, state: &mut SubState) {
+        let SubState { feeds, entries } = state;
+        let feed = &feeds[self.feed];
+        let mut woken = vec![false; self.rt.inboxes.len()];
+        for e in entries.iter_mut().filter(|e| e.feed == self.feed) {
+            for ev in pump_entry(feed, e) {
+                if let Response::Event { ref words, .. } = ev {
+                    self.shared.obs.sub_events.inc();
+                    self.shared.obs.sub_words.add(words.len() as u64);
+                }
+                let (frame, shape, sever_after) = fated(&self.shared, e.req_id, &ev);
+                self.rt.inboxes[e.thread]
+                    .done
+                    .lock()
+                    .expect("done lock")
+                    .push(Completion {
+                        slot: e.slot,
+                        gen: e.gen,
+                        frame,
+                        shape,
+                        sever_after,
+                        push: true,
+                    });
+                woken[e.thread] = true;
+            }
+        }
+        for (t, w) in woken.into_iter().enumerate() {
+            if w {
+                self.rt.wakers[t].wake();
+            }
+        }
     }
 }
 
@@ -479,6 +717,7 @@ fn run_job(shared: &Shared, job: Job) -> Completion {
         frame,
         shape,
         sever_after,
+        push: false,
     }
 }
 
@@ -566,6 +805,34 @@ fn dispatch(s: &mut SlotEntry, slot: usize, cx: &Ctx<'_>) {
             return;
         }
     };
+    // Live-tail control frames are handled inline on the event
+    // thread — no store work to bound, so they bypass the admission
+    // gate — and a subscribed connection accepts nothing else (its
+    // response stream is the push feed).
+    if s.conn.state() == ConnState::Subscribed && !matches!(req, Request::Unsubscribe) {
+        let (frame, shape, sever) = fated(
+            shared,
+            req_id,
+            &bad_request("subscribed: only unsubscribe is accepted here"),
+        );
+        s.conn.enqueue(frame, shape, sever);
+        return;
+    }
+    match req {
+        Request::Subscribe {
+            ref archive,
+            pred,
+            from_start,
+        } => {
+            subscribe_inline(s, slot, cx, req_id, archive, pred, from_start);
+            return;
+        }
+        Request::Unsubscribe => {
+            unsubscribe_inline(s, slot, cx, req_id);
+            return;
+        }
+        _ => {}
+    }
     // The admission gate: reserve a slot or answer Busy now — never
     // queue unboundedly.
     let admitted = shared
@@ -596,6 +863,96 @@ fn dispatch(s: &mut SlotEntry, slot: usize, cx: &Ctx<'_>) {
         // shutdown waits for this thread — unreachable in practice.
         let _ = cx.exec_tx.send(job);
     }
+}
+
+/// Attaches this connection to a live feed: ack first, then the
+/// catch-up burst (`from_start`) or a cursor at the feed head
+/// (from-now, with `seq` pre-advanced past the filtered history so
+/// late joiners still emit suffix-exact offsets). Runs inline on the
+/// event thread. The catch-up burst is exempt from the `sub_queue`
+/// bound — it is one bounded replay of history, not an unread
+/// backlog; the bound governs the publish path.
+fn subscribe_inline(
+    s: &mut SlotEntry,
+    slot: usize,
+    cx: &Ctx<'_>,
+    req_id: u64,
+    name: &str,
+    pred: Predicate,
+    from_start: bool,
+) {
+    let shared = cx.shared;
+    let mut subs = shared.subs.lock().expect("subs lock");
+    let Some(feed_idx) = subs.feeds.iter().position(|f| f.name == name) else {
+        drop(subs);
+        let (frame, shape, sever) = fated(
+            shared,
+            req_id,
+            &Response::Error {
+                code: err::NO_SUCH_ARCHIVE,
+                msg: format!("no live feed named {name:?}"),
+            },
+        );
+        s.conn.enqueue(frame, shape, sever);
+        return;
+    };
+    shared.obs.sub_subscribes.inc();
+    shared.obs.sub_active.add(1);
+    s.conn.mark_subscribed();
+    let (frame, shape, sever) = fated(shared, req_id, &Response::Subscribed);
+    s.conn.enqueue(frame, shape, sever);
+    let feed = &subs.feeds[feed_idx];
+    let (pos, seq) = if from_start {
+        (0, 0)
+    } else {
+        // From-now: skip the history but keep the filtered-stream
+        // offset honest — count what the predicate would have
+        // admitted so far.
+        let admitted = (0..feed.words.len())
+            .filter(|&p| pred.admits(p as u64, feed.asids[p]))
+            .count() as u64;
+        (feed.words.len(), admitted)
+    };
+    let mut entry = SubEntry {
+        thread: cx.thread,
+        slot,
+        gen: s.gen,
+        feed: feed_idx,
+        pred,
+        pos,
+        seq,
+        req_id,
+        ended: false,
+    };
+    let events = pump_entry(feed, &mut entry);
+    subs.entries.push(entry);
+    drop(subs);
+    for ev in events {
+        if let Response::Event { ref words, .. } = ev {
+            shared.obs.sub_events.inc();
+            shared.obs.sub_words.add(words.len() as u64);
+        }
+        let (frame, shape, sever) = fated(shared, req_id, &ev);
+        s.conn.enqueue(frame, shape, sever);
+    }
+}
+
+/// Detaches a subscribed connection and returns it to ordinary
+/// request/response service. Pushes already queued still flush ahead
+/// of the ack; the client discards `EVENT` frames until it sees the
+/// `Unsubscribed` ack.
+fn unsubscribe_inline(s: &mut SlotEntry, slot: usize, cx: &Ctx<'_>, req_id: u64) {
+    let shared = cx.shared;
+    if s.conn.state() != ConnState::Subscribed {
+        let (frame, shape, sever) = fated(shared, req_id, &bad_request("not subscribed"));
+        s.conn.enqueue(frame, shape, sever);
+        return;
+    }
+    remove_entry(shared, cx.thread, slot, s.gen);
+    shared.obs.sub_unsubscribes.inc();
+    let (frame, shape, sever) = fated(shared, req_id, &Response::Unsubscribed);
+    s.conn.enqueue(frame, shape, sever);
+    s.conn.mark_unsubscribed();
 }
 
 fn event_loop(
@@ -677,13 +1034,46 @@ fn event_loop(
             );
         }
 
-        // Responses the executors finished.
+        // Responses the executors finished, and live-feed pushes the
+        // publishers handed over.
         let done = std::mem::take(&mut *rt.inboxes[thread].done.lock().expect("done lock"));
         for c in done {
             let Some(s) = slots.get_mut(c.slot).and_then(|o| o.as_mut()) else {
                 continue;
             };
             if s.gen != c.gen {
+                continue;
+            }
+            if c.push {
+                if s.conn.state() != ConnState::Subscribed {
+                    // Unsubscribed or draining since the publish —
+                    // the push is stale, drop it.
+                    continue;
+                }
+                if c.sever_after {
+                    // The fault seam cut this push mid-frame: deliver
+                    // the truncated buffer and sever, bound or not.
+                    s.conn.enqueue(c.frame, c.shape, true);
+                } else if !s.conn.try_push(c.frame, c.shape, shared.cfg.sub_queue) {
+                    // Slow consumer: the queue is at its documented
+                    // bound. Typed disconnect, never unbounded memory.
+                    obs.sub_evicted.inc();
+                    let rid = remove_entry(shared, thread, c.slot, s.gen).map_or(0, |e| e.req_id);
+                    let frame = wire::encode_response(
+                        rid,
+                        &Response::Error {
+                            code: err::SLOW_CONSUMER,
+                            msg: format!(
+                                "evicted: {} frames queued at bound {}",
+                                s.conn.out_depth(),
+                                shared.cfg.sub_queue
+                            ),
+                        },
+                    );
+                    s.conn.enqueue(frame, WriteShape::default(), false);
+                    s.conn.begin_drain();
+                }
+                advance(s, c.slot, &cx, &mut tally);
                 continue;
             }
             s.conn.enqueue(c.frame, c.shape, c.sever_after);
@@ -740,22 +1130,25 @@ fn event_loop(
             }
         }
 
-        // Shutdown: no new reads; everything reading drains away,
-        // everything dispatching finishes through the normal path.
+        // Shutdown: no new reads; everything reading (or parked on a
+        // subscription) drains away, everything dispatching finishes
+        // through the normal path.
         if shutting {
             for s in slots.iter_mut().flatten() {
-                if s.conn.state() == ConnState::Reading {
+                if matches!(s.conn.state(), ConnState::Reading | ConnState::Subscribed) {
                     s.conn.begin_drain();
                 }
             }
         }
 
-        // Reap and account.
+        // Reap and account. A reaped subscriber (evicted, severed, or
+        // gone without unsubscribing) also leaves the registry here.
         for (i, slot) in slots.iter_mut().enumerate() {
-            if slot
+            let closed_gen = slot
                 .as_ref()
-                .is_some_and(|s| s.conn.state() == ConnState::Closed)
-            {
+                .and_then(|s| (s.conn.state() == ConnState::Closed).then_some(s.gen));
+            if let Some(g) = closed_gen {
+                remove_entry(shared, thread, i, g);
                 *slot = None;
                 free.push(i);
             }
@@ -852,6 +1245,12 @@ fn handle(shared: &Shared, req: &Request) -> Response {
         // keeps the opcode unambiguous (a fabric coordinator answers
         // it with its shard table).
         Request::Shards => bad_request("not a fabric coordinator"),
+        // Subscriptions never reach the executor: dispatch handles
+        // them inline on the event thread. The arm exists for any
+        // other embedder of `handle`.
+        Request::Subscribe { .. } | Request::Unsubscribe => {
+            bad_request("subscriptions are handled on the event loop")
+        }
         Request::Fetch {
             archive,
             first_block,

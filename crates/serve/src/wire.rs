@@ -15,15 +15,28 @@
 //!                             window: opt<{ lo: u64, hi: u64 }> }
 //!           | 0x04 metrics  {}
 //!           | 0x05 shards   {}
+//!           | 0x06 subscribe   { archive: string, asid: opt<u8>,
+//!                                window: opt<{ lo: u64, hi: u64 }>,
+//!                                from_start: u8 0|1 }
+//!           | 0x07 unsubscribe {}
 //! response := 0x81 catalog  { u32 n, entry × n }
 //!           | 0x82 fetch    { u32 n, raw_block × n }
 //!           | 0x83 query    { blocks_decoded: u32, blocks_skipped: u32,
 //!                             u64 n_words, u32 word × n_words }
 //!           | 0x84 metrics  { json: string32 }      (wrl-obs-metrics/v1)
 //!           | 0x85 shards   { u32 n, shard_status × n }
+//!           | 0x86 subscribed   {}
+//!           | 0x87 unsubscribed {}
+//!           | 0x7d event    { seq: u64, u32 n_words, u32 word × n_words }
 //!           | 0x7e busy     {}
 //!           | 0x7f error    { code: u16, msg: string }
 //! ```
+//!
+//! `event` frames are server-initiated pushes on a subscribed
+//! connection: their request id echoes the *subscribe* request's id,
+//! `seq` is the offset of the frame's first word within the
+//! predicate-filtered stream, and a zero-word event marks the end of
+//! the live feed.
 //!
 //! All integers are little-endian, matching the store container. The
 //! CRC-32 (the store codec's polynomial) covers the request id, the
@@ -59,6 +72,18 @@ pub mod op {
     /// counts, zonemaps and endpoint health). Non-coordinator servers
     /// answer `error(bad_request)`.
     pub const SHARDS: u8 = 0x05;
+    /// Attach this connection to the server's live feed: every word
+    /// the feed publishes that the request's predicate admits is
+    /// pushed back in `EVENT` frames until the feed ends or the
+    /// client unsubscribes.
+    pub const SUBSCRIBE: u8 = 0x06;
+    /// Detach from the live feed; the connection returns to ordinary
+    /// request/response service.
+    pub const UNSUBSCRIBE: u8 = 0x07;
+    /// Server-initiated push on a subscribed connection: a batch of
+    /// predicate-filtered live words. A zero-word event marks the end
+    /// of the feed. Never sent as a reply to a request frame.
+    pub const EVENT: u8 = 0x7d;
     /// Response bit: a response's opcode is the request's, ORed in.
     pub const RESPONSE: u8 = 0x80;
     /// The admission gate refused the request; retry later.
@@ -83,6 +108,11 @@ pub mod err {
     /// coordinator's typed answer when failover runs out of
     /// endpoints, distinct from a severed upstream connection.
     pub const UNAVAILABLE: u16 = 5;
+    /// A subscriber fell further behind the live feed than the
+    /// server's per-subscriber queue bound allows; the server sends
+    /// this typed disconnect and drains the connection instead of
+    /// buffering without limit.
+    pub const SLOW_CONSUMER: u16 = 6;
 }
 
 /// A decoded request.
@@ -111,6 +141,20 @@ pub enum Request {
     Metrics,
     /// List the shards behind a fabric coordinator.
     Shards,
+    /// Attach to the server's live feed, receiving `EVENT` pushes for
+    /// every published word the predicate admits.
+    Subscribe {
+        /// Name of the live feed (the archive being traced).
+        archive: String,
+        /// The word filter applied server-side before fan-out.
+        pred: Predicate,
+        /// `true` replays the feed from its first word (catch-up
+        /// before live pushes); `false` starts at the next word the
+        /// feed publishes.
+        from_start: bool,
+    },
+    /// Detach from the live feed.
+    Unsubscribe,
 }
 
 impl Request {
@@ -122,6 +166,8 @@ impl Request {
             Request::Query { .. } => op::QUERY,
             Request::Metrics => op::METRICS,
             Request::Shards => op::SHARDS,
+            Request::Subscribe { .. } => op::SUBSCRIBE,
+            Request::Unsubscribe => op::UNSUBSCRIBE,
         }
     }
 }
@@ -223,6 +269,22 @@ pub enum Response {
     Metrics(String),
     /// The coordinator's shard table, in manifest order.
     Shards(Vec<ShardStatus>),
+    /// Subscription accepted; `EVENT` pushes follow on this
+    /// connection until the feed ends or the client unsubscribes.
+    Subscribed,
+    /// Unsubscribed; the connection is back in request/response
+    /// service.
+    Unsubscribed,
+    /// A live-feed push: a batch of predicate-filtered words. The
+    /// frame's request id echoes the subscribe request's id.
+    Event {
+        /// Offset of this batch's first word within the
+        /// predicate-filtered stream.
+        seq: u64,
+        /// The admitted words, in feed order. Empty marks the end of
+        /// the feed.
+        words: Vec<u32>,
+    },
     /// Admission gate full; retry later.
     Busy,
     /// The request failed with a typed code.
@@ -243,6 +305,9 @@ impl Response {
             Response::Query(_) => op::QUERY | op::RESPONSE,
             Response::Metrics(_) => op::METRICS | op::RESPONSE,
             Response::Shards(_) => op::SHARDS | op::RESPONSE,
+            Response::Subscribed => op::SUBSCRIBE | op::RESPONSE,
+            Response::Unsubscribed => op::UNSUBSCRIBE | op::RESPONSE,
+            Response::Event { .. } => op::EVENT,
             Response::Busy => op::BUSY,
             Response::Error { .. } => op::ERROR,
         }
@@ -423,7 +488,7 @@ fn get_pred(c: &mut Cursor) -> Result<Predicate, WireError> {
 pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
     let mut p = Vec::new();
     match req {
-        Request::Catalog | Request::Metrics | Request::Shards => {}
+        Request::Catalog | Request::Metrics | Request::Shards | Request::Unsubscribe => {}
         Request::Fetch {
             archive,
             first_block,
@@ -436,6 +501,15 @@ pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
         Request::Query { archive, pred } => {
             put_str(&mut p, archive);
             put_pred(&mut p, pred);
+        }
+        Request::Subscribe {
+            archive,
+            pred,
+            from_start,
+        } => {
+            put_str(&mut p, archive);
+            put_pred(&mut p, pred);
+            p.push(u8::from(*from_start));
         }
     }
     encode_frame(req_id, req.opcode(), &p)
@@ -462,6 +536,16 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
             archive: c.str16()?,
             pred: get_pred(&mut c)?,
         },
+        op::SUBSCRIBE => Request::Subscribe {
+            archive: c.str16()?,
+            pred: get_pred(&mut c)?,
+            from_start: match c.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("bad bool tag")),
+            },
+        },
+        op::UNSUBSCRIBE => Request::Unsubscribe,
         other => return Err(WireError::UnknownOpcode(other)),
     };
     c.done()?;
@@ -472,7 +556,18 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
 pub fn encode_response(req_id: u64, resp: &Response) -> Vec<u8> {
     let mut p = Vec::new();
     match resp {
-        Response::Busy => {}
+        Response::Busy | Response::Subscribed | Response::Unsubscribed => {}
+        Response::Event { seq, words } => {
+            put_u64(&mut p, *seq);
+            put_u32(&mut p, words.len() as u32);
+            // Same bulk word copy as the query response below: event
+            // pushes ride the hot path of a running machine.
+            let at = p.len();
+            p.resize(at + words.len() * 4, 0);
+            for (dst, &w) in p[at..].chunks_exact_mut(4).zip(words) {
+                dst.copy_from_slice(&w.to_le_bytes());
+            }
+        }
         Response::Error { code, msg } => {
             put_u16(&mut p, *code);
             put_str(&mut p, msg);
@@ -547,6 +642,19 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
             code: c.u16()?,
             msg: c.str16()?,
         },
+        op::EVENT => {
+            let seq = c.u64()?;
+            let n = c.u32()? as usize;
+            if n != (payload.len() - c.at) / 4 {
+                return Err(WireError::Malformed("word count disagrees with payload"));
+            }
+            let words = c
+                .take(n * 4)?
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                .collect();
+            Response::Event { seq, words }
+        }
         o if o == op::CATALOG | op::RESPONSE => {
             let n = c.u32()? as usize;
             if n > payload.len() / 4 {
@@ -611,6 +719,8 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
             })
         }
         o if o == op::METRICS | op::RESPONSE => Response::Metrics(c.str32()?),
+        o if o == op::SUBSCRIBE | op::RESPONSE => Response::Subscribed,
+        o if o == op::UNSUBSCRIBE | op::RESPONSE => Response::Unsubscribed,
         o if o == op::SHARDS | op::RESPONSE => {
             let n = c.u32()? as usize;
             if n > payload.len() / 4 {
@@ -745,6 +855,20 @@ mod tests {
                 window: Some((100, 2000)),
             },
         });
+        roundtrip_request(Request::Subscribe {
+            archive: "sed".into(),
+            pred: Predicate {
+                asid: Some(2),
+                window: Some((0, 4096)),
+            },
+            from_start: true,
+        });
+        roundtrip_request(Request::Subscribe {
+            archive: "sed".into(),
+            pred: Predicate::default(),
+            from_start: false,
+        });
+        roundtrip_request(Request::Unsubscribe);
     }
 
     #[test]
@@ -779,6 +903,16 @@ mod tests {
                 words: vec![0x8003_0100, 0x102, 0x8003_0104],
             }),
             Response::Metrics("{\"schema\": \"wrl-obs-metrics/v1\"}".into()),
+            Response::Subscribed,
+            Response::Unsubscribed,
+            Response::Event {
+                seq: 12345,
+                words: vec![0x8003_0100, 0x102, 0x8003_0104],
+            },
+            Response::Event {
+                seq: 99,
+                words: vec![],
+            },
             Response::Shards(vec![
                 ShardStatus {
                     name: "golden.s0".into(),

@@ -12,6 +12,9 @@
 //! tracedump catalog <addr>                               list a server's archives
 //! tracedump fetch  <addr> <archive> [--asid A] [--window LO..HI]
 //!                                                        run a windowed query server-side
+//! tracedump live   <addr> <workload> <ultrix|mach>       run a traced machine, serving its live feed
+//! tracedump tail   <addr> <feed> [--asid A] [--window LO..HI] [--from-start]
+//!                                                        follow a live feed's filtered tail
 //! tracedump shard  <in.w3kt> <out_dir> <n> [--plan block_range|asid_hash]
 //!                                                        split a store into shard archives + manifest
 //! tracedump fabric <addr> <manifest> <ep[,ep...]>...     coordinate shards behind one endpoint
@@ -27,6 +30,12 @@
 //! and server surface: `serve` publishes archives (named by file
 //! stem) on a TCP address, and `fetch` ships only the trace words the
 //! predicate admits — blocks the index rules out are never decoded.
+//! The `live` / `tail` pair is the on-the-fly half: `live` runs the
+//! traced machine *while serving*, publishing each drained trace
+//! buffer to a live feed named after the workload (and keeps serving
+//! after the run so late tails replay the whole feed); `tail`
+//! subscribes with the same predicate flags as `fetch` and streams
+//! the filtered events until the end-of-feed marker, exiting 0.
 //! The `shard` / `fabric` / `shards` trio scales that surface out
 //! (`wrl-fabric`): `shard` splits a store into per-shard archives
 //! (each a stock `W3KTRACE` file any `serve` node can publish) plus a
@@ -41,7 +50,7 @@ use std::sync::Arc;
 use systrace::fabric::{split_store, Coordinator, FabricCfg, Manifest, PlanKind, MANIFEST_MAGIC};
 use systrace::kernel::{build_system, KernelConfig};
 use systrace::memsim::{MemSim, PageMap, Policy, SimCfg, UtlbSynth};
-use systrace::serve::{Catalog, Client, ServeCfg, Server};
+use systrace::serve::{Catalog, Client, ClientCfg, ServeCfg, Server, TailItem};
 use systrace::store::{BlockFormat, Predicate, StoreObs, TraceStore, DEFAULT_BLOCK_WORDS};
 use systrace::trace::{Space, TraceArchive, TraceSink};
 
@@ -55,6 +64,8 @@ fn usage() -> ! {
     eprintln!("       tracedump serve <addr> <file.w3kt>...");
     eprintln!("       tracedump catalog <addr>");
     eprintln!("       tracedump fetch <addr> <archive> [--asid A] [--window LO..HI]");
+    eprintln!("       tracedump live <addr> <workload> <ultrix|mach>");
+    eprintln!("       tracedump tail <addr> <feed> [--asid A] [--window LO..HI] [--from-start]");
     eprintln!("       tracedump shard <in.w3kt> <out_dir> <n> [--plan block_range|asid_hash]");
     eprintln!("       tracedump fabric <addr> <manifest> <ep[,ep...]>...");
     eprintln!("       tracedump shards <addr>");
@@ -95,6 +106,8 @@ fn main() {
         Some("serve") if args.len() >= 3 => serve(&args[1], &args[2..]),
         Some("catalog") if args.len() == 2 => catalog(&args[1]),
         Some("fetch") if args.len() >= 3 => fetch(&args[1], &args[2], &args[3..]),
+        Some("live") if args.len() == 4 => live(&args[1], &args[2], &args[3]),
+        Some("tail") if args.len() >= 3 => tail(&args[1], &args[2], &args[3..]),
         Some("shard") if args.len() >= 4 => {
             let n: usize = args[3].parse().unwrap_or_else(|_| usage());
             let plan = match args.get(4).map(String::as_str) {
@@ -424,6 +437,105 @@ fn fetch(addr: &str, archive: &str, opts: &[String]) {
         q.blocks_skipped,
         100.0 * f64::from(q.blocks_skipped) / f64::from(touched.max(1)),
     );
+}
+
+/// Runs the traced system for `workload` while serving its trace as
+/// the live feed named after the workload on `addr`. After the run
+/// the prediction is printed and the server keeps running (feed
+/// finished), so tails arriving late still replay the whole stream.
+fn live(addr: &str, workload: &str, os: &str) {
+    systrace::obs::register_all();
+    let w = systrace::workloads::by_name(workload).unwrap_or_else(|| {
+        eprintln!("unknown workload {workload}");
+        std::process::exit(2);
+    });
+    let cfg = match os {
+        "mach" => KernelConfig::mach().traced(),
+        "ultrix" => KernelConfig::ultrix().traced(),
+        _ => usage(),
+    };
+    let server = Server::start(addr, Catalog::new(), ServeCfg::default()).unwrap_or_else(|e| {
+        eprintln!("{addr}: {e}");
+        std::process::exit(1);
+    });
+    let feed = server.live_feed(workload);
+    println!("live feed \"{workload}\" on {}", server.addr());
+    let arith = systrace::pixie_arith_stalls(&w);
+    let p = systrace::run_predicted_live(
+        &cfg,
+        &w,
+        arith,
+        systrace::trace::PipelineCfg::default(),
+        &feed,
+    );
+    println!(
+        "machine finished: {} trace words, predicted {:.4}s, exit {}",
+        p.trace_words, p.seconds, p.exit_code
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Subscribes to a live feed and follows its predicate-filtered tail
+/// until the end-of-feed marker, then exits 0. `--from-start` replays
+/// the feed's history first; the default watches from now on.
+fn tail(addr: &str, feed: &str, opts: &[String]) {
+    let mut pred = Predicate::default();
+    let mut from_start = false;
+    let mut it = opts.iter();
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--asid" => {
+                let a = it.next().and_then(|s| s.parse().ok());
+                pred.asid = Some(a.unwrap_or_else(|| usage()));
+            }
+            "--window" => {
+                let w = it.next().and_then(|s| {
+                    let (lo, hi) = s.split_once("..")?;
+                    Some((lo.parse().ok()?, hi.parse().ok()?))
+                });
+                pred.window = Some(w.unwrap_or_else(|| usage()));
+            }
+            "--from-start" => from_start = true,
+            _ => usage(),
+        }
+    }
+    // A machine run pauses the feed for as long as it computes
+    // between drains; give the tail a much larger stall budget than
+    // a query client would use.
+    let cfg = ClientCfg {
+        max_stalls: 2400,
+        ..ClientCfg::default()
+    };
+    let mut client = Client::connect_cfg(addr, cfg).unwrap_or_else(|e| {
+        eprintln!("{addr}: {e}");
+        std::process::exit(1);
+    });
+    client
+        .subscribe(feed, &pred, from_start)
+        .unwrap_or_else(|e| {
+            eprintln!("subscribe: {e}");
+            std::process::exit(1);
+        });
+    let (mut events, mut words) = (0u64, 0u64);
+    loop {
+        match client.next_event() {
+            Ok(TailItem::Event { seq, words: w }) => {
+                events += 1;
+                words += w.len() as u64;
+                println!("event seq={seq}: {} words", w.len());
+            }
+            Ok(TailItem::End) => {
+                println!("feed ended: {events} event(s), {words} word(s)");
+                return;
+            }
+            Err(e) => {
+                eprintln!("tail: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// Splits a store into `n` shard archives plus the manifest binding

@@ -269,7 +269,12 @@ pub fn run_predicted_streaming_hooked(
     pcfg: wrl_trace::PipelineCfg,
     hooks: wrl_trace::ChaosHooks,
 ) -> Predicted {
-    assert!(cfg.traced, "run_predicted_streaming wants a traced config");
+    // Both the plain and the hooked streaming entries funnel through
+    // here, so the message names both.
+    assert!(
+        cfg.traced,
+        "run_predicted_streaming(_hooked) wants a traced config"
+    );
     let mut sys = build_system(cfg, &[w]);
     let parser = sys.parser();
     let simcfg = SimCfg {
@@ -280,6 +285,59 @@ pub fn run_predicted_streaming_hooked(
     let mut pipe = wrl_trace::Pipeline::with_hooks(parser, sim, pcfg, hooks);
     let run = sys.run_streaming(SYSTEM_BUDGET, |words| pipe.feed_owned(words));
     let (report, sim) = pipe.finish();
+    let prediction = predict(&sim.stats, &simcfg, arith_stalls, &TimeModel::default());
+    Predicted {
+        seconds: prediction.seconds(&TimeModel::default()),
+        prediction,
+        utlb_misses: sim.stats.utlb_misses,
+        trace_insts: sim.stats.insts(),
+        kernel_insts: sim.stats.kernel_irefs,
+        idle_insts: sim.stats.idle_insts,
+        traced_machine_insts: sys.machine.counters.insts(),
+        trace_words: run.words_drained,
+        mode_transitions: report.parse.mode_transitions,
+        parse_errors: report.parse.errors,
+        sanity_violations: sim.stats.sanity_violations,
+        exit_code: run.exit_code,
+    }
+}
+
+/// Live-tail variant of [`run_predicted_streaming`]: every drained
+/// trace buffer is *teed* — published to a [`wrl_serve::LiveFeed`]
+/// for subscribed clients before being fed to the streaming
+/// parse+simulate pipeline — so analysis happens on the fly in two
+/// places at once: in-process (the prediction) and over the wire (the
+/// predicate-filtered tails the server pushes). The publish happens
+/// before the pipeline feed and [`wrl_serve::LiveFeed::finish`] runs
+/// after the pipeline drains, so a subscriber that outlives the run
+/// sees the complete word stream exactly once, ending in the
+/// zero-word end-of-feed marker.
+///
+/// The returned prediction is bit-identical to
+/// [`run_predicted_streaming`] — publishing only copies words out of
+/// the drain callback, it never reorders or consumes them.
+pub fn run_predicted_live(
+    cfg: &KernelConfig,
+    w: &Workload,
+    arith_stalls: u64,
+    pcfg: wrl_trace::PipelineCfg,
+    feed: &wrl_serve::LiveFeed,
+) -> Predicted {
+    assert!(cfg.traced, "run_predicted_live wants a traced config");
+    let mut sys = build_system(cfg, &[w]);
+    let parser = sys.parser();
+    let simcfg = SimCfg {
+        utlb: Some(UtlbSynth::wrl_kernel()),
+        ..SimCfg::default()
+    };
+    let sim = MemSim::new(simcfg.clone(), sys.pagemap.clone());
+    let mut pipe = wrl_trace::Pipeline::new(parser, sim, pcfg);
+    let run = sys.run_streaming(SYSTEM_BUDGET, |words| {
+        feed.publish(&words);
+        pipe.feed_owned(words);
+    });
+    let (report, sim) = pipe.finish();
+    feed.finish();
     let prediction = predict(&sim.stats, &simcfg, arith_stalls, &TimeModel::default());
     Predicted {
         seconds: prediction.seconds(&TimeModel::default()),
@@ -512,6 +570,31 @@ mod tests {
         // of the same binary: the OS is transparent to the algorithm.
         let bare = wrl_workloads::run_bare(&w);
         assert_eq!(bare.env.exit, Some(m.exit_code));
+    }
+
+    #[test]
+    #[should_panic(expected = "run_predicted_streaming(_hooked) wants a traced config")]
+    fn streaming_rejects_untraced_configs_with_its_own_name() {
+        let w = wrl_workloads::by_name("yacc").unwrap();
+        run_predicted_streaming(
+            &KernelConfig::ultrix(),
+            &w,
+            0,
+            wrl_trace::PipelineCfg::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "run_predicted_streaming(_hooked) wants a traced config")]
+    fn streaming_hooked_rejects_untraced_configs_with_its_own_name() {
+        let w = wrl_workloads::by_name("yacc").unwrap();
+        run_predicted_streaming_hooked(
+            &KernelConfig::ultrix(),
+            &w,
+            0,
+            wrl_trace::PipelineCfg::default(),
+            wrl_trace::ChaosHooks::default(),
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod harness;
 pub mod obs;
 
 pub use harness::{
-    pixie_arith_stalls, predict_from_run, run_measured, run_predicted, run_predicted_metered,
-    run_predicted_streaming, run_predicted_streaming_hooked, run_predicted_streaming_metered,
-    validate, HarnessObs, Measured, Predicted, ValidationRow,
+    pixie_arith_stalls, predict_from_run, run_measured, run_predicted, run_predicted_live,
+    run_predicted_metered, run_predicted_streaming, run_predicted_streaming_hooked,
+    run_predicted_streaming_metered, validate, HarnessObs, Measured, Predicted, ValidationRow,
 };

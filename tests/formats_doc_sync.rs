@@ -84,14 +84,19 @@ fn code_constants() -> BTreeMap<String, u64> {
         ("wire.op.query", u64::from(op::QUERY)),
         ("wire.op.metrics", u64::from(op::METRICS)),
         ("wire.op.shards", u64::from(op::SHARDS)),
+        ("wire.op.subscribe", u64::from(op::SUBSCRIBE)),
+        ("wire.op.unsubscribe", u64::from(op::UNSUBSCRIBE)),
         ("wire.op.response", u64::from(op::RESPONSE)),
+        ("wire.op.event", u64::from(op::EVENT)),
         ("wire.op.busy", u64::from(op::BUSY)),
         ("wire.op.error", u64::from(op::ERROR)),
+        ("wire.sub_chunk_words", wrl_serve::server::SUB_CHUNK as u64),
         ("wire.err.no_such_archive", u64::from(err::NO_SUCH_ARCHIVE)),
         ("wire.err.bad_request", u64::from(err::BAD_REQUEST)),
         ("wire.err.store", u64::from(err::STORE)),
         ("wire.err.wire", u64::from(err::WIRE)),
         ("wire.err.unavailable", u64::from(err::UNAVAILABLE)),
+        ("wire.err.slow_consumer", u64::from(err::SLOW_CONSUMER)),
         ("manifest.version", u64::from(MANIFEST_VERSION)),
         (
             "manifest.block_entry_bytes",
