@@ -39,6 +39,7 @@ use wrl_store::{
 use wrl_trace::{
     ChaosHooks, ChunkFate, CollectSink, ParseStats, Pipeline, PipelineCfg, StageSite, TraceArchive,
 };
+use wrl_tracer::{analyze_words, AnalysisSink, DefenseSink, DilationSink, SinkError, Stack};
 
 /// How the stack handled one injected fault.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -463,6 +464,108 @@ fn run_site(input: &ChaosInput, plan: FaultPlan) -> Outcome {
         FaultSite::WireSubStall => run_sub_stall(input, &mut rng),
         FaultSite::FabricScatter => run_fabric_scatter(input, intensity, &mut rng),
         FaultSite::FabricNodeLoss => run_fabric_node_loss(input, &mut rng),
+        FaultSite::TracerSink => run_tracer_sink(input, intensity, &mut rng),
+    }
+}
+
+/// A sink that surfaces a typed [`SinkError`] at a seeded ordinal of
+/// one seeded callback — the `tracer.sink` injector.
+struct FailingSink {
+    /// Which callback fails: 0 `iref`, 1 `dref`, 2 `ctx_switch`,
+    /// 3 `before_word`.
+    hook: u8,
+    /// Fail on the `at`-th invocation of that callback (1-based).
+    at: u64,
+    seen: u64,
+}
+
+impl FailingSink {
+    fn tick(&mut self, hook: u8) -> Result<(), SinkError> {
+        if hook != self.hook {
+            return Ok(());
+        }
+        self.seen += 1;
+        if self.seen == self.at {
+            return Err(SinkError::new("chaos.fail", "injected sink fault"));
+        }
+        Ok(())
+    }
+}
+
+impl AnalysisSink for FailingSink {
+    fn name(&self) -> String {
+        "chaos.fail".into()
+    }
+    fn wants_words(&self) -> bool {
+        self.hook == 3
+    }
+    fn before_word(&mut self, _pos: u64, _word: u32) -> Result<(), SinkError> {
+        self.tick(3)
+    }
+    fn iref(&mut self, _v: u32, _s: wrl_trace::Space, _i: bool) -> Result<(), SinkError> {
+        self.tick(0)
+    }
+    fn dref(
+        &mut self,
+        _v: u32,
+        _st: bool,
+        _w: wrl_isa::Width,
+        _s: wrl_trace::Space,
+    ) -> Result<(), SinkError> {
+        self.tick(1)
+    }
+    fn ctx_switch(&mut self, _a: u8) -> Result<(), SinkError> {
+        self.tick(2)
+    }
+    fn finish(&mut self) -> wrl_tracer::SinkReport {
+        wrl_tracer::SinkReport::new(self.name())
+    }
+}
+
+/// `tracer.sink`: one analysis sink errors mid-pass inside a composed
+/// stack. The driver's isolation contract: the error surfaces *typed*
+/// on exactly that slot (detected), the pass never panics, and the
+/// sibling sinks' reports stay bit-identical to an unfaulted pass of
+/// the same stream. A seeded ordinal past the stream's events fires
+/// nothing — then the faulty sink must be indistinguishable from a
+/// healthy one (harmless).
+fn run_tracer_sink(input: &ChaosInput, intensity: u32, rng: &mut SplitMix64) -> Outcome {
+    let hook = rng.below(4) as u8;
+    let at = 1 + rng.below(512 * u64::from(intensity));
+    let baseline = analyze_words(
+        input.archive.parser(),
+        &input.archive.words,
+        Stack::new()
+            .with(DilationSink::default())
+            .with(DefenseSink::default()),
+    );
+    let faulted = analyze_words(
+        input.archive.parser(),
+        &input.archive.words,
+        Stack::new()
+            .with(DilationSink::default())
+            .with(FailingSink { hook, at, seen: 0 })
+            .with(DefenseSink::default()),
+    );
+    let siblings_exact = faulted.ok(0) == baseline.ok(0)
+        && faulted.ok(2) == baseline.ok(1)
+        && faulted.parse == baseline.parse
+        && faulted.words == baseline.words;
+    if !siblings_exact {
+        return Outcome::Forbidden {
+            why: format!("a failing sink perturbed its siblings (hook {hook}, at {at})"),
+        };
+    }
+    match &faulted.reports[1] {
+        Err(e) if e.sink == "chaos.fail" => Outcome::Detected {
+            what: format!("typed sink error: {e}"),
+        },
+        Err(e) => Outcome::Forbidden {
+            why: format!("sink error misattributed to {}", e.sink),
+        },
+        // The seeded ordinal lay beyond the stream: nothing fired,
+        // and the pass proved unperturbed above.
+        Ok(_) => Outcome::Harmless,
     }
 }
 

@@ -24,6 +24,9 @@ pub enum Layer {
     /// The `wrl-fabric` coordinator: shard manifests and the
     /// scatter-gather/failover path.
     Fabric,
+    /// The `wrl-tracer` analysis-sink framework: composed sinks on
+    /// the one-pass driver.
+    Tracer,
 }
 
 /// Where in the stack one fault is injected.
@@ -99,10 +102,15 @@ pub enum FaultSite {
     /// scatter plans built from damaged pruning proofs would silently
     /// drop rows).
     FabricScatter,
+    /// Fail one analysis sink mid-pass inside a composed
+    /// `wrl-tracer` stack (must surface as a typed `SinkError` on
+    /// that slot, never panic, and never perturb the sibling sinks'
+    /// reports — they stay bit-identical to an unfaulted pass).
+    TracerSink,
 }
 
 /// Every site, in campaign round-robin order.
-pub const ALL_SITES: [FaultSite; 21] = [
+pub const ALL_SITES: [FaultSite; 22] = [
     FaultSite::ParserBitFlip,
     FaultSite::ParserTruncate,
     FaultSite::StoreBlock,
@@ -124,6 +132,7 @@ pub const ALL_SITES: [FaultSite; 21] = [
     FaultSite::WireSubStall,
     FaultSite::FabricNodeLoss,
     FaultSite::FabricScatter,
+    FaultSite::TracerSink,
 ];
 
 impl FaultSite {
@@ -151,6 +160,7 @@ impl FaultSite {
             FaultSite::WireSubStall => "wire.sub_stall",
             FaultSite::FabricNodeLoss => "fabric.node_loss",
             FaultSite::FabricScatter => "fabric.scatter",
+            FaultSite::TracerSink => "tracer.sink",
         }
     }
 
@@ -181,6 +191,7 @@ impl FaultSite {
             | FaultSite::WireStall
             | FaultSite::WireSubStall => Layer::Wire,
             FaultSite::FabricNodeLoss | FaultSite::FabricScatter => Layer::Fabric,
+            FaultSite::TracerSink => Layer::Tracer,
         }
     }
 }
@@ -308,12 +319,12 @@ mod tests {
 
     #[test]
     fn campaigns_are_deterministic_and_cover_all_sites() {
-        let a = campaign(1, 420);
-        assert_eq!(a, campaign(1, 420));
-        assert_ne!(a, campaign(2, 420));
+        let a = campaign(1, 440);
+        assert_eq!(a, campaign(1, 440));
+        assert_ne!(a, campaign(2, 440));
         for site in ALL_SITES {
             let hits = a.iter().filter(|p| p.site == site).count();
-            assert_eq!(hits, 420 / ALL_SITES.len(), "{site}");
+            assert_eq!(hits, 440 / ALL_SITES.len(), "{site}");
         }
         assert!(a.iter().all(|p| p.intensity >= 1 && p.intensity <= 8));
     }

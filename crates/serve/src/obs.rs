@@ -70,6 +70,9 @@ pub struct ServeObs {
     pub sub_words: Arc<Counter>,
     /// Subscribers evicted for falling `sub_queue` frames behind.
     pub sub_evicted: Arc<Counter>,
+    /// Live-feed words evicted from the front under the
+    /// `sub_retention` bound.
+    pub sub_retention_evicted: Arc<Counter>,
 }
 
 impl ServeObs {
@@ -283,6 +286,13 @@ impl ServeObs {
                 "subscribers",
                 "§3.3",
                 "Slow consumers evicted for falling a full sub_queue of frames behind."
+            ),
+            sub_retention_evicted: counter!(
+                r,
+                "serve.sub.retention_evicted",
+                "words",
+                "§3.3",
+                "Live-feed words evicted from the buffer front under the sub_retention bound."
             ),
         }
     }

@@ -111,6 +111,13 @@ pub struct ServeCfg {
     /// it is evicted as a slow consumer (floored to 1). The eviction
     /// fires the moment a push finds the queue already this deep.
     pub sub_queue: usize,
+    /// Trace words a live feed retains for late joiners; `0` keeps
+    /// everything (unbounded growth). Once a publish pushes the
+    /// buffer past this bound the oldest overflow is evicted, counted
+    /// in `serve.sub.retention_evicted`, and `from_start` subscribes
+    /// answer a typed `RETENTION_EVICTED` error instead of a silently
+    /// truncated replay.
+    pub sub_retention: usize,
 }
 
 impl Default for ServeCfg {
@@ -134,6 +141,7 @@ impl Default for ServeCfg {
             exec_workers: if cores <= 1 { 0 } else { cores.min(4) },
             query_cache_bytes: 32 << 20,
             sub_queue: 32,
+            sub_retention: 1 << 22,
         }
     }
 }
@@ -296,6 +304,11 @@ struct Feed {
     name: String,
     words: Vec<u32>,
     asids: Vec<u8>,
+    /// Absolute stream position of `words[0]` — nonzero once the
+    /// retention bound has evicted history. Predicate windows are
+    /// judged against `base + index` so admission is stable across
+    /// evictions.
+    base: u64,
     /// Current ASID context (carried across `publish` calls).
     asid: u8,
     finished: bool,
@@ -335,7 +348,7 @@ fn pump_entry(feed: &Feed, e: &mut SubEntry) -> Vec<Response> {
         let mut words = Vec::new();
         while e.pos < feed.words.len() && words.len() < SUB_CHUNK {
             let p = e.pos;
-            if e.pred.admits(p as u64, feed.asids[p]) {
+            if e.pred.admits(feed.base + p as u64, feed.asids[p]) {
                 words.push(feed.words[p]);
             }
             e.pos += 1;
@@ -530,6 +543,7 @@ impl Server {
                     name: name.to_string(),
                     words: Vec::new(),
                     asids: Vec::new(),
+                    base: 0,
                     asid: 0,
                     finished: false,
                 });
@@ -613,6 +627,31 @@ impl LiveFeed {
             f.asids.push(f.asid);
         }
         self.pump(state);
+        self.evict(state);
+    }
+
+    /// Applies the retention bound after a pump: every attached
+    /// cursor sits at the feed head, so dropping the overflow from
+    /// the front loses nothing a subscriber still needs — only
+    /// history a *future* `from_start` subscriber would have
+    /// replayed, which is why such subscribes answer
+    /// `RETENTION_EVICTED` once `base` moves.
+    fn evict(&self, state: &mut SubState) {
+        let retention = self.shared.cfg.sub_retention;
+        let f = &mut state.feeds[self.feed];
+        if retention == 0 || f.words.len() <= retention {
+            return;
+        }
+        let overflow = f.words.len() - retention;
+        f.words.drain(..overflow);
+        f.asids.drain(..overflow);
+        f.base += overflow as u64;
+        for e in state.entries.iter_mut().filter(|e| e.feed == self.feed) {
+            // pump() just ran under this same lock, so pos == old len
+            // >= overflow; keep the cursor on the same absolute word.
+            e.pos -= overflow;
+        }
+        self.shared.obs.sub_retention_evicted.add(overflow as u64);
     }
 
     /// Marks the feed complete and delivers each subscriber its
@@ -896,6 +935,26 @@ fn subscribe_inline(
         s.conn.enqueue(frame, shape, sever);
         return;
     };
+    if from_start && subs.feeds[feed_idx].base > 0 {
+        // The retention bound already evicted history this replay
+        // would need; a truncated stream pretending to be complete is
+        // worse than a typed refusal.
+        let base = subs.feeds[feed_idx].base;
+        drop(subs);
+        let (frame, shape, sever) = fated(
+            shared,
+            req_id,
+            &Response::Error {
+                code: err::RETENTION_EVICTED,
+                msg: format!(
+                    "feed {name:?} evicted its first {base} words under the \
+                     retention bound; subscribe from-now instead"
+                ),
+            },
+        );
+        s.conn.enqueue(frame, shape, sever);
+        return;
+    }
     shared.obs.sub_subscribes.inc();
     shared.obs.sub_active.add(1);
     s.conn.mark_subscribed();
@@ -907,9 +966,11 @@ fn subscribe_inline(
     } else {
         // From-now: skip the history but keep the filtered-stream
         // offset honest — count what the predicate would have
-        // admitted so far.
+        // admitted so far (positions judged absolutely, so a feed
+        // whose front was evicted still reports suffix-exact seqs
+        // for the retained words).
         let admitted = (0..feed.words.len())
-            .filter(|&p| pred.admits(p as u64, feed.asids[p]))
+            .filter(|&p| pred.admits(feed.base + p as u64, feed.asids[p]))
             .count() as u64;
         (feed.words.len(), admitted)
     };

@@ -113,6 +113,11 @@ pub mod err {
     /// this typed disconnect and drains the connection instead of
     /// buffering without limit.
     pub const SLOW_CONSUMER: u16 = 6;
+    /// A `from_start` subscribe reached a live feed whose oldest
+    /// words the retention bound already evicted — the complete
+    /// replay the client asked for no longer exists, so the server
+    /// refuses rather than ship a silently truncated stream.
+    pub const RETENTION_EVICTED: u16 = 7;
 }
 
 /// A decoded request.

@@ -1,0 +1,438 @@
+//! The five repo analyses, ported onto [`AnalysisSink`].
+//!
+//! Each of these used to be welded into its own harness entry or
+//! experiment binary; here they are ordinary sinks, so any subset runs
+//! composed over one parse. Bit-identity with the dedicated passes
+//! they replace is pinned by `tests/tracer_differential.rs`:
+//!
+//! * [`CacheSink`] — the §3.1 cache-design-study geometry (identical
+//!   to `bench::CacheStudy`);
+//! * [`TlbSink`] — the full memory-system simulation behind the §5
+//!   TLB/time predictions (wraps [`MemSim`]);
+//! * [`DilationSink`] — the §4.1 trace-expansion measurements (words
+//!   and references per traced instruction);
+//! * [`PagemapSink`] — the §4.2 page-mapping study (distinct pages
+//!   and frames touched per address space);
+//! * [`DefenseSink`] — the §4.3 defensive checks (space/address
+//!   sanity, alignment) as a standalone watchdog.
+
+use std::collections::BTreeMap;
+
+use wrl_isa::Width;
+use wrl_memsim::{AssocCache, MemSim, PageMap, SimCfg, SpaceKey};
+use wrl_trace::Space;
+
+use crate::sink::{AnalysisSink, SinkError, SinkReport};
+
+/// Translates like the cache study and the simulator do: kseg0/kseg1
+/// drop the segment bits, everything else goes through the page map
+/// under the right space key (kernel refs below kseg2 use the current
+/// process's map).
+fn study_key(vaddr: u32, space: Space, cur_asid: u8) -> SpaceKey {
+    if vaddr >= 0xc000_0000 {
+        SpaceKey::Kernel
+    } else {
+        match space {
+            Space::User(a) => SpaceKey::User(a),
+            Space::Kernel => SpaceKey::User(cur_asid),
+        }
+    }
+}
+
+/// The §3.1 cache-design-study sink: one I-cache and one D-cache of a
+/// chosen geometry (16-byte lines), physically indexed through a page
+/// map. Event-for-event identical to `bench::CacheStudy`.
+#[derive(Debug)]
+pub struct CacheSink {
+    /// The instruction cache under study.
+    pub icache: AssocCache,
+    /// The data cache under study.
+    pub dcache: AssocCache,
+    size: u32,
+    ways: usize,
+    pagemap: PageMap,
+    cur_asid: u8,
+}
+
+impl CacheSink {
+    /// A study of one geometry, translating through `pagemap`.
+    pub fn new(size: u32, ways: usize, pagemap: PageMap) -> CacheSink {
+        CacheSink {
+            icache: AssocCache::new(size, 16, ways),
+            dcache: AssocCache::new(size, 16, ways),
+            size,
+            ways,
+            pagemap,
+            cur_asid: 1,
+        }
+    }
+
+    fn translate(&mut self, vaddr: u32, space: Space) -> u32 {
+        match vaddr {
+            0x8000_0000..=0xbfff_ffff => vaddr & 0x1fff_ffff,
+            _ => {
+                let key = study_key(vaddr, space, self.cur_asid);
+                self.pagemap.translate(key, vaddr)
+            }
+        }
+    }
+}
+
+impl AnalysisSink for CacheSink {
+    fn name(&self) -> String {
+        format!("cache:{}:{}", self.size, self.ways)
+    }
+
+    fn iref(&mut self, vaddr: u32, space: Space, _idle: bool) -> Result<(), SinkError> {
+        let pa = self.translate(vaddr, space);
+        self.icache.access(pa);
+        Ok(())
+    }
+
+    fn dref(&mut self, vaddr: u32, _store: bool, _w: Width, space: Space) -> Result<(), SinkError> {
+        let pa = self.translate(vaddr, space);
+        self.dcache.access(pa);
+        Ok(())
+    }
+
+    fn ctx_switch(&mut self, asid: u8) -> Result<(), SinkError> {
+        self.cur_asid = asid;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> SinkReport {
+        let mut r = SinkReport::new(self.name());
+        r.push("icache_accesses", self.icache.accesses);
+        r.push("icache_misses", self.icache.misses);
+        r.push("icache_miss_ratio", self.icache.miss_ratio());
+        r.push("dcache_accesses", self.dcache.accesses);
+        r.push("dcache_misses", self.dcache.misses);
+        r.push("dcache_miss_ratio", self.dcache.miss_ratio());
+        r
+    }
+}
+
+/// The full memory-system simulation as a sink: caches, write buffer,
+/// and the TLB whose misses drive the Table 3 predictions. Wraps
+/// [`MemSim`]; the report carries every [`wrl_memsim::SimStats`]
+/// counter so bit-identity with a dedicated simulation pass is a
+/// field-for-field report comparison.
+pub struct TlbSink {
+    /// The wrapped simulator (public so callers can lift the raw
+    /// stats or drive the §5.1 predictor from them).
+    pub sim: MemSim,
+}
+
+impl TlbSink {
+    /// A simulation sink over a configuration and page map.
+    pub fn new(cfg: SimCfg, pagemap: PageMap) -> TlbSink {
+        TlbSink {
+            sim: MemSim::new(cfg, pagemap),
+        }
+    }
+}
+
+impl AnalysisSink for TlbSink {
+    fn name(&self) -> String {
+        "tlb".into()
+    }
+
+    fn iref(&mut self, vaddr: u32, space: Space, idle: bool) -> Result<(), SinkError> {
+        wrl_trace::TraceSink::iref(&mut self.sim, vaddr, space, idle);
+        Ok(())
+    }
+
+    fn dref(&mut self, vaddr: u32, store: bool, w: Width, space: Space) -> Result<(), SinkError> {
+        wrl_trace::TraceSink::dref(&mut self.sim, vaddr, store, w, space);
+        Ok(())
+    }
+
+    fn ctx_switch(&mut self, asid: u8) -> Result<(), SinkError> {
+        wrl_trace::TraceSink::ctx_switch(&mut self.sim, asid);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> SinkReport {
+        let s = &self.sim.stats;
+        let mut r = SinkReport::new(self.name());
+        r.push("user_irefs", s.user_irefs);
+        r.push("kernel_irefs", s.kernel_irefs);
+        r.push("user_drefs", s.user_drefs);
+        r.push("kernel_drefs", s.kernel_drefs);
+        r.push("imisses", s.imisses);
+        r.push("imisses_kernel", s.imisses_kernel);
+        r.push("dmisses", s.dmisses);
+        r.push("dmisses_kernel", s.dmisses_kernel);
+        r.push("uncached", s.uncached);
+        r.push("wb_stall_cycles", s.wb_stall_cycles);
+        r.push("utlb_misses", s.utlb_misses);
+        r.push("synth_irefs", s.synth_irefs);
+        r.push("idle_insts", s.idle_insts);
+        r.push("stores", s.stores);
+        r.push("sanity_violations", s.sanity_violations);
+        r.push("kernel_cycles", s.kernel_cycles);
+        r.push("user_cycles", s.user_cycles);
+        r.push("cycles", self.sim.cycles);
+        r
+    }
+}
+
+/// The §4.1 trace-expansion sink: how many trace words and memory
+/// references the traced system emits per original instruction — the
+/// denominator side of the paper's "factor of 10–25" dilation claim.
+/// Wants word hooks (it counts raw words), so it forces the
+/// sequential one-pass drive.
+#[derive(Debug, Default)]
+pub struct DilationSink {
+    words: u64,
+    irefs: u64,
+    drefs: u64,
+    ctx_switches: u64,
+    mode_transitions: u64,
+}
+
+impl AnalysisSink for DilationSink {
+    fn name(&self) -> String {
+        "dilation".into()
+    }
+
+    fn wants_words(&self) -> bool {
+        true
+    }
+
+    fn after_word(&mut self, _pos: u64, _word: u32) -> Result<(), SinkError> {
+        self.words += 1;
+        Ok(())
+    }
+
+    fn iref(&mut self, _v: u32, _s: Space, _i: bool) -> Result<(), SinkError> {
+        self.irefs += 1;
+        Ok(())
+    }
+
+    fn dref(&mut self, _v: u32, _st: bool, _w: Width, _s: Space) -> Result<(), SinkError> {
+        self.drefs += 1;
+        Ok(())
+    }
+
+    fn ctx_switch(&mut self, _a: u8) -> Result<(), SinkError> {
+        self.ctx_switches += 1;
+        Ok(())
+    }
+
+    fn mode_transition(&mut self, _g: bool) -> Result<(), SinkError> {
+        self.mode_transitions += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> SinkReport {
+        let mut r = SinkReport::new(self.name());
+        r.push("words", self.words);
+        r.push("insts", self.irefs);
+        r.push("drefs", self.drefs);
+        r.push("ctx_switches", self.ctx_switches);
+        r.push("mode_transitions", self.mode_transitions);
+        if self.irefs > 0 {
+            r.push("words_per_inst", self.words as f64 / self.irefs as f64);
+            r.push(
+                "refs_per_inst",
+                (self.irefs + self.drefs) as f64 / self.irefs as f64,
+            );
+        }
+        r
+    }
+}
+
+/// The §4.2 page-mapping sink: distinct virtual pages touched per
+/// address space, and the frames a mapping policy hands them. The
+/// per-space rows come back as report children, ordered by space key.
+pub struct PagemapSink {
+    pagemap: PageMap,
+    cur_asid: u8,
+    /// Per space: (distinct pages via the map, references).
+    rows: BTreeMap<u32, (u64, u64)>,
+    pages_before: u64,
+}
+
+impl PagemapSink {
+    /// A page-usage study translating through `pagemap` (its
+    /// pre-existing mappings are not counted as touched).
+    pub fn new(pagemap: PageMap) -> PagemapSink {
+        let pages_before = pagemap.len() as u64;
+        PagemapSink {
+            pagemap,
+            cur_asid: 1,
+            rows: BTreeMap::new(),
+            pages_before,
+        }
+    }
+
+    fn touch(&mut self, vaddr: u32, space: Space) {
+        // kseg0/kseg1 are unmapped segments: no page map involved.
+        if (0x8000_0000..=0xbfff_ffff).contains(&vaddr) {
+            return;
+        }
+        let key = study_key(vaddr, space, self.cur_asid);
+        let before = self.pagemap.len() as u64;
+        self.pagemap.translate(key, vaddr);
+        let row = self.rows.entry(key.index()).or_insert((0, 0));
+        row.0 += self.pagemap.len() as u64 - before;
+        row.1 += 1;
+    }
+}
+
+impl AnalysisSink for PagemapSink {
+    fn name(&self) -> String {
+        "pagemap".into()
+    }
+
+    fn iref(&mut self, vaddr: u32, space: Space, _idle: bool) -> Result<(), SinkError> {
+        self.touch(vaddr, space);
+        Ok(())
+    }
+
+    fn dref(&mut self, vaddr: u32, _store: bool, _w: Width, space: Space) -> Result<(), SinkError> {
+        self.touch(vaddr, space);
+        Ok(())
+    }
+
+    fn ctx_switch(&mut self, asid: u8) -> Result<(), SinkError> {
+        self.cur_asid = asid;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> SinkReport {
+        let mut r = SinkReport::new(self.name());
+        r.push("spaces", self.rows.len() as u64);
+        r.push(
+            "pages_mapped",
+            self.pagemap.len() as u64 - self.pages_before,
+        );
+        r.push("mapped_refs", self.rows.values().map(|v| v.1).sum::<u64>());
+        for (key, (pages, refs)) in &self.rows {
+            let label = if *key == 0 {
+                "kernel".to_string()
+            } else {
+                format!("asid:{}", key - 1)
+            };
+            let mut child = SinkReport::new(label);
+            child.push("pages", *pages);
+            child.push("refs", *refs);
+            r.children.push(child);
+        }
+        r
+    }
+}
+
+/// The §4.3 defensive-check sink: the parser's redundancy checks,
+/// runnable standalone over any source. Kernel irefs must carry
+/// kernel addresses (and vice versa), user refs must never carry
+/// kernel addresses, and data references must be aligned to their
+/// width.
+#[derive(Debug, Default)]
+pub struct DefenseSink {
+    irefs: u64,
+    drefs: u64,
+    sanity_violations: u64,
+    user_kernel_drefs: u64,
+    misaligned: u64,
+    mode_transitions: u64,
+}
+
+impl AnalysisSink for DefenseSink {
+    fn name(&self) -> String {
+        "defense".into()
+    }
+
+    fn iref(&mut self, vaddr: u32, space: Space, _idle: bool) -> Result<(), SinkError> {
+        self.irefs += 1;
+        // The same check MemSim applies (§4.3): kernel instruction
+        // addresses must be in the kernel instruction address space.
+        let is_kaddr = vaddr >= 0x8000_0000;
+        if matches!(space, Space::Kernel) != is_kaddr {
+            self.sanity_violations += 1;
+        }
+        Ok(())
+    }
+
+    fn dref(&mut self, vaddr: u32, _store: bool, w: Width, space: Space) -> Result<(), SinkError> {
+        self.drefs += 1;
+        // Kernel legally touches user memory (copyin/copyout), but a
+        // user-mode reference to a kernel address is always wrong.
+        if matches!(space, Space::User(_)) && vaddr >= 0x8000_0000 {
+            self.user_kernel_drefs += 1;
+        }
+        if !vaddr.is_multiple_of(w.bytes()) {
+            self.misaligned += 1;
+        }
+        Ok(())
+    }
+
+    fn mode_transition(&mut self, _g: bool) -> Result<(), SinkError> {
+        self.mode_transitions += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> SinkReport {
+        let mut r = SinkReport::new(self.name());
+        r.push("irefs", self.irefs);
+        r.push("drefs", self.drefs);
+        r.push("sanity_violations", self.sanity_violations);
+        r.push("user_kernel_drefs", self.user_kernel_drefs);
+        r.push("misaligned", self.misaligned);
+        r.push("mode_transitions", self.mode_transitions);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrl_memsim::Policy;
+
+    #[test]
+    fn defense_flags_wrong_space_and_misalignment() {
+        let mut d = DefenseSink::default();
+        d.iref(0x0040_0000, Space::Kernel, false).unwrap();
+        d.iref(0x8003_0000, Space::Kernel, false).unwrap();
+        d.dref(0x8000_0001, false, Width::Word, Space::User(1))
+            .unwrap();
+        let r = d.finish();
+        assert_eq!(r.get_u64("sanity_violations"), Some(1));
+        assert_eq!(r.get_u64("user_kernel_drefs"), Some(1));
+        assert_eq!(r.get_u64("misaligned"), Some(1));
+    }
+
+    #[test]
+    fn pagemap_rows_count_distinct_pages_per_space() {
+        let mut p = PagemapSink::new(PageMap::new(Policy::FirstFree { base_pfn: 0x100 }));
+        p.iref(0x0040_0000, Space::User(1), false).unwrap();
+        p.iref(0x0040_0004, Space::User(1), false).unwrap(); // same page
+        p.iref(0x0040_1000, Space::User(1), false).unwrap(); // next page
+        p.dref(0xc000_0000, false, Width::Word, Space::Kernel)
+            .unwrap();
+        p.iref(0x8003_0000, Space::Kernel, false).unwrap(); // kseg0: unmapped
+        let r = p.finish();
+        assert_eq!(r.get_u64("spaces"), Some(2));
+        assert_eq!(r.get_u64("pages_mapped"), Some(3));
+        assert_eq!(r.get_u64("mapped_refs"), Some(4));
+        assert_eq!(r.children[0].sink, "kernel");
+        assert_eq!(r.children[0].get_u64("pages"), Some(1));
+        assert_eq!(r.children[1].sink, "asid:1");
+        assert_eq!(r.children[1].get_u64("pages"), Some(2));
+    }
+
+    #[test]
+    fn dilation_counts_words_via_hooks() {
+        let mut d = DilationSink::default();
+        assert!(d.wants_words());
+        for i in 0..10 {
+            d.after_word(i, 0).unwrap();
+        }
+        d.iref(0x8000_0000, Space::Kernel, false).unwrap();
+        d.iref(0x8000_0004, Space::Kernel, false).unwrap();
+        let r = d.finish();
+        assert_eq!(r.get_u64("words"), Some(10));
+        assert_eq!(r.get("words_per_inst"), Some(&crate::Value::F64(5.0)));
+    }
+}

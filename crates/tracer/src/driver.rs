@@ -1,0 +1,454 @@
+//! The one-pass driver: feed N composed sinks from a single
+//! decode+parse pass.
+//!
+//! A [`Stack`] owns the sinks as isolated *slots*: every parsed event
+//! is routed to each live slot, a slot whose sink surfaces a
+//! [`SinkError`] is disabled on the spot (its error becomes its
+//! report), and the pass continues for the siblings — a failing
+//! analysis can never corrupt or abort the others. The `tracer.sink`
+//! chaos site holds that contract under seeded injected failures.
+//!
+//! Three sources feed a stack through the same routing:
+//!
+//! * **a word stream** — [`Driver`]/[`analyze_words`]: one
+//!   incremental parse, word hooks available;
+//! * **a store** — [`analyze_store`]: sequential one-pass over the
+//!   block reader, or the replay farm when workers are asked for and
+//!   no sink wants word hooks;
+//! * **a live machine run** — the harness's `run_analyzed` drives a
+//!   [`Driver`] from the machine's drain callback.
+
+use wrl_isa::Width;
+use wrl_store::{replay, FarmCfg, StoreError, TraceStore};
+use wrl_trace::{ParseStats, Space, TraceParser, TraceSink};
+
+use crate::obs::TracerObs;
+use crate::sink::{AnalysisSink, SinkError, SinkReport};
+
+/// One isolated sink slot: the sink, and the error that disabled it
+/// (if any).
+struct Slot {
+    sink: Box<dyn AnalysisSink + Send>,
+    wants_words: bool,
+    err: Option<SinkError>,
+}
+
+impl Slot {
+    /// Routes one callback, disabling the slot on its first error.
+    fn route(&mut self, f: impl FnOnce(&mut dyn AnalysisSink) -> Result<(), SinkError>) {
+        if self.err.is_none() {
+            if let Err(e) = f(&mut *self.sink) {
+                self.err = Some(e);
+            }
+        }
+    }
+}
+
+/// An ordered set of isolated analysis sinks, fed together from one
+/// parse. Implements [`TraceSink`], so a stack rides anything that
+/// feeds one — `parse_all`, the streaming pipeline, the replay farm.
+#[derive(Default)]
+pub struct Stack {
+    slots: Vec<Slot>,
+    /// Event×sink applications routed so far.
+    applied: u64,
+    obs: Option<TracerObs>,
+}
+
+impl std::fmt::Debug for Stack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stack")
+            .field("sinks", &self.names())
+            .field("applied", &self.applied)
+            .finish()
+    }
+}
+
+impl Stack {
+    /// An empty stack.
+    pub fn new() -> Stack {
+        Stack::default()
+    }
+
+    /// Appends a sink as its own isolated slot and returns the stack
+    /// (builder style).
+    pub fn with(mut self, sink: impl AnalysisSink + Send + 'static) -> Stack {
+        self.push(sink);
+        self
+    }
+
+    /// Appends a sink as its own isolated slot.
+    pub fn push(&mut self, sink: impl AnalysisSink + Send + 'static) {
+        self.push_boxed(Box::new(sink));
+    }
+
+    /// Appends an already-boxed sink as its own isolated slot.
+    pub fn push_boxed(&mut self, sink: Box<dyn AnalysisSink + Send>) {
+        let wants_words = sink.wants_words();
+        self.slots.push(Slot {
+            sink,
+            wants_words,
+            err: None,
+        });
+    }
+
+    /// Attaches the `tracer.*` metrics, recorded when a pass
+    /// finishes.
+    pub fn attach_obs(&mut self, obs: TracerObs) {
+        self.obs = Some(obs);
+    }
+
+    /// Number of sinks.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if the stack holds no sinks.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// `true` if any sink needs per-word hooks (forces the
+    /// word-at-a-time sequential drive).
+    pub fn wants_words(&self) -> bool {
+        self.slots.iter().any(|s| s.wants_words)
+    }
+
+    /// The sinks' display names, in slot order.
+    pub fn names(&self) -> Vec<String> {
+        self.slots.iter().map(|s| s.sink.name()).collect()
+    }
+
+    /// Routes a before-word hook to every live word-hooked slot.
+    fn before_word(&mut self, pos: u64, word: u32) {
+        for s in self.slots.iter_mut().filter(|s| s.wants_words) {
+            s.route(|k| k.before_word(pos, word));
+        }
+    }
+
+    /// Routes an after-word hook to every live word-hooked slot.
+    fn after_word(&mut self, pos: u64, word: u32) {
+        for s in self.slots.iter_mut().filter(|s| s.wants_words) {
+            s.route(|k| k.after_word(pos, word));
+        }
+    }
+
+    fn live(&self) -> u64 {
+        self.slots.iter().filter(|s| s.err.is_none()).count() as u64
+    }
+
+    /// Finalises every slot into the pass report. Slots that failed
+    /// mid-pass report their typed error instead of a result.
+    pub fn finish(mut self, parse: ParseStats, words: u64) -> StackReport {
+        let reports: Vec<Result<SinkReport, SinkError>> = self
+            .slots
+            .iter_mut()
+            .map(|s| match s.err.take() {
+                Some(e) => Err(e),
+                None => Ok(s.sink.finish()),
+            })
+            .collect();
+        let report = StackReport {
+            reports,
+            parse,
+            words,
+            applied: self.applied,
+        };
+        if let Some(obs) = &self.obs {
+            obs.record(&report, self.slots.len());
+        }
+        report
+    }
+}
+
+impl TraceSink for Stack {
+    fn iref(&mut self, vaddr: u32, space: Space, idle: bool) {
+        self.applied += self.live();
+        for s in &mut self.slots {
+            s.route(|k| k.iref(vaddr, space, idle));
+        }
+    }
+
+    fn dref(&mut self, vaddr: u32, store: bool, width: Width, space: Space) {
+        self.applied += self.live();
+        for s in &mut self.slots {
+            s.route(|k| k.dref(vaddr, store, width, space));
+        }
+    }
+
+    fn ctx_switch(&mut self, asid: u8) {
+        self.applied += self.live();
+        for s in &mut self.slots {
+            s.route(|k| k.ctx_switch(asid));
+        }
+    }
+
+    fn mode_transition(&mut self, generating: bool) {
+        self.applied += self.live();
+        for s in &mut self.slots {
+            s.route(|k| k.mode_transition(generating));
+        }
+    }
+}
+
+/// What one pass over one source produced: per-slot reports (or the
+/// typed error that disabled the slot), the parse statistics of the
+/// single shared parse, and the pass shape.
+#[derive(Debug)]
+pub struct StackReport {
+    /// One entry per sink, in stack order.
+    pub reports: Vec<Result<SinkReport, SinkError>>,
+    /// Statistics of the shared parse.
+    pub parse: ParseStats,
+    /// Raw trace words in the pass.
+    pub words: u64,
+    /// Event×sink applications routed (events × live sinks).
+    pub applied: u64,
+}
+
+impl StackReport {
+    /// Slots that surfaced a typed error.
+    pub fn failed(&self) -> usize {
+        self.reports.iter().filter(|r| r.is_err()).count()
+    }
+
+    /// The successful report of slot `i`, if any.
+    pub fn ok(&self, i: usize) -> Option<&SinkReport> {
+        self.reports.get(i).and_then(|r| r.as_ref().ok())
+    }
+
+    /// Renders every slot deterministically: each sink's
+    /// [`SinkReport::render`] block, or one `sink <name> FAILED: ...`
+    /// line for a slot disabled by a typed error.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.reports {
+            match r {
+                Ok(rep) => out.push_str(&rep.render()),
+                Err(e) => out.push_str(&format!("sink {} FAILED: {}\n", e.sink, e.what)),
+            }
+        }
+        out
+    }
+}
+
+/// Incremental word-stream driver: feed drained buffers as they
+/// arrive, then [`Driver::finish`]. Used by the harness's
+/// `run_analyzed` (the live-machine source) and by the sequential
+/// paths of [`analyze_words`]/[`analyze_store`].
+pub struct Driver {
+    parser: TraceParser,
+    stack: Stack,
+    wants_words: bool,
+    pos: u64,
+}
+
+impl Driver {
+    /// A driver parsing with `parser` into `stack`. Whether any sink
+    /// wants word hooks is sampled here, once per pass.
+    pub fn new(parser: TraceParser, stack: Stack) -> Driver {
+        let wants_words = stack.wants_words();
+        Driver {
+            parser,
+            stack,
+            wants_words,
+            pos: 0,
+        }
+    }
+
+    /// Parses one buffer of raw trace words into every sink. With no
+    /// word-hooked sink the whole slice is pushed at once; otherwise
+    /// each word is bracketed by its before/after hooks.
+    pub fn feed(&mut self, words: &[u32]) {
+        if self.stack.is_empty() {
+            self.pos += words.len() as u64;
+            return;
+        }
+        if !self.wants_words {
+            self.parser.push_words(words, &mut self.stack);
+            self.pos += words.len() as u64;
+            return;
+        }
+        for &w in words {
+            self.stack.before_word(self.pos, w);
+            self.parser.push_word(w, &mut self.stack);
+            self.stack.after_word(self.pos, w);
+            self.pos += 1;
+        }
+    }
+
+    /// Finalises the parse (flushing partial blocks) and every sink.
+    pub fn finish(mut self) -> StackReport {
+        if !self.stack.is_empty() {
+            self.parser.finish(&mut self.stack);
+        }
+        self.stack.finish(self.parser.stats.clone(), self.pos)
+    }
+}
+
+/// One-pass analysis of an in-memory word stream: a single
+/// incremental parse with `parser` feeds every sink in `stack`.
+pub fn analyze_words(parser: TraceParser, words: &[u32], stack: Stack) -> StackReport {
+    let mut d = Driver::new(parser, stack);
+    d.feed(words);
+    d.finish()
+}
+
+/// A farm sink wrapping one slot: routes events to the sink until its
+/// first error, then swallows the rest (never dropping items — the
+/// farm's desync accounting must stay intact).
+struct SlotSink {
+    sink: Box<dyn AnalysisSink + Send>,
+    applied: u64,
+    err: Option<SinkError>,
+}
+
+impl SlotSink {
+    fn route(&mut self, f: impl FnOnce(&mut dyn AnalysisSink) -> Result<(), SinkError>) {
+        if self.err.is_none() {
+            self.applied += 1;
+            if let Err(e) = f(&mut *self.sink) {
+                self.err = Some(e);
+            }
+        }
+    }
+}
+
+impl TraceSink for SlotSink {
+    fn iref(&mut self, vaddr: u32, space: Space, idle: bool) {
+        self.route(|k| k.iref(vaddr, space, idle));
+    }
+    fn dref(&mut self, vaddr: u32, store: bool, width: Width, space: Space) {
+        self.route(|k| k.dref(vaddr, store, width, space));
+    }
+    fn ctx_switch(&mut self, asid: u8) {
+        self.route(|k| k.ctx_switch(asid));
+    }
+    fn mode_transition(&mut self, generating: bool) {
+        self.route(|k| k.mode_transition(generating));
+    }
+}
+
+/// One-pass analysis of a [`TraceStore`].
+///
+/// With one worker — or whenever a sink wants word hooks, which only
+/// the sequential drive can provide — the store's block reader feeds
+/// one incremental parse (a single decode+parse for all N sinks).
+/// With more workers and event-only sinks, the replay farm spreads
+/// the sinks over threads; both schedules are bit-identical to the
+/// sequential pass by the farm's ordering guarantee.
+pub fn analyze_store(
+    store: &TraceStore,
+    stack: Stack,
+    cfg: FarmCfg,
+) -> Result<StackReport, StoreError> {
+    if cfg.workers <= 1 || stack.wants_words() || stack.len() <= 1 {
+        let mut d = Driver::new(store.parser(), stack);
+        let mut reader = store.block_reader();
+        while let Some(block) = reader.next_block() {
+            d.feed(block?);
+        }
+        return Ok(d.finish());
+    }
+    let Stack {
+        slots,
+        applied: _,
+        obs,
+    } = stack;
+    let sinks: Vec<SlotSink> = slots
+        .into_iter()
+        .map(|s| SlotSink {
+            sink: s.sink,
+            applied: 0,
+            err: s.err,
+        })
+        .collect();
+    let n = sinks.len();
+    let (farm, mut sinks) = replay(store, sinks, cfg)?;
+    let reports: Vec<Result<SinkReport, SinkError>> = sinks
+        .iter_mut()
+        .map(|s| match s.err.take() {
+            Some(e) => Err(e),
+            None => Ok(s.sink.finish()),
+        })
+        .collect();
+    let report = StackReport {
+        reports,
+        parse: farm.stats,
+        words: farm.words,
+        applied: sinks.iter().map(|s| s.applied).sum(),
+    };
+    if let Some(obs) = &obs {
+        obs.record(&report, n);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts events; fails with a typed error at a chosen event.
+    struct Fussy {
+        label: &'static str,
+        events: u64,
+        fail_at: Option<u64>,
+    }
+
+    impl Fussy {
+        fn tick(&mut self) -> Result<(), SinkError> {
+            self.events += 1;
+            if Some(self.events) == self.fail_at {
+                return Err(SinkError::new(self.label, "injected"));
+            }
+            Ok(())
+        }
+    }
+
+    impl AnalysisSink for Fussy {
+        fn name(&self) -> String {
+            self.label.into()
+        }
+        fn iref(&mut self, _v: u32, _s: Space, _i: bool) -> Result<(), SinkError> {
+            self.tick()
+        }
+        fn dref(&mut self, _v: u32, _st: bool, _w: Width, _s: Space) -> Result<(), SinkError> {
+            self.tick()
+        }
+        fn ctx_switch(&mut self, _a: u8) -> Result<(), SinkError> {
+            self.tick()
+        }
+        fn finish(&mut self) -> SinkReport {
+            let mut r = SinkReport::new(self.name());
+            r.push("events", self.events);
+            r
+        }
+    }
+
+    #[test]
+    fn a_failing_slot_reports_typed_and_leaves_siblings_exact() {
+        let mut stack = Stack::new()
+            .with(Fussy {
+                label: "healthy",
+                events: 0,
+                fail_at: None,
+            })
+            .with(Fussy {
+                label: "doomed",
+                events: 0,
+                fail_at: Some(3),
+            });
+        for i in 0..10u32 {
+            stack.iref(0x8000_0000 + i * 4, Space::Kernel, false);
+        }
+        let report = stack.finish(ParseStats::default(), 0);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.ok(0).unwrap().get_u64("events"), Some(10));
+        let err = report.reports[1].as_ref().unwrap_err();
+        assert_eq!(err.sink, "doomed");
+        assert_eq!(err.what, "injected");
+        // 10 events × 2 live sinks until event 3 disables one slot:
+        // 3 of them went to both, 7 to one.
+        assert_eq!(report.applied, 3 * 2 + 7);
+    }
+}

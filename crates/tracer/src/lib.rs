@@ -1,0 +1,46 @@
+//! `wrl-tracer`: the composable analysis-sink framework.
+//!
+//! The paper's central claim is that software tracing makes
+//! *analysis* cheap once the address stream exists (§3.1: the
+//! analysis program runs on the fly, over traces too large to ever
+//! store raw). This crate makes that claim structural: any number of
+//! analyses run **composed over one decode+parse pass** instead of
+//! each owning its own pipeline.
+//!
+//! * [`sink`] — the [`AnalysisSink`] trait (parsed-event hooks,
+//!   optional raw-word hooks, `finish() -> SinkReport`) plus blanket
+//!   impls so tuples and vectors of sinks are themselves sinks;
+//! * [`driver`] — the [`Stack`] of isolated sink slots, the
+//!   incremental [`Driver`], and the one-pass entry points
+//!   [`analyze_words`] / [`analyze_store`] (sequential or farmed);
+//! * [`analyses`] — the five repo analyses ported onto the trait
+//!   (cache study, full memory-system/TLB simulation, dilation,
+//!   pagemap, defensive checks);
+//! * [`windows`] — the three sinks the framework makes cheap:
+//!   sampled tracing windows, per-ASID working-set curves, and a
+//!   phase detector;
+//! * [`spec`] — the `cache:65536:2,wset,phase` stack-spec grammar
+//!   behind `tracedump analyze`;
+//! * [`obs`] — the `tracer.*` metrics.
+//!
+//! Error handling is per-slot: a sink that fails mid-pass surfaces a
+//! typed [`SinkError`] in its slot of the [`StackReport`] and is
+//! disabled; sibling sinks keep receiving the full event stream and
+//! their reports are unaffected (the `tracer.sink` chaos site holds
+//! this under seeded fault injection).
+
+#![deny(missing_docs)]
+
+pub mod analyses;
+pub mod driver;
+pub mod obs;
+pub mod sink;
+pub mod spec;
+pub mod windows;
+
+pub use analyses::{CacheSink, DefenseSink, DilationSink, PagemapSink, TlbSink};
+pub use driver::{analyze_store, analyze_words, Driver, Stack, StackReport};
+pub use obs::TracerObs;
+pub use sink::{AnalysisSink, SinkError, SinkReport, Value};
+pub use spec::{build_stack, SinkSpecError};
+pub use windows::{PhaseSink, SampledCfg, SampledCfgError, SampledWindowSink, WorkingSetSink};

@@ -1,0 +1,436 @@
+//! The [`AnalysisSink`] trait and its composition rules.
+//!
+//! An analysis sink is a [`wrl_trace::TraceSink`] that can *also*
+//! observe raw trace words (for analyses whose unit is the word
+//! position, like sampled tracing windows), can *fail* with a typed
+//! error instead of panicking, and ends in a structured
+//! [`SinkReport`]. Sinks compose: tuples and vectors of sinks are
+//! themselves sinks (the era_vm tracer-stack idiom), so a whole
+//! analysis suite rides one decode+parse pass as a single value.
+
+use core::fmt;
+
+use wrl_isa::Width;
+use wrl_trace::Space;
+
+/// A typed mid-pass analysis failure. Surfacing one *never* aborts
+/// the pass: the driver records the error in the failing sink's
+/// report slot, stops feeding that sink, and keeps every sibling
+/// sink's stream intact (`tests/tracer_differential.rs` and the
+/// `tracer.sink` chaos site hold that contract).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SinkError {
+    /// The failing sink's [`AnalysisSink::name`].
+    pub sink: String,
+    /// What went wrong.
+    pub what: String,
+}
+
+impl SinkError {
+    /// A new error attributed to `sink`.
+    pub fn new(sink: impl Into<String>, what: impl Into<String>) -> SinkError {
+        SinkError {
+            sink: sink.into(),
+            what: what.into(),
+        }
+    }
+}
+
+impl fmt::Display for SinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sink {} failed: {}", self.sink, self.what)
+    }
+}
+
+impl std::error::Error for SinkError {}
+
+/// One scalar in a [`SinkReport`]. `F64` compares by bit pattern, so
+/// report equality is the bit-identical equality the differential
+/// suite pins.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// An exact count.
+    U64(u64),
+    /// A derived ratio or estimate.
+    F64(f64),
+    /// A label.
+    Text(String),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::U64(a), Value::U64(b)) => a == b,
+            (Value::F64(a), Value::F64(b)) => a.to_bits() == b.to_bits(),
+            (Value::Text(a), Value::Text(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            // `{:?}` prints the shortest decimal that round-trips the
+            // exact bit pattern — a deterministic, pinnable rendering.
+            Value::F64(v) => write!(f, "{v:?}"),
+            Value::Text(v) => f.write_str(v),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Text(v)
+    }
+}
+
+/// What one finished sink found: an ordered list of named scalars,
+/// plus one child report per member for composed sinks. Field order
+/// is insertion order and the rendering is deterministic, so a report
+/// can be pinned byte-for-byte.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SinkReport {
+    /// The reporting sink's [`AnalysisSink::name`].
+    pub sink: String,
+    /// Named result scalars, in insertion order.
+    pub fields: Vec<(String, Value)>,
+    /// Member reports of a composed (tuple/vec) sink.
+    pub children: Vec<SinkReport>,
+}
+
+impl SinkReport {
+    /// An empty report for `sink`.
+    pub fn new(sink: impl Into<String>) -> SinkReport {
+        SinkReport {
+            sink: sink.into(),
+            fields: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Appends one named scalar.
+    pub fn push(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        self.fields.push((key.into(), value.into()));
+    }
+
+    /// Looks a field up by name (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A field's `U64` value, if present and of that kind.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        match self.get(key) {
+            Some(Value::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Renders `sink <name>` then one `  key = value` line per field,
+    /// then the children indented by two more spaces — deterministic,
+    /// so golden tests pin it verbatim.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&format!("{pad}sink {}\n", self.sink));
+        for (k, v) in &self.fields {
+            out.push_str(&format!("{pad}  {k} = {v}\n"));
+        }
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// A composable trace analysis: the [`wrl_trace::TraceSink`]
+/// callbacks made fallible, optional raw-word hooks, and a final
+/// structured report.
+///
+/// Every callback defaults to a no-op `Ok(())`, so a sink implements
+/// only what it observes. A sink that needs *word positions* (duty
+/// cycles, offsets into the raw stream) overrides
+/// [`AnalysisSink::wants_words`] to `true`; the driver then feeds the
+/// parser word-at-a-time and brackets each word with
+/// [`AnalysisSink::before_word`]/[`AnalysisSink::after_word`], so
+/// events parsed from a word land between its two hooks.
+pub trait AnalysisSink {
+    /// A stable display name (`cache:65536:2`, `wset:4096`, ...).
+    fn name(&self) -> String;
+
+    /// `true` if this sink needs per-word hooks. A composed sink
+    /// wants words if any member does. Must be constant over the
+    /// sink's lifetime (the driver samples it once per pass).
+    fn wants_words(&self) -> bool {
+        false
+    }
+
+    /// Called before raw word `word` at stream position `pos` is
+    /// parsed (only when [`AnalysisSink::wants_words`] holds).
+    fn before_word(&mut self, _pos: u64, _word: u32) -> Result<(), SinkError> {
+        Ok(())
+    }
+
+    /// Called after raw word `word` at stream position `pos` was
+    /// parsed (only when [`AnalysisSink::wants_words`] holds).
+    fn after_word(&mut self, _pos: u64, _word: u32) -> Result<(), SinkError> {
+        Ok(())
+    }
+
+    /// An instruction fetch at `vaddr` (uninstrumented address).
+    fn iref(&mut self, _vaddr: u32, _space: Space, _idle: bool) -> Result<(), SinkError> {
+        Ok(())
+    }
+
+    /// A data reference at `vaddr`.
+    fn dref(
+        &mut self,
+        _vaddr: u32,
+        _store: bool,
+        _width: Width,
+        _space: Space,
+    ) -> Result<(), SinkError> {
+        Ok(())
+    }
+
+    /// The base context switched to the given ASID.
+    fn ctx_switch(&mut self, _asid: u8) -> Result<(), SinkError> {
+        Ok(())
+    }
+
+    /// Trace generation was suspended (`false`) or resumed (`true`).
+    fn mode_transition(&mut self, _generating: bool) -> Result<(), SinkError> {
+        Ok(())
+    }
+
+    /// Finalises the analysis and reports what it found.
+    fn finish(&mut self) -> SinkReport;
+}
+
+impl<S: AnalysisSink + ?Sized> AnalysisSink for Box<S> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn wants_words(&self) -> bool {
+        (**self).wants_words()
+    }
+    fn before_word(&mut self, pos: u64, word: u32) -> Result<(), SinkError> {
+        (**self).before_word(pos, word)
+    }
+    fn after_word(&mut self, pos: u64, word: u32) -> Result<(), SinkError> {
+        (**self).after_word(pos, word)
+    }
+    fn iref(&mut self, vaddr: u32, space: Space, idle: bool) -> Result<(), SinkError> {
+        (**self).iref(vaddr, space, idle)
+    }
+    fn dref(
+        &mut self,
+        vaddr: u32,
+        store: bool,
+        width: Width,
+        space: Space,
+    ) -> Result<(), SinkError> {
+        (**self).dref(vaddr, store, width, space)
+    }
+    fn ctx_switch(&mut self, asid: u8) -> Result<(), SinkError> {
+        (**self).ctx_switch(asid)
+    }
+    fn mode_transition(&mut self, generating: bool) -> Result<(), SinkError> {
+        (**self).mode_transition(generating)
+    }
+    fn finish(&mut self) -> SinkReport {
+        (**self).finish()
+    }
+}
+
+/// A vector of sinks is a sink: every callback fans out to each
+/// member in order; the first member error aborts the whole vector
+/// slot (for per-member error isolation, push members into a
+/// [`crate::Stack`] instead). Its report is a parent with one child
+/// per member.
+impl<S: AnalysisSink> AnalysisSink for Vec<S> {
+    fn name(&self) -> String {
+        let names: Vec<String> = self.iter().map(|s| s.name()).collect();
+        format!("[{}]", names.join("+"))
+    }
+    fn wants_words(&self) -> bool {
+        self.iter().any(|s| s.wants_words())
+    }
+    fn before_word(&mut self, pos: u64, word: u32) -> Result<(), SinkError> {
+        self.iter_mut().try_for_each(|s| s.before_word(pos, word))
+    }
+    fn after_word(&mut self, pos: u64, word: u32) -> Result<(), SinkError> {
+        self.iter_mut().try_for_each(|s| s.after_word(pos, word))
+    }
+    fn iref(&mut self, vaddr: u32, space: Space, idle: bool) -> Result<(), SinkError> {
+        self.iter_mut().try_for_each(|s| s.iref(vaddr, space, idle))
+    }
+    fn dref(
+        &mut self,
+        vaddr: u32,
+        store: bool,
+        width: Width,
+        space: Space,
+    ) -> Result<(), SinkError> {
+        self.iter_mut()
+            .try_for_each(|s| s.dref(vaddr, store, width, space))
+    }
+    fn ctx_switch(&mut self, asid: u8) -> Result<(), SinkError> {
+        self.iter_mut().try_for_each(|s| s.ctx_switch(asid))
+    }
+    fn mode_transition(&mut self, generating: bool) -> Result<(), SinkError> {
+        self.iter_mut()
+            .try_for_each(|s| s.mode_transition(generating))
+    }
+    fn finish(&mut self) -> SinkReport {
+        let mut r = SinkReport::new(self.name());
+        r.children = self.iter_mut().map(|s| s.finish()).collect();
+        r
+    }
+}
+
+/// Tuples of sinks are sinks (2- and 3-tuples; nest for more).
+macro_rules! tuple_sink {
+    ($($idx:tt $t:ident),+) => {
+        impl<$($t: AnalysisSink),+> AnalysisSink for ($($t,)+) {
+            fn name(&self) -> String {
+                let names = [$(self.$idx.name()),+];
+                format!("({})", names.join("+"))
+            }
+            fn wants_words(&self) -> bool {
+                false $(|| self.$idx.wants_words())+
+            }
+            fn before_word(&mut self, pos: u64, word: u32) -> Result<(), SinkError> {
+                $(self.$idx.before_word(pos, word)?;)+
+                Ok(())
+            }
+            fn after_word(&mut self, pos: u64, word: u32) -> Result<(), SinkError> {
+                $(self.$idx.after_word(pos, word)?;)+
+                Ok(())
+            }
+            fn iref(&mut self, vaddr: u32, space: Space, idle: bool) -> Result<(), SinkError> {
+                $(self.$idx.iref(vaddr, space, idle)?;)+
+                Ok(())
+            }
+            fn dref(
+                &mut self,
+                vaddr: u32,
+                store: bool,
+                width: Width,
+                space: Space,
+            ) -> Result<(), SinkError> {
+                $(self.$idx.dref(vaddr, store, width, space)?;)+
+                Ok(())
+            }
+            fn ctx_switch(&mut self, asid: u8) -> Result<(), SinkError> {
+                $(self.$idx.ctx_switch(asid)?;)+
+                Ok(())
+            }
+            fn mode_transition(&mut self, generating: bool) -> Result<(), SinkError> {
+                $(self.$idx.mode_transition(generating)?;)+
+                Ok(())
+            }
+            fn finish(&mut self) -> SinkReport {
+                let mut r = SinkReport::new(self.name());
+                r.children = vec![$(self.$idx.finish()),+];
+                r
+            }
+        }
+    };
+}
+
+tuple_sink!(0 A, 1 B);
+tuple_sink!(0 A, 1 B, 2 C);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Count {
+        irefs: u64,
+        words: bool,
+    }
+
+    impl AnalysisSink for Count {
+        fn name(&self) -> String {
+            "count".into()
+        }
+        fn wants_words(&self) -> bool {
+            self.words
+        }
+        fn iref(&mut self, _v: u32, _s: Space, _i: bool) -> Result<(), SinkError> {
+            self.irefs += 1;
+            Ok(())
+        }
+        fn finish(&mut self) -> SinkReport {
+            let mut r = SinkReport::new(self.name());
+            r.push("irefs", self.irefs);
+            r
+        }
+    }
+
+    #[test]
+    fn tuples_and_vecs_compose_and_report_children() {
+        let mut t = (
+            Count {
+                irefs: 0,
+                words: false,
+            },
+            vec![Count {
+                irefs: 0,
+                words: true,
+            }],
+        );
+        assert!(t.wants_words());
+        t.iref(0x1000, Space::Kernel, false).unwrap();
+        let r = t.finish();
+        assert_eq!(r.sink, "(count+[count])");
+        assert_eq!(r.children.len(), 2);
+        assert_eq!(r.children[0].get_u64("irefs"), Some(1));
+        assert_eq!(r.children[1].children[0].get_u64("irefs"), Some(1));
+    }
+
+    #[test]
+    fn f64_values_compare_by_bits_and_render_round_trip() {
+        let a = Value::F64(0.1 + 0.2);
+        let b = Value::F64(0.3);
+        assert_ne!(a, b);
+        assert_eq!(a.to_string().parse::<f64>().unwrap(), 0.1 + 0.2);
+        let mut r = SinkReport::new("x");
+        r.push("ratio", 0.25);
+        r.push("n", 3u64);
+        assert_eq!(r.render(), "sink x\n  ratio = 0.25\n  n = 3\n");
+    }
+}

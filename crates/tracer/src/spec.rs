@@ -1,0 +1,264 @@
+//! The sink-stack spec language used by `tracedump analyze` and the
+//! CI smoke jobs: a comma-separated list of sink items, each
+//! `name[:arg[:arg...]]`.
+//!
+//! ```text
+//! cache[:size[:ways]]          cache study   (default 65536:2)
+//! tlb                          full memory-system simulation
+//! dilation                     trace-expansion counters
+//! pagemap                      per-space page usage
+//! defense                      §4.3 defensive checks
+//! sampled[:on[:off[:seed]]]    sampled windows (default 64k:448k:0)
+//! wset[:window]                working-set curves (default 4096)
+//! phase[:window[:threshold]]   phase detector (default 4096:0.5)
+//! ```
+//!
+//! Every size/window argument takes the same `k`/`K` (×1024) and
+//! `m`/`M` (×1024²) suffixes the sampled sub-spec does, so
+//! `cache:64k:2` and `wset:16k` read as written.
+
+use wrl_memsim::{PageMap, SimCfg, UtlbSynth};
+
+use crate::analyses::{CacheSink, DefenseSink, DilationSink, PagemapSink, TlbSink};
+use crate::driver::Stack;
+use crate::windows::{PhaseSink, SampledCfg, SampledCfgError, SampledWindowSink, WorkingSetSink};
+
+/// Errors from [`build_stack`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SinkSpecError {
+    /// An item named a sink this spec language does not know.
+    UnknownSink(String),
+    /// A numeric argument failed to parse.
+    BadArg {
+        /// The sink item the argument belongs to.
+        item: String,
+        /// The offending argument.
+        arg: String,
+    },
+    /// Too many `:` arguments for the item.
+    TooManyArgs(String),
+    /// The sampled-window sub-spec was rejected.
+    Sampled(SampledCfgError),
+    /// The spec was empty (an empty stack analyzes nothing).
+    Empty,
+}
+
+impl std::fmt::Display for SinkSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SinkSpecError::UnknownSink(s) => write!(f, "unknown sink {s:?}"),
+            SinkSpecError::BadArg { item, arg } => write!(f, "bad argument {arg:?} in {item:?}"),
+            SinkSpecError::TooManyArgs(s) => write!(f, "too many arguments in {s:?}"),
+            SinkSpecError::Sampled(e) => write!(f, "sampled: {e}"),
+            SinkSpecError::Empty => write!(f, "empty sink spec"),
+        }
+    }
+}
+
+impl std::error::Error for SinkSpecError {}
+
+fn num<T: std::str::FromStr>(item: &str, arg: &str) -> Result<T, SinkSpecError> {
+    arg.parse().map_err(|_| SinkSpecError::BadArg {
+        item: item.to_string(),
+        arg: arg.to_string(),
+    })
+}
+
+/// A size/window argument with optional `k`/`K` (×1024) or `m`/`M`
+/// (×1024²) suffix, matching [`SampledCfg::parse`]'s fields.
+fn scaled(item: &str, arg: &str) -> Result<u64, SinkSpecError> {
+    let (digits, mult) = match arg.chars().last() {
+        Some('k') | Some('K') => (&arg[..arg.len() - 1], 1024u64),
+        Some('m') | Some('M') => (&arg[..arg.len() - 1], 1024 * 1024),
+        _ => (arg, 1),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .ok_or_else(|| SinkSpecError::BadArg {
+            item: item.to_string(),
+            arg: arg.to_string(),
+        })
+}
+
+/// Builds a [`Stack`] from a spec string. Sinks that translate
+/// addresses (cache, tlb, pagemap) each get their own clone of
+/// `pagemap`, so composed sinks never share mutable translation
+/// state.
+pub fn build_stack(spec: &str, pagemap: &PageMap) -> Result<Stack, SinkSpecError> {
+    let mut stack = Stack::new();
+    for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (name, rest) = match item.split_once(':') {
+            Some((n, r)) => (n, Some(r)),
+            None => (item, None),
+        };
+        let args: Vec<&str> = rest.map(|r| r.split(':').collect()).unwrap_or_default();
+        match name {
+            "cache" => {
+                if args.len() > 2 {
+                    return Err(SinkSpecError::TooManyArgs(item.to_string()));
+                }
+                let size: u32 = args
+                    .first()
+                    .map(|a| {
+                        scaled(item, a).and_then(|n| {
+                            u32::try_from(n).map_err(|_| SinkSpecError::BadArg {
+                                item: item.to_string(),
+                                arg: (*a).to_string(),
+                            })
+                        })
+                    })
+                    .transpose()?
+                    .unwrap_or(65536);
+                let ways: usize = args.get(1).map(|a| num(item, a)).transpose()?.unwrap_or(2);
+                stack.push(CacheSink::new(size, ways, pagemap.clone()));
+            }
+            "tlb" => {
+                if !args.is_empty() {
+                    return Err(SinkSpecError::TooManyArgs(item.to_string()));
+                }
+                let cfg = SimCfg {
+                    utlb: Some(UtlbSynth::wrl_kernel()),
+                    ..SimCfg::default()
+                };
+                stack.push(TlbSink::new(cfg, pagemap.clone()));
+            }
+            "dilation" => {
+                if !args.is_empty() {
+                    return Err(SinkSpecError::TooManyArgs(item.to_string()));
+                }
+                stack.push(DilationSink::default());
+            }
+            "pagemap" => {
+                if !args.is_empty() {
+                    return Err(SinkSpecError::TooManyArgs(item.to_string()));
+                }
+                stack.push(PagemapSink::new(pagemap.clone()));
+            }
+            "defense" => {
+                if !args.is_empty() {
+                    return Err(SinkSpecError::TooManyArgs(item.to_string()));
+                }
+                stack.push(DefenseSink::default());
+            }
+            "sampled" => {
+                let cfg = match rest {
+                    Some(r) => SampledCfg::parse(r).map_err(SinkSpecError::Sampled)?,
+                    None => SampledCfg::default(),
+                };
+                stack.push(SampledWindowSink::new(cfg));
+            }
+            "wset" => {
+                if args.len() > 1 {
+                    return Err(SinkSpecError::TooManyArgs(item.to_string()));
+                }
+                let window: u64 = args
+                    .first()
+                    .map(|a| scaled(item, a))
+                    .transpose()?
+                    .unwrap_or(4096);
+                stack.push(WorkingSetSink::new(window));
+            }
+            "phase" => {
+                if args.len() > 2 {
+                    return Err(SinkSpecError::TooManyArgs(item.to_string()));
+                }
+                let window: u64 = args
+                    .first()
+                    .map(|a| scaled(item, a))
+                    .transpose()?
+                    .unwrap_or(4096);
+                let threshold: f64 = args
+                    .get(1)
+                    .map(|a| num(item, a))
+                    .transpose()?
+                    .unwrap_or(0.5);
+                stack.push(PhaseSink::new(window, threshold));
+            }
+            other => return Err(SinkSpecError::UnknownSink(other.to_string())),
+        }
+    }
+    if stack.is_empty() {
+        return Err(SinkSpecError::Empty);
+    }
+    Ok(stack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrl_memsim::Policy;
+
+    fn pm() -> PageMap {
+        PageMap::new(Policy::FirstFree { base_pfn: 0x100 })
+    }
+
+    #[test]
+    fn full_grammar_round_trips_into_names() {
+        let stack = build_stack(
+            "cache:32768:4, tlb, dilation, pagemap, defense, sampled:1k:3k:9, wset:64, phase:64:0.25",
+            &pm(),
+        )
+        .unwrap();
+        assert_eq!(
+            stack.names(),
+            vec![
+                "cache:32768:4",
+                "tlb",
+                "dilation",
+                "pagemap",
+                "defense",
+                "sampled:1024:3072:9",
+                "wset:64",
+                "phase:64",
+            ]
+        );
+        assert!(stack.wants_words(), "sampled wants word hooks");
+    }
+
+    #[test]
+    fn size_and_window_arguments_take_k_and_m_suffixes() {
+        let stack = build_stack("cache:64k:2, wset:16k, phase:1m", &pm()).unwrap();
+        assert_eq!(
+            stack.names(),
+            vec!["cache:65536:2", "wset:16384", "phase:1048576"]
+        );
+        // A cache size past u32 and a bare suffix both refuse.
+        assert!(matches!(
+            build_stack("cache:4096m", &pm()),
+            Err(SinkSpecError::BadArg { .. })
+        ));
+        assert!(matches!(
+            build_stack("wset:k", &pm()),
+            Err(SinkSpecError::BadArg { .. })
+        ));
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let stack = build_stack("cache,wset,phase", &pm()).unwrap();
+        assert_eq!(
+            stack.names(),
+            vec!["cache:65536:2", "wset:4096", "phase:4096"]
+        );
+        assert!(!stack.wants_words());
+        assert_eq!(
+            build_stack("nope", &pm()).unwrap_err(),
+            SinkSpecError::UnknownSink("nope".into())
+        );
+        assert_eq!(build_stack("", &pm()).unwrap_err(), SinkSpecError::Empty);
+        assert_eq!(
+            build_stack("tlb:9", &pm()).unwrap_err(),
+            SinkSpecError::TooManyArgs("tlb:9".into())
+        );
+        assert!(matches!(
+            build_stack("cache:x", &pm()),
+            Err(SinkSpecError::BadArg { .. })
+        ));
+        assert!(matches!(
+            build_stack("sampled:0", &pm()),
+            Err(SinkSpecError::Sampled(SampledCfgError::ZeroOn))
+        ));
+    }
+}

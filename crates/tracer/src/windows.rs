@@ -1,0 +1,547 @@
+//! The three sinks the one-pass framework makes cheap: sampled
+//! tracing windows, per-ASID working-set curves, and a phase
+//! detector.
+//!
+//! All three are deterministic: the sampled windows derive their
+//! phase offset from a seed (no clocks), and the window analyses use
+//! tumbling reference-count windows, so the same trace always yields
+//! the same report — the golden-trace tests pin exact values.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wrl_isa::Width;
+use wrl_trace::Space;
+
+use crate::sink::{AnalysisSink, SinkError, SinkReport};
+
+/// splitmix64: one deterministic scramble of the seed, used to place
+/// the duty-cycle's phase offset so that seed choice shifts *where*
+/// the windows fall without changing their shape.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Errors from [`SampledCfg::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SampledCfgError {
+    /// A numeric field failed to parse or overflowed.
+    BadNumber(String),
+    /// The on-window was zero (nothing would ever be sampled).
+    ZeroOn,
+    /// `on + off` overflowed u64.
+    PeriodOverflow,
+    /// Wrong number of `:`-separated fields.
+    BadShape(String),
+}
+
+impl std::fmt::Display for SampledCfgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampledCfgError::BadNumber(s) => write!(f, "bad number {s:?}"),
+            SampledCfgError::ZeroOn => write!(f, "on-window must be nonzero"),
+            SampledCfgError::PeriodOverflow => write!(f, "on + off overflows"),
+            SampledCfgError::BadShape(s) => write!(f, "want on[:off[:seed]], got {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SampledCfgError {}
+
+/// Deterministic on/off duty-cycle configuration for
+/// [`SampledWindowSink`], in trace words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampledCfg {
+    /// Words traced per window.
+    pub on: u64,
+    /// Words skipped between windows.
+    pub off: u64,
+    /// Seed for the phase offset (where the first window starts).
+    pub seed: u64,
+}
+
+impl Default for SampledCfg {
+    fn default() -> Self {
+        SampledCfg {
+            on: 1 << 16,
+            off: 7 << 16,
+            seed: 0,
+        }
+    }
+}
+
+/// Parses one numeric field with optional `k`/`K` (×1024) or `m`/`M`
+/// (×1024²) suffix, rejecting overflow.
+fn parse_scaled(s: &str) -> Result<u64, SampledCfgError> {
+    let bad = || SampledCfgError::BadNumber(s.to_string());
+    let (digits, scale) = match s.chars().last() {
+        Some('k') | Some('K') => (&s[..s.len() - 1], 1024u64),
+        Some('m') | Some('M') => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    n.checked_mul(scale).ok_or_else(bad)
+}
+
+impl SampledCfg {
+    /// Parses `on[:off[:seed]]` with `k`/`m` suffixes, e.g.
+    /// `64k:448k:7`. Omitted `off` defaults to `7*on` (a 1-in-8 duty
+    /// cycle), omitted `seed` to 0.
+    pub fn parse(spec: &str) -> Result<SampledCfg, SampledCfgError> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.is_empty() || parts.len() > 3 || parts.iter().any(|p| p.is_empty()) {
+            return Err(SampledCfgError::BadShape(spec.to_string()));
+        }
+        let on = parse_scaled(parts[0])?;
+        if on == 0 {
+            return Err(SampledCfgError::ZeroOn);
+        }
+        let off = match parts.get(1) {
+            Some(p) => parse_scaled(p)?,
+            None => on.checked_mul(7).ok_or(SampledCfgError::PeriodOverflow)?,
+        };
+        let seed = match parts.get(2) {
+            Some(p) => parse_scaled(p)?,
+            None => 0,
+        };
+        if on.checked_add(off).is_none() {
+            return Err(SampledCfgError::PeriodOverflow);
+        }
+        Ok(SampledCfg { on, off, seed })
+    }
+
+    /// The full duty-cycle period in words.
+    pub fn period(&self) -> u64 {
+        self.on + self.off
+    }
+
+    /// The seeded phase offset in `[0, period)`.
+    pub fn phase(&self) -> u64 {
+        if self.off == 0 {
+            return 0;
+        }
+        splitmix64(self.seed) % self.period()
+    }
+}
+
+/// Sampled tracing windows (Metz & Lencevicius-style duty-cycle
+/// profiling): the sink observes only the events inside deterministic
+/// on-windows of the word stream and scales its counts up by the duty
+/// cycle. Wants word hooks — the duty cycle is defined over raw trace
+/// words, the paper's unit of trace volume.
+#[derive(Debug)]
+pub struct SampledWindowSink {
+    cfg: SampledCfg,
+    phase: u64,
+    active: bool,
+    words: u64,
+    sampled_words: u64,
+    windows: u64,
+    sampled_irefs: u64,
+    sampled_drefs: u64,
+}
+
+impl SampledWindowSink {
+    /// A sampler over `cfg`'s duty cycle.
+    pub fn new(cfg: SampledCfg) -> SampledWindowSink {
+        SampledWindowSink {
+            phase: cfg.phase(),
+            cfg,
+            active: false,
+            words: 0,
+            sampled_words: 0,
+            windows: 0,
+            sampled_irefs: 0,
+            sampled_drefs: 0,
+        }
+    }
+}
+
+impl AnalysisSink for SampledWindowSink {
+    fn name(&self) -> String {
+        format!("sampled:{}:{}:{}", self.cfg.on, self.cfg.off, self.cfg.seed)
+    }
+
+    fn wants_words(&self) -> bool {
+        true
+    }
+
+    fn before_word(&mut self, pos: u64, _word: u32) -> Result<(), SinkError> {
+        let now = (pos + self.phase) % self.cfg.period() < self.cfg.on;
+        if now && !self.active {
+            self.windows += 1;
+        }
+        self.active = now;
+        Ok(())
+    }
+
+    fn after_word(&mut self, _pos: u64, _word: u32) -> Result<(), SinkError> {
+        self.words += 1;
+        if self.active {
+            self.sampled_words += 1;
+        }
+        Ok(())
+    }
+
+    fn iref(&mut self, _v: u32, _s: Space, _i: bool) -> Result<(), SinkError> {
+        if self.active {
+            self.sampled_irefs += 1;
+        }
+        Ok(())
+    }
+
+    fn dref(&mut self, _v: u32, _st: bool, _w: Width, _s: Space) -> Result<(), SinkError> {
+        if self.active {
+            self.sampled_drefs += 1;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> SinkReport {
+        let mut r = SinkReport::new(self.name());
+        r.push("windows", self.windows);
+        r.push("words", self.words);
+        r.push("sampled_words", self.sampled_words);
+        r.push("sampled_irefs", self.sampled_irefs);
+        r.push("sampled_drefs", self.sampled_drefs);
+        let coverage = if self.words == 0 {
+            0.0
+        } else {
+            self.sampled_words as f64 / self.words as f64
+        };
+        r.push("coverage", coverage);
+        // Duty-cycle scale-up: the §3.1 trick of estimating full-run
+        // counts from sampled windows.
+        let scale = self.cfg.period() as f64 / self.cfg.on as f64;
+        r.push("est_irefs", self.sampled_irefs as f64 * scale);
+        r.push("est_drefs", self.sampled_drefs as f64 * scale);
+        r
+    }
+}
+
+/// Per-ASID working-set curves: distinct 4 KB pages touched per
+/// tumbling window of references, one row per address space (key 256
+/// is the kernel). The per-row curves come back as report children.
+#[derive(Debug)]
+pub struct WorkingSetSink {
+    /// References per tumbling window.
+    window: u64,
+    rows: BTreeMap<u16, WsRow>,
+}
+
+#[derive(Debug, Default)]
+struct WsRow {
+    refs: u64,
+    pages: BTreeSet<u32>,
+    cur: BTreeSet<u32>,
+    cur_refs: u64,
+    windows: u64,
+    peak: u64,
+    sum: u64,
+}
+
+impl WsRow {
+    fn touch(&mut self, page: u32, window: u64) {
+        self.refs += 1;
+        self.pages.insert(page);
+        self.cur.insert(page);
+        self.cur_refs += 1;
+        if self.cur_refs == window {
+            self.roll();
+        }
+    }
+
+    fn roll(&mut self) {
+        let n = self.cur.len() as u64;
+        self.windows += 1;
+        self.peak = self.peak.max(n);
+        self.sum += n;
+        self.cur.clear();
+        self.cur_refs = 0;
+    }
+}
+
+impl WorkingSetSink {
+    /// A working-set study with `window` references per window.
+    pub fn new(window: u64) -> WorkingSetSink {
+        WorkingSetSink {
+            window: window.max(1),
+            rows: BTreeMap::new(),
+        }
+    }
+
+    fn touch(&mut self, vaddr: u32, space: Space) {
+        let key = match space {
+            Space::User(a) => a as u16,
+            Space::Kernel => 256,
+        };
+        let window = self.window;
+        self.rows.entry(key).or_default().touch(vaddr >> 12, window);
+    }
+}
+
+impl AnalysisSink for WorkingSetSink {
+    fn name(&self) -> String {
+        format!("wset:{}", self.window)
+    }
+
+    fn iref(&mut self, vaddr: u32, space: Space, _idle: bool) -> Result<(), SinkError> {
+        self.touch(vaddr, space);
+        Ok(())
+    }
+
+    fn dref(&mut self, vaddr: u32, _store: bool, _w: Width, space: Space) -> Result<(), SinkError> {
+        self.touch(vaddr, space);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> SinkReport {
+        let mut r = SinkReport::new(self.name());
+        // A trailing partial window still describes a working set.
+        for row in self.rows.values_mut() {
+            if row.cur_refs > 0 {
+                row.roll();
+            }
+        }
+        r.push("spaces", self.rows.len() as u64);
+        r.push("refs", self.rows.values().map(|v| v.refs).sum::<u64>());
+        r.push(
+            "pages",
+            self.rows
+                .values()
+                .map(|v| v.pages.len() as u64)
+                .sum::<u64>(),
+        );
+        for (key, row) in &self.rows {
+            let label = if *key == 256 {
+                "kernel".to_string()
+            } else {
+                format!("asid:{key}")
+            };
+            let mut child = SinkReport::new(label);
+            child.push("windows", row.windows);
+            child.push("pages", row.pages.len() as u64);
+            child.push("peak", row.peak);
+            let mean = if row.windows == 0 {
+                0.0
+            } else {
+                row.sum as f64 / row.windows as f64
+            };
+            child.push("mean", mean);
+            child.push("refs", row.refs);
+            r.children.push(child);
+        }
+        r
+    }
+}
+
+/// Phase detector: Jaccard distance between the page sets of
+/// consecutive tumbling reference windows; a distance above the
+/// threshold is a change-point (the program moved to a new phase).
+/// The trailing partial window is ignored — its distance would be an
+/// artifact of truncation, not a phase change.
+#[derive(Debug)]
+pub struct PhaseSink {
+    window: u64,
+    threshold: f64,
+    cur: BTreeSet<u32>,
+    cur_refs: u64,
+    prev: Option<BTreeSet<u32>>,
+    windows: u64,
+    change_points: Vec<u64>,
+    dist_sum: f64,
+    dist_max: f64,
+    distances: u64,
+}
+
+impl PhaseSink {
+    /// A detector with `window` references per window and a Jaccard
+    /// change-point `threshold` in `(0, 1]`.
+    pub fn new(window: u64, threshold: f64) -> PhaseSink {
+        PhaseSink {
+            window: window.max(1),
+            threshold,
+            cur: BTreeSet::new(),
+            cur_refs: 0,
+            prev: None,
+            windows: 0,
+            change_points: Vec::new(),
+            dist_sum: 0.0,
+            dist_max: 0.0,
+            distances: 0,
+        }
+    }
+
+    fn touch(&mut self, vaddr: u32) {
+        self.cur.insert(vaddr >> 12);
+        self.cur_refs += 1;
+        if self.cur_refs == self.window {
+            self.roll();
+        }
+    }
+
+    fn roll(&mut self) {
+        let cur = std::mem::take(&mut self.cur);
+        self.cur_refs = 0;
+        self.windows += 1;
+        if let Some(prev) = &self.prev {
+            let inter = prev.intersection(&cur).count() as f64;
+            let union = prev.union(&cur).count() as f64;
+            let d = if union == 0.0 {
+                0.0
+            } else {
+                1.0 - inter / union
+            };
+            self.dist_sum += d;
+            self.dist_max = self.dist_max.max(d);
+            self.distances += 1;
+            if d > self.threshold {
+                self.change_points.push(self.windows - 1);
+            }
+        }
+        self.prev = Some(cur);
+    }
+}
+
+impl AnalysisSink for PhaseSink {
+    fn name(&self) -> String {
+        format!("phase:{}", self.window)
+    }
+
+    fn iref(&mut self, vaddr: u32, _space: Space, _idle: bool) -> Result<(), SinkError> {
+        self.touch(vaddr);
+        Ok(())
+    }
+
+    fn dref(&mut self, vaddr: u32, _store: bool, _w: Width, _s: Space) -> Result<(), SinkError> {
+        self.touch(vaddr);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> SinkReport {
+        let mut r = SinkReport::new(self.name());
+        r.push("windows", self.windows);
+        r.push("change_points", self.change_points.len() as u64);
+        let mean = if self.distances == 0 {
+            0.0
+        } else {
+            self.dist_sum / self.distances as f64
+        };
+        r.push("mean_distance", mean);
+        r.push("max_distance", self.dist_max);
+        for (i, cp) in self.change_points.iter().take(8).enumerate() {
+            r.push(format!("cp{i}"), *cp);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_cfg_parses_suffixes_and_defaults() {
+        assert_eq!(
+            SampledCfg::parse("64k").unwrap(),
+            SampledCfg {
+                on: 65536,
+                off: 7 * 65536,
+                seed: 0
+            }
+        );
+        assert_eq!(
+            SampledCfg::parse("1k:3k:9").unwrap(),
+            SampledCfg {
+                on: 1024,
+                off: 3072,
+                seed: 9
+            }
+        );
+        assert_eq!(SampledCfg::parse("0:5"), Err(SampledCfgError::ZeroOn));
+        assert!(matches!(
+            SampledCfg::parse("a:b"),
+            Err(SampledCfgError::BadNumber(_))
+        ));
+        assert!(matches!(
+            SampledCfg::parse("1:2:3:4"),
+            Err(SampledCfgError::BadShape(_))
+        ));
+        assert!(matches!(
+            SampledCfg::parse(&format!("{}", u64::MAX)),
+            Err(SampledCfgError::PeriodOverflow)
+        ));
+    }
+
+    #[test]
+    fn sampler_duty_cycle_is_exact_and_seeded() {
+        let cfg = SampledCfg {
+            on: 4,
+            off: 4,
+            seed: 0,
+        };
+        let mut s = SampledWindowSink::new(cfg);
+        for pos in 0..64u64 {
+            s.before_word(pos, 0).unwrap();
+            s.iref(0x8000_0000, Space::Kernel, false).unwrap();
+            s.after_word(pos, 0).unwrap();
+        }
+        let r = s.finish();
+        // Exactly half the words are inside on-windows.
+        assert_eq!(r.get_u64("sampled_words"), Some(32));
+        assert_eq!(r.get_u64("sampled_irefs"), Some(32));
+        // est scales back to the full run.
+        assert_eq!(r.get("est_irefs"), Some(&crate::Value::F64(64.0)));
+        // A different seed shifts the phase, not the coverage.
+        let mut s2 = SampledWindowSink::new(SampledCfg { seed: 1, ..cfg });
+        for pos in 0..64u64 {
+            s2.before_word(pos, 0).unwrap();
+            s2.after_word(pos, 0).unwrap();
+        }
+        assert_eq!(s2.finish().get_u64("sampled_words"), Some(32));
+    }
+
+    #[test]
+    fn working_set_counts_distinct_pages_per_window() {
+        let mut w = WorkingSetSink::new(4);
+        // Window 1: pages 0,1 (4 refs). Window 2: page 2 only.
+        for va in [0x0000u32, 0x0004, 0x1000, 0x1004] {
+            w.iref(va, Space::User(1), false).unwrap();
+        }
+        for va in [0x2000u32, 0x2004, 0x2008, 0x200c] {
+            w.iref(va, Space::User(1), false).unwrap();
+        }
+        w.dref(0x8000_0000, false, Width::Word, Space::Kernel)
+            .unwrap();
+        let r = w.finish();
+        assert_eq!(r.get_u64("spaces"), Some(2));
+        let u1 = &r.children[0];
+        assert_eq!(u1.sink, "asid:1");
+        assert_eq!(u1.get_u64("windows"), Some(2));
+        assert_eq!(u1.get_u64("peak"), Some(2));
+        assert_eq!(u1.get("mean"), Some(&crate::Value::F64(1.5)));
+        assert_eq!(r.children[1].sink, "kernel");
+        assert_eq!(r.children[1].get_u64("windows"), Some(1));
+    }
+
+    #[test]
+    fn phase_detector_flags_a_working_set_change() {
+        let mut p = PhaseSink::new(4, 0.5);
+        // Two identical windows on pages {0,1}, then a jump to {8,9}.
+        for _ in 0..2 {
+            for va in [0x0000u32, 0x0100, 0x1000, 0x1100] {
+                p.iref(va, Space::User(1), false).unwrap();
+            }
+        }
+        for va in [0x8000u32, 0x8100, 0x9000, 0x9100] {
+            p.iref(va, Space::User(1), false).unwrap();
+        }
+        let r = p.finish();
+        assert_eq!(r.get_u64("windows"), Some(3));
+        assert_eq!(r.get_u64("change_points"), Some(1));
+        assert_eq!(r.get_u64("cp0"), Some(2));
+        assert_eq!(r.get("max_distance"), Some(&crate::Value::F64(1.0)));
+    }
+}

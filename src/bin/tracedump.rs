@@ -15,6 +15,10 @@
 //! tracedump live   <addr> <workload> <ultrix|mach>       run a traced machine, serving its live feed
 //! tracedump tail   <addr> <feed> [--asid A] [--window LO..HI] [--from-start]
 //!                                                        follow a live feed's filtered tail
+//! tracedump analyze <file.w3kt> <sinks> [--workers N] [--per-worker-parse]
+//!                                                        run a composed sink stack in one pass
+//! tracedump analyze <addr> <archive> <sinks> --tables <file.w3kt> [--asid A] [--window LO..HI]
+//!                                                        same, over a remote node's word stream
 //! tracedump shard  <in.w3kt> <out_dir> <n> [--plan block_range|asid_hash]
 //!                                                        split a store into shard archives + manifest
 //! tracedump fabric <addr> <manifest> <ep[,ep...]>...     coordinate shards behind one endpoint
@@ -36,6 +40,15 @@
 //! after the run so late tails replay the whole feed); `tail`
 //! subscribes with the same predicate flags as `fetch` and streams
 //! the filtered events until the end-of-feed marker, exiting 0.
+//! `analyze` is the `wrl-tracer` surface: a comma-separated sink
+//! spec (`cache:65536:2,tlb,dilation,pagemap,defense,sampled:64k,
+//! wset:4096,phase:4096:0.5`) builds a composed stack fed from one
+//! decode+parse pass — sequentially (the default, and forced when a
+//! sink wants raw-word hooks) or over the replay farm with
+//! `--workers`. The remote form ships only the predicate-admitted
+//! word stream from a `serve`/`fabric` node; the static basic-block
+//! tables are read from a locally-held archive (`--tables`), the
+//! same split as debug symbols vs a core file.
 //! The `shard` / `fabric` / `shards` trio scales that surface out
 //! (`wrl-fabric`): `shard` splits a store into per-shard archives
 //! (each a stock `W3KTRACE` file any `serve` node can publish) plus a
@@ -51,8 +64,9 @@ use systrace::fabric::{split_store, Coordinator, FabricCfg, Manifest, PlanKind, 
 use systrace::kernel::{build_system, KernelConfig};
 use systrace::memsim::{MemSim, PageMap, Policy, SimCfg, UtlbSynth};
 use systrace::serve::{Catalog, Client, ClientCfg, ServeCfg, Server, TailItem};
-use systrace::store::{BlockFormat, Predicate, StoreObs, TraceStore, DEFAULT_BLOCK_WORDS};
+use systrace::store::{BlockFormat, FarmCfg, Predicate, StoreObs, TraceStore, DEFAULT_BLOCK_WORDS};
 use systrace::trace::{Space, TraceArchive, TraceSink};
+use systrace::tracer::{analyze_store, analyze_words, build_stack, TracerObs};
 
 fn usage() -> ! {
     eprintln!("usage: tracedump record <workload> <ultrix|mach> <out.w3kt>");
@@ -66,6 +80,10 @@ fn usage() -> ! {
     eprintln!("       tracedump fetch <addr> <archive> [--asid A] [--window LO..HI]");
     eprintln!("       tracedump live <addr> <workload> <ultrix|mach>");
     eprintln!("       tracedump tail <addr> <feed> [--asid A] [--window LO..HI] [--from-start]");
+    eprintln!("       tracedump analyze <file.w3kt> <sinks> [--workers N] [--per-worker-parse]");
+    eprintln!(
+        "       tracedump analyze <addr> <archive> <sinks> --tables <file.w3kt> [--asid A] [--window LO..HI]"
+    );
     eprintln!("       tracedump shard <in.w3kt> <out_dir> <n> [--plan block_range|asid_hash]");
     eprintln!("       tracedump fabric <addr> <manifest> <ep[,ep...]>...");
     eprintln!("       tracedump shards <addr>");
@@ -108,6 +126,7 @@ fn main() {
         Some("fetch") if args.len() >= 3 => fetch(&args[1], &args[2], &args[3..]),
         Some("live") if args.len() == 4 => live(&args[1], &args[2], &args[3]),
         Some("tail") if args.len() >= 3 => tail(&args[1], &args[2], &args[3..]),
+        Some("analyze") if args.len() >= 3 => analyze(&args[1..]),
         Some("shard") if args.len() >= 4 => {
             let n: usize = args[3].parse().unwrap_or_else(|_| usage());
             let plan = match args.get(4).map(String::as_str) {
@@ -536,6 +555,117 @@ fn tail(addr: &str, feed: &str, opts: &[String]) {
             }
         }
     }
+}
+
+/// Runs a composed sink stack in one decode+parse pass, locally over
+/// a store file or remotely over a served archive's word stream.
+/// Prints every sink's report; exits 1 if any sink failed mid-pass.
+fn analyze(args: &[String]) {
+    if args.iter().any(|a| a == "--tables") {
+        if args.len() < 3 {
+            usage();
+        }
+        analyze_remote(&args[0], &args[1], &args[2], &args[3..]);
+    } else {
+        analyze_local(&args[0], &args[1], &args[2..]);
+    }
+}
+
+/// Builds the stack for `spec` (exiting with usage-style diagnostics
+/// on a bad spec) and attaches the `tracer.*` metrics.
+fn stack_for(spec: &str) -> systrace::tracer::Stack {
+    let pagemap = PageMap::new(Policy::FirstFree { base_pfn: 0x2000 });
+    let mut stack = build_stack(spec, &pagemap).unwrap_or_else(|e| {
+        eprintln!("sink spec: {e}");
+        std::process::exit(2);
+    });
+    stack.attach_obs(TracerObs::register());
+    stack
+}
+
+/// Prints one pass's reports and exits nonzero if a sink failed.
+fn finish_analysis(report: &systrace::tracer::StackReport) {
+    println!(
+        "  {} words decoded+parsed once for {} sink(s), {} events routed",
+        report.words,
+        report.reports.len(),
+        report.applied
+    );
+    print!("{}", report.render());
+    if report.failed() > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn analyze_local(path: &str, spec: &str, opts: &[String]) {
+    systrace::obs::register_all();
+    let mut cfg = FarmCfg {
+        workers: 1,
+        ..FarmCfg::default()
+    };
+    let mut it = opts.iter();
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--workers" => {
+                cfg.workers = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--per-worker-parse" => cfg.shared_parse = false,
+            _ => usage(),
+        }
+    }
+    let store = load_store(path);
+    let stack = stack_for(spec);
+    println!("one-pass analysis of {path}:");
+    let report = analyze_store(&store, stack, cfg).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    finish_analysis(&report);
+}
+
+/// Remote analysis: the word stream comes from a `serve`/`fabric`
+/// node via a predicate-pushdown query; the static basic-block
+/// tables (which the fetch path never ships) come from a locally
+/// held archive of the same trace.
+fn analyze_remote(addr: &str, archive: &str, spec: &str, opts: &[String]) {
+    systrace::obs::register_all();
+    let mut pred = Predicate::default();
+    let mut tables: Option<&str> = None;
+    let mut it = opts.iter();
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--tables" => tables = Some(it.next().unwrap_or_else(|| usage())),
+            "--asid" => {
+                let a = it.next().and_then(|s| s.parse().ok());
+                pred.asid = Some(a.unwrap_or_else(|| usage()));
+            }
+            "--window" => {
+                let w = it.next().and_then(|s| {
+                    let (lo, hi) = s.split_once("..")?;
+                    Some((lo.parse().ok()?, hi.parse().ok()?))
+                });
+                pred.window = Some(w.unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    let tables = tables.unwrap_or_else(|| usage());
+    let parser = load_store(tables).parser();
+    let stack = stack_for(spec);
+    let mut client = connect(addr);
+    let q = client.query(archive, &pred).unwrap_or_else(|e| {
+        eprintln!("analyze: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "one-pass analysis of {archive} @ {addr} ({} decoded / {} skipped blocks):",
+        q.blocks_decoded, q.blocks_skipped
+    );
+    let report = analyze_words(parser, &q.words, stack);
+    finish_analysis(&report);
 }
 
 /// Splits a store into `n` shard archives plus the manifest binding

@@ -23,6 +23,7 @@ use wrl_kernel::{build_system, KernelConfig, System, SystemRun};
 use wrl_memsim::{predict, MemSim, PageMap, Prediction, SimCfg, TimeModel, UtlbSynth};
 use wrl_obs::{global, span, time, Span};
 use wrl_trace::{BbTable, EventVec, TraceParser};
+use wrl_tracer::{Driver, Stack, StackReport};
 use wrl_workloads::Workload;
 
 /// Phase timers for the validation harness, one [`Span`] per pipeline
@@ -193,6 +194,236 @@ pub fn pixie_arith_stalls(w: &Workload) -> u64 {
     run.machine.counters.fp_stall_ideal
 }
 
+/// Configuration for [`run_analyzed`]: how the prediction side of the
+/// run is executed. Every `run_predicted_*` entry is a thin shim over
+/// one setting of this struct.
+#[derive(Clone, Default)]
+pub struct AnalyzeCfg {
+    /// The pixie-style arithmetic-stall estimate for the §5.1
+    /// predictor.
+    pub arith_stalls: u64,
+    /// `Some` parses and simulates *while the machine runs* on the
+    /// streaming pipeline; `None` parses in batch after the run.
+    pub pcfg: Option<wrl_trace::PipelineCfg>,
+    /// Fault-injection hooks consulted at every streaming stage
+    /// boundary (ignored in batch mode; the default hooks are free).
+    pub hooks: wrl_trace::ChaosHooks,
+    /// Time the phases with `harness.phase.*` spans and export the
+    /// machine/parser/simulator statistics to the obs registry.
+    pub metered: bool,
+}
+
+/// What [`run_analyzed`] produces: the legacy prediction plus the
+/// composed sink stack's one-pass reports.
+pub struct AnalyzedRun {
+    /// The measured-vs-predicted side (bit-identical to the matching
+    /// `run_predicted_*` entry).
+    pub predicted: Predicted,
+    /// The sink stack's reports, one slot per composed analysis.
+    pub stack: StackReport,
+}
+
+/// The single analysis entry behind the whole `run_predicted_*` zoo:
+/// runs the instrumented system, produces the §5 prediction exactly
+/// as the matching legacy entry did, and feeds every composed sink in
+/// `stack` from **one** decode+parse pass over the same word stream
+/// (inline in the drain callback when streaming, over the collected
+/// trace when batch). An empty stack short-circuits to zero analysis
+/// cost, which is what makes the old names true thin shims.
+///
+/// `feed` tees every drained buffer to a live-tail feed before any
+/// local analysis sees it (the `run_predicted_live` contract);
+/// passing a feed forces streaming mode.
+pub fn run_analyzed(
+    cfg: &KernelConfig,
+    w: &Workload,
+    acfg: AnalyzeCfg,
+    stack: Stack,
+    feed: Option<&wrl_serve::LiveFeed>,
+) -> AnalyzedRun {
+    assert!(cfg.traced, "run_analyzed wants a traced config");
+    if acfg.pcfg.is_none() && feed.is_none() {
+        run_analyzed_batch(cfg, w, acfg, stack)
+    } else {
+        run_analyzed_streaming(cfg, w, acfg, stack, feed)
+    }
+}
+
+/// The simulator configuration every prediction path uses.
+fn wrl_simcfg() -> SimCfg {
+    SimCfg {
+        utlb: Some(UtlbSynth::wrl_kernel()),
+        ..SimCfg::default()
+    }
+}
+
+/// Batch arm of [`run_analyzed`]: run to completion, then parse. The
+/// unmetered path is [`predict_from_run`]; the metered path parses
+/// into a buffered [`EventVec`] so parse and simulate are timed
+/// separately (bit-identical to the fused pass — the simulator only
+/// ever sees the parser's event stream).
+fn run_analyzed_batch(
+    cfg: &KernelConfig,
+    w: &Workload,
+    acfg: AnalyzeCfg,
+    stack: Stack,
+) -> AnalyzedRun {
+    let (sys, run, predicted) = if acfg.metered {
+        let obs = HarnessObs::register();
+        let parser_obs = wrl_trace::ParserObs::register();
+
+        let mut sys = time!(obs.build, build_system(cfg, &[w]));
+        let run = time!(obs.run, sys.run(SYSTEM_BUDGET));
+
+        let mut parser = sys.parser();
+        parser.attach_obs(parser_obs);
+        let mut events = EventVec::default();
+        time!(obs.parse, parser.parse_all(&run.trace_words, &mut events));
+
+        let simcfg = wrl_simcfg();
+        let mut pagemap = sys.pagemap.clone();
+        for (token, asid) in sys.thread_parents() {
+            pagemap.duplicate_space(
+                wrl_memsim::SpaceKey::User(asid),
+                wrl_memsim::SpaceKey::User(token),
+            );
+        }
+        let mut sim = MemSim::new(simcfg.clone(), pagemap);
+        time!(obs.simulate, {
+            for ev in events.0 {
+                ev.apply(&mut sim);
+            }
+        });
+        let prediction = time!(
+            obs.predict,
+            predict(
+                &sim.stats,
+                &simcfg,
+                acfg.arith_stalls,
+                &TimeModel::default()
+            )
+        );
+
+        sys.machine.counters.export_obs();
+        parser.stats.export_obs();
+        sim.stats.export_obs();
+
+        let predicted = Predicted {
+            seconds: prediction.seconds(&TimeModel::default()),
+            prediction,
+            utlb_misses: sim.stats.utlb_misses,
+            trace_insts: sim.stats.insts(),
+            kernel_insts: sim.stats.kernel_irefs,
+            idle_insts: sim.stats.idle_insts,
+            traced_machine_insts: sys.machine.counters.insts(),
+            trace_words: run.trace_words.len() as u64,
+            mode_transitions: parser.stats.mode_transitions,
+            parse_errors: parser.stats.errors,
+            sanity_violations: sim.stats.sanity_violations,
+            exit_code: run.exit_code,
+        };
+        (sys, run, predicted)
+    } else {
+        let mut sys = build_system(cfg, &[w]);
+        let run = sys.run(SYSTEM_BUDGET);
+        let predicted = predict_from_run(&sys, &run, acfg.arith_stalls);
+        (sys, run, predicted)
+    };
+    // The composed sinks' single decode+parse pass over the collected
+    // trace (free when the stack is empty).
+    let mut driver = Driver::new(sys.parser(), stack);
+    driver.feed(&run.trace_words);
+    AnalyzedRun {
+        predicted,
+        stack: driver.finish(),
+    }
+}
+
+/// Streaming arm of [`run_analyzed`]: parse and simulate on the
+/// pipeline while the machine runs; the sink stack's driver rides the
+/// same drain callback, so the composed analyses happen on the fly
+/// too. Drain order is publish (live tail) → stack → pipeline, and
+/// the feed finishes only after the pipeline drains, preserving the
+/// `run_predicted_live` subscriber contract.
+fn run_analyzed_streaming(
+    cfg: &KernelConfig,
+    w: &Workload,
+    acfg: AnalyzeCfg,
+    stack: Stack,
+    feed: Option<&wrl_serve::LiveFeed>,
+) -> AnalyzedRun {
+    let pcfg = acfg.pcfg.unwrap_or_default();
+    let obs = acfg.metered.then(HarnessObs::register);
+
+    let mut sys = match &obs {
+        Some(o) => time!(o.build, build_system(cfg, &[w])),
+        None => build_system(cfg, &[w]),
+    };
+    let mut parser = sys.parser();
+    if acfg.metered {
+        parser.attach_obs(wrl_trace::ParserObs::register());
+    }
+    let simcfg = wrl_simcfg();
+    let sim = MemSim::new(simcfg.clone(), sys.pagemap.clone());
+    let mut pipe = wrl_trace::Pipeline::with_hooks(parser, sim, pcfg, acfg.hooks.clone());
+    let mut driver = Driver::new(sys.parser(), stack);
+    let drain = |words: Vec<u32>| {
+        if let Some(f) = feed {
+            f.publish(&words);
+        }
+        driver.feed(&words);
+        pipe.feed_owned(words);
+    };
+    let run = match &obs {
+        Some(o) => time!(o.run, sys.run_streaming(SYSTEM_BUDGET, drain)),
+        None => sys.run_streaming(SYSTEM_BUDGET, drain),
+    };
+    let (report, sim) = pipe.finish();
+    if let Some(f) = feed {
+        f.finish();
+    }
+    let prediction = match &obs {
+        Some(o) => time!(
+            o.predict,
+            predict(
+                &sim.stats,
+                &simcfg,
+                acfg.arith_stalls,
+                &TimeModel::default()
+            )
+        ),
+        None => predict(
+            &sim.stats,
+            &simcfg,
+            acfg.arith_stalls,
+            &TimeModel::default(),
+        ),
+    };
+    if acfg.metered {
+        sys.machine.counters.export_obs();
+        report.parse.export_obs();
+        sim.stats.export_obs();
+    }
+    let predicted = Predicted {
+        seconds: prediction.seconds(&TimeModel::default()),
+        prediction,
+        utlb_misses: sim.stats.utlb_misses,
+        trace_insts: sim.stats.insts(),
+        kernel_insts: sim.stats.kernel_irefs,
+        idle_insts: sim.stats.idle_insts,
+        traced_machine_insts: sys.machine.counters.insts(),
+        trace_words: run.words_drained,
+        mode_transitions: report.parse.mode_transitions,
+        parse_errors: report.parse.errors,
+        sanity_violations: sim.stats.sanity_violations,
+        exit_code: run.exit_code,
+    };
+    AnalyzedRun {
+        predicted,
+        stack: driver.finish(),
+    }
+}
+
 /// Runs the instrumented system, parses the trace, simulates and
 /// predicts.
 ///
@@ -200,9 +431,17 @@ pub fn pixie_arith_stalls(w: &Workload) -> u64 {
 /// (§4.2) so that its physical indexing matches the traced run.
 pub fn run_predicted(cfg: &KernelConfig, w: &Workload, arith_stalls: u64) -> Predicted {
     assert!(cfg.traced, "run_predicted wants a traced config");
-    let mut sys = build_system(cfg, &[w]);
-    let run = sys.run(SYSTEM_BUDGET);
-    predict_from_run(&sys, &run, arith_stalls)
+    run_analyzed(
+        cfg,
+        w,
+        AnalyzeCfg {
+            arith_stalls,
+            ..AnalyzeCfg::default()
+        },
+        Stack::new(),
+        None,
+    )
+    .predicted
 }
 
 /// The analysis-program half: parse + simulate + predict.
@@ -275,31 +514,19 @@ pub fn run_predicted_streaming_hooked(
         cfg.traced,
         "run_predicted_streaming(_hooked) wants a traced config"
     );
-    let mut sys = build_system(cfg, &[w]);
-    let parser = sys.parser();
-    let simcfg = SimCfg {
-        utlb: Some(UtlbSynth::wrl_kernel()),
-        ..SimCfg::default()
-    };
-    let sim = MemSim::new(simcfg.clone(), sys.pagemap.clone());
-    let mut pipe = wrl_trace::Pipeline::with_hooks(parser, sim, pcfg, hooks);
-    let run = sys.run_streaming(SYSTEM_BUDGET, |words| pipe.feed_owned(words));
-    let (report, sim) = pipe.finish();
-    let prediction = predict(&sim.stats, &simcfg, arith_stalls, &TimeModel::default());
-    Predicted {
-        seconds: prediction.seconds(&TimeModel::default()),
-        prediction,
-        utlb_misses: sim.stats.utlb_misses,
-        trace_insts: sim.stats.insts(),
-        kernel_insts: sim.stats.kernel_irefs,
-        idle_insts: sim.stats.idle_insts,
-        traced_machine_insts: sys.machine.counters.insts(),
-        trace_words: run.words_drained,
-        mode_transitions: report.parse.mode_transitions,
-        parse_errors: report.parse.errors,
-        sanity_violations: sim.stats.sanity_violations,
-        exit_code: run.exit_code,
-    }
+    run_analyzed(
+        cfg,
+        w,
+        AnalyzeCfg {
+            arith_stalls,
+            pcfg: Some(pcfg),
+            hooks,
+            metered: false,
+        },
+        Stack::new(),
+        None,
+    )
+    .predicted
 }
 
 /// Live-tail variant of [`run_predicted_streaming`]: every drained
@@ -324,35 +551,18 @@ pub fn run_predicted_live(
     feed: &wrl_serve::LiveFeed,
 ) -> Predicted {
     assert!(cfg.traced, "run_predicted_live wants a traced config");
-    let mut sys = build_system(cfg, &[w]);
-    let parser = sys.parser();
-    let simcfg = SimCfg {
-        utlb: Some(UtlbSynth::wrl_kernel()),
-        ..SimCfg::default()
-    };
-    let sim = MemSim::new(simcfg.clone(), sys.pagemap.clone());
-    let mut pipe = wrl_trace::Pipeline::new(parser, sim, pcfg);
-    let run = sys.run_streaming(SYSTEM_BUDGET, |words| {
-        feed.publish(&words);
-        pipe.feed_owned(words);
-    });
-    let (report, sim) = pipe.finish();
-    feed.finish();
-    let prediction = predict(&sim.stats, &simcfg, arith_stalls, &TimeModel::default());
-    Predicted {
-        seconds: prediction.seconds(&TimeModel::default()),
-        prediction,
-        utlb_misses: sim.stats.utlb_misses,
-        trace_insts: sim.stats.insts(),
-        kernel_insts: sim.stats.kernel_irefs,
-        idle_insts: sim.stats.idle_insts,
-        traced_machine_insts: sys.machine.counters.insts(),
-        trace_words: run.words_drained,
-        mode_transitions: report.parse.mode_transitions,
-        parse_errors: report.parse.errors,
-        sanity_violations: sim.stats.sanity_violations,
-        exit_code: run.exit_code,
-    }
+    run_analyzed(
+        cfg,
+        w,
+        AnalyzeCfg {
+            arith_stalls,
+            pcfg: Some(pcfg),
+            ..AnalyzeCfg::default()
+        },
+        Stack::new(),
+        Some(feed),
+    )
+    .predicted
 }
 
 /// Metered variant of [`run_predicted`]: identical result, with
@@ -366,57 +576,18 @@ pub fn run_predicted_live(
 /// that `tests/streaming_differential.rs` pins for the pipeline).
 pub fn run_predicted_metered(cfg: &KernelConfig, w: &Workload, arith_stalls: u64) -> Predicted {
     assert!(cfg.traced, "run_predicted_metered wants a traced config");
-    let obs = HarnessObs::register();
-    let parser_obs = wrl_trace::ParserObs::register();
-
-    let mut sys = time!(obs.build, build_system(cfg, &[w]));
-    let run = time!(obs.run, sys.run(SYSTEM_BUDGET));
-
-    let mut parser = sys.parser();
-    parser.attach_obs(parser_obs);
-    let mut events = EventVec::default();
-    time!(obs.parse, parser.parse_all(&run.trace_words, &mut events));
-
-    let simcfg = SimCfg {
-        utlb: Some(UtlbSynth::wrl_kernel()),
-        ..SimCfg::default()
-    };
-    let mut pagemap = sys.pagemap.clone();
-    for (token, asid) in sys.thread_parents() {
-        pagemap.duplicate_space(
-            wrl_memsim::SpaceKey::User(asid),
-            wrl_memsim::SpaceKey::User(token),
-        );
-    }
-    let mut sim = MemSim::new(simcfg.clone(), pagemap);
-    time!(obs.simulate, {
-        for ev in events.0 {
-            ev.apply(&mut sim);
-        }
-    });
-    let prediction = time!(
-        obs.predict,
-        predict(&sim.stats, &simcfg, arith_stalls, &TimeModel::default())
-    );
-
-    sys.machine.counters.export_obs();
-    parser.stats.export_obs();
-    sim.stats.export_obs();
-
-    Predicted {
-        seconds: prediction.seconds(&TimeModel::default()),
-        prediction,
-        utlb_misses: sim.stats.utlb_misses,
-        trace_insts: sim.stats.insts(),
-        kernel_insts: sim.stats.kernel_irefs,
-        idle_insts: sim.stats.idle_insts,
-        traced_machine_insts: sys.machine.counters.insts(),
-        trace_words: run.trace_words.len() as u64,
-        mode_transitions: parser.stats.mode_transitions,
-        parse_errors: parser.stats.errors,
-        sanity_violations: sim.stats.sanity_violations,
-        exit_code: run.exit_code,
-    }
+    run_analyzed(
+        cfg,
+        w,
+        AnalyzeCfg {
+            arith_stalls,
+            metered: true,
+            ..AnalyzeCfg::default()
+        },
+        Stack::new(),
+        None,
+    )
+    .predicted
 }
 
 /// Metered variant of [`run_predicted_streaming`]: identical result,
@@ -434,46 +605,19 @@ pub fn run_predicted_streaming_metered(
         cfg.traced,
         "run_predicted_streaming_metered wants a traced config"
     );
-    let obs = HarnessObs::register();
-    let parser_obs = wrl_trace::ParserObs::register();
-
-    let mut sys = time!(obs.build, build_system(cfg, &[w]));
-    let mut parser = sys.parser();
-    parser.attach_obs(parser_obs);
-    let simcfg = SimCfg {
-        utlb: Some(UtlbSynth::wrl_kernel()),
-        ..SimCfg::default()
-    };
-    let sim = MemSim::new(simcfg.clone(), sys.pagemap.clone());
-    let mut pipe = wrl_trace::Pipeline::new(parser, sim, pcfg);
-    let run = time!(
-        obs.run,
-        sys.run_streaming(SYSTEM_BUDGET, |words| pipe.feed_owned(words))
-    );
-    let (report, sim) = pipe.finish();
-    let prediction = time!(
-        obs.predict,
-        predict(&sim.stats, &simcfg, arith_stalls, &TimeModel::default())
-    );
-
-    sys.machine.counters.export_obs();
-    report.parse.export_obs();
-    sim.stats.export_obs();
-
-    Predicted {
-        seconds: prediction.seconds(&TimeModel::default()),
-        prediction,
-        utlb_misses: sim.stats.utlb_misses,
-        trace_insts: sim.stats.insts(),
-        kernel_insts: sim.stats.kernel_irefs,
-        idle_insts: sim.stats.idle_insts,
-        traced_machine_insts: sys.machine.counters.insts(),
-        trace_words: run.words_drained,
-        mode_transitions: report.parse.mode_transitions,
-        parse_errors: report.parse.errors,
-        sanity_violations: sim.stats.sanity_violations,
-        exit_code: run.exit_code,
-    }
+    run_analyzed(
+        cfg,
+        w,
+        AnalyzeCfg {
+            arith_stalls,
+            pcfg: Some(pcfg),
+            metered: true,
+            ..AnalyzeCfg::default()
+        },
+        Stack::new(),
+        None,
+    )
+    .predicted
 }
 
 /// Runs the complete measured-vs-predicted validation for one

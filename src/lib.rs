@@ -21,6 +21,9 @@
 //! * [`workloads`] — the twelve Table-1 workloads;
 //! * [`store`] — the compressed, seekable trace store (archive v2)
 //!   and the parallel replay farm;
+//! * [`tracer`] — the composable analysis-sink framework: N analyses
+//!   fed from one decode+parse pass over a run, an archive or the
+//!   replay farm;
 //! * [`fault`] — seeded deterministic fault injection and the chaos
 //!   campaign classifying every injected fault detected / harmless /
 //!   absorbed (never forbidden);
@@ -37,13 +40,15 @@ pub use wrl_memsim as memsim;
 pub use wrl_serve as serve;
 pub use wrl_store as store;
 pub use wrl_trace as trace;
+pub use wrl_tracer as tracer;
 pub use wrl_workloads as workloads;
 
 pub mod harness;
 pub mod obs;
 
 pub use harness::{
-    pixie_arith_stalls, predict_from_run, run_measured, run_predicted, run_predicted_live,
-    run_predicted_metered, run_predicted_streaming, run_predicted_streaming_hooked,
-    run_predicted_streaming_metered, validate, HarnessObs, Measured, Predicted, ValidationRow,
+    pixie_arith_stalls, predict_from_run, run_analyzed, run_measured, run_predicted,
+    run_predicted_live, run_predicted_metered, run_predicted_streaming,
+    run_predicted_streaming_hooked, run_predicted_streaming_metered, validate, AnalyzeCfg,
+    AnalyzedRun, HarnessObs, Measured, Predicted, ValidationRow,
 };

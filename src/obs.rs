@@ -20,6 +20,7 @@ pub fn register_all() {
     wrl_machine::CountersObs::register();
     wrl_memsim::SimObs::register();
     wrl_store::StoreObs::register();
+    wrl_tracer::TracerObs::register();
     wrl_serve::ServeObs::register();
     wrl_fabric::FabricObs::register();
     wrl_fault::FaultObs::register();
@@ -40,6 +41,7 @@ mod tests {
             "machine.cycles",
             "sim.irefs.kernel",
             "store.blocks",
+            "tracer.passes",
             "serve.requests.query",
             "fabric.failover",
             "fault.forbidden",

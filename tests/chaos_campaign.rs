@@ -19,14 +19,14 @@ const GOLDEN_PATH: &str = "tests/data/golden.w3kt";
 /// The campaign's fixed base seed; `(BASE_SEED, N_PLANS)` is the
 /// entire campaign spec and replays identically anywhere.
 const BASE_SEED: u64 = 0x5752_4c94_0600_c4a0;
-const N_PLANS: usize = 420;
+const N_PLANS: usize = 440;
 
 fn golden_input() -> ChaosInput {
     ChaosInput::new(TraceArchive::load(GOLDEN_PATH).expect("golden archive must load"))
 }
 
 #[test]
-fn campaign_of_420_seeded_plans_never_reaches_a_forbidden_outcome() {
+fn campaign_of_440_seeded_plans_never_reaches_a_forbidden_outcome() {
     let input = golden_input();
     let plans = campaign(BASE_SEED, N_PLANS);
     assert!(plans.len() >= 200, "campaign must be at least 200 plans");
@@ -53,6 +53,7 @@ fn campaign_of_420_seeded_plans_never_reaches_a_forbidden_outcome() {
         Layer::Farm,
         Layer::Wire,
         Layer::Fabric,
+        Layer::Tracer,
     ] {
         assert!(
             layers.contains(&layer),
@@ -74,7 +75,7 @@ fn campaign_of_420_seeded_plans_never_reaches_a_forbidden_outcome() {
 fn any_plan_replays_identically_from_its_spec_line() {
     let input = golden_input();
     // One plan per site, via the round-robin campaign head.
-    for plan in campaign(BASE_SEED ^ 0x0f0f, 21) {
+    for plan in campaign(BASE_SEED ^ 0x0f0f, 22) {
         let spec = plan.to_string();
         let replayed: FaultPlan = spec.parse().expect("specs round-trip");
         assert_eq!(replayed, plan);

@@ -97,6 +97,10 @@ fn code_constants() -> BTreeMap<String, u64> {
         ("wire.err.wire", u64::from(err::WIRE)),
         ("wire.err.unavailable", u64::from(err::UNAVAILABLE)),
         ("wire.err.slow_consumer", u64::from(err::SLOW_CONSUMER)),
+        (
+            "wire.err.retention_evicted",
+            u64::from(err::RETENTION_EVICTED),
+        ),
         ("manifest.version", u64::from(MANIFEST_VERSION)),
         (
             "manifest.block_entry_bytes",

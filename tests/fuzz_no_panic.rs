@@ -341,6 +341,91 @@ proptest! {
     }
 }
 
+/// Characters a sink-spec or duty-cycle string plausibly contains —
+/// digits with suffixes, separators, and a little junk, so the fuzz
+/// walks both the accept and reject paths of the grammars.
+fn arb_speclike_string(max: usize) -> impl Strategy<Value = String> {
+    let c = prop_oneof![
+        Just('0'),
+        Just('1'),
+        Just('4'),
+        Just('7'),
+        Just('9'),
+        Just('k'),
+        Just('K'),
+        Just('m'),
+        Just('M'),
+        Just(':'),
+        Just(','),
+        Just('.'),
+        Just('-'),
+        Just('x'),
+        Just('e'),
+        Just(' '),
+        Just('\u{7f}'),
+    ];
+    vec(c, 0..max).prop_map(|cs| cs.into_iter().collect())
+}
+
+/// A spec item that is *almost* one of the real sink names, or junk.
+fn arb_spec_item() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![
+            Just("cache"),
+            Just("tlb"),
+            Just("dilation"),
+            Just("pagemap"),
+            Just("defense"),
+            Just("sampled"),
+            Just("wset"),
+            Just("phase"),
+            Just("cachex"),
+            Just(""),
+        ],
+        arb_speclike_string(12),
+    )
+        .prop_map(|(name, tail)| format!("{name}{tail}"))
+}
+
+proptest! {
+    /// The sampled-window duty-cycle parser is total: any input gets a
+    /// typed `SampledCfgError` or a config whose invariants hold (a
+    /// live `on` phase, no period overflow, a phase inside the
+    /// period) — never a panic. Parsing is deterministic.
+    #[test]
+    fn sampled_window_config_parsing_never_panics(s in arb_speclike_string(32)) {
+        use systrace::tracer::SampledCfg;
+        let a = SampledCfg::parse(&s);
+        prop_assert_eq!(&a, &SampledCfg::parse(&s));
+        if let Ok(cfg) = a {
+            prop_assert!(cfg.on >= 1);
+            prop_assert!(cfg.period() >= cfg.on);
+            if cfg.period() > 0 {
+                prop_assert!(cfg.phase() < cfg.period());
+            }
+        }
+    }
+
+    /// The sink-spec grammar behind `tracedump analyze` is total too:
+    /// any comma-joined item list builds a stack or surfaces a typed
+    /// `SinkSpecError`, never a panic.
+    #[test]
+    fn sink_spec_parsing_never_panics(items in vec(arb_spec_item(), 0..5)) {
+        use systrace::memsim::{PageMap, Policy};
+        use systrace::tracer::build_stack;
+        let spec = items.join(",");
+        let pagemap = PageMap::new(Policy::Identity);
+        match build_stack(&spec, &pagemap) {
+            Ok(stack) => prop_assert!(!stack.is_empty()),
+            Err(e) => {
+                // The error renders (Display is part of the type's
+                // contract for CLI surfacing).
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}
+
 /// The alloc-bound hardening in one directed case each: an absurd
 /// word count must fail fast without attempting the allocation.
 #[test]

@@ -14,7 +14,9 @@
 //!   subscribers, the full predicate panel, joins at start-of-stream
 //!   and mid-run, both `from_start` semantics — plus a deliberately
 //!   stalled reader evicted at the documented `sub_queue` bound with
-//!   the typed `SLOW_CONSUMER` error.
+//!   the typed `SLOW_CONSUMER` error, and the `sub_retention` word
+//!   bound evicting exactly at the bound with the typed
+//!   `RETENTION_EVICTED` refusal for stale `from_start` joins.
 //!
 //! The `serve.*` metric family is process-global, so the test that
 //! asserts on it serializes behind one mutex.
@@ -651,6 +653,84 @@ fn a_deliberately_stalled_reader_is_evicted_at_the_sub_queue_bound() {
     assert!(
         words.is_empty(),
         "a from-now join after finish sees only the marker"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn the_retention_bound_evicts_exactly_at_the_bound_and_refuses_stale_replays() {
+    let _guard = metrics_lock();
+    let a = golden();
+    assert!(a.words.len() >= 8192, "golden trace shrank under the test");
+    let cfg = ServeCfg {
+        sub_retention: 4096,
+        ..ServeCfg::default()
+    };
+    let server = Server::start("127.0.0.1:0", Catalog::new(), cfg).expect("server starts");
+    let obs = server.obs().clone();
+    let evicted_before = obs.sub_retention_evicted.get();
+    let feed = server.live_feed("bounded");
+
+    // A subscriber attached before any eviction: its cursor is pumped
+    // to the head under the same lock each publish holds, so the
+    // evictions behind it must never cost it a word.
+    let mut tail = connect_patiently(server.addr());
+    tail.subscribe("bounded", &Predicate::default(), true)
+        .expect("subscribe before eviction");
+
+    // Exactly at the bound: nothing is evicted.
+    feed.publish(&a.words[..4096]);
+    assert_eq!(
+        obs.sub_retention_evicted.get(),
+        evicted_before,
+        "a feed filled to exactly sub_retention evicts nothing"
+    );
+
+    // One word past the bound evicts exactly one word...
+    feed.publish(&a.words[4096..4097]);
+    assert_eq!(
+        obs.sub_retention_evicted.get(),
+        evicted_before + 1,
+        "one word past the bound evicts exactly the overflow"
+    );
+
+    // ...and further publishes track the overflow word-for-word.
+    feed.publish(&a.words[4097..8192]);
+    assert_eq!(
+        obs.sub_retention_evicted.get(),
+        evicted_before + 4096,
+        "eviction count equals total words published past the bound"
+    );
+
+    // A from-start join now refuses with the typed error instead of
+    // shipping a silently truncated replay.
+    let mut stale = connect_patiently(server.addr());
+    match stale.subscribe("bounded", &Predicate::default(), true) {
+        Err(ServeError::Remote { code, msg }) => {
+            assert_eq!(code, wire::err::RETENTION_EVICTED, "{msg}");
+            assert!(msg.contains("bounded"), "error names the feed: {msg}");
+        }
+        other => panic!("from-start after eviction gave {other:?}"),
+    }
+
+    // A from-now join still attaches cleanly.
+    let mut fresh = connect_patiently(server.addr());
+    fresh
+        .subscribe("bounded", &Predicate::default(), false)
+        .expect("from-now subscribe after eviction");
+
+    feed.finish();
+    let (first, words) = collect_tail(&mut tail, "tail spanning evictions");
+    assert_eq!(first, Some(0));
+    assert_eq!(
+        words,
+        filter_stream(&a.words, &Predicate::default()),
+        "an attached tail is bit-identical across evictions behind it"
+    );
+    let (_, words) = collect_tail(&mut fresh, "post-eviction from-now");
+    assert!(
+        words.is_empty(),
+        "nothing published after the from-now join"
     );
     server.shutdown();
 }

@@ -1,0 +1,330 @@
+//! The tracer differential: a composed one-pass stack is
+//! *bit-identical* to dedicated single-analysis passes.
+//!
+//! * Five ported analyses (cache study, TLB simulation, dilation,
+//!   pagemap, defensive checks) composed in one stack vs each run
+//!   alone — equal report-for-report, over the in-memory stream and
+//!   over stores at block sizes {1, 7, 4096} with 1/2/4 farm
+//!   workers (both the farm spread and the sequential fallback).
+//! * Grounding against the pre-existing dedicated implementations:
+//!   the `cache_sweep` study sink and a raw [`MemSim`] pass.
+//! * The three new window analyses pin their golden-trace reports
+//!   byte-for-byte (sampled duty-cycle windows, per-ASID working-set
+//!   curves, phase change-points).
+
+use systrace::memsim::{AssocCache, MemSim, PageMap, Policy, SimCfg, SpaceKey, UtlbSynth};
+use systrace::store::{FarmCfg, TraceStore};
+use systrace::trace::{Space, TraceArchive, TraceSink};
+use systrace::tracer::{
+    analyze_store, analyze_words, build_stack, CacheSink, DefenseSink, DilationSink, PagemapSink,
+    SinkReport, Stack, TlbSink,
+};
+
+const GOLDEN_PATH: &str = "tests/data/golden.w3kt";
+
+fn golden() -> TraceArchive {
+    TraceArchive::load(GOLDEN_PATH).expect("golden archive loads")
+}
+
+/// The page-map policy every dedicated pass and every spec-built sink
+/// uses (same as `tracedump sim`).
+fn pm() -> PageMap {
+    PageMap::new(Policy::FirstFree { base_pfn: 0x2000 })
+}
+
+fn simcfg() -> SimCfg {
+    SimCfg {
+        utlb: Some(UtlbSynth::wrl_kernel()),
+        ..SimCfg::default()
+    }
+}
+
+/// The five ported analyses, freshly constructed in a fixed order.
+fn five() -> Vec<Box<dyn systrace::tracer::AnalysisSink + Send>> {
+    vec![
+        Box::new(CacheSink::new(65536, 2, pm())),
+        Box::new(TlbSink::new(simcfg(), pm())),
+        Box::new(DilationSink::default()),
+        Box::new(PagemapSink::new(pm())),
+        Box::new(DefenseSink::default()),
+    ]
+}
+
+/// The event-only subset (no word hooks), which lets `analyze_store`
+/// spread the sinks over the replay farm.
+fn event_only() -> Vec<Box<dyn systrace::tracer::AnalysisSink + Send>> {
+    vec![
+        Box::new(CacheSink::new(65536, 2, pm())),
+        Box::new(TlbSink::new(simcfg(), pm())),
+        Box::new(PagemapSink::new(pm())),
+        Box::new(DefenseSink::default()),
+    ]
+}
+
+/// Runs each sink of `make()` alone over the in-memory stream — the
+/// dedicated passes the composed run must reproduce exactly.
+fn dedicated(
+    a: &TraceArchive,
+    make: fn() -> Vec<Box<dyn systrace::tracer::AnalysisSink + Send>>,
+) -> Vec<SinkReport> {
+    make()
+        .into_iter()
+        .map(|sink| {
+            let mut stack = Stack::new();
+            stack.push_boxed(sink);
+            let mut report = analyze_words(a.parser(), &a.words, stack);
+            assert_eq!(report.failed(), 0, "a dedicated pass never fails");
+            report.reports.remove(0).expect("no failure")
+        })
+        .collect()
+}
+
+#[test]
+fn composed_one_pass_is_bit_identical_to_dedicated_passes() {
+    let a = golden();
+    let expected = dedicated(&a, five);
+
+    // In-memory composed pass.
+    let mut stack = Stack::new();
+    for s in five() {
+        stack.push_boxed(s);
+    }
+    let composed = analyze_words(a.parser(), &a.words, stack);
+    assert_eq!(composed.failed(), 0);
+    assert_eq!(composed.words, a.words.len() as u64);
+    for (i, want) in expected.iter().enumerate() {
+        assert_eq!(
+            composed.ok(i).expect("slot succeeded"),
+            want,
+            "composed slot {i} diverged from its dedicated pass"
+        );
+    }
+}
+
+#[test]
+fn composed_store_passes_match_dedicated_at_every_block_size_and_worker_count() {
+    let a = golden();
+    let expected_five = dedicated(&a, five);
+    let expected_events = dedicated(&a, event_only);
+
+    for block_words in [1usize, 7, 4096] {
+        let store = TraceStore::from_archive(&a, block_words);
+        for workers in [1usize, 2, 4] {
+            let cfg = FarmCfg {
+                workers,
+                ..FarmCfg::default()
+            };
+            // The full five-sink stack (dilation wants word hooks, so
+            // every worker count runs the sequential one-pass drive).
+            let mut stack = Stack::new();
+            for s in five() {
+                stack.push_boxed(s);
+            }
+            let report = analyze_store(&store, stack, cfg).expect("store pass succeeds");
+            let tag = format!("block={block_words} workers={workers}");
+            assert_eq!(report.failed(), 0, "{tag}");
+            assert_eq!(report.words, a.words.len() as u64, "{tag}");
+            for (i, want) in expected_five.iter().enumerate() {
+                assert_eq!(report.ok(i).unwrap(), want, "{tag}: five-stack slot {i}");
+            }
+
+            // The event-only stack engages the replay farm at
+            // workers > 1; the farm's ordering guarantee must make
+            // that spread invisible in the reports.
+            let mut stack = Stack::new();
+            for s in event_only() {
+                stack.push_boxed(s);
+            }
+            let report = analyze_store(&store, stack, cfg).expect("store pass succeeds");
+            assert_eq!(report.failed(), 0, "{tag}");
+            for (i, want) in expected_events.iter().enumerate() {
+                assert_eq!(report.ok(i).unwrap(), want, "{tag}: event-stack slot {i}");
+            }
+        }
+    }
+}
+
+/// The `cache_sweep` study sink, reproduced as in
+/// `tests/store_farm.rs`, so [`CacheSink`] is checked against the
+/// dedicated implementation it replaces — not just against itself.
+#[derive(Debug)]
+struct CacheStudy {
+    icache: AssocCache,
+    dcache: AssocCache,
+    pagemap: PageMap,
+    cur_asid: u8,
+}
+
+impl CacheStudy {
+    fn new(size: u32, ways: usize) -> CacheStudy {
+        CacheStudy {
+            icache: AssocCache::new(size, 16, ways),
+            dcache: AssocCache::new(size, 16, ways),
+            pagemap: pm(),
+            cur_asid: 1,
+        }
+    }
+
+    fn translate(&mut self, vaddr: u32, space: Space) -> u32 {
+        match vaddr {
+            0x8000_0000..=0xbfff_ffff => vaddr & 0x1fff_ffff,
+            _ => {
+                let key = if vaddr >= 0xc000_0000 {
+                    SpaceKey::Kernel
+                } else {
+                    match space {
+                        Space::User(a) => SpaceKey::User(a),
+                        Space::Kernel => SpaceKey::User(self.cur_asid),
+                    }
+                };
+                self.pagemap.translate(key, vaddr)
+            }
+        }
+    }
+}
+
+impl TraceSink for CacheStudy {
+    fn iref(&mut self, vaddr: u32, space: Space, _idle: bool) {
+        let pa = self.translate(vaddr, space);
+        self.icache.access(pa);
+    }
+    fn dref(&mut self, vaddr: u32, _store: bool, _w: systrace::isa::Width, space: Space) {
+        let pa = self.translate(vaddr, space);
+        self.dcache.access(pa);
+    }
+    fn ctx_switch(&mut self, asid: u8) {
+        self.cur_asid = asid;
+    }
+}
+
+#[test]
+fn cache_sink_matches_the_dedicated_cache_study_across_a_sweep() {
+    let a = golden();
+    for size in [16u32 << 10, 64 << 10, 256 << 10] {
+        for ways in [1usize, 2, 4] {
+            let mut study = CacheStudy::new(size, ways);
+            a.parser().parse_all(&a.words, &mut study);
+
+            let report = analyze_words(
+                a.parser(),
+                &a.words,
+                Stack::new().with(CacheSink::new(size, ways, pm())),
+            );
+            let r = report.ok(0).expect("cache slot succeeded");
+            let tag = format!("size={size} ways={ways}");
+            assert_eq!(
+                r.get_u64("icache_accesses"),
+                Some(study.icache.accesses),
+                "{tag}"
+            );
+            assert_eq!(
+                r.get_u64("icache_misses"),
+                Some(study.icache.misses),
+                "{tag}"
+            );
+            assert_eq!(
+                r.get_u64("dcache_accesses"),
+                Some(study.dcache.accesses),
+                "{tag}"
+            );
+            assert_eq!(
+                r.get_u64("dcache_misses"),
+                Some(study.dcache.misses),
+                "{tag}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tlb_sink_matches_a_dedicated_memsim_pass_field_for_field() {
+    let a = golden();
+    let mut sim = MemSim::new(simcfg(), pm());
+    a.parser().parse_all(&a.words, &mut sim);
+
+    let report = analyze_words(
+        a.parser(),
+        &a.words,
+        Stack::new().with(TlbSink::new(simcfg(), pm())),
+    );
+    let r = report.ok(0).expect("tlb slot succeeded");
+    let s = &sim.stats;
+    for (field, want) in [
+        ("user_irefs", s.user_irefs),
+        ("kernel_irefs", s.kernel_irefs),
+        ("user_drefs", s.user_drefs),
+        ("kernel_drefs", s.kernel_drefs),
+        ("imisses", s.imisses),
+        ("imisses_kernel", s.imisses_kernel),
+        ("dmisses", s.dmisses),
+        ("dmisses_kernel", s.dmisses_kernel),
+        ("uncached", s.uncached),
+        ("wb_stall_cycles", s.wb_stall_cycles),
+        ("utlb_misses", s.utlb_misses),
+        ("synth_irefs", s.synth_irefs),
+        ("idle_insts", s.idle_insts),
+        ("stores", s.stores),
+        ("sanity_violations", s.sanity_violations),
+        ("kernel_cycles", s.kernel_cycles),
+        ("user_cycles", s.user_cycles),
+        ("cycles", sim.cycles),
+    ] {
+        assert_eq!(r.get_u64(field), Some(want), "{field}");
+    }
+}
+
+/// The three new window analyses on the golden trace, pinned
+/// byte-for-byte (the §3.2 sampled duty cycle, §6 working sets, and
+/// window-to-window phase detection). `Value::F64` renders the
+/// shortest round-tripping decimal, so these strings are exact.
+#[test]
+fn golden_window_analyses_pin_their_reports() {
+    let a = golden();
+    let stack =
+        build_stack("sampled:256:768:1,wset:256,phase:256", &pm()).expect("the pinned spec parses");
+    let report = analyze_words(a.parser(), &a.words, stack);
+    assert_eq!(report.failed(), 0);
+    assert_eq!(
+        report.render(),
+        "\
+sink sampled:256:768:1
+  windows = 9
+  words = 8192
+  sampled_words = 2048
+  sampled_irefs = 8131
+  sampled_drefs = 150
+  coverage = 0.25
+  est_irefs = 32524.0
+  est_drefs = 600.0
+sink wset:256
+  spaces = 2
+  refs = 32607
+  pages = 17
+  sink asid:1
+    windows = 1
+    pages = 3
+    peak = 3
+    mean = 3.0
+    refs = 55
+  sink kernel
+    windows = 128
+    pages = 14
+    peak = 7
+    mean = 1.421875
+    refs = 32552
+sink phase:256
+  windows = 127
+  change_points = 8
+  mean_distance = 0.057357016880826416
+  max_distance = 0.8888888888888888
+  cp0 = 1
+  cp1 = 80
+  cp2 = 81
+  cp3 = 83
+  cp4 = 86
+  cp5 = 116
+  cp6 = 118
+  cp7 = 119
+"
+    );
+}
